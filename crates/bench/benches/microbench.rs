@@ -1,0 +1,194 @@
+//! Criterion microbenchmarks over the core operations: one group per
+//! headline claim. (The per-table/figure harness is the `repro` binary;
+//! these benches give statistically robust single-operation numbers.)
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use memtree_btree::{BPlusTree, CompactBTree};
+use memtree_common::traits::{OrderedIndex, PointFilter, StaticIndex};
+use memtree_fst::{Fst, TrieOpts};
+use memtree_hope::{Hope, Scheme};
+use memtree_hybrid::HybridBTree;
+use memtree_surf::{SuffixConfig, Surf};
+use memtree_workload::keys;
+use memtree_workload::zipf::Zipfian;
+
+const N_KEYS: usize = 200_000;
+
+fn int_entries() -> Vec<(Vec<u8>, u64)> {
+    keys::sorted_unique(keys::rand_u64_keys(N_KEYS, 1))
+        .into_iter()
+        .enumerate()
+        .map(|(i, k)| (k, i as u64))
+        .collect()
+}
+
+fn picks(n: usize) -> Vec<usize> {
+    let mut z = Zipfian::new(N_KEYS, 5);
+    (0..n).map(|_| z.next_scrambled()).collect()
+}
+
+fn bench_point_queries(c: &mut Criterion) {
+    let entries = int_entries();
+    let keyset: Vec<&[u8]> = entries.iter().map(|(k, _)| k.as_slice()).collect();
+    let idx = picks(1 << 14);
+
+    let mut group = c.benchmark_group("point_query");
+    group.throughput(Throughput::Elements(idx.len() as u64));
+
+    let mut btree = BPlusTree::new();
+    for (k, v) in &entries {
+        btree.insert(k, *v);
+    }
+    group.bench_function("btree", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &i in &idx {
+                acc += btree.get(keyset[i]).unwrap();
+            }
+            acc
+        })
+    });
+
+    let compact = CompactBTree::build(&entries);
+    group.bench_function("compact_btree", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &i in &idx {
+                acc += compact.get(keyset[i]).unwrap();
+            }
+            acc
+        })
+    });
+
+    let mut art = memtree_art::Art::new();
+    for (k, v) in &entries {
+        art.insert(k, *v);
+    }
+    group.bench_function("art", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &i in &idx {
+                acc += art.get(keyset[i]).unwrap();
+            }
+            acc
+        })
+    });
+
+    let fst = Fst::build(&entries);
+    group.bench_function("fst", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &i in &idx {
+                acc += fst.get(keyset[i]).unwrap();
+            }
+            acc
+        })
+    });
+
+    let fst_baseline = Fst::build_with(&entries, TrieOpts::baseline());
+    group.bench_function("fst_unoptimized", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &i in &idx {
+                acc += fst_baseline.get(keyset[i]).unwrap();
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+fn bench_filters(c: &mut Criterion) {
+    let entries = int_entries();
+    let keyset: Vec<Vec<u8>> = entries.iter().map(|(k, _)| k.clone()).collect();
+    let idx = picks(1 << 14);
+
+    let mut group = c.benchmark_group("filter_lookup");
+    group.throughput(Throughput::Elements(idx.len() as u64));
+    let surf = Surf::from_keys(&keyset, SuffixConfig::Real(8));
+    group.bench_function("surf_real8", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for &i in &idx {
+                acc += usize::from(surf.may_contain(&keyset[i]));
+            }
+            acc
+        })
+    });
+    let bloom = memtree_filters::BloomFilter::from_keys(&keyset, 14.0);
+    group.bench_function("bloom14", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for &i in &idx {
+                acc += usize::from(bloom.may_contain(&keyset[i]));
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+fn bench_inserts(c: &mut Criterion) {
+    let key_list = keys::rand_u64_keys(1 << 14, 3);
+    let mut group = c.benchmark_group("insert");
+    group.throughput(Throughput::Elements(key_list.len() as u64));
+    group.bench_function("btree", |b| {
+        b.iter_batched(
+            BPlusTree::new,
+            |mut t| {
+                for (i, k) in key_list.iter().enumerate() {
+                    t.insert(k, i as u64);
+                }
+                t
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("hybrid_btree", |b| {
+        b.iter_batched(
+            HybridBTree::new,
+            |mut t| {
+                for (i, k) in key_list.iter().enumerate() {
+                    t.insert(k, i as u64);
+                }
+                t
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_hope_encode(c: &mut Criterion) {
+    let emails = keys::sorted_unique(keys::email_keys(50_000, 1));
+    let sample: Vec<Vec<u8>> = emails.iter().step_by(100).cloned().collect();
+    let mut group = c.benchmark_group("hope_encode");
+    group.throughput(Throughput::Elements(emails.len() as u64));
+    for scheme in [Scheme::SingleChar, Scheme::DoubleChar, Scheme::ThreeGrams] {
+        let hope = Hope::train_keys(scheme, &sample, 1 << 16);
+        group.bench_function(scheme.name(), |b| {
+            b.iter(|| {
+                let mut acc = 0usize;
+                for k in &emails {
+                    acc += hope.encode_bytes(k).len();
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_secs(1))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_point_queries, bench_filters, bench_inserts, bench_hope_encode
+}
+criterion_main!(benches);

@@ -1,0 +1,187 @@
+//! Chapter 1/2 experiments: index memory share, query profiling, and the
+//! Dynamic-to-Static rule evaluation.
+
+use crate::{header, mb, mops, time, Scale};
+use memtree_btree::{BPlusTree, CompactBTree, CompressedBTree};
+use memtree_common::traits::{OrderedIndex, StaticIndex};
+use memtree_hstore::db::IndexChoice;
+use memtree_hstore::tpcc::{Tpcc, TpccConfig};
+use memtree_hstore::{articles::Articles, voter::Voter, Database};
+use memtree_masstree::{CompactMasstree, Masstree};
+use memtree_skiplist::{CompactSkipList, SkipList};
+use memtree_workload::keys;
+use memtree_workload::zipf::Zipfian;
+
+/// The three key types of the thesis microbenchmarks.
+pub fn key_sets(scale: Scale) -> Vec<(&'static str, Vec<Vec<u8>>)> {
+    vec![
+        ("rand-int", keys::rand_u64_keys(scale.n_keys, 7)),
+        ("mono-int", keys::mono_u64_keys(scale.n_keys)),
+        ("email", keys::email_keys(scale.n_keys, 7)),
+    ]
+}
+
+/// Zipf-scrambled read benchmark over a loaded key set.
+pub fn read_tput<F: Fn(&[u8]) -> bool>(keyset: &[Vec<u8>], n_ops: usize, get: F) -> f64 {
+    let mut z = Zipfian::new(keyset.len(), 99);
+    let picks: Vec<usize> = (0..n_ops).map(|_| z.next_scrambled()).collect();
+    let mut hits = 0usize;
+    let d = time(|| {
+        for &i in &picks {
+            if get(&keyset[i]) {
+                hits += 1;
+            }
+        }
+    });
+    assert_eq!(hits, n_ops, "read benchmark lost keys");
+    mops(n_ops, d)
+}
+
+/// Table 1.1: percentage of H-Store memory in tuples vs indexes.
+pub fn table1_1(scale: Scale) {
+    header("table1_1", "index memory share in H-Store (B+tree indexes)");
+    println!(
+        "{:<10} {:>10} {:>16} {:>18}",
+        "workload", "tuples%", "primary-idx%", "secondary-idx%"
+    );
+    let txns = scale.n_ops / 2;
+
+    let mut db = Database::new(IndexChoice::BTree);
+    let mut tpcc = Tpcc::load(&mut db, TpccConfig::small(), 1);
+    for _ in 0..txns {
+        tpcc.run_one(&mut db);
+    }
+    print_share("TPC-C", &db);
+
+    let mut db = Database::new(IndexChoice::BTree);
+    let mut voter = Voter::load(&mut db, 6, 2);
+    for _ in 0..txns * 2 {
+        voter.run_one(&mut db);
+    }
+    print_share("Voter", &db);
+
+    let mut db = Database::new(IndexChoice::BTree);
+    let mut art = Articles::load(&mut db, (scale.n_keys / 20) as i64, (scale.n_keys / 50) as i64, 3);
+    for _ in 0..txns {
+        art.run_one(&mut db);
+    }
+    print_share("Articles", &db);
+    println!("(paper: TPC-C 42.5/33.5/24.0, Voter 45.1/54.9/0, Articles 64.8/22.6/12.6)");
+}
+
+fn print_share(name: &str, db: &Database) {
+    let s = db.stats();
+    let total = s.total() as f64;
+    println!(
+        "{:<10} {:>9.1}% {:>15.1}% {:>17.1}%",
+        name,
+        100.0 * s.tuple_bytes as f64 / total,
+        100.0 * s.primary_index_bytes as f64 / total,
+        100.0 * s.secondary_index_bytes as f64 / total
+    );
+}
+
+/// Table 2.2: software profiling counters for point queries (stand-in for
+/// PAPI hardware counters; see DESIGN.md substitution #5).
+pub fn table2_2(scale: Scale) {
+    header(
+        "table2_2",
+        "per-query software probes, random u64 point queries",
+    );
+    let keyset = keys::rand_u64_keys(scale.n_keys, 5);
+    let mut z = Zipfian::new(keyset.len(), 11);
+    let picks: Vec<usize> = (0..scale.n_ops.min(200_000)).map(|_| z.next_scrambled()).collect();
+
+    let mut btree = BPlusTree::new();
+    let mut mass = Masstree::new();
+    let mut skip = SkipList::new();
+    let mut art = memtree_art::Art::new();
+    for (i, k) in keyset.iter().enumerate() {
+        btree.insert(k, i as u64);
+        mass.insert(k, i as u64);
+        skip.insert(k, i as u64);
+        art.insert(k, i as u64);
+    }
+    println!(
+        "{:<10} {:>14} {:>18} {:>16}",
+        "tree", "nodes/query", "key-bytes/query", "derefs/query"
+    );
+    let show = |name: &str, f: &dyn Fn(&[u8]) -> memtree_common::probe::ProbeStats| {
+        let mut total = memtree_common::probe::ProbeStats::default();
+        for &i in &picks {
+            total.add(&f(&keyset[i]));
+        }
+        let n = picks.len() as f64;
+        println!(
+            "{:<10} {:>14.2} {:>18.2} {:>16.2}",
+            name,
+            total.nodes_visited as f64 / n,
+            total.key_bytes_compared as f64 / n,
+            total.pointer_derefs as f64 / n
+        );
+    };
+    show("B+tree", &|k| btree.get_profiled(k).1);
+    show("Masstree", &|k| mass.get_profiled(k).1);
+    show("SkipList", &|k| skip.get_profiled(k).1);
+    show("ART", &|k| art.get_profiled(k).1);
+    println!("(paper: ART needs ~2.3x fewer instructions and ~5x fewer L1 misses)");
+}
+
+/// Figure 2.5: read throughput and memory for original vs Compact (vs
+/// Compressed for B+tree) across the three key types.
+pub fn fig2_5(scale: Scale) {
+    header("fig2_5", "D-to-S rules: read throughput (Mops) and memory (MB)");
+    println!(
+        "{:<10} {:<12} {:>12} {:>10} | {:>12} {:>10} {:>8}",
+        "keys", "tree", "orig Mops", "orig MB", "compact Mops", "cmp MB", "saved"
+    );
+    for (kname, keyset) in key_sets(scale) {
+        let entries: Vec<(Vec<u8>, u64)> = {
+            let mut s = keyset.clone();
+            s.sort();
+            s.dedup();
+            s.into_iter().enumerate().map(|(i, k)| (k, i as u64)).collect()
+        };
+        macro_rules! run_pair {
+            ($name:expr, $dyn_ty:ty, $static_ty:ty) => {{
+                let mut d: $dyn_ty = Default::default();
+                for k in &keyset {
+                    d.insert(k, 1);
+                }
+                let d_tput = read_tput(&keyset, scale.n_ops, |k| d.get(k).is_some());
+                let d_mem = d.mem_usage();
+                let c = <$static_ty>::build(&entries);
+                let c_tput = read_tput(&keyset, scale.n_ops, |k| c.get(k).is_some());
+                let c_mem = c.mem_usage();
+                println!(
+                    "{:<10} {:<12} {:>12.2} {:>10.1} | {:>12.2} {:>10.1} {:>7.0}%",
+                    $name.0,
+                    $name.1,
+                    d_tput,
+                    mb(d_mem),
+                    c_tput,
+                    mb(c_mem),
+                    100.0 * (1.0 - c_mem as f64 / d_mem as f64)
+                );
+            }};
+        }
+        run_pair!((kname, "B+tree"), BPlusTree, CompactBTree);
+        run_pair!((kname, "Masstree"), Masstree, CompactMasstree);
+        run_pair!((kname, "SkipList"), SkipList, CompactSkipList);
+        run_pair!((kname, "ART"), memtree_art::Art, memtree_art::CompactArt);
+        // Compression rule on the B+tree only (as in the thesis).
+        let comp = CompressedBTree::build(&entries);
+        let comp_tput = read_tput(&keyset, scale.n_ops, |k| comp.get(k).is_some());
+        println!(
+            "{:<10} {:<12} {:>12} {:>10} | {:>12.2} {:>10.1}",
+            kname,
+            "Compr-B+",
+            "-",
+            "-",
+            comp_tput,
+            mb(comp.mem_usage())
+        );
+    }
+    println!("(paper: compact trees save 30-71% memory at similar or better read speed;");
+    println!(" block compression saves more but cuts throughput 18-34%)");
+}

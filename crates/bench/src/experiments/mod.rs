@@ -1,0 +1,59 @@
+//! One module per thesis chapter; one public function per table/figure.
+
+pub mod ch2;
+pub mod ch3;
+pub mod ch4;
+pub mod ch5;
+pub mod ch6;
+
+use crate::Scale;
+
+/// The full experiment registry: `(id, description, runner)`.
+pub fn registry() -> Vec<(&'static str, &'static str, fn(Scale))> {
+    vec![
+        ("table1_1", "index memory share in H-Store (TPC-C/Voter/Articles)", ch2::table1_1 as fn(Scale)),
+        ("table2_2", "point-query software profiling of the four trees", ch2::table2_2),
+        ("fig2_5", "D-to-S rules: compact/compressed vs original trees", ch2::fig2_5),
+        ("fig3_4", "FST vs pointer-based indexes (latency/memory)", ch3::fig3_4),
+        ("fig3_5", "FST vs other succinct tries", ch3::fig3_5),
+        ("fig3_6", "FST optimization breakdown", ch3::fig3_6),
+        ("fig3_7", "LOUDS-Dense/Sparse trade-off (R sweep)", ch3::fig3_7),
+        ("fig4_4", "SuRF false positive rates", ch4::fig4_4),
+        ("fig4_5", "SuRF throughput", ch4::fig4_5),
+        ("fig4_6", "SuRF build time", ch4::fig4_6),
+        ("fig4_7", "SuRF thread scalability", ch4::fig4_7),
+        ("table4_1", "ARF vs SuRF", ch4::table4_1),
+        ("fig4_8", "LSM point + open-seek queries by filter", ch4::fig4_8),
+        ("fig4_9", "LSM closed-seek queries by %-empty", ch4::fig4_9),
+        ("fig4_11", "SuRF worst-case dataset", ch4::fig4_11),
+        ("fig5_3", "Hybrid B+tree vs original", ch5::fig5_3),
+        ("fig5_4", "Hybrid Masstree vs original", ch5::fig5_4),
+        ("fig5_5", "Hybrid Skip List vs original", ch5::fig5_5),
+        ("fig5_6", "Hybrid ART vs original", ch5::fig5_6),
+        ("fig5_7", "merge-ratio sensitivity", ch5::fig5_7),
+        ("fig5_8", "merge time vs static size", ch5::fig5_8),
+        ("fig5_9", "auxiliary structures (Bloom/node cache)", ch5::fig5_9),
+        ("fig5_10", "secondary-index hybrid vs original", ch5::fig5_10),
+        ("fig5_11", "H-Store TPC-C in memory", ch5::fig5_11),
+        ("fig5_12", "H-Store Voter in memory", ch5::fig5_12),
+        ("fig5_13", "H-Store Articles in memory", ch5::fig5_13),
+        ("table5_1", "TPC-C latency percentiles", ch5::table5_1),
+        ("fig5_14", "TPC-C larger than memory (anti-caching)", ch5::fig5_14),
+        ("fig5_15", "Voter larger than memory (anti-caching)", ch5::fig5_15),
+        ("fig5_16", "Articles larger than memory (anti-caching)", ch5::fig5_16),
+        ("fig6_8", "HOPE sample-size sensitivity", ch6::fig6_8),
+        ("fig6_9", "HOPE compression rate (CPR)", ch6::fig6_9),
+        ("fig6_10", "HOPE encode latency", ch6::fig6_10),
+        ("fig6_11", "HOPE dictionary memory", ch6::fig6_11),
+        ("fig6_12", "HOPE dictionary build-time breakdown", ch6::fig6_12),
+        ("fig6_13", "HOPE batch encoding", ch6::fig6_13),
+        ("fig6_14", "HOPE under key-distribution change", ch6::fig6_14),
+        ("fig6_15", "HOPE+SuRF YCSB runtime", ch6::fig6_15),
+        ("fig6_16", "HOPE+SuRF trie height", ch6::fig6_16),
+        ("fig6_17", "HOPE+SuRF false positive rate", ch6::fig6_17),
+        ("fig6_18", "HOPE+ART YCSB", ch6::fig6_18),
+        ("fig6_19", "HOPE+HOT(crit-bit) YCSB", ch6::fig6_19),
+        ("fig6_20", "HOPE+B+tree YCSB", ch6::fig6_20),
+        ("fig6_21", "HOPE+Prefix B+tree YCSB", ch6::fig6_21),
+    ]
+}

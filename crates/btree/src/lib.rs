@@ -1,0 +1,25 @@
+//! B+tree family: the dynamic baseline and its Dynamic-to-Static variants.
+//!
+//! * [`BPlusTree`] — an STX-style in-memory B+tree over byte-string keys
+//!   (the thesis's baseline; 512-byte-class nodes).
+//! * [`CompactBTree`] — the result of the **Compaction** and **Structural
+//!   Reduction** rules (§2.2–2.3): leaf entries packed 100 % full in one
+//!   contiguous level, internal "nodes" replaced by sampled separator
+//!   arrays whose child positions are computed, not stored.
+//! * [`CompressedBTree`] — additionally applies the **Compression** rule
+//!   (§2.4): leaf blocks go through the block codec, fronted by a CLOCK
+//!   node cache.
+//! * [`PrefixBTree`] — a Bayer–Unterauer prefix B+tree (leaf-level prefix
+//!   truncation + shortest separators), used in the HOPE evaluation (Ch. 6).
+
+#![warn(missing_docs)]
+
+pub mod compact;
+pub mod compressed;
+pub mod dynamic;
+pub mod prefix;
+
+pub use compact::CompactBTree;
+pub use compressed::CompressedBTree;
+pub use dynamic::BPlusTree;
+pub use prefix::PrefixBTree;

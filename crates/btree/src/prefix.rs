@@ -1,0 +1,526 @@
+//! Prefix B+tree (Bayer–Unterauer), used in the HOPE evaluation (Ch. 6).
+//!
+//! Two classic optimizations over the plain B+tree:
+//!
+//! * **Leaf prefix truncation** — each leaf stores the common prefix of its
+//!   keys once; entries keep only their suffixes.
+//! * **Shortest separators** — inner nodes store the shortest string that
+//!   separates the adjacent leaves instead of a full key.
+//!
+//! Deletion removes entries without merging underfull nodes (as real
+//! systems such as PostgreSQL's nbtree do); the half-full invariant is
+//! maintained by splits only.
+
+use memtree_common::key::common_prefix_len;
+use memtree_common::mem::vec_bytes;
+use memtree_common::traits::{OrderedIndex, Value};
+
+type NodeId = u32;
+const NIL: NodeId = u32::MAX;
+
+/// Max entries per node.
+pub const DEFAULT_FANOUT: usize = 32;
+
+#[derive(Debug)]
+enum Node {
+    Leaf {
+        prefix: Vec<u8>,
+        suffixes: Vec<Box<[u8]>>,
+        vals: Vec<Value>,
+        next: NodeId,
+    },
+    Inner {
+        keys: Vec<Box<[u8]>>,
+        children: Vec<NodeId>,
+    },
+}
+
+/// A B+tree with leaf prefix truncation and shortest separators.
+#[derive(Debug)]
+pub struct PrefixBTree {
+    nodes: Vec<Node>,
+    root: NodeId,
+    len: usize,
+    fanout: usize,
+}
+
+enum InsertUp {
+    Done,
+    Duplicate,
+    Split(Box<[u8]>, NodeId),
+}
+
+impl Default for PrefixBTree {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PrefixBTree {
+    /// Creates an empty tree with the default fanout.
+    pub fn new() -> Self {
+        Self::with_fanout(DEFAULT_FANOUT)
+    }
+
+    /// Creates an empty tree with a custom node capacity (min 4).
+    pub fn with_fanout(fanout: usize) -> Self {
+        assert!(fanout >= 4);
+        Self {
+            nodes: vec![Node::Leaf {
+                prefix: Vec::new(),
+                suffixes: Vec::new(),
+                vals: Vec::new(),
+                next: NIL,
+            }],
+            root: 0,
+            len: 0,
+            fanout,
+        }
+    }
+
+    fn alloc(&mut self, node: Node) -> NodeId {
+        self.nodes.push(node);
+        (self.nodes.len() - 1) as NodeId
+    }
+
+    fn find_leaf(&self, key: &[u8]) -> NodeId {
+        let mut id = self.root;
+        loop {
+            match &self.nodes[id as usize] {
+                Node::Leaf { .. } => return id,
+                Node::Inner { keys, children } => {
+                    let ci = keys.partition_point(|k| k.as_ref() <= key);
+                    id = children[ci];
+                }
+            }
+        }
+    }
+
+    /// Where `key` sits relative to a leaf's entries:
+    /// `Ok(i)` exact match at slot `i`, `Err(i)` insertion slot `i`.
+    fn leaf_search(prefix: &[u8], suffixes: &[Box<[u8]>], key: &[u8]) -> Result<usize, usize> {
+        let cp = common_prefix_len(key, prefix);
+        if cp < prefix.len() {
+            // Key diverges from the leaf prefix: all entries compare on the
+            // prefix byte.
+            return if key.len() == cp || key[cp] < prefix[cp] {
+                Err(0)
+            } else {
+                Err(suffixes.len())
+            };
+        }
+        let ks = &key[prefix.len()..];
+        suffixes.binary_search_by(|s| s.as_ref().cmp(ks))
+    }
+
+    /// Tightens a leaf's prefix to the common prefix of its current keys.
+    fn tighten(prefix: &mut Vec<u8>, suffixes: &mut [Box<[u8]>]) {
+        if suffixes.len() < 2 {
+            return;
+        }
+        let first = &suffixes[0];
+        let last = &suffixes[suffixes.len() - 1];
+        let extra = common_prefix_len(first, last);
+        if extra == 0 {
+            return;
+        }
+        prefix.extend_from_slice(&first[..extra]);
+        for s in suffixes.iter_mut() {
+            *s = s[extra..].into();
+        }
+    }
+
+    /// Shortest separator `s` with `left_max < s <= right_min`.
+    fn shortest_separator(left_max: &[u8], right_min: &[u8]) -> Box<[u8]> {
+        let cp = common_prefix_len(left_max, right_min);
+        right_min[..(cp + 1).min(right_min.len())].into()
+    }
+
+    fn insert_rec(&mut self, id: NodeId, key: &[u8], val: Value) -> InsertUp {
+        let child_slot = match &self.nodes[id as usize] {
+            Node::Leaf { .. } => None,
+            Node::Inner { keys, children } => {
+                let ci = keys.partition_point(|k| k.as_ref() <= key);
+                Some((ci, children[ci]))
+            }
+        };
+        match child_slot {
+            None => {
+                let fanout = self.fanout;
+                let Node::Leaf {
+                    prefix,
+                    suffixes,
+                    vals,
+                    next,
+                } = &mut self.nodes[id as usize]
+                else {
+                    unreachable!()
+                };
+                // Widen the prefix if the new key diverges from it.
+                let cp = common_prefix_len(key, prefix);
+                if cp < prefix.len() && !suffixes.is_empty() {
+                    let tail: Vec<u8> = prefix[cp..].to_vec();
+                    for s in suffixes.iter_mut() {
+                        let mut ns = Vec::with_capacity(tail.len() + s.len());
+                        ns.extend_from_slice(&tail);
+                        ns.extend_from_slice(s);
+                        *s = ns.into();
+                    }
+                    prefix.truncate(cp);
+                } else if suffixes.is_empty() {
+                    *prefix = key.to_vec();
+                    suffixes.push(Box::from(&[][..]));
+                    vals.push(val);
+                    return InsertUp::Done;
+                }
+                let pos = match Self::leaf_search(prefix, suffixes, key) {
+                    Ok(_) => return InsertUp::Duplicate,
+                    Err(p) => p,
+                };
+                suffixes.insert(pos, key[prefix.len()..].into());
+                vals.insert(pos, val);
+                if suffixes.len() <= fanout {
+                    return InsertUp::Done;
+                }
+                // Split.
+                let mid = suffixes.len() / 2;
+                let mut r_suf: Vec<Box<[u8]>> = suffixes.split_off(mid);
+                let r_vals: Vec<Value> = vals.split_off(mid);
+                let left_max: Vec<u8> = [prefix.as_slice(), &suffixes[suffixes.len() - 1]].concat();
+                let right_min: Vec<u8> = [prefix.as_slice(), &r_suf[0]].concat();
+                let sep = Self::shortest_separator(&left_max, &right_min);
+                let mut r_prefix = prefix.clone();
+                Self::tighten(&mut r_prefix, &mut r_suf);
+                Self::tighten(prefix, suffixes);
+                let old_next = *next;
+                let rid = self.alloc(Node::Leaf {
+                    prefix: r_prefix,
+                    suffixes: r_suf,
+                    vals: r_vals,
+                    next: old_next,
+                });
+                let Node::Leaf { next, .. } = &mut self.nodes[id as usize] else {
+                    unreachable!()
+                };
+                *next = rid;
+                InsertUp::Split(sep, rid)
+            }
+            Some((ci, child)) => match self.insert_rec(child, key, val) {
+                InsertUp::Done => InsertUp::Done,
+                InsertUp::Duplicate => InsertUp::Duplicate,
+                InsertUp::Split(sep, new_child) => {
+                    let fanout = self.fanout;
+                    let Node::Inner { keys, children } = &mut self.nodes[id as usize] else {
+                        unreachable!()
+                    };
+                    keys.insert(ci, sep);
+                    children.insert(ci + 1, new_child);
+                    if children.len() <= fanout {
+                        return InsertUp::Done;
+                    }
+                    let mid = keys.len() / 2;
+                    let up = keys[mid].clone();
+                    let r_keys = keys.split_off(mid + 1);
+                    keys.pop();
+                    let r_children = children.split_off(mid + 1);
+                    let rid = self.alloc(Node::Inner {
+                        keys: r_keys,
+                        children: r_children,
+                    });
+                    InsertUp::Split(up, rid)
+                }
+            },
+        }
+    }
+
+    /// Iterates in order from the first key `>= low` until `f` returns
+    /// `false`. Keys are reconstructed into a scratch buffer.
+    pub fn range_from(&self, low: &[u8], f: &mut dyn FnMut(&[u8], Value) -> bool) {
+        let mut id = self.find_leaf(low);
+        let mut first = true;
+        let mut scratch = Vec::new();
+        loop {
+            let Node::Leaf {
+                prefix,
+                suffixes,
+                vals,
+                next,
+            } = &self.nodes[id as usize]
+            else {
+                unreachable!()
+            };
+            let start = if first {
+                match Self::leaf_search(prefix, suffixes, low) {
+                    Ok(i) => i,
+                    Err(i) => i,
+                }
+            } else {
+                0
+            };
+            first = false;
+            for i in start..suffixes.len() {
+                scratch.clear();
+                scratch.extend_from_slice(prefix);
+                scratch.extend_from_slice(&suffixes[i]);
+                if !f(&scratch, vals[i]) {
+                    return;
+                }
+            }
+            if *next == NIL {
+                return;
+            }
+            id = *next;
+        }
+    }
+}
+
+impl OrderedIndex for PrefixBTree {
+    fn insert(&mut self, key: &[u8], value: Value) -> bool {
+        match self.insert_rec(self.root, key, value) {
+            InsertUp::Done => {
+                self.len += 1;
+                true
+            }
+            InsertUp::Duplicate => false,
+            InsertUp::Split(sep, rid) => {
+                let new_root = self.alloc(Node::Inner {
+                    keys: vec![sep],
+                    children: vec![self.root, rid],
+                });
+                self.root = new_root;
+                self.len += 1;
+                true
+            }
+        }
+    }
+
+    fn get(&self, key: &[u8]) -> Option<Value> {
+        let leaf = self.find_leaf(key);
+        let Node::Leaf {
+            prefix,
+            suffixes,
+            vals,
+            ..
+        } = &self.nodes[leaf as usize]
+        else {
+            unreachable!()
+        };
+        Self::leaf_search(prefix, suffixes, key)
+            .ok()
+            .map(|i| vals[i])
+    }
+
+    fn update(&mut self, key: &[u8], value: Value) -> bool {
+        let leaf = self.find_leaf(key);
+        let Node::Leaf {
+            prefix,
+            suffixes,
+            vals,
+            ..
+        } = &mut self.nodes[leaf as usize]
+        else {
+            unreachable!()
+        };
+        match Self::leaf_search(prefix, suffixes, key) {
+            Ok(i) => {
+                vals[i] = value;
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    fn remove(&mut self, key: &[u8]) -> bool {
+        let leaf = self.find_leaf(key);
+        let Node::Leaf {
+            prefix,
+            suffixes,
+            vals,
+            ..
+        } = &mut self.nodes[leaf as usize]
+        else {
+            unreachable!()
+        };
+        match Self::leaf_search(prefix, suffixes, key) {
+            Ok(i) => {
+                suffixes.remove(i);
+                vals.remove(i);
+                self.len -= 1;
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    fn scan(&self, low: &[u8], n: usize, out: &mut Vec<Value>) -> usize {
+        let before = out.len();
+        self.range_from(low, &mut |_k, v| {
+            if out.len() - before == n {
+                return false;
+            }
+            out.push(v);
+            out.len() - before < n
+        });
+        out.len() - before
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn mem_usage(&self) -> usize {
+        let mut total = vec_bytes(&self.nodes);
+        for node in &self.nodes {
+            match node {
+                Node::Leaf {
+                    prefix,
+                    suffixes,
+                    vals,
+                    ..
+                } => {
+                    total += vec_bytes(prefix)
+                        + vec_bytes(suffixes)
+                        + suffixes.iter().map(|s| s.len()).sum::<usize>()
+                        + vec_bytes(vals);
+                }
+                Node::Inner { keys, children } => {
+                    total += vec_bytes(keys)
+                        + keys.iter().map(|k| k.len()).sum::<usize>()
+                        + vec_bytes(children);
+                }
+            }
+        }
+        total
+    }
+
+    fn for_each_sorted(&self, f: &mut dyn FnMut(&[u8], Value)) {
+        PrefixBTree::range_from(self, &[], &mut |k, v| {
+            f(k, v);
+            true
+        });
+    }
+
+    fn range_from(&self, low: &[u8], f: &mut dyn FnMut(&[u8], Value) -> bool) {
+        PrefixBTree::range_from(self, low, f);
+    }
+
+    fn clear(&mut self) {
+        self.nodes.clear();
+        self.nodes.push(Node::Leaf {
+            prefix: Vec::new(),
+            suffixes: Vec::new(),
+            vals: Vec::new(),
+            next: NIL,
+        });
+        self.root = 0;
+        self.len = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memtree_common::key::encode_u64;
+
+    #[test]
+    fn email_like_keys_roundtrip() {
+        let mut t = PrefixBTree::with_fanout(8);
+        let mut keys: Vec<Vec<u8>> = (0..2000u64)
+            .map(|i| format!("com.example{}@user{:06}", i % 7, i).into_bytes())
+            .collect();
+        for (i, k) in keys.iter().enumerate() {
+            assert!(t.insert(k, i as u64), "insert {i}");
+        }
+        for (i, k) in keys.iter().enumerate() {
+            assert_eq!(t.get(k), Some(i as u64), "get {i}");
+        }
+        assert_eq!(t.get(b"com.example0@user999999"), None);
+        keys.sort();
+        let mut got = Vec::new();
+        t.for_each_sorted(&mut |k, _| got.push(k.to_vec()));
+        assert_eq!(got, keys);
+    }
+
+    #[test]
+    fn prefix_truncation_saves_memory() {
+        use crate::dynamic::BPlusTree;
+        let keys: Vec<Vec<u8>> = (0..20_000u64)
+            .map(|i| format!("http://www.example.com/some/long/path/{i:08}").into_bytes())
+            .collect();
+        let mut plain = BPlusTree::new();
+        let mut pfx = PrefixBTree::new();
+        for (i, k) in keys.iter().enumerate() {
+            plain.insert(k, i as u64);
+            pfx.insert(k, i as u64);
+        }
+        assert!(
+            (pfx.mem_usage() as f64) < 0.7 * plain.mem_usage() as f64,
+            "prefix {} vs plain {}",
+            pfx.mem_usage(),
+            plain.mem_usage()
+        );
+    }
+
+    #[test]
+    fn diverging_key_rewidens_prefix() {
+        let mut t = PrefixBTree::with_fanout(4);
+        assert!(t.insert(b"aaaa1", 1));
+        assert!(t.insert(b"aaaa2", 2));
+        assert!(t.insert(b"b", 3)); // forces prefix from "aaaa" to ""
+        assert_eq!(t.get(b"aaaa1"), Some(1));
+        assert_eq!(t.get(b"aaaa2"), Some(2));
+        assert_eq!(t.get(b"b"), Some(3));
+        assert_eq!(t.get(b"aaaa"), None);
+    }
+
+    #[test]
+    fn exact_prefix_key_is_storable() {
+        let mut t = PrefixBTree::new();
+        assert!(t.insert(b"abc", 1));
+        assert!(t.insert(b"abcd", 2));
+        assert!(t.insert(b"abcde", 3));
+        assert_eq!(t.get(b"abc"), Some(1));
+        assert_eq!(t.get(b"abcd"), Some(2));
+        assert_eq!(t.get(b"ab"), None);
+    }
+
+    #[test]
+    fn update_remove() {
+        let mut t = PrefixBTree::new();
+        for i in 0..100u64 {
+            t.insert(&encode_u64(i), i);
+        }
+        assert!(t.update(&encode_u64(5), 500));
+        assert_eq!(t.get(&encode_u64(5)), Some(500));
+        assert!(t.remove(&encode_u64(5)));
+        assert_eq!(t.get(&encode_u64(5)), None);
+        assert_eq!(t.len(), 99);
+        assert!(!t.remove(&encode_u64(5)));
+    }
+
+    #[test]
+    fn scan_matches_plain_btree() {
+        use crate::dynamic::BPlusTree;
+        let mut state = 3u64;
+        let keys: Vec<Vec<u8>> = (0..3000)
+            .map(|_| {
+                let x = memtree_common::hash::splitmix64(&mut state);
+                format!("user{:012}", x % 1_000_000).into_bytes()
+            })
+            .collect();
+        let mut a = PrefixBTree::with_fanout(8);
+        let mut b = BPlusTree::with_fanout(8);
+        for (i, k) in keys.iter().enumerate() {
+            let ra = a.insert(k, i as u64);
+            let rb = b.insert(k, i as u64);
+            assert_eq!(ra, rb);
+        }
+        assert_eq!(a.len(), b.len());
+        for probe in ["user", "user000000500000", "zzz", ""] {
+            let (mut oa, mut ob) = (Vec::new(), Vec::new());
+            a.scan(probe.as_bytes(), 20, &mut oa);
+            b.scan(probe.as_bytes(), 20, &mut ob);
+            assert_eq!(oa, ob, "probe {probe}");
+        }
+    }
+}

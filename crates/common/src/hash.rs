@@ -1,0 +1,112 @@
+//! 64-bit hash functions implemented from scratch.
+//!
+//! The thesis's SuRF-Hash and the RocksDB-style Bloom filter both need a
+//! high-quality 64-bit string hash. We implement a Murmur3-style
+//! fetch-and-mix hash plus the `fmix64`/SplitMix finalizers; no external
+//! hashing crates are used.
+
+/// MurmurHash3's 64-bit finalizer (`fmix64`). A strong bijective mixer.
+#[inline]
+pub fn fmix64(mut k: u64) -> u64 {
+    k ^= k >> 33;
+    k = k.wrapping_mul(0xff51afd7ed558ccd);
+    k ^= k >> 33;
+    k = k.wrapping_mul(0xc4ceb9fe1a85ec53);
+    k ^= k >> 33;
+    k
+}
+
+/// SplitMix64 step: turns a counter into a well-distributed u64. Used for
+/// deterministic pseudo-random sequences in tests and workloads.
+#[inline]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// 64-bit string hash (Murmur-style: 8-byte blocks, multiply-rotate mixing,
+/// `fmix64` finalizer) with a seed. Deterministic across runs.
+pub fn hash64_seed(data: &[u8], seed: u64) -> u64 {
+    const C1: u64 = 0x87c37b91114253d5;
+    const C2: u64 = 0x4cf5ad432745937f;
+    let mut h = seed ^ (data.len() as u64).wrapping_mul(C1);
+    let mut chunks = data.chunks_exact(8);
+    for chunk in &mut chunks {
+        let mut k = u64::from_le_bytes(chunk.try_into().unwrap());
+        k = k.wrapping_mul(C1);
+        k = k.rotate_left(31);
+        k = k.wrapping_mul(C2);
+        h ^= k;
+        h = h.rotate_left(27).wrapping_mul(5).wrapping_add(0x52dce729);
+    }
+    let rem = chunks.remainder();
+    if !rem.is_empty() {
+        let mut buf = [0u8; 8];
+        buf[..rem.len()].copy_from_slice(rem);
+        let mut k = u64::from_le_bytes(buf);
+        k = k.wrapping_mul(C1);
+        k = k.rotate_left(31);
+        k = k.wrapping_mul(C2);
+        h ^= k;
+    }
+    fmix64(h)
+}
+
+/// 64-bit string hash with the default seed.
+#[inline]
+pub fn hash64(data: &[u8]) -> u64 {
+    hash64_seed(data, 0x9ae16a3b2f90404f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(hash64(b"hello"), hash64(b"hello"));
+        assert_ne!(hash64(b"hello"), hash64(b"hellp"));
+        assert_ne!(hash64_seed(b"hello", 1), hash64_seed(b"hello", 2));
+    }
+
+    #[test]
+    fn fmix64_bijective_on_samples() {
+        let mut seen = HashSet::new();
+        for i in 0..10_000u64 {
+            assert!(seen.insert(fmix64(i)));
+        }
+    }
+
+    #[test]
+    fn low_bits_well_distributed() {
+        // Sequential keys must not collide in the low bits after hashing;
+        // a Bloom filter depends on this.
+        let mut buckets = [0u32; 64];
+        for i in 0..64_000u64 {
+            let h = hash64(&i.to_be_bytes());
+            buckets[(h % 64) as usize] += 1;
+        }
+        let (min, max) = buckets
+            .iter()
+            .fold((u32::MAX, 0), |(lo, hi), &b| (lo.min(b), hi.max(b)));
+        // Perfectly uniform would be 1000 per bucket; allow ±20%.
+        assert!(min > 800 && max < 1200, "min={min} max={max}");
+    }
+
+    #[test]
+    fn empty_and_short_inputs() {
+        // Must not panic and must differ.
+        let h0 = hash64(b"");
+        let h1 = hash64(b"a");
+        let h7 = hash64(b"abcdefg");
+        let h8 = hash64(b"abcdefgh");
+        let h9 = hash64(b"abcdefghi");
+        let all = [h0, h1, h7, h8, h9];
+        let set: HashSet<_> = all.iter().collect();
+        assert_eq!(set.len(), all.len());
+    }
+}

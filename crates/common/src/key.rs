@@ -1,0 +1,126 @@
+//! Order-preserving key encodings and byte-string helpers.
+//!
+//! All trees in the workspace index raw byte strings compared
+//! lexicographically. Unsigned integers are mapped to 8-byte big-endian
+//! strings, which preserves numeric order; this mirrors how the thesis
+//! feeds YCSB's 64-bit integer keys to trie-based indexes.
+
+/// Encodes a `u64` as its order-preserving 8-byte big-endian representation.
+#[inline]
+pub fn encode_u64(v: u64) -> [u8; 8] {
+    v.to_be_bytes()
+}
+
+/// Decodes the first 8 bytes of `k` as a big-endian `u64`.
+///
+/// # Panics
+/// Panics if `k` is shorter than 8 bytes.
+#[inline]
+pub fn decode_u64(k: &[u8]) -> u64 {
+    u64::from_be_bytes(k[..8].try_into().expect("key shorter than 8 bytes"))
+}
+
+/// Length of the longest common prefix of `a` and `b`.
+#[inline]
+pub fn common_prefix_len(a: &[u8], b: &[u8]) -> usize {
+    a.iter().zip(b.iter()).take_while(|(x, y)| x == y).count()
+}
+
+/// The smallest byte string strictly greater than `key`: `key ++ [0x00]`.
+pub fn successor(key: &[u8]) -> Vec<u8> {
+    let mut s = Vec::with_capacity(key.len() + 1);
+    s.extend_from_slice(key);
+    s.push(0);
+    s
+}
+
+/// The smallest byte string greater than every string having `key` as a
+/// prefix — `key` with its last byte incremented (propagating carries, and
+/// dropping trailing 0xFF bytes). Returns `None` when `key` is all-0xFF (no
+/// such string exists).
+///
+/// This is the upper bound used by the thesis's email range queries:
+/// `[K, K with last byte ++)`.
+pub fn prefix_successor(key: &[u8]) -> Option<Vec<u8>> {
+    let mut s = key.to_vec();
+    while let Some(last) = s.last_mut() {
+        if *last == 0xFF {
+            s.pop();
+        } else {
+            *last += 1;
+            return Some(s);
+        }
+    }
+    None
+}
+
+/// Pads or truncates `key` to exactly `n` bytes (zero padding), used by
+/// Masstree-style keyslice extraction.
+#[inline]
+pub fn keyslice(key: &[u8], level: usize) -> (u64, usize) {
+    let start = level * 8;
+    let mut buf = [0u8; 8];
+    let mut n = 0;
+    if start < key.len() {
+        n = (key.len() - start).min(8);
+        buf[..n].copy_from_slice(&key[start..start + n]);
+    }
+    (u64::from_be_bytes(buf), n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u64_roundtrip_and_order() {
+        let vals = [0u64, 1, 255, 256, u32::MAX as u64, u64::MAX - 1, u64::MAX];
+        for &a in &vals {
+            assert_eq!(decode_u64(&encode_u64(a)), a);
+            for &b in &vals {
+                assert_eq!(a.cmp(&b), encode_u64(a).cmp(&encode_u64(b)));
+            }
+        }
+    }
+
+    #[test]
+    fn common_prefix() {
+        assert_eq!(common_prefix_len(b"abc", b"abd"), 2);
+        assert_eq!(common_prefix_len(b"abc", b"abc"), 3);
+        assert_eq!(common_prefix_len(b"", b"abc"), 0);
+        assert_eq!(common_prefix_len(b"abc", b"abcd"), 3);
+    }
+
+    #[test]
+    fn successor_is_strictly_greater_and_tight() {
+        let k = b"foo".to_vec();
+        let s = successor(&k);
+        assert!(s.as_slice() > k.as_slice());
+        // Nothing fits strictly between k and its successor.
+        assert_eq!(s, b"foo\x00".to_vec());
+    }
+
+    #[test]
+    fn prefix_successor_basic() {
+        assert_eq!(prefix_successor(b"abc").unwrap(), b"abd".to_vec());
+        assert_eq!(prefix_successor(b"ab\xff").unwrap(), b"ac".to_vec());
+        assert_eq!(prefix_successor(b"\xff\xff"), None);
+        // Every extension of "abc" is below prefix_successor("abc").
+        let hi = prefix_successor(b"abc").unwrap();
+        assert!(b"abc\xff\xff\xff".as_slice() < hi.as_slice());
+        assert!(b"abd".as_slice() >= hi.as_slice());
+    }
+
+    #[test]
+    fn keyslice_extraction() {
+        let key = b"abcdefghij"; // 10 bytes
+        let (s0, n0) = keyslice(key, 0);
+        assert_eq!(n0, 8);
+        assert_eq!(s0, u64::from_be_bytes(*b"abcdefgh"));
+        let (s1, n1) = keyslice(key, 1);
+        assert_eq!(n1, 2);
+        assert_eq!(s1, u64::from_be_bytes(*b"ij\0\0\0\0\0\0"));
+        let (s2, n2) = keyslice(key, 2);
+        assert_eq!((s2, n2), (0, 0));
+    }
+}

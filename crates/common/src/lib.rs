@@ -1,0 +1,27 @@
+//! Shared foundations for the `memtree` workspace.
+//!
+//! This crate defines the vocabulary types used throughout the
+//! reproduction of *Memory-Efficient Search Trees for Database Management
+//! Systems*:
+//!
+//! * [`traits`] — the [`OrderedIndex`] / [`StaticIndex`] abstractions that
+//!   every search
+//!   tree in the workspace implements, plus the filter traits used by the
+//!   LSM engine.
+//! * [`key`] — order-preserving key encodings (integers ↔ byte strings)
+//!   and byte-string helpers (successors, common prefixes).
+//! * [`hash`] — 64-bit mixing/hash functions used by Bloom filters and
+//!   SuRF-Hash (no external hash crates are used).
+//! * [`mem`] — lightweight heap-size accounting helpers.
+//! * [`probe`] — software profiling counters standing in for the PAPI
+//!   hardware counters of Table 2.2.
+
+#![warn(missing_docs)]
+
+pub mod hash;
+pub mod key;
+pub mod mem;
+pub mod probe;
+pub mod traits;
+
+pub use traits::{OrderedIndex, PointFilter, RangeFilter, StaticIndex, Value};

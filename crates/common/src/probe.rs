@@ -1,0 +1,51 @@
+//! Software probe statistics — the stand-in for Table 2.2's PAPI counters.
+//!
+//! We cannot read hardware instruction/cache-miss counters portably, so the
+//! instrumented query paths count software events that track the same
+//! quantities: node visits approximate cache-line touches, key-byte
+//! comparisons approximate instruction volume, and pointer dereferences
+//! approximate dependent loads (the pointer-chasing the D-to-S rules
+//! eliminate).
+
+/// Counters collected by an instrumented point query.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ProbeStats {
+    /// Tree nodes touched (≈ cache lines / L1 misses proxy).
+    pub nodes_visited: u64,
+    /// Individual key bytes compared (≈ instruction count proxy).
+    pub key_bytes_compared: u64,
+    /// Pointer dereferences following child/sibling links (≈ dependent
+    /// loads, the latency-bound operation).
+    pub pointer_derefs: u64,
+}
+
+impl ProbeStats {
+    /// Accumulates another probe's counters into this one.
+    pub fn add(&mut self, other: &ProbeStats) {
+        self.nodes_visited += other.nodes_visited;
+        self.key_bytes_compared += other.key_bytes_compared;
+        self.pointer_derefs += other.pointer_derefs;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulate() {
+        let mut a = ProbeStats {
+            nodes_visited: 1,
+            key_bytes_compared: 2,
+            pointer_derefs: 3,
+        };
+        a.add(&ProbeStats {
+            nodes_visited: 10,
+            key_bytes_compared: 20,
+            pointer_derefs: 30,
+        });
+        assert_eq!(a.nodes_visited, 11);
+        assert_eq!(a.key_bytes_compared, 22);
+        assert_eq!(a.pointer_derefs, 33);
+    }
+}

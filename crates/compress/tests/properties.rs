@@ -1,0 +1,49 @@
+//! Property tests: the block codec round-trips arbitrary inputs and never
+//! panics on corrupted streams.
+
+use memtree_compress::{compress, decompress};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn roundtrip_arbitrary(data in proptest::collection::vec(any::<u8>(), 0..6000)) {
+        let c = compress(&data);
+        prop_assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn roundtrip_low_entropy(
+        byte in any::<u8>(),
+        runs in proptest::collection::vec((any::<u8>(), 1usize..200), 0..40),
+    ) {
+        // Run-length-style inputs stress the overlapping-copy path.
+        let mut data = vec![byte; 10];
+        for (b, n) in runs {
+            data.extend(std::iter::repeat(b).take(n));
+        }
+        let c = compress(&data);
+        prop_assert!(c.len() <= data.len() + data.len() / 127 + 2);
+        prop_assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn corrupted_streams_never_panic(junk in proptest::collection::vec(any::<u8>(), 0..500)) {
+        // Any byte soup must decode or error — never panic/UB.
+        let _ = decompress(&junk);
+    }
+
+    #[test]
+    fn truncation_is_detected_or_consistent(data in proptest::collection::vec(any::<u8>(), 1..1000)) {
+        let c = compress(&data);
+        for cut in [c.len() / 2, c.len().saturating_sub(1)] {
+            // Truncated streams either error or produce a prefix-consistent
+            // output; they must not panic.
+            if let Ok(out) = decompress(&c[..cut]) {
+                prop_assert!(out.len() <= data.len());
+                prop_assert_eq!(&data[..out.len()], &out[..]);
+            }
+        }
+    }
+}

@@ -1,0 +1,360 @@
+//! Per-level-cursor iterator over a [`LoudsTrie`] (§3.4).
+//!
+//! The iterator records a root-to-leaf trace of label positions. Because
+//! LOUDS-DS lays levels out in level order, each cursor only moves
+//! sequentially; `next()` never recomputes rank/select for untouched
+//! levels, which is what makes FST range queries competitive with
+//! pointer-based tries.
+
+use crate::louds::LoudsTrie;
+
+/// One level of the iterator's trace.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Frame {
+    /// Label position: absolute bit position in `D-Labels` (dense) or index
+    /// into `S-Labels` (sparse). For dense prefix-key frames this is
+    /// `node * 256`.
+    pub(crate) pos: usize,
+    /// The frame denotes the node's prefix-key slot, not a label.
+    pub(crate) is_prefix: bool,
+    /// Whether the frame lives in the dense region.
+    pub(crate) dense: bool,
+    /// Node bounds: dense = `node * 256`; sparse = first label position.
+    pub(crate) node_start: usize,
+    /// Dense = `node * 256 + 256`; sparse = one past the last label.
+    pub(crate) node_end: usize,
+}
+
+/// A forward iterator over the keys of a [`LoudsTrie`].
+#[derive(Debug)]
+pub struct TrieIter<'a> {
+    t: &'a LoudsTrie,
+    frames: Vec<Frame>,
+    key: Vec<u8>,
+    valid: bool,
+    at_empty: bool,
+    fp_prefix: bool,
+    /// Per-level cursor memo: (sparse-local node id, its end position).
+    /// In-order traversal visits each level's nodes in level order, so the
+    /// *next* node at a level usually starts where the previous one ended —
+    /// this turns most `select` calls into a cached add (§3.4: "each
+    /// level-cursor only moves sequentially").
+    cursors: Vec<Option<(usize, usize)>>,
+}
+
+/// A node cursor during descent.
+#[derive(Debug, Clone, Copy)]
+enum NodeRef {
+    Dense(usize),
+    /// (label range start, end)
+    Sparse(usize, usize),
+}
+
+impl<'a> TrieIter<'a> {
+    fn invalid(t: &'a LoudsTrie) -> Self {
+        Self {
+            t,
+            frames: Vec::new(),
+            key: Vec::new(),
+            valid: false,
+            at_empty: false,
+            fp_prefix: false,
+            cursors: vec![None; t.height()],
+        }
+    }
+
+    /// Is the iterator at a stored key?
+    pub fn valid(&self) -> bool {
+        self.valid
+    }
+
+    /// The current key (the stored prefix, in truncated tries).
+    pub fn key(&self) -> &[u8] {
+        debug_assert!(self.valid);
+        &self.key
+    }
+
+    /// True when `lower_bound(low)` stopped at a truncated key that is a
+    /// strict prefix of `low` (SuRF's `fp_flag`).
+    pub fn fp_flag(&self) -> bool {
+        self.fp_prefix
+    }
+
+    /// Whether the iterator points at the stored empty key.
+    pub fn at_empty_key(&self) -> bool {
+        self.valid && self.at_empty
+    }
+
+    pub(crate) fn frames(&self) -> &[Frame] {
+        &self.frames
+    }
+
+    /// Level-ordered value slot of the current key.
+    pub fn value_idx(&self) -> usize {
+        debug_assert!(self.valid);
+        if self.at_empty {
+            return 0;
+        }
+        let f = self.frames.last().expect("valid iterator has frames");
+        match (f.dense, f.is_prefix) {
+            (true, true) => self.t.d_prefix_value_idx(f.pos / 256),
+            (true, false) => self.t.d_value_idx(f.pos),
+            (false, _) => self.t.s_value_idx(f.pos),
+        }
+    }
+
+    /// Resolves a node at `level`, reusing the per-level cursor when the
+    /// node immediately follows the previously visited one.
+    fn node_ref(&mut self, global_node: usize, level: usize) -> NodeRef {
+        if global_node < self.t.dense_node_count {
+            return NodeRef::Dense(global_node);
+        }
+        let local = global_node - self.t.dense_node_count;
+        let start = match self.cursors.get(level).copied().flatten() {
+            Some((prev_local, prev_end)) if prev_local + 1 == local => prev_end,
+            _ => self.t.s_node_start(local),
+        };
+        let end = self.t.s_node_end(start);
+        if let Some(slot) = self.cursors.get_mut(level) {
+            *slot = Some((local, end));
+        }
+        NodeRef::Sparse(start, end)
+    }
+
+    /// Pushes the frame for a concrete label position; returns the global
+    /// child node if the label continues.
+    fn push_label_frame(&mut self, nref: NodeRef, pos: usize) -> Option<usize> {
+        match nref {
+            NodeRef::Dense(n) => {
+                self.frames.push(Frame {
+                    pos,
+                    is_prefix: false,
+                    dense: true,
+                    node_start: n * 256,
+                    node_end: n * 256 + 256,
+                });
+                self.key.push((pos - n * 256) as u8);
+                self.t
+                    .d_has_child
+                    .get(pos)
+                    .then(|| self.t.d_child_node(pos))
+            }
+            NodeRef::Sparse(start, end) => {
+                self.frames.push(Frame {
+                    pos,
+                    is_prefix: false,
+                    dense: false,
+                    node_start: start,
+                    node_end: end,
+                });
+                self.key.push(self.t.s_labels[pos]);
+                self.t
+                    .s_has_child
+                    .get(pos)
+                    .then(|| self.t.s_child_node(pos))
+            }
+        }
+    }
+
+    /// Descends to the smallest key in the subtree rooted at `global_node`.
+    fn descend_leftmost(&mut self, mut global_node: usize) {
+        loop {
+            let nref = self.node_ref(global_node, self.frames.len());
+            match nref {
+                NodeRef::Dense(n) => {
+                    if self.t.d_is_prefix.get(n) {
+                        self.frames.push(Frame {
+                            pos: n * 256,
+                            is_prefix: true,
+                            dense: true,
+                            node_start: n * 256,
+                            node_end: n * 256 + 256,
+                        });
+                        self.valid = true;
+                        return;
+                    }
+                    let pos = self
+                        .t
+                        .d_find_label_ge(n, 0)
+                        .expect("dense node has at least one label");
+                    match self.push_label_frame(nref, pos) {
+                        Some(child) => global_node = child,
+                        None => {
+                            self.valid = true;
+                            return;
+                        }
+                    }
+                }
+                NodeRef::Sparse(start, _end) => {
+                    if self.t.s_is_special(start) {
+                        self.frames.push(Frame {
+                            pos: start,
+                            is_prefix: true,
+                            dense: false,
+                            node_start: start,
+                            node_end: _end,
+                        });
+                        self.valid = true;
+                        return;
+                    }
+                    match self.push_label_frame(nref, start) {
+                        Some(child) => global_node = child,
+                        None => {
+                            self.valid = true;
+                            return;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Advances to the next key in order; clears `valid` at the end.
+    pub fn next(&mut self) {
+        debug_assert!(self.valid);
+        self.fp_prefix = false;
+        if self.at_empty {
+            self.at_empty = false;
+            if self.t.num_nodes > 0 {
+                self.descend_leftmost(0);
+            } else {
+                self.valid = false;
+            }
+            return;
+        }
+        self.next_from_branch();
+    }
+
+    /// Positions the iterator at the smallest key `>= low`. In truncated
+    /// tries, a stored key that is a strict prefix of `low` is returned
+    /// with [`Self::fp_flag`] set (SuRF's `moveToNext` semantics).
+    pub(crate) fn lower_bound(t: &'a LoudsTrie, low: &[u8]) -> Self {
+        let mut it = Self::invalid(t);
+        if t.num_values == 0 {
+            return it;
+        }
+        if low.is_empty() {
+            if t.empty_key {
+                it.valid = true;
+                it.at_empty = true;
+            } else {
+                it.descend_leftmost(0);
+            }
+            return it;
+        }
+        if t.num_nodes == 0 {
+            return it; // only the empty key, which is < low
+        }
+        let mut global_node = 0usize;
+        let mut level = 0usize;
+        loop {
+            let nref = it.node_ref(global_node, level);
+            if level == low.len() {
+                // low exhausted: everything under this node qualifies.
+                it.descend_leftmost(global_node);
+                return it;
+            }
+            let b = low[level];
+            // Exact label first.
+            let exact = match nref {
+                NodeRef::Dense(n) => {
+                    let pos = n * 256 + b as usize;
+                    t.d_labels.get(pos).then_some(pos)
+                }
+                NodeRef::Sparse(start, end) => t.s_find_label(start, end, b),
+            };
+            if let Some(pos) = exact {
+                let has_child = match nref {
+                    NodeRef::Dense(_) => t.d_has_child.get(pos),
+                    NodeRef::Sparse(..) => t.s_has_child.get(pos),
+                };
+                if has_child {
+                    let child = it.push_label_frame(nref, pos).expect("has child");
+                    global_node = child;
+                    level += 1;
+                    continue;
+                }
+                // Terminal at the exact byte.
+                it.push_label_frame(nref, pos);
+                it.valid = true;
+                if low.len() == level + 1 {
+                    return it; // stored key starts with low; >= low
+                }
+                if t.opts.truncate {
+                    // Stored (truncated) key is a strict prefix of low.
+                    it.fp_prefix = true;
+                    return it;
+                }
+                // Full trie: stored key < low; move on.
+                it.next();
+                return it;
+            }
+            // Smallest label > b.
+            let after = match nref {
+                NodeRef::Dense(n) => t.d_find_label_ge(n, b as u16 + 1),
+                NodeRef::Sparse(start, end) => {
+                    t.s_find_label_ge(start, end, b.saturating_add(1))
+                        .filter(|_| b < 0xFF)
+                }
+            };
+            if let Some(pos) = after {
+                match it.push_label_frame(nref, pos) {
+                    Some(child) => it.descend_leftmost(child),
+                    None => it.valid = true,
+                }
+                return it;
+            }
+            // Dead end: backtrack — pop the branch stack and advance to the
+            // next key after the exhausted subtree ("smallest key > path").
+            if it.frames.is_empty() {
+                return it; // nothing >= low
+            }
+            it.valid = true;
+            it.next_from_branch();
+            return it;
+        }
+    }
+
+    /// Pops the top frame and advances to the next label/key after it.
+    fn next_from_branch(&mut self) {
+        loop {
+            let Some(f) = self.frames.pop() else {
+                self.valid = false;
+                return;
+            };
+            if !f.is_prefix {
+                self.key.pop();
+            }
+            let next_pos = if f.dense {
+                let n = f.node_start / 256;
+                let from = if f.is_prefix {
+                    0
+                } else {
+                    (f.pos - f.node_start + 1) as u16
+                };
+                self.t.d_find_label_ge(n, from)
+            } else {
+                let from = f.pos + 1;
+                (from < f.node_end).then_some(from)
+            };
+            let Some(pos) = next_pos else {
+                continue;
+            };
+            let nref = if f.dense {
+                NodeRef::Dense(f.node_start / 256)
+            } else {
+                NodeRef::Sparse(f.node_start, f.node_end)
+            };
+            match self.push_label_frame(nref, pos) {
+                Some(child) => {
+                    self.descend_leftmost(child);
+                    return;
+                }
+                None => {
+                    self.valid = true;
+                    return;
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,827 @@
+//! The LOUDS-DS encoding engine: builder, point lookup, and the navigation
+//! primitives shared by the iterator and SuRF.
+
+use memtree_common::mem::vec_bytes;
+use memtree_succinct::{BitVector, RankSupport, SelectSupport};
+
+/// Options controlling the encoding and the §3.6 optimizations; each knob
+/// exists so Figure 3.6/3.7 can ablate it.
+#[derive(Debug, Clone, Copy)]
+pub struct TrieOpts {
+    /// SuRF-style truncation: cut each single-key subtree at its first
+    /// distinguishing byte instead of storing the whole key.
+    pub truncate: bool,
+    /// Dense/sparse size ratio `R` (§3.4). `None` = all LOUDS-Sparse;
+    /// `Some(0)` = all LOUDS-Dense; `Some(64)` is the thesis default.
+    pub r_ratio: Option<usize>,
+    /// Dense rank LUT with B = 64 (one popcount per rank); `false` falls
+    /// back to B = 512 everywhere (the Poppy-style baseline).
+    pub rank_opt: bool,
+    /// Sampled select LUT (S = 64); `false` uses binary search over the
+    /// rank LUT.
+    pub select_opt: bool,
+    /// 8-byte-SWAR label comparison in LOUDS-Sparse nodes ("SIMD" in the
+    /// thesis); `false` compares byte-by-byte.
+    pub simd_labels: bool,
+    /// Prefetch the corresponding positions of sibling sequences once a
+    /// search position is known (§3.6). No-op on non-x86_64 targets.
+    pub prefetch: bool,
+}
+
+impl Default for TrieOpts {
+    fn default() -> Self {
+        Self {
+            truncate: false,
+            r_ratio: Some(64),
+            rank_opt: true,
+            select_opt: true,
+            simd_labels: true,
+            prefetch: true,
+        }
+    }
+}
+
+impl TrieOpts {
+    /// The unoptimized baseline of Figure 3.6: LOUDS-Sparse only, 512-bit
+    /// rank blocks, select via rank binary search, per-byte label search.
+    pub fn baseline() -> Self {
+        Self {
+            truncate: false,
+            r_ratio: None,
+            rank_opt: false,
+            select_opt: false,
+            simd_labels: false,
+            prefetch: false,
+        }
+    }
+
+    /// SuRF's defaults: truncation on, all FST optimizations on.
+    pub fn surf() -> Self {
+        Self {
+            truncate: true,
+            ..Self::default()
+        }
+    }
+}
+
+/// Issues a best-effort cache-line prefetch (x86_64 only).
+#[inline(always)]
+fn prefetch_ptr<T>(p: *const T) {
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: _mm_prefetch has no memory effects; any address is allowed.
+    unsafe {
+        core::arch::x86_64::_mm_prefetch::<{ core::arch::x86_64::_MM_HINT_T0 }>(p as *const i8)
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = p;
+}
+
+/// Result of a point lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LookupResult {
+    /// The key (or, in truncated tries, a candidate) was found.
+    Found {
+        /// Level-ordered value slot.
+        value_idx: usize,
+        /// Number of key bytes the trie consumed (the stored prefix
+        /// length) — SuRF extracts suffix bits from this offset.
+        depth: usize,
+    },
+    /// Definitely absent.
+    NotFound,
+}
+
+// ---------------------------------------------------------------------------
+// Intermediate (build-time) trie
+// ---------------------------------------------------------------------------
+
+enum Branch {
+    /// Terminal branch: value slot for key `key_idx`.
+    Terminal(u32),
+    /// Branch continues into the node queued at BFS order `child_seq`.
+    Child,
+}
+
+struct BuildNode {
+    /// Key index whose key ends exactly at this node.
+    prefix_key: Option<u32>,
+    branches: Vec<(u8, Branch)>,
+}
+
+// ---------------------------------------------------------------------------
+// LoudsTrie
+// ---------------------------------------------------------------------------
+
+/// A trie encoded with LOUDS-Dense (upper levels) + LOUDS-Sparse (lower
+/// levels). Stores no values itself — lookups return level-ordered value
+/// slots that `Fst`/`SuRF` index into their own arrays.
+#[derive(Debug)]
+pub struct LoudsTrie {
+    pub(crate) opts: TrieOpts,
+
+    // ---- LOUDS-Dense ----
+    pub(crate) d_labels: BitVector,
+    pub(crate) d_has_child: BitVector,
+    pub(crate) d_is_prefix: BitVector,
+    pub(crate) d_labels_rank: RankSupport,
+    pub(crate) d_has_child_rank: RankSupport,
+    pub(crate) d_is_prefix_rank: RankSupport,
+    /// Number of levels encoded densely.
+    pub(crate) dense_levels: usize,
+    pub(crate) dense_node_count: usize,
+    pub(crate) dense_child_count: usize,
+    pub(crate) dense_value_count: usize,
+
+    // ---- LOUDS-Sparse ----
+    pub(crate) s_labels: Vec<u8>,
+    pub(crate) s_has_child: BitVector,
+    pub(crate) s_louds: BitVector,
+    pub(crate) s_has_child_rank: RankSupport,
+    pub(crate) s_louds_rank: RankSupport,
+    pub(crate) s_louds_select: SelectSupport,
+
+    // ---- metadata ----
+    /// Value slot of the empty key, if stored (always slot 0).
+    pub(crate) empty_key: bool,
+    /// Per-level start boundary: for dense levels the first node id, for
+    /// sparse levels the first `s_labels` position. `level_node_starts[l]`
+    /// = first global node id at level `l`; one extra sentinel at the end.
+    pub(crate) level_node_starts: Vec<usize>,
+    pub(crate) height: usize,
+    pub(crate) num_nodes: usize,
+    pub(crate) num_values: usize,
+    /// `leaf_key_order[value_idx] = key index` in the build input.
+    leaf_key_order: Vec<u32>,
+}
+
+impl LoudsTrie {
+    /// Builds the trie over sorted, duplicate-free keys.
+    pub fn build(keys: &[&[u8]], opts: TrieOpts) -> Self {
+        Builder::new(keys, opts).finish()
+    }
+
+    /// Mapping from level-ordered value slots to input key indexes.
+    pub fn leaf_key_order(&self) -> &[u32] {
+        &self.leaf_key_order
+    }
+
+    /// Total trie nodes (including dense levels).
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Total value slots.
+    pub fn num_values(&self) -> usize {
+        self.num_values
+    }
+
+    /// Trie height (number of levels).
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Heap bytes of the encoding (bit vectors, LUTs, labels).
+    pub fn mem_usage(&self) -> usize {
+        self.d_labels.mem_usage()
+            + self.d_has_child.mem_usage()
+            + self.d_is_prefix.mem_usage()
+            + self.d_labels_rank.mem_usage()
+            + self.d_has_child_rank.mem_usage()
+            + self.d_is_prefix_rank.mem_usage()
+            + vec_bytes(&self.s_labels)
+            + self.s_has_child.mem_usage()
+            + self.s_louds.mem_usage()
+            + self.s_has_child_rank.mem_usage()
+            + self.s_louds_rank.mem_usage()
+            + self.s_louds_select.mem_usage()
+            + vec_bytes(&self.level_node_starts)
+    }
+
+    // ------------------------------------------------------------------
+    // Rank helpers (inclusive & exclusive)
+    // ------------------------------------------------------------------
+
+    #[inline]
+    fn rank_excl(rs: &RankSupport, bv: &BitVector, pos: usize) -> usize {
+        if pos == 0 {
+            0
+        } else {
+            rs.rank1(bv, (pos - 1).min(bv.len() - 1))
+        }
+    }
+
+    /// Terminal-value slots strictly before dense position `pos`, plus
+    /// prefix-key slots of nodes before `node(pos)`; `include_own_prefix`
+    /// additionally counts `node(pos)`'s prefix slot (which sits before all
+    /// of its labels).
+    #[inline]
+    fn d_values_before(&self, pos: usize, include_own_prefix: bool) -> usize {
+        let node = pos / 256;
+        let labels = Self::rank_excl(&self.d_labels_rank, &self.d_labels, pos);
+        let children = Self::rank_excl(&self.d_has_child_rank, &self.d_has_child, pos);
+        let prefixes = if include_own_prefix && node < self.dense_node_count {
+            self.d_is_prefix_rank.rank1(&self.d_is_prefix, node)
+        } else {
+            Self::rank_excl(&self.d_is_prefix_rank, &self.d_is_prefix, node)
+        };
+        labels - children + prefixes
+    }
+
+    /// Value slots strictly before sparse position `pos` (global slot id).
+    #[inline]
+    fn s_values_before(&self, pos: usize) -> usize {
+        self.dense_value_count + pos
+            - Self::rank_excl(&self.s_has_child_rank, &self.s_has_child, pos)
+    }
+
+    /// Value slot of the terminal branch at dense position `pos`.
+    #[inline]
+    pub(crate) fn d_value_idx(&self, pos: usize) -> usize {
+        self.value_offset() + self.d_values_before(pos, true)
+    }
+
+    /// Value slot of the prefix key of dense node `node`.
+    #[inline]
+    pub(crate) fn d_prefix_value_idx(&self, node: usize) -> usize {
+        self.value_offset() + self.d_values_before(node * 256, false)
+    }
+
+    /// Value slot of the value (terminal or 0xFF special) at sparse `pos`.
+    #[inline]
+    pub(crate) fn s_value_idx(&self, pos: usize) -> usize {
+        self.value_offset() + self.s_values_before(pos)
+    }
+
+    #[inline]
+    fn value_offset(&self) -> usize {
+        usize::from(self.empty_key)
+    }
+
+    // ------------------------------------------------------------------
+    // Navigation
+    // ------------------------------------------------------------------
+
+    /// Global child node id of the branch at dense position `pos`
+    /// (requires `d_has_child[pos]`).
+    #[inline]
+    pub(crate) fn d_child_node(&self, pos: usize) -> usize {
+        self.d_has_child_rank.rank1(&self.d_has_child, pos)
+    }
+
+    /// Global child node id of the branch at sparse position `pos`.
+    #[inline]
+    pub(crate) fn s_child_node(&self, pos: usize) -> usize {
+        self.dense_child_count + self.s_has_child_rank.rank1(&self.s_has_child, pos)
+    }
+
+    /// First `s_labels` position of sparse-local node `k` (0-based).
+    #[inline]
+    pub(crate) fn s_node_start(&self, k: usize) -> usize {
+        if self.opts.select_opt {
+            self.s_louds_select.select1(&self.s_louds, k + 1)
+        } else {
+            SelectSupport::select1_via_rank(&self.s_louds, &self.s_louds_rank, k + 1)
+        }
+    }
+
+    /// One-past-the-last `s_labels` position of the node starting at
+    /// `start`.
+    #[inline]
+    pub(crate) fn s_node_end(&self, start: usize) -> usize {
+        let words = self.s_louds.words();
+        let mut pos = start + 1;
+        while pos < self.s_louds.len() {
+            let w = words[pos / 64] >> (pos % 64);
+            if w != 0 {
+                return (pos + w.trailing_zeros() as usize).min(self.s_louds.len());
+            }
+            pos = (pos / 64 + 1) * 64;
+        }
+        self.s_louds.len()
+    }
+
+    /// Is the sparse position a 0xFF *prefix-key marker* (as opposed to a
+    /// real 0xFF label)? Special iff it starts a node that has more labels.
+    #[inline]
+    pub(crate) fn s_is_special(&self, pos: usize) -> bool {
+        self.s_labels[pos] == 0xFF
+            && !self.s_has_child.get(pos)
+            && self.s_louds.get(pos)
+            && pos + 1 < self.s_louds.len()
+            && !self.s_louds.get(pos + 1)
+    }
+
+    /// Searches the sparse node `[start, end)` for `byte`; returns its
+    /// position. Skips the 0xFF special at `start` if present.
+    #[inline]
+    pub(crate) fn s_find_label(&self, start: usize, end: usize, byte: u8) -> Option<usize> {
+        let mut s = start;
+        if self.s_is_special(s) {
+            s += 1;
+        }
+        if self.opts.simd_labels && end - s > 8 {
+            // SWAR: scan 8 labels at a time for an equal byte. Small nodes
+            // (>90% of them, §3.6) go through the plain loop below — the
+            // SWAR setup only pays off past one chunk.
+            let pat = u64::from_ne_bytes([byte; 8]);
+            let labels = &self.s_labels[s..end];
+            let mut off = 0usize;
+            let mut chunks = labels.chunks_exact(8);
+            for chunk in &mut chunks {
+                let v = u64::from_ne_bytes(chunk.try_into().unwrap());
+                let x = v ^ pat;
+                let hit = x.wrapping_sub(0x0101_0101_0101_0101) & !x & 0x8080_8080_8080_8080;
+                if hit != 0 {
+                    return Some(s + off + (hit.trailing_zeros() / 8) as usize);
+                }
+                off += 8;
+            }
+            for (i, &l) in chunks.remainder().iter().enumerate() {
+                if l == byte {
+                    return Some(s + off + i);
+                }
+            }
+            None
+        } else {
+            (s..end).find(|&p| self.s_labels[p] == byte)
+        }
+    }
+
+    /// Position of the smallest label `>= byte` in the sparse node
+    /// `[start, end)` (skipping the special marker).
+    #[inline]
+    pub(crate) fn s_find_label_ge(&self, start: usize, end: usize, byte: u8) -> Option<usize> {
+        let mut s = start;
+        if self.s_is_special(s) {
+            s += 1;
+        }
+        (s..end).find(|&p| self.s_labels[p] >= byte)
+    }
+
+    /// First set label position in dense node `node` at or after label
+    /// `from`.
+    #[inline]
+    pub(crate) fn d_find_label_ge(&self, node: usize, from: u16) -> Option<usize> {
+        if from > 255 {
+            return None;
+        }
+        let base = node * 256;
+        let words = self.d_labels.words();
+        let mut pos = base + from as usize;
+        let limit = base + 256;
+        while pos < limit {
+            let w = words[pos / 64] >> (pos % 64);
+            if w != 0 {
+                let cand = pos + w.trailing_zeros() as usize;
+                return (cand < limit).then_some(cand);
+            }
+            pos = (pos / 64 + 1) * 64;
+        }
+        None
+    }
+
+    // ------------------------------------------------------------------
+    // Point lookup (Algorithm 1)
+    // ------------------------------------------------------------------
+
+    /// Point query. In truncated (SuRF) tries, reaching a terminal branch
+    /// is a *candidate* match — callers verify with suffix bits.
+    pub fn lookup(&self, key: &[u8]) -> LookupResult {
+        if self.num_values == 0 {
+            return LookupResult::NotFound;
+        }
+        if key.is_empty() {
+            return if self.empty_key {
+                LookupResult::Found {
+                    value_idx: 0,
+                    depth: 0,
+                }
+            } else {
+                LookupResult::NotFound
+            };
+        }
+        if self.num_nodes == 0 {
+            return LookupResult::NotFound;
+        }
+        let mut level = 0usize;
+        let mut node = 0usize; // global node id
+        // ---- dense levels ----
+        while level < self.dense_levels {
+            if level == key.len() {
+                return if self.d_is_prefix.get(node) {
+                    LookupResult::Found {
+                        value_idx: self.d_prefix_value_idx(node),
+                        depth: level,
+                    }
+                } else {
+                    LookupResult::NotFound
+                };
+            }
+            let pos = node * 256 + key[level] as usize;
+            if self.opts.prefetch {
+                prefetch_ptr(unsafe { self.d_has_child.words().as_ptr().add(pos / 64) });
+            }
+            if !self.d_labels.get(pos) {
+                return LookupResult::NotFound;
+            }
+            if !self.d_has_child.get(pos) {
+                // Terminal: exact in full tries, candidate in truncated.
+                return if self.opts.truncate || key.len() == level + 1 {
+                    LookupResult::Found {
+                        value_idx: self.d_value_idx(pos),
+                        depth: level + 1,
+                    }
+                } else {
+                    LookupResult::NotFound
+                };
+            }
+            node = self.d_child_node(pos);
+            level += 1;
+            if node >= self.dense_node_count {
+                break;
+            }
+        }
+        // ---- sparse levels ----
+        let mut sparse_node = node - self.dense_node_count;
+        loop {
+            let start = self.s_node_start(sparse_node);
+            if self.opts.prefetch {
+                // The label bytes and the matching S-HasChild word will be
+                // touched next; their positions correspond (§3.6).
+                prefetch_ptr(unsafe { self.s_labels.as_ptr().add(start) });
+                prefetch_ptr(unsafe { self.s_has_child.words().as_ptr().add(start / 64) });
+            }
+            let end = self.s_node_end(start);
+            if level == key.len() {
+                return if self.s_is_special(start) {
+                    LookupResult::Found {
+                        value_idx: self.s_value_idx(start),
+                        depth: level,
+                    }
+                } else {
+                    LookupResult::NotFound
+                };
+            }
+            // A real 0xFF label can only be the last in a node; the search
+            // helper skips the special first slot.
+            let Some(pos) = self.s_find_label(start, end, key[level]) else {
+                return LookupResult::NotFound;
+            };
+            if !self.s_has_child.get(pos) {
+                return if self.opts.truncate || key.len() == level + 1 {
+                    LookupResult::Found {
+                        value_idx: self.s_value_idx(pos),
+                        depth: level + 1,
+                    }
+                } else {
+                    LookupResult::NotFound
+                };
+            }
+            sparse_node = self.s_child_node(pos) - self.dense_node_count;
+            level += 1;
+        }
+    }
+
+    /// Number of stored values whose key is strictly smaller than the key
+    /// at `it`. Invalid iterators count as "past the end". Runs in
+    /// O(height) rank operations — the engine behind SuRF's `count`
+    /// (§4.1.5).
+    pub fn count_before(&self, it: &crate::iter::TrieIter<'_>) -> usize {
+        if !it.valid() {
+            return self.num_values;
+        }
+        if it.at_empty_key() {
+            return 0;
+        }
+        let mut total = usize::from(self.empty_key);
+        let frames = it.frames();
+        // Chain of global node ids bounding the path below the iterator's
+        // depth: the first node whose parent branch is at/after the
+        // boundary position of the level above.
+        let mut boundary_node = 0usize;
+        for level in 0..self.height {
+            let (values_before, children_before);
+            if level < frames.len() {
+                let pos = frames[level].pos;
+                if level < self.dense_levels {
+                    values_before = self.d_values_before(pos, !frames[level].is_prefix);
+                    children_before =
+                        Self::rank_excl(&self.d_has_child_rank, &self.d_has_child, pos);
+                } else {
+                    values_before = self.s_values_before(pos);
+                    children_before = self.dense_child_count
+                        + Self::rank_excl(&self.s_has_child_rank, &self.s_has_child, pos);
+                }
+            } else {
+                // Below the iterator's depth: clamp the boundary into this
+                // level's node range.
+                let node = boundary_node
+                    .min(self.level_node_starts[level + 1])
+                    .max(self.level_node_starts[level]);
+                if level < self.dense_levels {
+                    let pos = node * 256;
+                    values_before = self.d_values_before(pos, false);
+                    children_before =
+                        Self::rank_excl(&self.d_has_child_rank, &self.d_has_child, pos);
+                } else {
+                    let local = node - self.dense_node_count;
+                    let pos = if local >= self.sparse_node_count() {
+                        self.s_labels.len()
+                    } else {
+                        self.s_node_start(local)
+                    };
+                    values_before = self.s_values_before(pos);
+                    children_before = self.dense_child_count
+                        + Self::rank_excl(&self.s_has_child_rank, &self.s_has_child, pos);
+                }
+            }
+            total += values_before - self.values_at_level_start(level);
+            boundary_node = children_before + 1;
+        }
+        total
+    }
+
+    /// Number of sparse-encoded nodes.
+    #[inline]
+    pub(crate) fn sparse_node_count(&self) -> usize {
+        self.num_nodes - self.dense_node_count
+    }
+
+    /// Cumulative value slots (dense + sparse, no empty-key offset) before
+    /// level `level` starts.
+    fn values_at_level_start(&self, level: usize) -> usize {
+        let node = self.level_node_starts[level];
+        if level < self.dense_levels {
+            self.d_values_before(node * 256, false)
+        } else {
+            let local = node - self.dense_node_count;
+            let pos = if local >= self.sparse_node_count() {
+                self.s_labels.len()
+            } else {
+                self.s_node_start(local)
+            };
+            self.s_values_before(pos)
+        }
+    }
+
+    /// Iterator positioned at the smallest key `>= low`.
+    pub fn lower_bound(&self, low: &[u8]) -> crate::iter::TrieIter<'_> {
+        crate::iter::TrieIter::lower_bound(self, low)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Builder
+// ---------------------------------------------------------------------------
+
+struct Builder<'k> {
+    keys: &'k [&'k [u8]],
+    opts: TrieOpts,
+    /// `levels[l]` = nodes at level `l` in level order.
+    levels: Vec<Vec<BuildNode>>,
+    empty_key: bool,
+}
+
+impl<'k> Builder<'k> {
+    fn new(keys: &'k [&'k [u8]], opts: TrieOpts) -> Self {
+        debug_assert!(keys.windows(2).all(|w| w[0] < w[1]), "keys must be sorted+unique");
+        let mut b = Self {
+            keys,
+            opts,
+            levels: Vec::new(),
+            empty_key: false,
+        };
+        b.build_levels();
+        b
+    }
+
+    fn build_levels(&mut self) {
+        let mut keys = self.keys;
+        if let Some(first) = keys.first() {
+            if first.is_empty() {
+                self.empty_key = true;
+                keys = &keys[1..];
+            }
+        }
+        if keys.is_empty() {
+            return;
+        }
+        let base = usize::from(self.empty_key);
+        let mut queue = std::collections::VecDeque::new();
+        queue.push_back((0usize, keys.len(), 0usize));
+        while let Some((start, end, depth)) = queue.pop_front() {
+            if self.levels.len() == depth {
+                self.levels.push(Vec::new());
+            }
+            let mut node = BuildNode {
+                prefix_key: None,
+                branches: Vec::new(),
+            };
+            let mut i = start;
+            if keys[i].len() == depth {
+                node.prefix_key = Some((base + i) as u32);
+                i += 1;
+            }
+            while i < end {
+                let b = keys[i][depth];
+                let mut j = i + 1;
+                while j < end && keys[j][depth] == b {
+                    j += 1;
+                }
+                let single = j - i == 1;
+                if single && (self.opts.truncate || keys[i].len() == depth + 1) {
+                    node.branches.push((b, Branch::Terminal((base + i) as u32)));
+                } else {
+                    node.branches.push((b, Branch::Child));
+                    queue.push_back((i, j, depth + 1));
+                }
+                i = j;
+            }
+            self.levels[depth].push(node);
+        }
+    }
+
+    /// Picks the dense/sparse cutoff level per §3.4.
+    fn cutoff(&self) -> usize {
+        let h = self.levels.len();
+        match self.opts.r_ratio {
+            None => 0,
+            Some(0) => h,
+            Some(r) => {
+                // dense_size(l): bits for levels < l encoded densely.
+                // sparse_size(l): bits for levels >= l encoded sparsely.
+                let mut dense_bits = vec![0u64; h + 1];
+                let mut sparse_bits = vec![0u64; h + 1];
+                for l in 0..h {
+                    let nodes = self.levels[l].len() as u64;
+                    let labels: u64 = self.levels[l]
+                        .iter()
+                        .map(|n| n.branches.len() as u64 + u64::from(n.prefix_key.is_some()))
+                        .sum();
+                    dense_bits[l + 1] = dense_bits[l] + nodes * 513;
+                    sparse_bits[l + 1] = labels * 10; // temp: per-level
+                }
+                // suffix-sum the sparse sizes.
+                let mut suffix = vec![0u64; h + 1];
+                for l in (0..h).rev() {
+                    suffix[l] = suffix[l + 1] + sparse_bits[l + 1];
+                }
+                let mut best = 0;
+                for l in 0..=h {
+                    if dense_bits[l] * r as u64 <= suffix[l] {
+                        best = l;
+                    }
+                }
+                best
+            }
+        }
+    }
+
+    fn finish(self) -> LoudsTrie {
+        let opts = self.opts;
+        let h = self.levels.len();
+        let cut = self.cutoff();
+
+        let mut d_labels = BitVector::new();
+        let mut d_has_child = BitVector::new();
+        let mut d_is_prefix = BitVector::new();
+        let mut s_labels: Vec<u8> = Vec::new();
+        let mut s_has_child = BitVector::new();
+        let mut s_louds = BitVector::new();
+        let mut leaf_key_order: Vec<u32> = Vec::new();
+        if self.empty_key {
+            leaf_key_order.push(0);
+        }
+
+        let empty_offset = usize::from(self.empty_key);
+        let mut level_node_starts = Vec::with_capacity(h + 1);
+        let mut node_id = 0usize;
+        let mut dense_node_count = 0usize;
+        let mut dense_value_count = 0usize;
+
+        for (l, level) in self.levels.iter().enumerate() {
+            level_node_starts.push(node_id);
+            for node in level {
+                if l < cut {
+                    // ---- dense ----
+                    let base = d_labels.len();
+                    d_labels.push_n(false, 256);
+                    d_has_child.push_n(false, 256);
+                    d_is_prefix.push(node.prefix_key.is_some());
+                    if let Some(k) = node.prefix_key {
+                        leaf_key_order.push(k);
+                    }
+                    // Values of terminal branches follow in label order —
+                    // but the slot order must match d_values_before, which
+                    // counts prefix first, then terminals by label. Emit
+                    // accordingly.
+                    for (b, br) in &node.branches {
+                        d_labels.set(base + *b as usize);
+                        match br {
+                            Branch::Terminal(k) => leaf_key_order.push(*k),
+                            Branch::Child => d_has_child.set(base + *b as usize),
+                        }
+                    }
+                } else {
+                    // ---- sparse ----
+                    let mut first = true;
+                    if let Some(k) = node.prefix_key {
+                        s_labels.push(0xFF);
+                        s_has_child.push(false);
+                        s_louds.push(true);
+                        first = false;
+                        leaf_key_order.push(k);
+                    }
+                    for (b, br) in &node.branches {
+                        s_labels.push(*b);
+                        s_louds.push(first);
+                        first = false;
+                        match br {
+                            Branch::Terminal(k) => {
+                                s_has_child.push(false);
+                                leaf_key_order.push(*k);
+                            }
+                            Branch::Child => s_has_child.push(true),
+                        }
+                    }
+                    debug_assert!(
+                        !first,
+                        "sparse node with neither prefix key nor branches"
+                    );
+                }
+                node_id += 1;
+            }
+            if l + 1 == cut {
+                dense_node_count = node_id;
+                dense_value_count = leaf_key_order.len() - empty_offset;
+            }
+        }
+        if cut == 0 {
+            dense_node_count = 0;
+            dense_value_count = 0;
+        } else if cut >= h {
+            dense_node_count = node_id;
+            dense_value_count = leaf_key_order.len() - empty_offset;
+        }
+        level_node_starts.push(node_id);
+
+        let dense_child_count = d_has_child.count_ones();
+        // Drop growth slack: the structure is immutable from here on.
+        s_labels.shrink_to_fit();
+        for bv in [
+            &mut d_labels,
+            &mut d_has_child,
+            &mut d_is_prefix,
+            &mut s_has_child,
+            &mut s_louds,
+        ] {
+            bv.shrink_to_fit();
+        }
+        leaf_key_order.shrink_to_fit();
+        // Keep rank/select LUT construction happy on empty vectors.
+        let ensure = |bv: &mut BitVector| {
+            if bv.is_empty() {
+                bv.push(false);
+            }
+        };
+        ensure(&mut d_labels);
+        ensure(&mut d_has_child);
+        ensure(&mut d_is_prefix);
+        ensure(&mut s_has_child);
+        ensure(&mut s_louds);
+
+        let dense_rank_block = if opts.rank_opt { 64 } else { 512 };
+        let d_labels_rank = RankSupport::new(&d_labels, dense_rank_block);
+        let d_has_child_rank = RankSupport::new(&d_has_child, dense_rank_block);
+        let d_is_prefix_rank = RankSupport::new(&d_is_prefix, dense_rank_block);
+        let s_has_child_rank = RankSupport::new(&s_has_child, 512);
+        let s_louds_rank = RankSupport::new(&s_louds, 512);
+        let s_louds_select = SelectSupport::new(&s_louds, 64);
+
+        LoudsTrie {
+            opts,
+            d_labels,
+            d_has_child,
+            d_is_prefix,
+            d_labels_rank,
+            d_has_child_rank,
+            d_is_prefix_rank,
+            dense_levels: cut,
+            dense_node_count,
+            dense_child_count,
+            dense_value_count,
+            s_labels,
+            s_has_child,
+            s_louds,
+            s_has_child_rank,
+            s_louds_rank,
+            s_louds_select,
+            empty_key: self.empty_key,
+            level_node_starts,
+            height: h,
+            num_nodes: node_id,
+            num_values: leaf_key_order.len(),
+            leaf_key_order,
+        }
+    }
+}

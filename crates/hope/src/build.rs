@@ -1,0 +1,256 @@
+//! Dictionary training: sampling statistics → interval selection → code
+//! assignment (the Symbol Selector + Code Assigner of Figure 6.5).
+
+use crate::codes::{balanced_codes, fixed_codes};
+use crate::dict::{Code, Dict};
+use crate::{BuildBreakdown, Hope, Scheme};
+use memtree_common::key::common_prefix_len;
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Longest substring considered by the ALM quantile pass.
+const ALM_MAX_SYMBOL: usize = 8;
+
+pub(crate) fn train(scheme: Scheme, sample: &[&[u8]], dict_limit: usize) -> Hope {
+    let mut breakdown = BuildBreakdown::default();
+    let dict = match scheme {
+        Scheme::SingleChar => {
+            let t = Instant::now();
+            let mut weights = vec![1u64; 256];
+            for key in sample {
+                for &b in *key {
+                    weights[b as usize] += 1;
+                }
+            }
+            breakdown.count = t.elapsed();
+            let t = Instant::now();
+            let codes = balanced_codes(&weights);
+            breakdown.assign_codes = t.elapsed();
+            Dict::ByteArray { codes }
+        }
+        Scheme::DoubleChar => {
+            let t = Instant::now();
+            let mut weights = vec![1u64; 1 << 16];
+            for key in sample {
+                // Stride-2 pairs: matches how the encoder consumes bytes.
+                let mut i = 0;
+                while i < key.len() {
+                    let hi = key[i] as usize;
+                    let lo = key.get(i + 1).copied().unwrap_or(0) as usize;
+                    weights[hi << 8 | lo] += 1;
+                    i += 2;
+                }
+            }
+            breakdown.count = t.elapsed();
+            let t = Instant::now();
+            let codes = balanced_codes(&weights);
+            breakdown.assign_codes = t.elapsed();
+            Dict::PairArray { codes }
+        }
+        Scheme::ThreeGrams => gram_dict(sample, 3, dict_limit, &mut breakdown),
+        Scheme::FourGrams => gram_dict(sample, 4, dict_limit, &mut breakdown),
+        Scheme::Alm => alm_dict(sample, dict_limit, false, &mut breakdown),
+        Scheme::AlmImproved => alm_dict(sample, dict_limit, true, &mut breakdown),
+    };
+    Hope {
+        dict,
+        scheme,
+        breakdown,
+    }
+}
+
+/// Builds an interval dictionary whose boundaries are the most frequent
+/// `n`-grams of the sample (plus their successors and all single bytes so
+/// the axis stays covered and symbols stay non-empty).
+fn gram_dict(sample: &[&[u8]], n: usize, dict_limit: usize, breakdown: &mut BuildBreakdown) -> Dict {
+    let t = Instant::now();
+    let mut freq: HashMap<&[u8], u64> = HashMap::new();
+    for key in sample {
+        for w in key.windows(n) {
+            *freq.entry(w).or_insert(0) += 1;
+        }
+    }
+    breakdown.count = t.elapsed();
+
+    let t = Instant::now();
+    // Each selected gram contributes up to 2 boundaries (itself + its
+    // successor); reserve 256 for the single-byte floor.
+    let budget = (dict_limit.saturating_sub(257) / 2).max(1);
+    let mut grams: Vec<(&[u8], u64)> = freq.into_iter().collect();
+    grams.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+    grams.truncate(budget);
+    let mut boundaries: Vec<Vec<u8>> = (0u16..256).map(|b| vec![b as u8]).collect();
+    for (g, _) in &grams {
+        boundaries.push(g.to_vec());
+        if let Some(succ) = byte_successor(g) {
+            boundaries.push(succ);
+        }
+    }
+    boundaries.sort();
+    boundaries.dedup();
+    breakdown.select = t.elapsed();
+
+    intervals_from_boundaries(boundaries, sample, true, breakdown)
+}
+
+/// ALM: boundaries are equal-probability quantiles of the sample's
+/// position substrings, which equalizes interval access probability —
+/// dense regions get long shared-prefix symbols (the `len(s)·p(s)`
+/// equalization of §6.1.3 realized through quantiles).
+fn alm_dict(
+    sample: &[&[u8]],
+    dict_limit: usize,
+    optimal_codes: bool,
+    breakdown: &mut BuildBreakdown,
+) -> Dict {
+    let t = Instant::now();
+    let mut subs: Vec<&[u8]> = Vec::new();
+    for key in sample {
+        for start in 0..key.len() {
+            subs.push(&key[start..(start + ALM_MAX_SYMBOL).min(key.len())]);
+        }
+    }
+    subs.sort_unstable();
+    breakdown.count = t.elapsed();
+
+    let t = Instant::now();
+    let quantiles = dict_limit.saturating_sub(257).max(1);
+    let step = (subs.len() / quantiles).max(1);
+    let mut boundaries: Vec<Vec<u8>> = (0u16..256).map(|b| vec![b as u8]).collect();
+    for sub in subs.iter().step_by(step) {
+        boundaries.push(sub.to_vec());
+    }
+    boundaries.sort();
+    boundaries.dedup();
+    breakdown.select = t.elapsed();
+
+    intervals_from_boundaries(boundaries, sample, optimal_codes, breakdown)
+}
+
+/// Smallest string greater than every string prefixed by `s`
+/// (increment-with-carry), or `None` for all-0xFF.
+fn byte_successor(s: &[u8]) -> Option<Vec<u8>> {
+    memtree_common::key::prefix_successor(s)
+}
+
+/// Computes per-interval symbol lengths + codes and assembles the `Dict`.
+fn intervals_from_boundaries(
+    boundaries: Vec<Vec<u8>>,
+    sample: &[&[u8]],
+    optimal_codes: bool,
+    breakdown: &mut BuildBreakdown,
+) -> Dict {
+    let t = Instant::now();
+    let n = boundaries.len();
+    let mut symbol_lens = Vec::with_capacity(n);
+    for i in 0..n {
+        let lo = &boundaries[i];
+        let sym = match boundaries.get(i + 1) {
+            Some(hi) => interval_symbol_len(lo, hi),
+            None => lo.iter().take_while(|&&b| b == 0xFF).count().max(1),
+        };
+        debug_assert!(sym >= 1 && sym <= lo.len());
+        symbol_lens.push(sym.min(255) as u8);
+    }
+
+    // Interval weights: replay the sample through the dictionary geometry
+    // (exactly the access probability the encoder will see).
+    let mut weights = vec![1u64; n];
+    let find = |src: &[u8]| -> usize {
+        let mut lo = 0usize;
+        let mut hi = n;
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if boundaries[mid].as_slice() <= src {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo - 1
+    };
+    for key in sample {
+        let mut pos = 0usize;
+        while pos < key.len() {
+            let i = find(&key[pos..]);
+            weights[i] += 1;
+            pos += (symbol_lens[i] as usize).min(key.len() - pos).max(1);
+        }
+    }
+    breakdown.build_dict += t.elapsed();
+
+    let t = Instant::now();
+    let codes: Vec<Code> = if optimal_codes {
+        balanced_codes(&weights)
+    } else {
+        fixed_codes(n)
+    };
+    breakdown.assign_codes += t.elapsed();
+
+    let t = Instant::now();
+    let mut bound_bytes = Vec::new();
+    let mut bound_offsets = Vec::with_capacity(n + 1);
+    for b in &boundaries {
+        bound_offsets.push(bound_bytes.len() as u32);
+        bound_bytes.extend_from_slice(b);
+    }
+    bound_offsets.push(bound_bytes.len() as u32);
+    breakdown.build_dict += t.elapsed();
+
+    Dict::Intervals {
+        bound_bytes,
+        bound_offsets,
+        symbol_lens,
+        codes,
+    }
+}
+
+/// Length of the longest prefix shared by every string in `[lo, hi)`.
+fn interval_symbol_len(lo: &[u8], hi: &[u8]) -> usize {
+    // sup{s : s < hi}: drop a trailing 0x00, or decrement the last byte
+    // and extend with infinite 0xFF.
+    let mut h = hi.to_vec();
+    let extended; // h is followed by conceptual 0xFF...
+    if h.last() == Some(&0) {
+        h.pop();
+        extended = false;
+    } else {
+        *h.last_mut().expect("boundaries are non-empty") -= 1;
+        extended = true;
+    }
+    let c = common_prefix_len(lo, &h);
+    let mut sym = c;
+    if extended && c == h.len() {
+        sym += lo[c..].iter().take_while(|&&b| b == 0xFF).count();
+    }
+    sym.min(lo.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symbol_len_cases() {
+        assert_eq!(interval_symbol_len(b"abc", b"abd"), 3); // [abc, abd) share "abc"
+        assert_eq!(interval_symbol_len(b"abc", b"abf"), 2); // abc..abe share "ab"
+        assert_eq!(interval_symbol_len(b"a", b"b"), 1);
+        assert_eq!(interval_symbol_len(b"a", b"aaa"), 1);
+        assert_eq!(interval_symbol_len(b"ab", b"ac"), 2); // ab, abz... share "ab"
+        assert_eq!(interval_symbol_len(b"ab", b"ab\x00"), 2); // only "ab" itself
+        assert_eq!(interval_symbol_len(b"a\xff", b"b"), 2); // a\xff..a\xff\xff
+        assert_eq!(interval_symbol_len(b"ab", b"ab\x01"), 2);
+    }
+
+    #[test]
+    fn gram_boundaries_cover_axis() {
+        let keys: Vec<&[u8]> = vec![b"sion", b"sing", b"tion", b"site"];
+        let mut bd = BuildBreakdown::default();
+        let dict = gram_dict(&keys, 3, 1024, &mut bd);
+        // Every possible first byte has an interval.
+        for b in 0..=255u8 {
+            let (_, consume) = dict.lookup(&[b, b]);
+            assert!(consume >= 1);
+        }
+    }
+}

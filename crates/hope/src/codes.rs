@@ -1,0 +1,166 @@
+//! Order-preserving prefix-code assignment.
+//!
+//! * [`fixed_codes`] — `ceil(log2 n)`-bit identity codes (the VIFC column).
+//! * [`balanced_codes`] — optimal-class alphabetic codes by recursive
+//!   weight-balanced splitting. This substitutes for Hu–Tucker (see
+//!   DESIGN.md): it is exactly order-preserving and its expected length is
+//!   within 2 bits of the source entropy (Horibe's bound), which the test
+//!   suite asserts.
+
+use crate::dict::Code;
+
+/// Identity codes of uniform width `ceil(log2 n)` (min 1 bit).
+pub fn fixed_codes(n: usize) -> Vec<Code> {
+    let len = (usize::BITS - (n - 1).max(1).leading_zeros()).max(1) as u8;
+    (0..n)
+        .map(|i| Code {
+            bits: i as u64,
+            len,
+        })
+        .collect()
+}
+
+/// Weight-balanced alphabetic prefix codes: codes are monotonically
+/// increasing bit strings; frequent symbols get short codes.
+pub fn balanced_codes(weights: &[u64]) -> Vec<Code> {
+    let n = weights.len();
+    assert!(n >= 1);
+    let mut prefix: Vec<u128> = Vec::with_capacity(n + 1);
+    let mut acc = 0u128;
+    prefix.push(0);
+    for &w in weights {
+        acc += u128::from(w.max(1)); // zero weights would break the split search
+        prefix.push(acc);
+    }
+    let mut codes = vec![Code { bits: 0, len: 1 }; n];
+    split(&prefix, 0, n, 0, 0, &mut codes);
+    codes
+}
+
+/// Assigns codes for symbols `[lo, hi)` under the code prefix
+/// `(bits, len)`.
+fn split(prefix: &[u128], lo: usize, hi: usize, bits: u64, len: u8, codes: &mut [Code]) {
+    let count = hi - lo;
+    if count == 1 {
+        codes[lo] = Code {
+            bits,
+            len: len.max(1),
+        };
+        return;
+    }
+    // Depth guard: if the balanced recursion could exceed 64 bits, finish
+    // with fixed-width suffixes (keeps codes valid for any weight skew).
+    let need = (usize::BITS - (count - 1).leading_zeros()) as u8;
+    if len + need >= 63 {
+        for (j, slot) in codes[lo..hi].iter_mut().enumerate() {
+            *slot = Code {
+                bits: (bits << need) | j as u64,
+                len: len + need,
+            };
+        }
+        return;
+    }
+    // Split point minimizing |left - right| weight: binary search for the
+    // midpoint of the cumulative weights.
+    let total_lo = prefix[lo];
+    let total_hi = prefix[hi];
+    let mid_weight = (total_lo + total_hi) / 2;
+    let mut cut = prefix[lo..=hi].partition_point(|&p| p <= mid_weight) + lo;
+    // partition gives first prefix > mid; candidates cut-1 and cut.
+    if cut > lo + 1 {
+        let before = mid_weight.abs_diff(prefix[cut - 1]);
+        let after = if cut <= hi {
+            mid_weight.abs_diff(prefix[cut.min(hi)])
+        } else {
+            u128::MAX
+        };
+        if before <= after {
+            cut -= 1;
+        }
+    }
+    let cut = cut.clamp(lo + 1, hi - 1);
+    split(prefix, lo, cut, bits << 1, len + 1, codes);
+    split(prefix, cut, hi, (bits << 1) | 1, len + 1, codes);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_valid_alphabetic(codes: &[Code]) {
+        // Monotone as bit strings and prefix-free.
+        for w in codes.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            assert!(
+                a.left_aligned() < b.left_aligned()
+                    || (a.left_aligned() == b.left_aligned() && a.len < b.len),
+                "not monotone: {a:?} {b:?}"
+            );
+        }
+        for (i, a) in codes.iter().enumerate() {
+            for (j, b) in codes.iter().enumerate() {
+                if i != j && a.len <= b.len {
+                    assert_ne!(
+                        a.bits,
+                        b.bits >> (b.len - a.len),
+                        "{a:?} is a prefix of {b:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_codes_shape() {
+        let c = fixed_codes(256);
+        assert!(c.iter().all(|c| c.len == 8));
+        assert_valid_alphabetic(&c);
+        assert_eq!(fixed_codes(2)[1].len, 1);
+        assert_eq!(fixed_codes(1000)[0].len, 10);
+    }
+
+    #[test]
+    fn balanced_codes_valid_and_entropy_aware() {
+        // Heavily skewed weights: heavy symbols must get short codes.
+        let mut weights = vec![1u64; 64];
+        weights[10] = 10_000;
+        weights[42] = 5_000;
+        let codes = balanced_codes(&weights);
+        assert_valid_alphabetic(&codes);
+        assert!(codes[10].len <= 3, "heavy symbol code {:?}", codes[10]);
+        assert!(codes[42].len <= 4);
+        let max = codes.iter().map(|c| c.len).max().unwrap();
+        assert!(max <= 16, "max len {max}");
+    }
+
+    #[test]
+    fn uniform_weights_approach_log_n() {
+        let codes = balanced_codes(&vec![5u64; 256]);
+        assert_valid_alphabetic(&codes);
+        assert!(codes.iter().all(|c| c.len == 8));
+    }
+
+    #[test]
+    fn pathological_exponential_weights_stay_bounded() {
+        // Exponentially increasing weights drive maximal imbalance.
+        let weights: Vec<u64> = (0..128).map(|i| 1u64 << (i / 2)).collect();
+        let codes = balanced_codes(&weights);
+        assert_valid_alphabetic(&codes);
+        assert!(codes.iter().all(|c| c.len <= 64));
+    }
+
+    #[test]
+    fn single_symbol() {
+        let codes = balanced_codes(&[7]);
+        assert_eq!(codes.len(), 1);
+        assert!(codes[0].len >= 1);
+    }
+
+    #[test]
+    fn two_symbols() {
+        let codes = balanced_codes(&[1, 100]);
+        assert_valid_alphabetic(&codes);
+        assert_eq!(codes[0].len, 1);
+        assert_eq!(codes[1].len, 1);
+    }
+}

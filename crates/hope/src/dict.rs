@@ -1,0 +1,178 @@
+//! Dictionary structures (§6.2.2).
+//!
+//! The char schemes use direct arrays (a 256-entry and a 65536-entry code
+//! table — O(1) lookup, no search). The variable-interval schemes store
+//! sorted interval boundaries searched by binary search.
+//!
+//! *Substitution note:* the reference implementation uses a 256-bit
+//! bitmap-trie (Fig. 6.6) for the gram dictionaries; we use binary search
+//! over the boundary array — same interval semantics, logarithmic instead
+//! of constant probes (documented in DESIGN.md).
+
+use memtree_common::mem::vec_bytes;
+
+/// One order-preserving prefix code: the low `len` bits of `bits`,
+/// emitted MSB-first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Code {
+    /// Right-aligned code bits.
+    pub bits: u64,
+    /// Code length in bits (1..=64).
+    pub len: u8,
+}
+
+impl Code {
+    /// The code left-aligned in a u64 (for bit-string comparisons).
+    #[inline]
+    pub fn left_aligned(&self) -> u64 {
+        self.bits << (64 - self.len as u32)
+    }
+}
+
+/// A complete, order-preserving dictionary over the string axis.
+#[derive(Debug)]
+pub enum Dict {
+    /// 256 single-byte intervals (Single-Char).
+    ByteArray {
+        /// `codes[b]` encodes byte `b`.
+        codes: Vec<Code>,
+    },
+    /// 65536 two-byte intervals (Double-Char). Odd tails consume one byte
+    /// with a zero-padded pair lookup.
+    PairArray {
+        /// `codes[hi << 8 | lo]`.
+        codes: Vec<Code>,
+    },
+    /// Variable-length intervals: sorted boundaries with per-interval
+    /// symbol lengths (3-Grams/4-Grams/ALM/ALM-Improved).
+    Intervals {
+        /// Concatenated boundary bytes.
+        bound_bytes: Vec<u8>,
+        /// `bound_offsets[i]..bound_offsets[i+1]` is boundary `i`.
+        bound_offsets: Vec<u32>,
+        /// Bytes consumed when encoding in interval `i`.
+        symbol_lens: Vec<u8>,
+        /// Monotonically increasing prefix codes.
+        codes: Vec<Code>,
+    },
+}
+
+impl Dict {
+    /// Number of intervals.
+    pub fn len(&self) -> usize {
+        match self {
+            Dict::ByteArray { codes } | Dict::PairArray { codes } => codes.len(),
+            Dict::Intervals { codes, .. } => codes.len(),
+        }
+    }
+
+    /// True for a degenerate empty dictionary (never produced by training).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Bytes past the cursor that interval selection may inspect: batch
+    /// encoding may only reuse work whose lookahead window is unchanged.
+    pub fn lookahead(&self) -> usize {
+        match self {
+            Dict::ByteArray { .. } => 1,
+            Dict::PairArray { .. } => 2,
+            Dict::Intervals { bound_offsets, .. } => bound_offsets
+                .windows(2)
+                .map(|w| (w[1] - w[0]) as usize)
+                .max()
+                .unwrap_or(1)
+                + 1,
+        }
+    }
+
+    /// Heap bytes.
+    pub fn mem_usage(&self) -> usize {
+        match self {
+            Dict::ByteArray { codes } | Dict::PairArray { codes } => vec_bytes(codes),
+            Dict::Intervals {
+                bound_bytes,
+                bound_offsets,
+                symbol_lens,
+                codes,
+            } => {
+                vec_bytes(bound_bytes)
+                    + vec_bytes(bound_offsets)
+                    + vec_bytes(symbol_lens)
+                    + vec_bytes(codes)
+            }
+        }
+    }
+
+    /// Boundary `i` of an interval dictionary.
+    #[inline]
+    pub(crate) fn boundary(&self, i: usize) -> &[u8] {
+        match self {
+            Dict::Intervals {
+                bound_bytes,
+                bound_offsets,
+                ..
+            } => &bound_bytes[bound_offsets[i] as usize..bound_offsets[i + 1] as usize],
+            _ => unreachable!("boundary() on array dictionary"),
+        }
+    }
+
+    /// Looks up the interval containing `src` (non-empty); returns the code
+    /// and the number of source bytes consumed.
+    #[inline]
+    pub fn lookup(&self, src: &[u8]) -> (Code, usize) {
+        debug_assert!(!src.is_empty());
+        match self {
+            Dict::ByteArray { codes } => (codes[src[0] as usize], 1),
+            Dict::PairArray { codes } => {
+                let hi = src[0] as usize;
+                let lo = src.get(1).copied().unwrap_or(0) as usize;
+                (codes[hi << 8 | lo], src.len().min(2))
+            }
+            Dict::Intervals {
+                symbol_lens, codes, ..
+            } => {
+                // Last boundary <= src.
+                let mut lo = 0usize;
+                let mut hi = codes.len();
+                while lo < hi {
+                    let mid = (lo + hi) / 2;
+                    if self.boundary(mid) <= src {
+                        lo = mid + 1;
+                    } else {
+                        hi = mid;
+                    }
+                }
+                let i = lo - 1; // boundary 0 is [0x00], <= any non-empty src
+                (codes[i], (symbol_lens[i] as usize).min(src.len()))
+            }
+        }
+    }
+
+    /// The symbol bytes of interval `i` (for decoding).
+    pub(crate) fn symbol(&self, i: usize) -> Vec<u8> {
+        match self {
+            Dict::ByteArray { .. } => vec![i as u8],
+            Dict::PairArray { .. } => vec![(i >> 8) as u8, (i & 0xFF) as u8],
+            Dict::Intervals { symbol_lens, .. } => {
+                self.boundary(i)[..symbol_lens[i] as usize].to_vec()
+            }
+        }
+    }
+
+    /// Code of interval `i`.
+    pub(crate) fn code(&self, i: usize) -> Code {
+        match self {
+            Dict::ByteArray { codes } | Dict::PairArray { codes } => codes[i],
+            Dict::Intervals { codes, .. } => codes[i],
+        }
+    }
+
+    /// Test helper: the code assigned to a 1-byte symbol (ByteArray only).
+    pub fn code_for_test(&self, symbol: &[u8]) -> Code {
+        match self {
+            Dict::ByteArray { codes } => codes[symbol[0] as usize],
+            _ => panic!("code_for_test on non-byte dictionary"),
+        }
+    }
+}

@@ -1,0 +1,271 @@
+//! The encoder: key bytes → concatenated prefix codes (MSB-first bit
+//! stream), plus batch encoding and the test-support decoder.
+
+use crate::dict::Dict;
+
+/// MSB-first bit buffer with a 64-bit accumulator (whole bytes are flushed
+/// in one shot — the encoder's hot path).
+#[derive(Debug, Default, Clone)]
+struct BitWriter {
+    bytes: Vec<u8>,
+    /// Pending bits, right-aligned; always fewer than 8.
+    acc: u64,
+    acc_bits: u32,
+}
+
+impl BitWriter {
+    fn clear(&mut self) {
+        self.bytes.clear();
+        self.acc = 0;
+        self.acc_bits = 0;
+    }
+
+    #[inline]
+    fn bit_len(&self) -> usize {
+        self.bytes.len() * 8 + self.acc_bits as usize
+    }
+
+    /// Appends the low `len` bits of `bits`, MSB first.
+    #[inline]
+    fn put(&mut self, bits: u64, len: u8) {
+        let mut len = len as u32;
+        let mut bits = bits;
+        // With acc_bits < 8, up to 56 bits fit in one accumulate round.
+        if len > 56 {
+            let hi = len - 56;
+            self.put_small(bits >> 56, hi);
+            bits &= (1u64 << 56) - 1;
+            len = 56;
+        }
+        self.put_small(bits, len);
+    }
+
+    #[inline]
+    fn put_small(&mut self, bits: u64, len: u32) {
+        debug_assert!(self.acc_bits < 8 && len <= 56);
+        // acc_bits <= 7 and len <= 56, so everything fits in one u64.
+        let mask = (1u64 << len) - 1;
+        let mut acc = (self.acc << len) | (bits & mask);
+        let mut total = self.acc_bits + len;
+        while total >= 8 {
+            self.bytes.push((acc >> (total - 8)) as u8);
+            total -= 8;
+        }
+        acc &= (1u64 << total) - 1;
+        self.acc = acc;
+        self.acc_bits = total;
+    }
+
+    /// Zero-pads the final partial byte into `bytes` (ending a key).
+    fn finish(&mut self) -> usize {
+        let bit_len = self.bit_len();
+        if self.acc_bits > 0 {
+            self.bytes.push((self.acc << (8 - self.acc_bits)) as u8);
+            self.acc = 0;
+            self.acc_bits = 0;
+        }
+        bit_len
+    }
+
+    /// Truncates to `bit_len` bits (batch-encoder backtracking). The
+    /// partial byte moves back into the accumulator.
+    fn truncate(&mut self, bit_len: usize) {
+        debug_assert!(bit_len <= self.bit_len());
+        let keep_bytes = bit_len / 8;
+        let tail = (bit_len % 8) as u32;
+        if tail == 0 {
+            self.bytes.truncate(keep_bytes);
+            self.acc = 0;
+            self.acc_bits = 0;
+        } else {
+            let have = self.bytes.get(keep_bytes).copied().unwrap_or_else(|| {
+                // The bits live in the accumulator (never flushed).
+                (self.acc << (8 - self.acc_bits)) as u8
+            });
+            self.bytes.truncate(keep_bytes);
+            self.acc = (have >> (8 - tail)) as u64;
+            self.acc_bits = tail;
+        }
+    }
+}
+
+/// Encodes `key`, returning zero-padded bytes and the exact bit length.
+pub(crate) fn encode(dict: &Dict, key: &[u8]) -> (Vec<u8>, usize) {
+    let mut out = Vec::with_capacity(key.len());
+    let bits = encode_into(dict, key, &mut out);
+    (out, bits)
+}
+
+/// Allocation-free encode into a caller buffer (cleared first); returns the
+/// exact bit length.
+pub(crate) fn encode_into(dict: &Dict, key: &[u8], out: &mut Vec<u8>) -> usize {
+    out.clear();
+    let mut w = BitWriter {
+        bytes: std::mem::take(out),
+        acc: 0,
+        acc_bits: 0,
+    };
+    let mut pos = 0usize;
+    while pos < key.len() {
+        let (code, consume) = dict.lookup(&key[pos..]);
+        w.put(code.bits, code.len);
+        pos += consume;
+    }
+    let bits = w.finish();
+    *out = w.bytes;
+    bits
+}
+
+/// Batch encoder for sorted inputs (§6.4.4): remembers the previous key's
+/// symbol checkpoints and restarts encoding after the shared prefix.
+#[derive(Debug)]
+pub struct BatchEncoder<'d> {
+    dict: &'d Dict,
+    prev_key: Vec<u8>,
+    /// `(source bytes consumed, bit length)` after each emitted code.
+    checkpoints: Vec<(usize, usize)>,
+    writer: BitWriter,
+}
+
+impl<'d> BatchEncoder<'d> {
+    pub(crate) fn new(dict: &'d Dict) -> Self {
+        Self {
+            dict,
+            prev_key: Vec::new(),
+            checkpoints: Vec::new(),
+            writer: BitWriter::default(),
+        }
+    }
+
+    /// Encodes the next key; fastest when keys arrive in sorted order with
+    /// long shared prefixes.
+    pub fn encode(&mut self, key: &[u8]) -> (Vec<u8>, usize) {
+        let shared = memtree_common::key::common_prefix_len(&self.prev_key, key);
+        // Interval selection peeks up to `lookahead` bytes past the cursor
+        // (boundary comparisons), so a checkpoint is only reusable when
+        // that window stayed inside the shared prefix.
+        let safe = shared.saturating_sub(self.dict.lookahead());
+        let keep = self.checkpoints.partition_point(|&(consumed, _)| consumed <= safe);
+        self.checkpoints.truncate(keep);
+        let (mut pos, bit_len) = self.checkpoints.last().copied().unwrap_or((0, 0));
+        self.writer.truncate(bit_len);
+        while pos < key.len() {
+            let (code, consume) = self.dict.lookup(&key[pos..]);
+            self.writer.put(code.bits, code.len);
+            pos += consume;
+            self.checkpoints.push((pos, self.writer.bit_len()));
+        }
+        self.prev_key.clear();
+        self.prev_key.extend_from_slice(key);
+        // Emit padded bytes without disturbing the accumulator state.
+        let bits = self.writer.bit_len();
+        let mut bytes = self.writer.bytes.clone();
+        if self.writer.acc_bits > 0 {
+            bytes.push((self.writer.acc << (8 - self.writer.acc_bits)) as u8);
+        }
+        (bytes, bits)
+    }
+
+    /// Resets the shared-prefix state (e.g. between sorted runs).
+    pub fn reset(&mut self) {
+        self.prev_key.clear();
+        self.checkpoints.clear();
+        self.writer.clear();
+    }
+}
+
+/// Decodes an exact-bit-length code stream back to the source key.
+///
+/// Test support only — tree operations never decode (§6.2). For the
+/// Double-Char scheme a single zero pad byte may be appended by encoding;
+/// trailing NULs are stripped (keys are assumed NUL-free, see crate docs).
+pub(crate) fn decode(dict: &Dict, bytes: &[u8], bit_len: usize) -> Vec<u8> {
+    let mut out = Vec::new();
+    let mut pos = 0usize; // bit position
+    let read_window = |pos: usize| -> u64 {
+        // 64 bits starting at bit `pos`, left-aligned, zero-padded: gather
+        // 9 bytes (72 bits) and drop the `pos % 8` leading slack.
+        let first = pos / 8;
+        let mut v: u128 = 0;
+        for i in 0..9usize {
+            v = (v << 8) | bytes.get(first + i).copied().unwrap_or(0) as u128;
+        }
+        ((v >> (8 - pos % 8)) & u64::MAX as u128) as u64
+    };
+    while pos < bit_len {
+        let window = read_window(pos);
+        // Codes are monotone bit strings: last code whose left-aligned
+        // value is <= window is the match (verify prefix).
+        let n = dict.len();
+        let mut lo = 0usize;
+        let mut hi = n;
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if dict.code(mid).left_aligned() <= window {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        let i = lo.saturating_sub(1);
+        let code = dict.code(i);
+        debug_assert_eq!(
+            window >> (64 - code.len as u32),
+            code.bits,
+            "decode desync at bit {pos}"
+        );
+        out.extend_from_slice(&dict.symbol(i));
+        pos += code.len as usize;
+    }
+    while out.last() == Some(&0) {
+        out.pop(); // Double-Char zero pad (NUL-free key assumption)
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bitwriter_packs_msb_first() {
+        let mut w = BitWriter::default();
+        w.put(0b101, 3);
+        w.put(0b01, 2);
+        w.put(0b11111111, 8);
+        assert_eq!(w.bit_len(), 13);
+        w.finish();
+        assert_eq!(w.bytes, vec![0b10101111, 0b11111000]);
+    }
+
+    #[test]
+    fn bitwriter_truncate_clears_tail() {
+        let mut w = BitWriter::default();
+        w.put(0xFFFF, 16);
+        w.truncate(5);
+        w.put(0b111, 3);
+        w.finish();
+        assert_eq!(w.bytes, vec![0b11111111]);
+    }
+
+    #[test]
+    fn long_codes_cross_word_boundaries() {
+        let mut w = BitWriter::default();
+        w.put((1u64 << 40) - 1, 41); // 0 followed by 40 ones
+        w.put(0b1, 1);
+        assert_eq!(w.bit_len(), 42);
+        w.finish();
+        assert_eq!(w.bytes[0], 0b01111111);
+        assert_eq!(w.bytes[5], 0b11000000);
+    }
+
+    #[test]
+    fn full_64_bit_code() {
+        let mut w = BitWriter::default();
+        w.put(u64::MAX, 64);
+        w.put(0, 2);
+        assert_eq!(w.bit_len(), 66);
+        w.finish();
+        assert_eq!(w.bytes, vec![0xFF; 8].into_iter().chain([0u8]).collect::<Vec<_>>());
+    }
+}

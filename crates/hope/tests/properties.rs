@@ -1,0 +1,85 @@
+//! Property tests for HOPE's two load-bearing guarantees (§6.1.1): every
+//! scheme's dictionary is *complete* (any NUL-free key encodes) and
+//! *order-preserving*, and encodings are uniquely decodable.
+
+use memtree_hope::{Hope, Scheme};
+use proptest::prelude::*;
+
+fn nul_free_key() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(1u8..=255, 0..24)
+}
+
+fn ascii_key() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(
+        prop_oneof![Just(b'a'), Just(b'b'), Just(b'c'), Just(b'.'), Just(b'@')],
+        0..20,
+    )
+}
+
+fn train(scheme: Scheme, seed: u64) -> Hope {
+    // A fixed, representative training sample; queries may contain bytes
+    // the sample never saw (completeness must still hold).
+    let sample: Vec<Vec<u8>> = (0..500u64)
+        .map(|i| format!("com.test{}@user{}", (i * seed) % 17, i).into_bytes())
+        .collect();
+    let limit = if scheme == Scheme::SingleChar { 256 } else { 4096 };
+    Hope::train_keys(scheme, &sample, limit)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn encode_is_order_preserving(mut keys in proptest::collection::vec(ascii_key(), 2..40)) {
+        keys.sort();
+        keys.dedup();
+        for scheme in Scheme::all() {
+            let hope = train(scheme, 7);
+            let encoded: Vec<Vec<u8>> = keys.iter().map(|k| hope.encode_bytes(k)).collect();
+            for w in encoded.windows(2) {
+                prop_assert!(
+                    w[0] <= w[1],
+                    "{scheme:?} broke order"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_arbitrary_bytes(key in nul_free_key()) {
+        for scheme in Scheme::all() {
+            let hope = train(scheme, 3);
+            let (bytes, bits) = hope.encode(&key);
+            prop_assert_eq!(
+                hope.decode(&bytes, bits),
+                key.clone(),
+                "{:?} failed roundtrip",
+                scheme
+            );
+        }
+    }
+
+    #[test]
+    fn distinct_keys_distinct_encodings(a in ascii_key(), b in ascii_key()) {
+        prop_assume!(a != b);
+        for scheme in Scheme::all() {
+            let hope = train(scheme, 11);
+            let ea = hope.encode(&a);
+            let eb = hope.encode(&b);
+            prop_assert_ne!(ea, eb, "{:?} collided {:?} vs {:?}", scheme, &a, &b);
+        }
+    }
+
+    #[test]
+    fn batch_encoder_agrees_with_single(mut keys in proptest::collection::vec(ascii_key(), 1..40)) {
+        keys.sort();
+        keys.dedup();
+        for scheme in [Scheme::DoubleChar, Scheme::ThreeGrams, Scheme::AlmImproved] {
+            let hope = train(scheme, 5);
+            let mut batch = hope.batch_encoder();
+            for k in &keys {
+                prop_assert_eq!(hope.encode(k), batch.encode(k), "{:?} {:?}", scheme, k);
+            }
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! Articles (§5.4.2): an online news site — users submit articles, others
+//! comment. Read-intensive with small per-transaction footprints via
+//! primary and secondary indexes, scaled Reddit-style.
+
+use crate::db::Database;
+use crate::row::Val;
+use memtree_common::hash::splitmix64;
+
+/// The Articles benchmark handle.
+pub struct Articles {
+    state: u64,
+    articles: usize,
+    users: usize,
+    comments: usize,
+    articles_pk: usize,
+    users_pk: usize,
+    comments_pk: usize,
+    comments_by_article: usize,
+    num_articles: i64,
+    num_users: i64,
+    comment_seq: i64,
+    article_seq: i64,
+}
+
+impl Articles {
+    /// Creates the schema and loads initial articles/users.
+    pub fn load(db: &mut Database, num_articles: i64, num_users: i64, seed: u64) -> Self {
+        let articles = db.create_table("ARTICLES");
+        let users = db.create_table("USERS");
+        let comments = db.create_table("COMMENTS");
+        let articles_pk = db.create_unique_index("ARTICLES_PK", articles, &[0]);
+        let users_pk = db.create_unique_index("USERS_PK", users, &[0]);
+        let comments_pk = db.create_unique_index("COMMENTS_PK", comments, &[0]);
+        let comments_by_article = db.create_multi_index("COMMENTS_BY_ARTICLE", comments, &[1]);
+        let mut a = Self {
+            state: seed,
+            articles,
+            users,
+            comments,
+            articles_pk,
+            users_pk,
+            comments_pk,
+            comments_by_article,
+            num_articles,
+            num_users,
+            comment_seq: 0,
+            article_seq: num_articles,
+        };
+        for u in 0..num_users {
+            db.insert(users, vec![Val::I64(u), Val::Str(format!("user{u:06}"))]);
+        }
+        for i in 0..num_articles {
+            a.insert_article(db, i);
+        }
+        a
+    }
+
+    fn insert_article(&mut self, db: &mut Database, id: i64) {
+        db.insert(
+            self.articles,
+            vec![
+                Val::I64(id),
+                Val::Str(format!("Article headline number {id}")),
+                Val::Str("lorem ipsum ".repeat(8)),
+                Val::I64(0), // comment count
+                Val::I64(0), // view count
+            ],
+        );
+    }
+
+    fn rand(&mut self, n: i64) -> i64 {
+        (splitmix64(&mut self.state) % n.max(1) as u64) as i64
+    }
+
+    /// One transaction from the mix (~80 % reads).
+    pub fn run_one(&mut self, db: &mut Database) -> &'static str {
+        let dice = self.rand(100);
+        if dice < 80 {
+            // GetArticle: read the requesting user, the article, and its
+            // comments.
+            let u = self.rand(self.num_users);
+            if let Some(us) = db.get_unique(self.users_pk, &[Val::I64(u)]) {
+                db.read(self.users, us);
+            }
+            let a = self.rand(self.num_articles);
+            if let Some(slot) = db.get_unique(self.articles_pk, &[Val::I64(a)]) {
+                db.update(self.articles, slot, |row| {
+                    row[4] = Val::I64(row[4].i64() + 1)
+                });
+                for c in db.get_multi(self.comments_by_article, &[Val::I64(a)]) {
+                    db.read(self.comments, c);
+                }
+            }
+            "GetArticle"
+        } else if dice < 95 {
+            // AddComment.
+            let a = self.rand(self.num_articles);
+            let u = self.rand(self.num_users);
+            let id = self.comment_seq;
+            self.comment_seq += 1;
+            db.insert(
+                self.comments,
+                vec![
+                    Val::I64(id),
+                    Val::I64(a),
+                    Val::I64(u),
+                    Val::Str(format!("comment {id} text body")),
+                ],
+            );
+            debug_assert!(db
+                .get_unique(self.comments_pk, &[Val::I64(id)])
+                .is_some());
+            if let Some(slot) = db.get_unique(self.articles_pk, &[Val::I64(a)]) {
+                db.update(self.articles, slot, |row| {
+                    row[3] = Val::I64(row[3].i64() + 1)
+                });
+            }
+            "AddComment"
+        } else {
+            // SubmitArticle.
+            let id = self.article_seq;
+            self.article_seq += 1;
+            self.insert_article(db, id);
+            self.num_articles = self.article_seq;
+            "SubmitArticle"
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::db::IndexChoice;
+
+    #[test]
+    fn mix_runs_and_grows() {
+        let mut db = Database::new(IndexChoice::BTree);
+        let mut art = Articles::load(&mut db, 200, 100, 9);
+        let mut names = std::collections::HashMap::new();
+        for _ in 0..2000 {
+            *names.entry(art.run_one(&mut db)).or_insert(0) += 1;
+        }
+        assert!(names["GetArticle"] > 1200, "{names:?}");
+        assert!(names["AddComment"] > 100);
+        assert!(names["SubmitArticle"] > 20);
+        let stats: std::collections::HashMap<String, usize> = db
+            .table_stats()
+            .into_iter()
+            .map(|(n, c, _)| (n, c))
+            .collect();
+        assert!(stats["COMMENTS"] > 100);
+        assert!(stats["ARTICLES"] > 200);
+    }
+}

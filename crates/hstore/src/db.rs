@@ -1,0 +1,568 @@
+//! The partition database: tables, index manager, statistics API, and
+//! anti-caching.
+
+use crate::index::{MultiIndex, UniqueIndex};
+use crate::row::{encode_key, row_bytes, Row, Val};
+use memtree_btree::BPlusTree;
+use memtree_hybrid::{HybridBTree, HybridCompressedBTree, SecondaryIndex};
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// Which index implementation every index in the database uses — the
+/// three configurations of Figures 5.11–5.16.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexChoice {
+    /// H-Store's default dynamic B+tree.
+    BTree,
+    /// Hybrid B+tree.
+    Hybrid,
+    /// Hybrid-Compressed B+tree.
+    HybridCompressed,
+}
+
+impl IndexChoice {
+    /// Figure-label name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            IndexChoice::BTree => "B+tree",
+            IndexChoice::Hybrid => "Hybrid",
+            IndexChoice::HybridCompressed => "Hybrid-Compressed",
+        }
+    }
+
+    /// Creates a unique index of this kind.
+    pub fn new_unique(&self) -> UniqueIndex {
+        match self {
+            IndexChoice::BTree => UniqueIndex::BTree(BPlusTree::new()),
+            IndexChoice::Hybrid => UniqueIndex::Hybrid(HybridBTree::new()),
+            IndexChoice::HybridCompressed => {
+                UniqueIndex::HybridCompressed(HybridCompressedBTree::new())
+            }
+        }
+    }
+
+    /// Creates a non-unique index of this kind.
+    pub fn new_multi(&self) -> MultiIndex {
+        match self {
+            IndexChoice::BTree => MultiIndex::BTree(SecondaryIndex::new()),
+            IndexChoice::Hybrid => MultiIndex::Hybrid(SecondaryIndex::new()),
+            IndexChoice::HybridCompressed => {
+                MultiIndex::HybridCompressed(SecondaryIndex::new())
+            }
+        }
+    }
+}
+
+#[derive(Debug)]
+enum Slot {
+    Present { row: Row, referenced: bool },
+    Evicted { block: u32 },
+    Free,
+}
+
+struct Table {
+    name: String,
+    slots: Vec<Slot>,
+    free: Vec<u32>,
+    resident_bytes: usize,
+    resident_count: usize,
+    evicted_count: usize,
+    clock_hand: usize,
+}
+
+struct UniqueDef {
+    table: usize,
+    cols: Vec<usize>,
+    index: UniqueIndex,
+}
+
+struct MultiDef {
+    table: usize,
+    cols: Vec<usize>,
+    index: MultiIndex,
+}
+
+struct AntiCache {
+    threshold_bytes: usize,
+    blocks: Vec<Vec<(u16, u32, Row)>>,
+    free_blocks: Vec<u32>,
+    fetch_latency: Duration,
+    evictions: u64,
+    fetches: u64,
+    tuples_per_block: usize,
+}
+
+/// Memory and anti-caching statistics (the Table 1.1 / Figure 5.11 view).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct DbStats {
+    /// Resident tuple bytes.
+    pub tuple_bytes: usize,
+    /// Bytes across primary (unique) indexes.
+    pub primary_index_bytes: usize,
+    /// Bytes across secondary indexes.
+    pub secondary_index_bytes: usize,
+    /// Tuples currently evicted to the anti-cache.
+    pub evicted_tuples: usize,
+    /// Anti-cache eviction passes.
+    pub evictions: u64,
+    /// Evicted-tuple fetches (each implies an abort-and-restart).
+    pub fetches: u64,
+}
+
+impl DbStats {
+    /// Resident memory: tuples + all indexes.
+    pub fn total(&self) -> usize {
+        self.tuple_bytes + self.primary_index_bytes + self.secondary_index_bytes
+    }
+}
+
+/// A single-partition database.
+pub struct Database {
+    tables: Vec<Table>,
+    names: HashMap<String, usize>,
+    uniques: Vec<UniqueDef>,
+    unique_names: HashMap<String, usize>,
+    multis: Vec<MultiDef>,
+    multi_names: HashMap<String, usize>,
+    choice: IndexChoice,
+    anti: Option<AntiCache>,
+}
+
+impl Database {
+    /// Creates an empty partition using `choice` for every index.
+    pub fn new(choice: IndexChoice) -> Self {
+        Self {
+            tables: Vec::new(),
+            names: HashMap::new(),
+            uniques: Vec::new(),
+            unique_names: HashMap::new(),
+            multis: Vec::new(),
+            multi_names: HashMap::new(),
+            choice,
+            anti: None,
+        }
+    }
+
+    /// Enables anti-caching: evict cold tuples once **total** resident
+    /// memory (tuples + indexes — indexes can never be evicted, which is
+    /// why smaller indexes leave more room for hot tuples, §5.4.4) exceeds
+    /// `threshold_bytes`. Each un-evicted block fetch charges
+    /// `fetch_latency` and models H-Store's abort-and-restart.
+    pub fn enable_anticaching(&mut self, threshold_bytes: usize, fetch_latency: Duration) {
+        self.anti = Some(AntiCache {
+            threshold_bytes,
+            blocks: Vec::new(),
+            free_blocks: Vec::new(),
+            fetch_latency,
+            evictions: 0,
+            fetches: 0,
+            tuples_per_block: 256,
+        });
+    }
+
+    /// Registers a table; returns its id.
+    pub fn create_table(&mut self, name: &str) -> usize {
+        let id = self.tables.len();
+        self.tables.push(Table {
+            name: name.to_string(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            resident_bytes: 0,
+            resident_count: 0,
+            evicted_count: 0,
+            clock_hand: 0,
+        });
+        self.names.insert(name.to_string(), id);
+        id
+    }
+
+    /// Registers a unique index over `cols` of `table`.
+    pub fn create_unique_index(&mut self, name: &str, table: usize, cols: &[usize]) -> usize {
+        let id = self.uniques.len();
+        self.uniques.push(UniqueDef {
+            table,
+            cols: cols.to_vec(),
+            index: self.choice.new_unique(),
+        });
+        self.unique_names.insert(name.to_string(), id);
+        id
+    }
+
+    /// Registers a non-unique index over `cols` of `table`.
+    pub fn create_multi_index(&mut self, name: &str, table: usize, cols: &[usize]) -> usize {
+        let id = self.multis.len();
+        self.multis.push(MultiDef {
+            table,
+            cols: cols.to_vec(),
+            index: self.choice.new_multi(),
+        });
+        self.multi_names.insert(name.to_string(), id);
+        id
+    }
+
+    /// Table id by name.
+    pub fn table_id(&self, name: &str) -> usize {
+        self.names[name]
+    }
+
+    /// Unique-index id by name.
+    pub fn unique_id(&self, name: &str) -> usize {
+        self.unique_names[name]
+    }
+
+    /// Multi-index id by name.
+    pub fn multi_id(&self, name: &str) -> usize {
+        self.multi_names[name]
+    }
+
+    /// Inserts a row, maintaining all indexes. Returns the slot, or `None`
+    /// on a unique-key violation.
+    pub fn insert(&mut self, table: usize, row: Row) -> Option<u64> {
+        // Uniqueness first (the hybrid's insert does its own check; probe
+        // explicitly so no index is half-updated on failure).
+        for def in &self.uniques {
+            if def.table == table && def.index.get(&encode_key(&row, &def.cols)).is_some() {
+                return None;
+            }
+        }
+        let t = &mut self.tables[table];
+        let slot = match t.free.pop() {
+            Some(s) => s as usize,
+            None => {
+                t.slots.push(Slot::Free);
+                t.slots.len() - 1
+            }
+        };
+        t.resident_bytes += row_bytes(&row) + std::mem::size_of::<Slot>();
+        t.resident_count += 1;
+        for def in &mut self.uniques {
+            if def.table == table {
+                let inserted = def.index.insert(&encode_key(&row, &def.cols), slot as u64);
+                debug_assert!(inserted);
+            }
+        }
+        for def in &mut self.multis {
+            if def.table == table {
+                def.index.insert(&encode_key(&row, &def.cols), slot as u64);
+            }
+        }
+        self.tables[table].slots[slot] = Slot::Present {
+            row,
+            referenced: true,
+        };
+        self.maybe_evict(table);
+        Some(slot as u64)
+    }
+
+    /// Reads a row (cloned), un-evicting it if anti-cached. Marks it
+    /// recently used.
+    pub fn read(&mut self, table: usize, slot: u64) -> Row {
+        self.ensure_resident(table, slot);
+        match &mut self.tables[table].slots[slot as usize] {
+            Slot::Present { row, referenced } => {
+                *referenced = true;
+                row.clone()
+            }
+            _ => unreachable!("ensure_resident restored the tuple"),
+        }
+    }
+
+    /// Applies `f` to a row in place. Must not modify indexed columns.
+    pub fn update<F: FnOnce(&mut Row)>(&mut self, table: usize, slot: u64, f: F) {
+        self.ensure_resident(table, slot);
+        let t = &mut self.tables[table];
+        let Slot::Present { row, referenced } = &mut t.slots[slot as usize] else {
+            unreachable!()
+        };
+        let before = row_bytes(row);
+        f(row);
+        *referenced = true;
+        let after = row_bytes(row);
+        t.resident_bytes = t.resident_bytes + after - before;
+    }
+
+    /// Deletes a row by slot, maintaining all indexes.
+    pub fn delete(&mut self, table: usize, slot: u64) {
+        self.ensure_resident(table, slot);
+        let t = &mut self.tables[table];
+        let old = std::mem::replace(&mut t.slots[slot as usize], Slot::Free);
+        let Slot::Present { row, .. } = old else {
+            unreachable!()
+        };
+        t.resident_bytes -= row_bytes(&row) + std::mem::size_of::<Slot>();
+        t.resident_count -= 1;
+        t.free.push(slot as u32);
+        for def in &mut self.uniques {
+            if def.table == table {
+                def.index.remove(&encode_key(&row, &def.cols));
+            }
+        }
+        for def in &mut self.multis {
+            if def.table == table {
+                def.index.remove(&encode_key(&row, &def.cols), slot);
+            }
+        }
+    }
+
+    /// Point lookup through a unique index.
+    pub fn get_unique(&self, index: usize, key_vals: &[Val]) -> Option<u64> {
+        self.uniques[index]
+            .index
+            .get(&crate::row::encode_vals(key_vals))
+    }
+
+    /// All slots under a secondary-index key.
+    pub fn get_multi(&self, index: usize, key_vals: &[Val]) -> Vec<u64> {
+        self.multis[index]
+            .index
+            .get(&crate::row::encode_vals(key_vals))
+    }
+
+    /// Ordered scan of a unique index from `low_vals`, `n` slots.
+    pub fn scan_unique(&self, index: usize, low_vals: &[Val], n: usize) -> Vec<u64> {
+        let mut out = Vec::with_capacity(n);
+        self.uniques[index]
+            .index
+            .scan(&crate::row::encode_vals(low_vals), n, &mut out);
+        out
+    }
+
+    /// Keyed range iteration over a unique index.
+    pub fn range_unique(
+        &self,
+        index: usize,
+        low_vals: &[Val],
+        f: &mut dyn FnMut(&[u8], u64) -> bool,
+    ) {
+        self.uniques[index]
+            .index
+            .range_from(&crate::row::encode_vals(low_vals), f);
+    }
+
+    fn ensure_resident(&mut self, table: usize, slot: u64) {
+        let needs_fetch = matches!(
+            self.tables[table].slots[slot as usize],
+            Slot::Evicted { .. }
+        );
+        if !needs_fetch {
+            return;
+        }
+        let Slot::Evicted { block } = self.tables[table].slots[slot as usize] else {
+            unreachable!()
+        };
+        let anti = self.anti.as_mut().expect("evicted implies anti-caching");
+        anti.fetches += 1;
+        if !anti.fetch_latency.is_zero() {
+            let start = std::time::Instant::now();
+            while start.elapsed() < anti.fetch_latency {
+                std::hint::spin_loop();
+            }
+        }
+        // Block-merge policy: restore every tuple in the fetched block.
+        let tuples = std::mem::take(&mut anti.blocks[block as usize]);
+        anti.free_blocks.push(block);
+        for (tbl, s, row) in tuples {
+            let t = &mut self.tables[tbl as usize];
+            t.resident_bytes += row_bytes(&row) + std::mem::size_of::<Slot>();
+            t.resident_count += 1;
+            t.evicted_count -= 1;
+            t.slots[s as usize] = Slot::Present {
+                row,
+                referenced: true,
+            };
+        }
+    }
+
+    /// Evicts cold tuples (CLOCK second chance) while over the threshold.
+    fn maybe_evict(&mut self, hot_table: usize) {
+        let Some(anti) = &self.anti else {
+            return;
+        };
+        // Indexes count against the budget but cannot be evicted.
+        let index_bytes: usize = self.uniques.iter().map(|d| d.index.mem_usage()).sum::<usize>()
+            + self.multis.iter().map(|d| d.index.mem_usage()).sum::<usize>();
+        let tuple_budget = anti.threshold_bytes.saturating_sub(index_bytes);
+        let mut resident: usize = self.tables.iter().map(|t| t.resident_bytes).sum();
+        if resident <= tuple_budget {
+            return;
+        }
+        // Evict from the largest tables first (the thesis evicts the
+        // coldest data DB-wide; per-table CLOCK approximates it).
+        while resident > tuple_budget {
+            let victim_table = self
+                .tables
+                .iter()
+                .enumerate()
+                .filter(|(i, t)| t.resident_count > 64 || *i != hot_table)
+                .max_by_key(|(_, t)| t.resident_bytes)
+                .map(|(i, _)| i);
+            let Some(tbl) = victim_table else {
+                return;
+            };
+            let per_block = self.anti.as_ref().unwrap().tuples_per_block;
+            let mut batch: Vec<(u16, u32, Row)> = Vec::with_capacity(per_block);
+            {
+                let t = &mut self.tables[tbl];
+                if t.resident_count == 0 {
+                    return;
+                }
+                let n = t.slots.len();
+                let mut sweeps = 0usize;
+                while batch.len() < per_block && sweeps < 2 * n {
+                    let i = t.clock_hand % n;
+                    t.clock_hand = (t.clock_hand + 1) % n;
+                    sweeps += 1;
+                    match &mut t.slots[i] {
+                        Slot::Present { referenced, .. } => {
+                            if *referenced {
+                                *referenced = false;
+                            } else {
+                                let old = std::mem::replace(&mut t.slots[i], Slot::Free);
+                                let Slot::Present { row, .. } = old else {
+                                    unreachable!()
+                                };
+                                t.resident_bytes -= row_bytes(&row) + std::mem::size_of::<Slot>();
+                                t.resident_count -= 1;
+                                t.evicted_count += 1;
+                                batch.push((tbl as u16, i as u32, row));
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            if batch.is_empty() {
+                return; // everything referenced; give up this round
+            }
+            let anti = self.anti.as_mut().unwrap();
+            anti.evictions += 1;
+            let block = match anti.free_blocks.pop() {
+                Some(b) => {
+                    anti.blocks[b as usize] = batch;
+                    b
+                }
+                None => {
+                    anti.blocks.push(batch);
+                    (anti.blocks.len() - 1) as u32
+                }
+            };
+            // Re-point the evicted slots at the block.
+            for (tbl2, s, _) in &self.anti.as_ref().unwrap().blocks[block as usize] {
+                self.tables[*tbl2 as usize].slots[*s as usize] = Slot::Evicted { block };
+            }
+            resident = self.tables.iter().map(|t| t.resident_bytes).sum();
+        }
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> DbStats {
+        DbStats {
+            tuple_bytes: self.tables.iter().map(|t| t.resident_bytes).sum(),
+            primary_index_bytes: self.uniques.iter().map(|d| d.index.mem_usage()).sum(),
+            secondary_index_bytes: self.multis.iter().map(|d| d.index.mem_usage()).sum(),
+            evicted_tuples: self.tables.iter().map(|t| t.evicted_count).sum(),
+            evictions: self.anti.as_ref().map_or(0, |a| a.evictions),
+            fetches: self.anti.as_ref().map_or(0, |a| a.fetches),
+        }
+    }
+
+    /// Per-table (name, resident tuple bytes).
+    pub fn table_stats(&self) -> Vec<(String, usize, usize)> {
+        self.tables
+            .iter()
+            .map(|t| (t.name.clone(), t.resident_count, t.resident_bytes))
+            .collect()
+    }
+
+    /// Worst observed hybrid merge pause across indexes, in ms.
+    pub fn max_merge_pause_ms(&self) -> f64 {
+        self.uniques
+            .iter()
+            .map(|d| d.index.last_merge_ms())
+            .fold(0.0, f64::max)
+    }
+
+    /// Index configuration in use.
+    pub fn index_choice(&self) -> IndexChoice {
+        self.choice
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_db(choice: IndexChoice) -> Database {
+        let mut db = Database::new(choice);
+        let t = db.create_table("items");
+        db.create_unique_index("items_pk", t, &[0]);
+        db.create_multi_index("items_by_cat", t, &[1]);
+        db
+    }
+
+    #[test]
+    fn insert_read_update_delete() {
+        for choice in [IndexChoice::BTree, IndexChoice::Hybrid] {
+            let mut db = tiny_db(choice);
+            let t = db.table_id("items");
+            let pk = db.unique_id("items_pk");
+            let by_cat = db.multi_id("items_by_cat");
+            for i in 0..1000i64 {
+                let slot = db.insert(
+                    t,
+                    vec![Val::I64(i), Val::I64(i % 7), Val::Str(format!("item{i}"))],
+                );
+                assert!(slot.is_some(), "{choice:?} insert {i}");
+            }
+            // Unique violation.
+            assert!(db.insert(t, vec![Val::I64(5), Val::I64(0), Val::Str("dup".into())]).is_none());
+            // Point read through the PK.
+            let slot = db.get_unique(pk, &[Val::I64(123)]).unwrap();
+            assert_eq!(db.read(t, slot)[2].str(), "item123");
+            // Secondary index fans out.
+            let cat3 = db.get_multi(by_cat, &[Val::I64(3)]);
+            assert_eq!(cat3.len(), 1000 / 7 + 1);
+            // Update a non-indexed column.
+            db.update(t, slot, |row| row[2] = Val::Str("renamed".into()));
+            assert_eq!(db.read(t, slot)[2].str(), "renamed");
+            // Delete maintains both indexes.
+            db.delete(t, slot);
+            assert!(db.get_unique(pk, &[Val::I64(123)]).is_none());
+            assert!(!db.get_multi(by_cat, &[Val::I64(123 % 7)]).contains(&slot));
+        }
+    }
+
+    #[test]
+    fn stats_reflect_indexes() {
+        let mut db = tiny_db(IndexChoice::BTree);
+        let t = db.table_id("items");
+        for i in 0..5000i64 {
+            db.insert(t, vec![Val::I64(i), Val::I64(i % 3), Val::Str("x".repeat(40))]);
+        }
+        let s = db.stats();
+        assert!(s.tuple_bytes > 0);
+        assert!(s.primary_index_bytes > 0);
+        assert!(s.secondary_index_bytes > 0);
+        assert!(s.total() > s.tuple_bytes);
+    }
+
+    #[test]
+    fn anticaching_evicts_and_fetches() {
+        let mut db = tiny_db(IndexChoice::BTree);
+        db.enable_anticaching(400 << 10, Duration::ZERO);
+        let t = db.table_id("items");
+        let pk = db.unique_id("items_pk");
+        for i in 0..20_000i64 {
+            db.insert(t, vec![Val::I64(i), Val::I64(i % 3), Val::Str("y".repeat(30))]);
+        }
+        let s = db.stats();
+        assert!(s.evicted_tuples > 0, "nothing evicted");
+        assert!(s.tuple_bytes <= 500 << 10, "resident {}", s.tuple_bytes);
+        // Reading a cold tuple fetches it back.
+        let slot = db.get_unique(pk, &[Val::I64(10)]).unwrap();
+        let row = db.read(t, slot);
+        assert_eq!(row[0].i64(), 10);
+        let s2 = db.stats();
+        assert!(s2.fetches >= 1 || s.evicted_tuples > s2.evicted_tuples);
+    }
+}

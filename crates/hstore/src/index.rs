@@ -1,0 +1,179 @@
+//! The index manager: every table index is one of the thesis's three
+//! configurations — the default B+tree, Hybrid B+tree, or
+//! Hybrid-Compressed B+tree — in unique (primary) or non-unique
+//! (secondary) mode.
+
+use memtree_btree::BPlusTree;
+use memtree_common::traits::{OrderedIndex, Value};
+use memtree_hybrid::{HybridBTree, HybridCompressedBTree, SecondaryIndex};
+
+/// A primary (unique) index: key → row slot.
+pub enum UniqueIndex {
+    /// Plain dynamic B+tree (H-Store's default).
+    BTree(BPlusTree),
+    /// Dual-stage hybrid.
+    Hybrid(HybridBTree),
+    /// Dual-stage hybrid with compressed static leaves.
+    HybridCompressed(HybridCompressedBTree),
+}
+
+impl UniqueIndex {
+    /// Inserts; `false` on duplicate key.
+    pub fn insert(&mut self, key: &[u8], slot: Value) -> bool {
+        match self {
+            UniqueIndex::BTree(i) => i.insert(key, slot),
+            UniqueIndex::Hybrid(i) => i.insert(key, slot),
+            UniqueIndex::HybridCompressed(i) => i.insert(key, slot),
+        }
+    }
+
+    /// Point lookup.
+    pub fn get(&self, key: &[u8]) -> Option<Value> {
+        match self {
+            UniqueIndex::BTree(i) => i.get(key),
+            UniqueIndex::Hybrid(i) => i.get(key),
+            UniqueIndex::HybridCompressed(i) => i.get(key),
+        }
+    }
+
+    /// Removes a key.
+    pub fn remove(&mut self, key: &[u8]) -> bool {
+        match self {
+            UniqueIndex::BTree(i) => i.remove(key),
+            UniqueIndex::Hybrid(i) => i.remove(key),
+            UniqueIndex::HybridCompressed(i) => i.remove(key),
+        }
+    }
+
+    /// Ordered scan of row slots from `low`.
+    pub fn scan(&self, low: &[u8], n: usize, out: &mut Vec<Value>) -> usize {
+        match self {
+            UniqueIndex::BTree(i) => i.scan(low, n, out),
+            UniqueIndex::Hybrid(i) => i.scan(low, n, out),
+            UniqueIndex::HybridCompressed(i) => i.scan(low, n, out),
+        }
+    }
+
+    /// Keyed range iteration from `low`.
+    pub fn range_from(&self, low: &[u8], f: &mut dyn FnMut(&[u8], Value) -> bool) {
+        match self {
+            UniqueIndex::BTree(i) => OrderedIndex::range_from(i, low, f),
+            UniqueIndex::Hybrid(i) => OrderedIndex::range_from(i, low, f),
+            UniqueIndex::HybridCompressed(i) => OrderedIndex::range_from(i, low, f),
+        }
+    }
+
+    /// Heap bytes.
+    pub fn mem_usage(&self) -> usize {
+        match self {
+            UniqueIndex::BTree(i) => i.mem_usage(),
+            UniqueIndex::Hybrid(i) => i.mem_usage(),
+            UniqueIndex::HybridCompressed(i) => i.mem_usage(),
+        }
+    }
+
+    /// Maximum observed blocking merge pause, if hybrid.
+    pub fn last_merge_ms(&self) -> f64 {
+        match self {
+            UniqueIndex::BTree(_) => 0.0,
+            UniqueIndex::Hybrid(i) => i.merge_stats().last_merge_time.as_secs_f64() * 1e3,
+            UniqueIndex::HybridCompressed(i) => {
+                i.merge_stats().last_merge_time.as_secs_f64() * 1e3
+            }
+        }
+    }
+}
+
+/// A secondary (non-unique) index: key → set of row slots.
+pub enum MultiIndex {
+    /// Plain B+tree via the value-list arena.
+    BTree(SecondaryIndex<BPlusTree>),
+    /// Hybrid B+tree secondary.
+    Hybrid(SecondaryIndex<HybridBTree>),
+    /// Hybrid-Compressed secondary.
+    HybridCompressed(SecondaryIndex<HybridCompressedBTree>),
+}
+
+impl MultiIndex {
+    /// Adds a (key, slot) pair.
+    pub fn insert(&mut self, key: &[u8], slot: Value) {
+        match self {
+            MultiIndex::BTree(i) => i.insert(key, slot),
+            MultiIndex::Hybrid(i) => i.insert(key, slot),
+            MultiIndex::HybridCompressed(i) => i.insert(key, slot),
+        }
+    }
+
+    /// All slots for a key.
+    pub fn get(&self, key: &[u8]) -> Vec<Value> {
+        match self {
+            MultiIndex::BTree(i) => i.get(key).to_vec(),
+            MultiIndex::Hybrid(i) => i.get(key).to_vec(),
+            MultiIndex::HybridCompressed(i) => i.get(key).to_vec(),
+        }
+    }
+
+    /// Removes one pair.
+    pub fn remove(&mut self, key: &[u8], slot: Value) -> bool {
+        match self {
+            MultiIndex::BTree(i) => i.remove(key, slot),
+            MultiIndex::Hybrid(i) => i.remove(key, slot),
+            MultiIndex::HybridCompressed(i) => i.remove(key, slot),
+        }
+    }
+
+    /// Heap bytes.
+    pub fn mem_usage(&self) -> usize {
+        match self {
+            MultiIndex::BTree(i) => i.mem_usage(),
+            MultiIndex::Hybrid(i) => i.mem_usage(),
+            MultiIndex::HybridCompressed(i) => i.mem_usage(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::db::IndexChoice;
+
+    #[test]
+    fn unique_index_all_choices() {
+        for choice in [
+            IndexChoice::BTree,
+            IndexChoice::Hybrid,
+            IndexChoice::HybridCompressed,
+        ] {
+            let mut idx = choice.new_unique();
+            for i in 0..5000u64 {
+                assert!(idx.insert(&i.to_be_bytes(), i));
+            }
+            assert!(!idx.insert(&42u64.to_be_bytes(), 0));
+            for i in (0..5000u64).step_by(97) {
+                assert_eq!(idx.get(&i.to_be_bytes()), Some(i));
+            }
+            assert!(idx.remove(&42u64.to_be_bytes()));
+            assert_eq!(idx.get(&42u64.to_be_bytes()), None);
+            let mut out = Vec::new();
+            idx.scan(&100u64.to_be_bytes(), 3, &mut out);
+            assert_eq!(out, vec![100, 101, 102]);
+        }
+    }
+
+    #[test]
+    fn multi_index_all_choices() {
+        for choice in [
+            IndexChoice::BTree,
+            IndexChoice::Hybrid,
+            IndexChoice::HybridCompressed,
+        ] {
+            let mut idx = choice.new_multi();
+            for i in 0..100u64 {
+                idx.insert(b"samekey", i);
+            }
+            assert_eq!(idx.get(b"samekey").len(), 100);
+            assert!(idx.remove(b"samekey", 7));
+            assert_eq!(idx.get(b"samekey").len(), 99);
+            assert!(idx.get(b"other").is_empty());
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! A miniature H-Store (Chapter 5, §5.4): a single-partition in-memory
+//! row store with pluggable index types, stored-procedure execution, a
+//! statistics API (Table 1.1's memory breakdown), and anti-caching
+//! (cold-tuple eviction to disk blocks with tombstones and
+//! fetch-and-restart semantics).
+//!
+//! Three OLTP benchmarks drive it, as in the thesis: **TPC-C** (order
+//! processing, 88 % writes), **Voter** (tiny update-heavy transactions)
+//! and **Articles** (read-mostly news site scaled to Reddit-like traffic).
+//!
+//! The thesis runs 8 single-threaded partitions; partitions share nothing,
+//! so we model one partition and report per-partition throughput
+//! (substitution #7 in DESIGN.md).
+
+#![warn(missing_docs)]
+
+pub mod articles;
+pub mod db;
+pub mod index;
+pub mod row;
+pub mod tpcc;
+pub mod voter;
+
+pub use db::{Database, DbStats, IndexChoice};
+pub use row::{Row, Val};

@@ -1,0 +1,123 @@
+//! Rows, values, and order-preserving composite-key encoding.
+
+/// A column value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Val {
+    /// 64-bit signed integer.
+    I64(i64),
+    /// UTF-8 string (NUL-free, as all OLTP benchmark strings are).
+    Str(String),
+    /// Double (money amounts etc.; never indexed).
+    F64(f64),
+}
+
+impl Val {
+    /// Integer accessor.
+    pub fn i64(&self) -> i64 {
+        match self {
+            Val::I64(v) => *v,
+            _ => panic!("expected I64, got {self:?}"),
+        }
+    }
+
+    /// String accessor.
+    pub fn str(&self) -> &str {
+        match self {
+            Val::Str(s) => s,
+            _ => panic!("expected Str, got {self:?}"),
+        }
+    }
+
+    /// Double accessor.
+    pub fn f64(&self) -> f64 {
+        match self {
+            Val::F64(v) => *v,
+            _ => panic!("expected F64, got {self:?}"),
+        }
+    }
+
+    /// Appends this value's order-preserving encoding to `out`.
+    ///
+    /// Integers map sign-flipped big-endian (total order over i64);
+    /// strings append their bytes plus a 0x00 terminator so shorter
+    /// strings sort before their extensions in composite keys.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            Val::I64(v) => out.extend_from_slice(&((*v as u64) ^ (1 << 63)).to_be_bytes()),
+            Val::Str(s) => {
+                debug_assert!(!s.as_bytes().contains(&0));
+                out.extend_from_slice(s.as_bytes());
+                out.push(0);
+            }
+            Val::F64(_) => panic!("doubles are not indexable"),
+        }
+    }
+
+    /// Approximate heap bytes of the value.
+    pub fn heap_bytes(&self) -> usize {
+        match self {
+            Val::Str(s) => s.capacity(),
+            _ => 0,
+        }
+    }
+}
+
+/// A table row.
+pub type Row = Vec<Val>;
+
+/// Encodes a composite key from the given column positions of a row.
+pub fn encode_key(row: &Row, cols: &[usize]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(cols.len() * 9);
+    for &c in cols {
+        row[c].encode_into(&mut out);
+    }
+    out
+}
+
+/// Encodes a composite key directly from values.
+pub fn encode_vals(vals: &[Val]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(vals.len() * 9);
+    for v in vals {
+        v.encode_into(&mut out);
+    }
+    out
+}
+
+/// Approximate in-memory bytes of a row (inline enum + string heaps).
+pub fn row_bytes(row: &Row) -> usize {
+    row.len() * std::mem::size_of::<Val>() + row.iter().map(Val::heap_bytes).sum::<usize>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_encoding_is_order_preserving_over_sign() {
+        let vals = [-5i64, -1, 0, 1, 42, i64::MIN, i64::MAX];
+        let mut pairs: Vec<(Vec<u8>, i64)> = vals
+            .iter()
+            .map(|&v| (encode_vals(&[Val::I64(v)]), v))
+            .collect();
+        pairs.sort();
+        let sorted: Vec<i64> = pairs.iter().map(|(_, v)| *v).collect();
+        let mut expect = vals.to_vec();
+        expect.sort_unstable();
+        assert_eq!(sorted, expect);
+    }
+
+    #[test]
+    fn composite_keys_sort_lexicographically() {
+        let a = encode_vals(&[Val::I64(1), Val::Str("apple".into())]);
+        let b = encode_vals(&[Val::I64(1), Val::Str("apples".into())]);
+        let c = encode_vals(&[Val::I64(2), Val::Str("a".into())]);
+        assert!(a < b && b < c);
+    }
+
+    #[test]
+    fn string_terminator_orders_prefixes() {
+        let short = encode_vals(&[Val::Str("ab".into()), Val::I64(9)]);
+        let long = encode_vals(&[Val::Str("abc".into()), Val::I64(0)]);
+        assert!(short < long);
+    }
+}

@@ -1,0 +1,489 @@
+//! TPC-C (§5.4.2): the five-procedure order-processing workload.
+//! ~88 % of executed transactions modify the database.
+
+use crate::db::Database;
+use crate::row::Val;
+use memtree_common::hash::splitmix64;
+
+/// Scale parameters (thesis: 8 warehouses, 100 000 items).
+#[derive(Debug, Clone, Copy)]
+pub struct TpccConfig {
+    /// Warehouses.
+    pub warehouses: i64,
+    /// Items (and stock rows per warehouse).
+    pub items: i64,
+    /// Customers per district (10 districts per warehouse).
+    pub customers_per_district: i64,
+}
+
+impl Default for TpccConfig {
+    fn default() -> Self {
+        Self {
+            warehouses: 8,
+            items: 100_000,
+            customers_per_district: 3000,
+        }
+    }
+}
+
+impl TpccConfig {
+    /// A laptop-scale configuration for quick experiments.
+    pub fn small() -> Self {
+        Self {
+            warehouses: 2,
+            items: 10_000,
+            customers_per_district: 300,
+        }
+    }
+}
+
+const DISTRICTS: i64 = 10;
+
+/// Table/index handles resolved once.
+pub struct Tpcc {
+    cfg: TpccConfig,
+    state: u64,
+    // tables
+    warehouse: usize,
+    district: usize,
+    customer: usize,
+    history: usize,
+    new_order: usize,
+    orders: usize,
+    order_line: usize,
+    item: usize,
+    stock: usize,
+    // unique indexes
+    warehouse_pk: usize,
+    district_pk: usize,
+    customer_pk: usize,
+    new_order_pk: usize,
+    orders_pk: usize,
+    order_line_pk: usize,
+    item_pk: usize,
+    stock_pk: usize,
+    // secondary indexes
+    customer_by_name: usize,
+    orders_by_customer: usize,
+    history_seq: i64,
+}
+
+const LAST_NAMES: &[&str] = &[
+    "BAR", "OUGHT", "ABLE", "PRI", "PRES", "ESE", "ANTI", "CALLY", "ATION", "EING",
+];
+
+fn last_name(i: i64) -> String {
+    // TPC-C syllable rule over a smaller domain.
+    format!(
+        "{}{}{}",
+        LAST_NAMES[(i / 100 % 10) as usize],
+        LAST_NAMES[(i / 10 % 10) as usize],
+        LAST_NAMES[(i % 10) as usize]
+    )
+}
+
+impl Tpcc {
+    /// Creates the schema and loads the initial database.
+    pub fn load(db: &mut Database, cfg: TpccConfig, seed: u64) -> Self {
+        let warehouse = db.create_table("WAREHOUSE");
+        let district = db.create_table("DISTRICT");
+        let customer = db.create_table("CUSTOMER");
+        let history = db.create_table("HISTORY");
+        let new_order = db.create_table("NEW_ORDER");
+        let orders = db.create_table("ORDERS");
+        let order_line = db.create_table("ORDER_LINE");
+        let item = db.create_table("ITEM");
+        let stock = db.create_table("STOCK");
+
+        let warehouse_pk = db.create_unique_index("WAREHOUSE_PK", warehouse, &[0]);
+        let district_pk = db.create_unique_index("DISTRICT_PK", district, &[0, 1]);
+        let customer_pk = db.create_unique_index("CUSTOMER_PK", customer, &[0, 1, 2]);
+        let new_order_pk = db.create_unique_index("NEW_ORDER_PK", new_order, &[0, 1, 2]);
+        let orders_pk = db.create_unique_index("ORDERS_PK", orders, &[0, 1, 2]);
+        let order_line_pk = db.create_unique_index("ORDER_LINE_PK", order_line, &[0, 1, 2, 3]);
+        let item_pk = db.create_unique_index("ITEM_PK", item, &[0]);
+        let stock_pk = db.create_unique_index("STOCK_PK", stock, &[0, 1]);
+        let customer_by_name = db.create_multi_index("CUSTOMER_BY_NAME", customer, &[0, 1, 3]);
+        let orders_by_customer = db.create_multi_index("ORDERS_BY_CUSTOMER", orders, &[0, 1, 3]);
+        let history_pk = db.create_unique_index("HISTORY_PK", history, &[0]);
+        let _ = history_pk;
+
+        let mut t = Self {
+            cfg,
+            state: seed,
+            warehouse,
+            district,
+            customer,
+            history,
+            new_order,
+            orders,
+            order_line,
+            item,
+            stock,
+            warehouse_pk,
+            district_pk,
+            customer_pk,
+            new_order_pk,
+            orders_pk,
+            order_line_pk,
+            item_pk,
+            stock_pk,
+            customer_by_name,
+            orders_by_customer,
+            history_seq: 0,
+        };
+        t.populate(db);
+        t
+    }
+
+    fn rand(&mut self, n: i64) -> i64 {
+        (splitmix64(&mut self.state) % n.max(1) as u64) as i64
+    }
+
+    fn populate(&mut self, db: &mut Database) {
+        for i in 0..self.cfg.items {
+            db.insert(
+                self.item,
+                vec![
+                    Val::I64(i),
+                    Val::Str(format!("item-{i:06}")),
+                    Val::F64(1.0 + (i % 100) as f64),
+                ],
+            );
+        }
+        for w in 0..self.cfg.warehouses {
+            db.insert(
+                self.warehouse,
+                vec![Val::I64(w), Val::Str(format!("W{w:02}")), Val::F64(300_000.0)],
+            );
+            for i in 0..self.cfg.items {
+                db.insert(
+                    self.stock,
+                    vec![
+                        Val::I64(w),
+                        Val::I64(i),
+                        Val::I64(50 + (i % 50)),
+                        Val::I64(0),
+                        Val::I64(0),
+                    ],
+                );
+            }
+            for d in 0..DISTRICTS {
+                db.insert(
+                    self.district,
+                    vec![Val::I64(w), Val::I64(d), Val::I64(1), Val::F64(30_000.0)],
+                );
+                for c in 0..self.cfg.customers_per_district {
+                    db.insert(
+                        self.customer,
+                        vec![
+                            Val::I64(w),
+                            Val::I64(d),
+                            Val::I64(c),
+                            Val::Str(last_name(c)),
+                            Val::F64(-10.0),
+                            Val::F64(10.0),
+                            Val::I64(1),
+                        ],
+                    );
+                }
+            }
+        }
+    }
+
+    /// Runs one transaction from the standard mix; returns its name.
+    pub fn run_one(&mut self, db: &mut Database) -> &'static str {
+        match self.rand(100) {
+            0..=44 => {
+                self.new_order_txn(db);
+                "NewOrder"
+            }
+            45..=87 => {
+                self.payment_txn(db);
+                "Payment"
+            }
+            88..=91 => {
+                self.order_status_txn(db);
+                "OrderStatus"
+            }
+            92..=95 => {
+                self.delivery_txn(db);
+                "Delivery"
+            }
+            _ => {
+                self.stock_level_txn(db);
+                "StockLevel"
+            }
+        }
+    }
+
+    fn new_order_txn(&mut self, db: &mut Database) {
+        let w = self.rand(self.cfg.warehouses);
+        let d = self.rand(DISTRICTS);
+        let c = self.rand(self.cfg.customers_per_district);
+        let d_slot = db
+            .get_unique(self.district_pk, &[Val::I64(w), Val::I64(d)])
+            .expect("district");
+        let o_id = db.read(self.district, d_slot)[2].i64();
+        db.update(self.district, d_slot, |row| row[2] = Val::I64(o_id + 1));
+        let ol_cnt = 5 + self.rand(11);
+        db.insert(
+            self.orders,
+            vec![
+                Val::I64(w),
+                Val::I64(d),
+                Val::I64(o_id),
+                Val::I64(c),
+                Val::I64(-1), // carrier unassigned
+                Val::I64(ol_cnt),
+            ],
+        );
+        db.insert(
+            self.new_order,
+            vec![Val::I64(w), Val::I64(d), Val::I64(o_id)],
+        );
+        for ol in 0..ol_cnt {
+            let i_id = self.rand(self.cfg.items);
+            let qty = 1 + self.rand(10);
+            let item_slot = db.get_unique(self.item_pk, &[Val::I64(i_id)]).expect("item");
+            let price = db.read(self.item, item_slot)[2].f64();
+            let stock_slot = db
+                .get_unique(self.stock_pk, &[Val::I64(w), Val::I64(i_id)])
+                .expect("stock");
+            db.update(self.stock, stock_slot, |row| {
+                let s_qty = row[2].i64();
+                row[2] = Val::I64(if s_qty >= qty + 10 {
+                    s_qty - qty
+                } else {
+                    s_qty - qty + 91
+                });
+                row[3] = Val::I64(row[3].i64() + qty);
+                row[4] = Val::I64(row[4].i64() + 1);
+            });
+            db.insert(
+                self.order_line,
+                vec![
+                    Val::I64(w),
+                    Val::I64(d),
+                    Val::I64(o_id),
+                    Val::I64(ol),
+                    Val::I64(i_id),
+                    Val::I64(qty),
+                    Val::F64(price * qty as f64),
+                    Val::Str(format!("dist-{d:02}-info-string-pad")),
+                ],
+            );
+        }
+    }
+
+    fn pick_customer(&mut self, db: &mut Database, w: i64, d: i64) -> u64 {
+        if self.rand(100) < 60 {
+            // By last name: take the middle match (TPC-C rule).
+            let name = last_name(self.rand(self.cfg.customers_per_district.min(1000)));
+            let mut slots = db.get_multi(
+                self.customer_by_name,
+                &[Val::I64(w), Val::I64(d), Val::Str(name)],
+            );
+            if !slots.is_empty() {
+                slots.sort_unstable();
+                return slots[slots.len() / 2];
+            }
+        }
+        let c = self.rand(self.cfg.customers_per_district);
+        db.get_unique(self.customer_pk, &[Val::I64(w), Val::I64(d), Val::I64(c)])
+            .expect("customer")
+    }
+
+    fn payment_txn(&mut self, db: &mut Database) {
+        let w = self.rand(self.cfg.warehouses);
+        let d = self.rand(DISTRICTS);
+        let amount = 1.0 + self.rand(5000) as f64;
+        let w_slot = db.get_unique(self.warehouse_pk, &[Val::I64(w)]).expect("wh");
+        db.update(self.warehouse, w_slot, |row| {
+            row[2] = Val::F64(row[2].f64() + amount)
+        });
+        let d_slot = db
+            .get_unique(self.district_pk, &[Val::I64(w), Val::I64(d)])
+            .expect("district");
+        db.update(self.district, d_slot, |row| {
+            row[3] = Val::F64(row[3].f64() + amount)
+        });
+        let c_slot = self.pick_customer(db, w, d);
+        db.update(self.customer, c_slot, |row| {
+            row[4] = Val::F64(row[4].f64() - amount);
+            row[5] = Val::F64(row[5].f64() + amount);
+            row[6] = Val::I64(row[6].i64() + 1);
+        });
+        let h = self.history_seq;
+        self.history_seq += 1;
+        db.insert(
+            self.history,
+            vec![
+                Val::I64(h),
+                Val::I64(w),
+                Val::I64(d),
+                Val::F64(amount),
+                Val::Str(format!("payment-{w}-{d}")),
+            ],
+        );
+    }
+
+    fn order_status_txn(&mut self, db: &mut Database) {
+        let w = self.rand(self.cfg.warehouses);
+        let d = self.rand(DISTRICTS);
+        let c_slot = self.pick_customer(db, w, d);
+        let c = db.read(self.customer, c_slot)[2].i64();
+        let orders = db.get_multi(
+            self.orders_by_customer,
+            &[Val::I64(w), Val::I64(d), Val::I64(c)],
+        );
+        // Most recent order: highest o_id.
+        let mut best: Option<(i64, u64)> = None;
+        for slot in orders {
+            let o_id = db.read(self.orders, slot)[2].i64();
+            if best.is_none_or(|(b, _)| o_id > b) {
+                best = Some((o_id, slot));
+            }
+        }
+        if let Some((o_id, slot)) = best {
+            let ol_cnt = db.read(self.orders, slot)[5].i64();
+            for ol in 0..ol_cnt {
+                if let Some(l) = db.get_unique(
+                    self.order_line_pk,
+                    &[Val::I64(w), Val::I64(d), Val::I64(o_id), Val::I64(ol)],
+                ) {
+                    db.read(self.order_line, l);
+                }
+            }
+        }
+    }
+
+    fn delivery_txn(&mut self, db: &mut Database) {
+        let w = self.rand(self.cfg.warehouses);
+        let carrier = 1 + self.rand(10);
+        for d in 0..DISTRICTS {
+            // Oldest undelivered order = smallest NEW_ORDER key for (w, d).
+            let mut found: Option<(Vec<u8>, u64, i64)> = None;
+            db.range_unique(
+                self.new_order_pk,
+                &[Val::I64(w), Val::I64(d), Val::I64(0)],
+                &mut |key, slot| {
+                    found = Some((key.to_vec(), slot, 0));
+                    false
+                },
+            );
+            let Some((_, no_slot, _)) = found else {
+                continue;
+            };
+            let no_row = db.read(self.new_order, no_slot);
+            if no_row[0].i64() != w || no_row[1].i64() != d {
+                continue; // ran past the district
+            }
+            let o_id = no_row[2].i64();
+            db.delete(self.new_order, no_slot);
+            if let Some(o_slot) =
+                db.get_unique(self.orders_pk, &[Val::I64(w), Val::I64(d), Val::I64(o_id)])
+            {
+                let (c_id, ol_cnt) = {
+                    let row = db.read(self.orders, o_slot);
+                    (row[3].i64(), row[5].i64())
+                };
+                db.update(self.orders, o_slot, |row| row[4] = Val::I64(carrier));
+                let mut total = 0.0;
+                for ol in 0..ol_cnt {
+                    if let Some(l) = db.get_unique(
+                        self.order_line_pk,
+                        &[Val::I64(w), Val::I64(d), Val::I64(o_id), Val::I64(ol)],
+                    ) {
+                        total += db.read(self.order_line, l)[6].f64();
+                    }
+                }
+                if let Some(c_slot) = db.get_unique(
+                    self.customer_pk,
+                    &[Val::I64(w), Val::I64(d), Val::I64(c_id)],
+                ) {
+                    db.update(self.customer, c_slot, |row| {
+                        row[4] = Val::F64(row[4].f64() + total)
+                    });
+                }
+            }
+        }
+    }
+
+    fn stock_level_txn(&mut self, db: &mut Database) {
+        let w = self.rand(self.cfg.warehouses);
+        let d = self.rand(DISTRICTS);
+        let threshold = 10 + self.rand(11);
+        let d_slot = db
+            .get_unique(self.district_pk, &[Val::I64(w), Val::I64(d)])
+            .expect("district");
+        let next_o = db.read(self.district, d_slot)[2].i64();
+        let mut low_stock = 0;
+        for o_id in (next_o - 20).max(0)..next_o {
+            for ol in 0..15 {
+                let Some(l) = db.get_unique(
+                    self.order_line_pk,
+                    &[Val::I64(w), Val::I64(d), Val::I64(o_id), Val::I64(ol)],
+                ) else {
+                    break;
+                };
+                let i_id = db.read(self.order_line, l)[4].i64();
+                if let Some(s) = db.get_unique(self.stock_pk, &[Val::I64(w), Val::I64(i_id)]) {
+                    if db.read(self.stock, s)[2].i64() < threshold {
+                        low_stock += 1;
+                    }
+                }
+            }
+        }
+        let _ = low_stock;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::db::IndexChoice;
+
+    #[test]
+    fn load_and_run_mix() {
+        let mut db = Database::new(IndexChoice::BTree);
+        let cfg = TpccConfig {
+            warehouses: 1,
+            items: 500,
+            customers_per_district: 30,
+        };
+        let mut tpcc = Tpcc::load(&mut db, cfg, 42);
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..500 {
+            let name = tpcc.run_one(&mut db);
+            *counts.entry(name).or_insert(0) += 1;
+        }
+        assert!(counts["NewOrder"] > 150, "{counts:?}");
+        assert!(counts["Payment"] > 150, "{counts:?}");
+        assert!(counts.contains_key("Delivery"), "{counts:?}");
+        // Orders accumulated.
+        let stats: std::collections::HashMap<String, usize> = db
+            .table_stats()
+            .into_iter()
+            .map(|(n, c, _)| (n, c))
+            .collect();
+        assert!(stats["ORDERS"] > 100);
+        assert!(stats["ORDER_LINE"] > 500);
+    }
+
+    #[test]
+    fn hybrid_index_runs_tpcc() {
+        let mut db = Database::new(IndexChoice::Hybrid);
+        let cfg = TpccConfig {
+            warehouses: 1,
+            items: 300,
+            customers_per_district: 30,
+        };
+        let mut tpcc = Tpcc::load(&mut db, cfg, 7);
+        for _ in 0..300 {
+            tpcc.run_one(&mut db);
+        }
+        let s = db.stats();
+        assert!(s.primary_index_bytes > 0);
+    }
+}

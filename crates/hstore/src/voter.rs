@@ -1,0 +1,121 @@
+//! Voter (§5.4.2): a phone-based election — many short transactions, each
+//! inserting one vote and updating one contestant tally. The VOTES table
+//! (and its primary index) grows without bound, which is what makes this
+//! benchmark memory-hungry for indexes (Figure 5.15).
+
+use crate::db::Database;
+use crate::row::Val;
+use memtree_common::hash::splitmix64;
+
+/// Votes allowed per phone number.
+pub const MAX_VOTES_PER_PHONE: i64 = 10;
+
+/// The Voter benchmark handle.
+pub struct Voter {
+    state: u64,
+    contestants: usize,
+    votes: usize,
+    contestants_pk: usize,
+    votes_pk: usize,
+    votes_by_phone: usize,
+    num_contestants: i64,
+    vote_seq: i64,
+    rejected: u64,
+}
+
+impl Voter {
+    /// Creates the schema and the contestant list.
+    pub fn load(db: &mut Database, num_contestants: i64, seed: u64) -> Self {
+        let contestants = db.create_table("CONTESTANTS");
+        let votes = db.create_table("VOTES");
+        let contestants_pk = db.create_unique_index("CONTESTANTS_PK", contestants, &[0]);
+        let votes_pk = db.create_unique_index("VOTES_PK", votes, &[0]);
+        let votes_by_phone = db.create_multi_index("VOTES_BY_PHONE", votes, &[1]);
+        for c in 0..num_contestants {
+            db.insert(
+                contestants,
+                vec![Val::I64(c), Val::Str(format!("Contestant {c}")), Val::I64(0)],
+            );
+        }
+        Self {
+            state: seed,
+            contestants,
+            votes,
+            contestants_pk,
+            votes_pk,
+            votes_by_phone,
+            num_contestants,
+            vote_seq: 0,
+            rejected: 0,
+        }
+    }
+
+    /// One Vote transaction.
+    pub fn run_one(&mut self, db: &mut Database) -> &'static str {
+        // Area-code-weighted phone number, reused across calls so the
+        // per-phone limit actually fires.
+        let phone = 2_000_000_000 + (splitmix64(&mut self.state) % 5_000_000) as i64;
+        let contestant = (splitmix64(&mut self.state) % self.num_contestants as u64) as i64;
+        let prior = db.get_multi(self.votes_by_phone, &[Val::I64(phone)]);
+        if prior.len() as i64 >= MAX_VOTES_PER_PHONE {
+            self.rejected += 1;
+            return "VoteRejected";
+        }
+        let id = self.vote_seq;
+        self.vote_seq += 1;
+        db.insert(
+            self.votes,
+            vec![Val::I64(id), Val::I64(phone), Val::I64(contestant)],
+        );
+        let slot = db
+            .get_unique(self.contestants_pk, &[Val::I64(contestant)])
+            .expect("contestant");
+        db.update(self.contestants, slot, |row| {
+            row[2] = Val::I64(row[2].i64() + 1)
+        });
+        "Vote"
+    }
+
+    /// Votes rejected by the per-phone limit.
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    /// Votes table id (for stats assertions).
+    pub fn votes_table(&self) -> usize {
+        self.votes
+    }
+
+    /// Votes primary-index id.
+    pub fn votes_pk(&self) -> usize {
+        self.votes_pk
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::db::IndexChoice;
+
+    #[test]
+    fn votes_accumulate_and_tallies_update() {
+        let mut db = Database::new(IndexChoice::BTree);
+        let mut voter = Voter::load(&mut db, 6, 3);
+        for _ in 0..5000 {
+            voter.run_one(&mut db);
+        }
+        let stats: std::collections::HashMap<String, usize> = db
+            .table_stats()
+            .into_iter()
+            .map(|(n, c, _)| (n, c))
+            .collect();
+        assert!(stats["VOTES"] > 4500);
+        // Tallies sum to accepted votes.
+        let mut total = 0i64;
+        for c in 0..6i64 {
+            let slot = db.get_unique(voter.contestants_pk, &[Val::I64(c)]).unwrap();
+            total += db.read(voter.contestants, slot)[2].i64();
+        }
+        assert_eq!(total as usize, stats["VOTES"]);
+    }
+}

@@ -1,0 +1,208 @@
+//! Secondary (non-unique) index support (§5.3.5).
+//!
+//! The Compaction rule stores each key once followed by an array of its
+//! values. [`SecondaryIndex`] realizes that for any inner index: the tree
+//! maps each distinct key to a slot in a value-list arena, so duplicate
+//! keys are never materialized. Value updates happen **in place** even
+//! when the key lives in the static stage — the thesis does this to keep a
+//! key's value list in one stage (§5.1).
+
+use memtree_common::mem::vec_bytes;
+use memtree_common::traits::{OrderedIndex, Value};
+
+/// A non-unique index over any [`OrderedIndex`] (including hybrids).
+#[derive(Debug, Default)]
+pub struct SecondaryIndex<I: OrderedIndex + Default> {
+    index: I,
+    /// Value lists; tree values are slots in this arena.
+    lists: Vec<Vec<Value>>,
+    /// Free slots from fully-deleted keys.
+    free: Vec<u32>,
+    len: usize,
+}
+
+impl<I: OrderedIndex + Default> SecondaryIndex<I> {
+    /// Creates an empty secondary index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates from a specific inner index (e.g. a configured hybrid).
+    pub fn from_index(index: I) -> Self {
+        Self {
+            index,
+            lists: Vec::new(),
+            free: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Adds `value` under `key` (duplicates allowed).
+    pub fn insert(&mut self, key: &[u8], value: Value) {
+        match self.index.get(key) {
+            Some(slot) => self.lists[slot as usize].push(value),
+            None => {
+                let slot = match self.free.pop() {
+                    Some(s) => {
+                        self.lists[s as usize].clear();
+                        self.lists[s as usize].push(value);
+                        s
+                    }
+                    None => {
+                        self.lists.push(vec![value]);
+                        (self.lists.len() - 1) as u32
+                    }
+                };
+                self.index.insert(key, slot as Value);
+            }
+        }
+        self.len += 1;
+    }
+
+    /// All values for `key` (empty slice if absent).
+    pub fn get(&self, key: &[u8]) -> &[Value] {
+        match self.index.get(key) {
+            Some(slot) => &self.lists[slot as usize],
+            None => &[],
+        }
+    }
+
+    /// Removes one `(key, value)` pair; drops the key when its list
+    /// empties. Returns whether the pair existed.
+    pub fn remove(&mut self, key: &[u8], value: Value) -> bool {
+        let Some(slot) = self.index.get(key) else {
+            return false;
+        };
+        let list = &mut self.lists[slot as usize];
+        let Some(pos) = list.iter().position(|&v| v == value) else {
+            return false;
+        };
+        list.swap_remove(pos);
+        self.len -= 1;
+        if list.is_empty() {
+            self.index.remove(key);
+            self.free.push(slot as u32);
+        }
+        true
+    }
+
+    /// Scans values in key order from the first key `>= low`, flattening
+    /// each key's value list; collects at most `n` values.
+    pub fn scan(&self, low: &[u8], n: usize, out: &mut Vec<Value>) -> usize {
+        let before = out.len();
+        self.index.range_from(low, &mut |_k, slot| {
+            for &v in &self.lists[slot as usize] {
+                if out.len() - before == n {
+                    return false;
+                }
+                out.push(v);
+            }
+            out.len() - before < n
+        });
+        out.len() - before
+    }
+
+    /// Total `(key, value)` pairs.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no pairs are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of distinct keys.
+    pub fn num_keys(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Heap bytes: inner index + value arena.
+    pub fn mem_usage(&self) -> usize {
+        self.index.mem_usage()
+            + vec_bytes(&self.lists)
+            + self.lists.iter().map(vec_bytes).sum::<usize>()
+            + vec_bytes(&self.free)
+    }
+
+    /// Access to the inner index (e.g. to force merges in benches).
+    pub fn inner_mut(&mut self) -> &mut I {
+        &mut self.index
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::HybridBTree;
+    use memtree_common::key::encode_u64;
+
+    #[test]
+    fn multi_values_per_key() {
+        let mut s: SecondaryIndex<HybridBTree> = SecondaryIndex::new();
+        for i in 0..1000u64 {
+            for rep in 0..10u64 {
+                s.insert(&encode_u64(i), i * 100 + rep);
+            }
+        }
+        assert_eq!(s.len(), 10_000);
+        assert_eq!(s.num_keys(), 1000);
+        let vals = s.get(&encode_u64(5));
+        assert_eq!(vals.len(), 10);
+        assert!(vals.contains(&503));
+        assert!(s.get(&encode_u64(5000)).is_empty());
+    }
+
+    #[test]
+    fn remove_values_and_keys() {
+        let mut s: SecondaryIndex<HybridBTree> = SecondaryIndex::new();
+        s.insert(b"k", 1);
+        s.insert(b"k", 2);
+        assert!(s.remove(b"k", 1));
+        assert!(!s.remove(b"k", 1));
+        assert_eq!(s.get(b"k"), &[2]);
+        assert!(s.remove(b"k", 2));
+        assert!(s.get(b"k").is_empty());
+        assert_eq!(s.num_keys(), 0);
+        // Slot reuse.
+        s.insert(b"j", 9);
+        assert_eq!(s.get(b"j"), &[9]);
+    }
+
+    #[test]
+    fn scan_flattens_lists() {
+        let mut s: SecondaryIndex<HybridBTree> = SecondaryIndex::new();
+        for i in 0..100u64 {
+            s.insert(&encode_u64(i), i * 2);
+            s.insert(&encode_u64(i), i * 2 + 1);
+        }
+        let mut out = Vec::new();
+        s.scan(&encode_u64(10), 6, &mut out);
+        out.sort_unstable();
+        assert_eq!(out, vec![20, 21, 22, 23, 24, 25]);
+    }
+
+    #[test]
+    fn key_stored_once_saves_memory() {
+        // 10 values per key: secondary arena vs naive duplicated keys.
+        let mut s: SecondaryIndex<HybridBTree> = SecondaryIndex::new();
+        let mut naive = memtree_btree::BPlusTree::new();
+        use memtree_common::traits::OrderedIndex as _;
+        for i in 0..5000u64 {
+            for rep in 0..10u64 {
+                s.insert(&encode_u64(i), rep);
+                // Naive secondary: key suffixed with value to fake duplicates.
+                let mut k = encode_u64(i).to_vec();
+                k.extend_from_slice(&encode_u64(rep));
+                naive.insert(&k, rep);
+            }
+        }
+        s.inner_mut().force_merge();
+        assert!(
+            (s.mem_usage() as f64) < 0.6 * naive.mem_usage() as f64,
+            "secondary {} vs naive {}",
+            s.mem_usage(),
+            naive.mem_usage()
+        );
+    }
+}

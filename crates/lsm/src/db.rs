@@ -1,0 +1,747 @@
+//! The LSM database: MemTable + leveled SSTables + block cache, with the
+//! Figure 4.3 query paths.
+
+use crate::disk::{IoStats, SimDisk};
+use crate::sstable::{DecodedBlock, SsTable};
+use memtree_common::traits::OrderedIndex;
+use memtree_skiplist::SkipList;
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::time::Duration;
+
+/// Which filter each SSTable carries.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FilterKind {
+    /// No filter (fence indexes only).
+    None,
+    /// Bloom filter at the given bits per key.
+    Bloom(f64),
+    /// SuRF with hashed suffix bits.
+    SurfHash(u8),
+    /// SuRF with real suffix bits.
+    SurfReal(u8),
+    /// SuRF with hashed + real suffix bits.
+    SurfMixed(u8, u8),
+}
+
+/// Engine configuration (defaults scaled from RocksDB's).
+#[derive(Debug, Clone)]
+pub struct DbOptions {
+    /// Flush the MemTable when it reaches this many bytes.
+    pub memtable_bytes: usize,
+    /// Target data-block size.
+    pub block_size: usize,
+    /// Compact level 0 when it accumulates this many SSTables.
+    pub l0_tables: usize,
+    /// Max tables at level 1; level `L` holds 10× level `L-1`.
+    pub l1_tables: usize,
+    /// Per-table filter.
+    pub filter: FilterKind,
+    /// Block-cache capacity in blocks.
+    pub cache_blocks: usize,
+    /// Simulated latency charged per block read.
+    pub io_read_latency: Duration,
+}
+
+impl Default for DbOptions {
+    fn default() -> Self {
+        Self {
+            memtable_bytes: 256 << 10,
+            block_size: 4096,
+            l0_tables: 4,
+            l1_tables: 4,
+            filter: FilterKind::None,
+            cache_blocks: 64,
+            io_read_latency: Duration::ZERO,
+        }
+    }
+}
+
+/// Result of a seek.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SeekResult {
+    /// Smallest entry `>= lk` (and `< hk` for closed seeks).
+    Found {
+        /// The entry's key.
+        key: Vec<u8>,
+    },
+    /// No qualifying entry.
+    NotFound,
+}
+
+#[derive(Default)]
+struct BlockCache {
+    /// (table id, block idx, payload, referenced)
+    slots: Vec<(u64, usize, Rc<DecodedBlock>, bool)>,
+    capacity: usize,
+    hand: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl BlockCache {
+    fn get(&mut self, table: u64, block: usize) -> Option<Rc<DecodedBlock>> {
+        for slot in &mut self.slots {
+            if slot.0 == table && slot.1 == block {
+                slot.3 = true;
+                self.hits += 1;
+                return Some(Rc::clone(&slot.2));
+            }
+        }
+        None
+    }
+
+    fn insert(&mut self, table: u64, block: usize, data: Rc<DecodedBlock>) {
+        self.misses += 1;
+        if self.capacity == 0 {
+            return;
+        }
+        if self.slots.len() < self.capacity {
+            self.slots.push((table, block, data, true));
+            return;
+        }
+        loop {
+            let slot = &mut self.slots[self.hand];
+            if slot.3 {
+                slot.3 = false;
+                self.hand = (self.hand + 1) % self.slots.len();
+            } else {
+                self.slots[self.hand] = (table, block, data, true);
+                self.hand = (self.hand + 1) % self.slots.len();
+                return;
+            }
+        }
+    }
+}
+
+/// The LSM key-value store.
+pub struct Db {
+    opts: DbOptions,
+    disk: SimDisk,
+    /// MemTable: our paged skip list mapping keys to value-arena slots.
+    mem: SkipList,
+    mem_values: Vec<Vec<u8>>,
+    mem_bytes: usize,
+    /// `levels[0]` newest-last; levels ≥ 1 key-ordered and disjoint.
+    levels: Vec<Vec<SsTable>>,
+    cache: RefCell<BlockCache>,
+    next_table_id: u64,
+}
+
+impl Db {
+    /// Opens an empty database.
+    pub fn new(opts: DbOptions) -> Self {
+        let disk = SimDisk::new(opts.io_read_latency);
+        Self {
+            cache: RefCell::new(BlockCache {
+                capacity: opts.cache_blocks,
+                ..Default::default()
+            }),
+            opts,
+            disk,
+            mem: SkipList::new(),
+            mem_values: Vec::new(),
+            mem_bytes: 0,
+            levels: vec![Vec::new()],
+            next_table_id: 0,
+        }
+    }
+
+    /// Inserts or overwrites `key`.
+    pub fn put(&mut self, key: &[u8], value: &[u8]) {
+        let slot = self.mem_values.len() as u64;
+        self.mem_values.push(value.to_vec());
+        if !self.mem.insert(key, slot) {
+            self.mem.update(key, slot);
+        }
+        self.mem_bytes += key.len() + value.len();
+        if self.mem_bytes >= self.opts.memtable_bytes {
+            self.flush();
+        }
+    }
+
+    /// Flushes the MemTable into a new level-0 SSTable.
+    pub fn flush(&mut self) {
+        if self.mem.is_empty() {
+            return;
+        }
+        let mut entries = Vec::with_capacity(self.mem.len());
+        self.mem.for_each_sorted(&mut |k, slot| {
+            entries.push((k.to_vec(), self.mem_values[slot as usize].clone()));
+        });
+        let table = SsTable::build(
+            self.next_table_id,
+            &self.disk,
+            &entries,
+            self.opts.block_size,
+            &self.opts.filter,
+        );
+        self.next_table_id += 1;
+        self.levels[0].push(table);
+        self.mem.clear();
+        self.mem_values.clear();
+        self.mem_bytes = 0;
+        self.compact();
+    }
+
+    fn level_limit(&self, level: usize) -> usize {
+        if level == 0 {
+            self.opts.l0_tables
+        } else {
+            self.opts.l1_tables * 10usize.pow(level as u32 - 1)
+        }
+    }
+
+    /// Leveled compaction: L0 merges wholesale into L1; deeper levels move
+    /// one table at a time into the overlap below.
+    fn compact(&mut self) {
+        let mut level = 0;
+        while level < self.levels.len() {
+            if self.levels[level].len() <= self.level_limit(level) {
+                level += 1;
+                continue;
+            }
+            if self.levels.len() == level + 1 {
+                self.levels.push(Vec::new());
+            }
+            // Victims: all of L0, or the oldest single table deeper down.
+            let victims: Vec<SsTable> = if level == 0 {
+                std::mem::take(&mut self.levels[0])
+            } else {
+                vec![self.levels[level].remove(0)]
+            };
+            let lo = victims.iter().map(|t| t.min_key.clone()).min().unwrap();
+            let hi = victims.iter().map(|t| t.max_key.clone()).max().unwrap();
+            // Pull overlapping tables from the next level.
+            let next = &mut self.levels[level + 1];
+            let mut overlapped = Vec::new();
+            let mut i = 0;
+            while i < next.len() {
+                if next[i].overlaps(&lo, &hi) {
+                    overlapped.push(next.remove(i));
+                } else {
+                    i += 1;
+                }
+            }
+            // Merge newest-first: victims are newer than `overlapped`;
+            // within L0, later flushes are newer.
+            let mut sources: Vec<Vec<(Vec<u8>, Vec<u8>)>> = Vec::new();
+            for t in victims.iter().rev().chain(overlapped.iter()) {
+                sources.push(self.read_all(t));
+            }
+            let mut merged: Vec<(usize, Vec<u8>, Vec<u8>)> = Vec::new();
+            for (prio, src) in sources.into_iter().enumerate() {
+                for (k, v) in src {
+                    merged.push((prio, k, v));
+                }
+            }
+            merged.sort_by(|a, b| a.1.cmp(&b.1).then(a.0.cmp(&b.0)));
+            merged.dedup_by(|b, a| a.1 == b.1); // keep lowest prio = newest
+            let entries: Vec<(Vec<u8>, Vec<u8>)> =
+                merged.into_iter().map(|(_, k, v)| (k, v)).collect();
+            for t in victims.iter().chain(overlapped.iter()) {
+                t.release(&self.disk);
+            }
+            // Re-split into tables of ~10 memtables each.
+            let per_table = (self.opts.memtable_bytes * 4 / 64).max(64); // entries per output table
+            let mut new_tables = Vec::new();
+            for chunk in entries.chunks(per_table.max(1)) {
+                let t = SsTable::build(
+                    self.next_table_id,
+                    &self.disk,
+                    chunk,
+                    self.opts.block_size,
+                    &self.opts.filter,
+                );
+                self.next_table_id += 1;
+                new_tables.push(t);
+            }
+            let next = &mut self.levels[level + 1];
+            next.extend(new_tables);
+            next.sort_by(|a, b| a.min_key.cmp(&b.min_key));
+            level += 1;
+        }
+    }
+
+    fn read_all(&self, table: &SsTable) -> Vec<(Vec<u8>, Vec<u8>)> {
+        // Compaction I/O is counted as reads too (as in real systems).
+        let mut out = Vec::with_capacity(table.num_entries);
+        for b in 0..table.blocks.len() {
+            out.extend(self.fetch_block(table, b).iter().cloned());
+        }
+        out
+    }
+
+    /// Fetches a data block through the block cache.
+    fn fetch_block(&self, table: &SsTable, block: usize) -> Rc<DecodedBlock> {
+        if let Some(hit) = self.cache.borrow_mut().get(table.id, block) {
+            return hit;
+        }
+        let raw = self.disk.read(table.blocks[block]);
+        let decoded = Rc::new(SsTable::decode_block(&raw));
+        self.cache
+            .borrow_mut()
+            .insert(table.id, block, Rc::clone(&decoded));
+        decoded
+    }
+
+    fn get_in_table(&self, table: &SsTable, key: &[u8]) -> Option<Vec<u8>> {
+        let b = table.candidate_block(key);
+        let blk = self.fetch_block(table, b);
+        blk.binary_search_by(|(k, _)| k.as_slice().cmp(key))
+            .ok()
+            .map(|i| blk[i].1.clone())
+    }
+
+    /// Point lookup (Figure 4.3, Get path).
+    pub fn get(&self, key: &[u8]) -> Option<Vec<u8>> {
+        if let Some(slot) = self.mem.get(key) {
+            return Some(self.mem_values[slot as usize].clone());
+        }
+        // Level 0: newest first, overlapping ranges.
+        for table in self.levels[0].iter().rev() {
+            if table.covers(key) && table.filter_may_contain(key) {
+                if let Some(v) = self.get_in_table(table, key) {
+                    return Some(v);
+                }
+            }
+        }
+        for level in &self.levels[1..] {
+            let idx = level.partition_point(|t| t.max_key.as_slice() < key);
+            if let Some(table) = level.get(idx) {
+                if table.covers(key) && table.filter_may_contain(key) {
+                    if let Some(v) = self.get_in_table(table, key) {
+                        return Some(v);
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Exact smallest key `>= lk` within one table (1–2 block reads).
+    fn table_lower_bound(&self, table: &SsTable, lk: &[u8]) -> Option<Vec<u8>> {
+        let mut b = table.candidate_block(lk);
+        while b < table.blocks.len() {
+            let blk = self.fetch_block(table, b);
+            let i = blk.partition_point(|(k, _)| k.as_slice() < lk);
+            if i < blk.len() {
+                return Some(blk[i].0.clone());
+            }
+            b += 1;
+        }
+        None
+    }
+
+    /// Seek (Figure 4.3): smallest key `>= lk`, bounded by `hk` when given.
+    pub fn seek(&self, lk: &[u8], hk: Option<&[u8]>) -> SeekResult {
+        // Memtable candidate is exact and free.
+        let mut best_exact: Option<Vec<u8>> = None;
+        self.mem.range_from(lk, &mut |k, _| {
+            best_exact = Some(k.to_vec());
+            false
+        });
+        // Candidates per table: exact (block fetch) without SuRF, prefix
+        // (in-memory moveToNext) with SuRF.
+        // (prefix, table_index) pending resolution.
+        let mut pending: Vec<(Vec<u8>, usize, usize)> = Vec::new(); // (prefix, level, idx)
+        let consider = |t: &SsTable| t.max_key.as_slice() >= lk;
+        let visit = |level: usize, idx: usize, table: &SsTable, pending: &mut Vec<(Vec<u8>, usize, usize)>, best_exact: &mut Option<Vec<u8>>| {
+            if !consider(table) {
+                return;
+            }
+            match table.surf() {
+                Some(surf) => {
+                    let (it, _fp) = surf.move_to_next(lk);
+                    if it.valid() {
+                        let prefix = it.key().to_vec();
+                        // Prune candidates definitely past hk.
+                        if let Some(hk) = hk {
+                            if prefix.as_slice() >= hk {
+                                return;
+                            }
+                        }
+                        pending.push((prefix, level, idx));
+                    }
+                }
+                None => {
+                    // No usable range filter: fetch the candidate block.
+                    if let Some(k) = self.table_lower_bound(table, lk) {
+                        if best_exact.as_deref().is_none_or(|b| k.as_slice() < b) {
+                            *best_exact = Some(k);
+                        }
+                    }
+                }
+            }
+        };
+        for (idx, table) in self.levels[0].iter().enumerate() {
+            visit(0, idx, table, &mut pending, &mut best_exact);
+        }
+        for (lvl, level) in self.levels.iter().enumerate().skip(1) {
+            let idx = level.partition_point(|t| t.max_key.as_slice() < lk);
+            if let Some(table) = level.get(idx) {
+                visit(lvl, idx, table, &mut pending, &mut best_exact);
+            }
+        }
+        // Resolve SuRF candidates smallest-prefix-first until the best
+        // exact key cannot be beaten.
+        pending.sort();
+        for (prefix, level, idx) in pending {
+            if let Some(best) = &best_exact {
+                // A prefix >= best exact key cannot yield a smaller key...
+                // unless it is a prefix of `best` (its extension could be
+                // smaller), so only prune on strictly-greater non-prefixes.
+                if prefix.as_slice() >= best.as_slice() && !best.starts_with(&prefix) {
+                    break;
+                }
+            }
+            let table = &self.levels[level][idx];
+            if let Some(k) = self.table_lower_bound(table, lk) {
+                if best_exact.as_deref().is_none_or(|b| k.as_slice() < b) {
+                    best_exact = Some(k);
+                }
+            }
+        }
+        match best_exact {
+            Some(k) => {
+                if let Some(hk) = hk {
+                    if k.as_slice() >= hk {
+                        return SeekResult::NotFound;
+                    }
+                }
+                SeekResult::Found { key: k }
+            }
+            None => SeekResult::NotFound,
+        }
+    }
+
+    /// `Next` (Figure 4.3): the smallest entry strictly greater than
+    /// `key`, bounded by `hk`. As the thesis observes, `Next` rarely
+    /// benefits from filters — the relevant blocks are usually already
+    /// cached from the preceding `Seek`.
+    pub fn next_after(&self, key: &[u8], hk: Option<&[u8]>) -> SeekResult {
+        let succ = memtree_common::key::successor(key);
+        self.seek(&succ, hk)
+    }
+
+    /// Approximate range count (Figure 4.3, Count path). With SuRF the
+    /// count is served from the filters (no data I/O); otherwise data
+    /// blocks are scanned.
+    pub fn count(&self, lk: &[u8], hk: &[u8]) -> usize {
+        let mut total = 0usize;
+        self.mem.range_from(lk, &mut |k, _| {
+            if k < hk {
+                total += 1;
+                true
+            } else {
+                false
+            }
+        });
+        for level in &self.levels {
+            for table in level {
+                if !table.overlaps(lk, hk) {
+                    continue;
+                }
+                match table.surf() {
+                    Some(surf) => total += surf.count(lk, hk),
+                    None => {
+                        let mut b = table.candidate_block(lk);
+                        'blocks: while b < table.blocks.len() {
+                            let blk = self.fetch_block(table, b);
+                            let start = blk.partition_point(|(k, _)| k.as_slice() < lk);
+                            for (k, _) in &blk[start..] {
+                                if k.as_slice() >= hk {
+                                    break 'blocks;
+                                }
+                                total += 1;
+                            }
+                            b += 1;
+                        }
+                    }
+                }
+            }
+        }
+        total
+    }
+
+    /// Read-I/O and cache statistics.
+    pub fn io_stats(&self) -> IoStats {
+        self.disk.stats()
+    }
+
+    /// Clears I/O counters (between benchmark phases).
+    pub fn reset_io_stats(&self) {
+        self.disk.reset_stats();
+    }
+
+    /// (cache hits, cache misses).
+    pub fn cache_stats(&self) -> (u64, u64) {
+        let c = self.cache.borrow();
+        (c.hits, c.misses)
+    }
+
+    /// Total SSTables per level (diagnostics).
+    pub fn level_sizes(&self) -> Vec<usize> {
+        self.levels.iter().map(|l| l.len()).collect()
+    }
+
+    /// In-memory footprint of filters + fence indexes.
+    pub fn index_filter_mem(&self) -> usize {
+        self.levels
+            .iter()
+            .flatten()
+            .map(|t| t.mem_usage())
+            .sum::<usize>()
+    }
+
+    /// Total entries across all tables (duplicates across levels counted).
+    pub fn table_entries(&self) -> usize {
+        self.levels.iter().flatten().map(|t| t.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memtree_common::key::encode_u64;
+
+    fn db_with(filter: FilterKind, n: u64) -> Db {
+        let mut db = Db::new(DbOptions {
+            memtable_bytes: 8 << 10,
+            filter,
+            io_read_latency: Duration::ZERO,
+            ..Default::default()
+        });
+        let mut state = 42u64;
+        for _ in 0..n {
+            let k = memtree_common::hash::splitmix64(&mut state);
+            db.put(&encode_u64(k), &k.to_le_bytes());
+        }
+        db
+    }
+
+    #[test]
+    fn put_get_across_levels() {
+        for filter in [
+            FilterKind::None,
+            FilterKind::Bloom(14.0),
+            FilterKind::SurfHash(4),
+            FilterKind::SurfReal(4),
+        ] {
+            let mut db = Db::new(DbOptions {
+                memtable_bytes: 4 << 10,
+                filter,
+                ..Default::default()
+            });
+            for i in 0..5000u64 {
+                db.put(&encode_u64(i * 7), &i.to_le_bytes());
+            }
+            assert!(db.level_sizes().len() > 1, "{filter:?}: no compaction");
+            for i in (0..5000u64).step_by(113) {
+                assert_eq!(
+                    db.get(&encode_u64(i * 7)),
+                    Some(i.to_le_bytes().to_vec()),
+                    "{filter:?} get {i}"
+                );
+                assert_eq!(db.get(&encode_u64(i * 7 + 1)), None);
+            }
+        }
+    }
+
+    #[test]
+    fn updates_shadow_older_versions() {
+        let mut db = Db::new(DbOptions {
+            memtable_bytes: 2 << 10,
+            ..Default::default()
+        });
+        for round in 0..5u64 {
+            for i in 0..500u64 {
+                db.put(&encode_u64(i), &(i + round * 1000).to_le_bytes());
+            }
+        }
+        for i in (0..500u64).step_by(7) {
+            assert_eq!(db.get(&encode_u64(i)), Some((i + 4000).to_le_bytes().to_vec()));
+        }
+    }
+
+    #[test]
+    fn seek_open_and_closed() {
+        for filter in [FilterKind::None, FilterKind::SurfReal(4)] {
+            let mut db = Db::new(DbOptions {
+                memtable_bytes: 4 << 10,
+                filter,
+                ..Default::default()
+            });
+            for i in 0..3000u64 {
+                db.put(&encode_u64(i * 10), b"v");
+            }
+            // Open seek.
+            match db.seek(&encode_u64(995), None) {
+                SeekResult::Found { key } => {
+                    assert_eq!(memtree_common::key::decode_u64(&key), 1000, "{filter:?}")
+                }
+                SeekResult::NotFound => panic!("{filter:?}: open seek missed"),
+            }
+            // Closed seek hit.
+            assert!(matches!(
+                db.seek(&encode_u64(995), Some(&encode_u64(1005))),
+                SeekResult::Found { .. }
+            ));
+            // Closed seek in a gap.
+            assert_eq!(
+                db.seek(&encode_u64(991), Some(&encode_u64(999))),
+                SeekResult::NotFound,
+                "{filter:?}"
+            );
+            // Past the end.
+            assert_eq!(db.seek(&encode_u64(40_000), None), SeekResult::NotFound);
+        }
+    }
+
+    #[test]
+    fn surf_saves_io_on_empty_closed_seeks() {
+        let build = |filter| {
+            let mut db = Db::new(DbOptions {
+                memtable_bytes: 4 << 10,
+                filter,
+                cache_blocks: 0, // isolate I/O counts
+                ..Default::default()
+            });
+            for i in 0..5000u64 {
+                db.put(&encode_u64(i << 20), b"value");
+            }
+            db.flush();
+            db
+        };
+        let io_for = |db: &Db| {
+            db.reset_io_stats();
+            let mut state = 7u64;
+            for _ in 0..200 {
+                let base = (memtree_common::hash::splitmix64(&mut state) % 5000) << 20;
+                // Range strictly inside a gap: almost always empty.
+                let lo = encode_u64(base + 1000);
+                let hi = encode_u64(base + 2000);
+                db.seek(&lo, Some(&hi));
+            }
+            db.io_stats().block_reads
+        };
+        let none = build(FilterKind::None);
+        // 8 real suffix bits reach the byte where these gap queries differ
+        // from the stored keys (4 bits cannot refute them — expected FPR
+        // behaviour, not a bug).
+        let surf = build(FilterKind::SurfReal(8));
+        let (io_none, io_surf) = (io_for(&none), io_for(&surf));
+        assert!(
+            io_surf * 3 < io_none,
+            "SuRF should cut empty-seek I/O: {io_surf} vs {io_none}"
+        );
+    }
+
+    #[test]
+    fn count_matches_truth_closely() {
+        let mut db = Db::new(DbOptions {
+            memtable_bytes: 4 << 10,
+            filter: FilterKind::SurfReal(8),
+            ..Default::default()
+        });
+        for i in 0..3000u64 {
+            db.put(&encode_u64(i * 2), b"v");
+        }
+        db.flush();
+        let got = db.count(&encode_u64(1000), &encode_u64(3000));
+        let truth = 1000; // keys 1000,1002,...,2998
+        assert!(
+            got >= truth && got <= truth + 2 * db.level_sizes().iter().sum::<usize>(),
+            "count {got} vs truth {truth}"
+        );
+    }
+
+    #[test]
+    fn bloom_cuts_point_io_on_misses() {
+        let io_for = |filter| {
+            let db = db_with(filter, 10_000);
+            db.reset_io_stats();
+            let mut state = 999u64;
+            for _ in 0..2000 {
+                let k = memtree_common::hash::splitmix64(&mut state) | 1;
+                db.get(&encode_u64(k)); // miss with overwhelming probability
+            }
+            db.io_stats().block_reads
+        };
+        let none = io_for(FilterKind::None);
+        let bloom = io_for(FilterKind::Bloom(14.0));
+        assert!(
+            bloom * 5 < none,
+            "bloom {bloom} reads vs none {none} on misses"
+        );
+    }
+}
+
+#[cfg(test)]
+mod diag_tests {
+    use super::*;
+    use memtree_common::key::encode_u64;
+
+    #[test]
+    fn seek_visits_every_level() {
+        let mut db = Db::new(DbOptions {
+            memtable_bytes: 8 << 10,
+            cache_blocks: 0,
+            ..Default::default()
+        });
+        for i in 0..30_000u64 {
+            db.put(&encode_u64(i * 64), b"0123456789012345678901234567890123456789");
+        }
+        db.flush();
+        let sizes = db.level_sizes();
+        println!("level sizes: {sizes:?}");
+        assert!(sizes.iter().filter(|&&s| s > 0).count() >= 2, "{sizes:?}");
+        db.reset_io_stats();
+        let n = 200;
+        for i in 0..n {
+            let k = encode_u64((i * 9973 % 30_000) * 64 + 1);
+            db.seek(&k, None);
+        }
+        let per_op = db.io_stats().block_reads as f64 / n as f64;
+        println!("no-filter seek IO/op = {per_op}");
+        assert!(per_op > 1.2, "expected multi-level I/O, got {per_op}");
+    }
+}
+
+#[cfg(test)]
+mod next_tests {
+    use super::*;
+    use memtree_common::key::encode_u64;
+
+    #[test]
+    fn next_after_walks_the_key_sequence() {
+        for filter in [FilterKind::None, FilterKind::SurfMixed(4, 4)] {
+            let mut db = Db::new(DbOptions {
+                memtable_bytes: 4 << 10,
+                filter,
+                ..Default::default()
+            });
+            for i in 0..2000u64 {
+                db.put(&encode_u64(i * 5), b"v");
+            }
+            db.flush();
+            // Walk forward from 100 via repeated Next.
+            let mut cur = encode_u64(100).to_vec();
+            for expect in [105u64, 110, 115, 120] {
+                match db.next_after(&cur, None) {
+                    SeekResult::Found { key } => {
+                        assert_eq!(memtree_common::key::decode_u64(&key), expect, "{filter:?}");
+                        cur = key;
+                    }
+                    SeekResult::NotFound => panic!("{filter:?}: next missed {expect}"),
+                }
+            }
+            // Bounded Next stops at hk.
+            assert_eq!(
+                db.next_after(&encode_u64(120), Some(&encode_u64(125))),
+                SeekResult::NotFound
+            );
+            assert_eq!(db.next_after(&encode_u64(5 * 1999), None), SeekResult::NotFound);
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! A miniature log-structured merge engine in the image of RocksDB
+//! (§4.2, Figure 4.2), built to evaluate SuRF as a drop-in Bloom-filter
+//! replacement.
+//!
+//! Architecture: a MemTable (our own paged skip list) absorbs writes;
+//! full MemTables become level-0 SSTables; leveled compaction keeps levels
+//! ≥ 1 sorted and disjoint. SSTables are sequences of fixed-size blocks on
+//! a **simulated disk** that counts every block read and can charge a
+//! configurable per-read latency — the paper's speedups are I/O-count
+//! driven, and the simulator measures those counts exactly (substitution
+//! #3 in DESIGN.md). Each SSTable carries a fence index (first key per
+//! block) and an optional filter: Bloom, SuRF-Hash, or SuRF-Real.
+//!
+//! `Get`, `Seek` (open and closed) and `Count` follow the Figure 4.3
+//! execution paths, including SuRF's `moveToNext`-based candidate pruning
+//! for seeks.
+
+#![warn(missing_docs)]
+
+mod db;
+mod disk;
+mod sstable;
+
+pub use db::{Db, DbOptions, FilterKind, SeekResult};
+pub use disk::{IoStats, SimDisk};
+pub use sstable::SsTable;

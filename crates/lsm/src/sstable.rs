@@ -1,0 +1,250 @@
+//! SSTables: immutable runs of sorted key-value blocks with fence indexes
+//! and per-table filters.
+
+use crate::db::FilterKind;
+use crate::disk::SimDisk;
+use memtree_common::mem::{vec_bytes, vec_of_bytes};
+use memtree_common::traits::PointFilter;
+use memtree_filters::BloomFilter;
+use memtree_surf::{SuffixConfig, Surf};
+
+/// A decoded data block: sorted `(key, value)` pairs.
+pub(crate) type DecodedBlock = Vec<(Vec<u8>, Vec<u8>)>;
+
+/// Per-table filter.
+#[derive(Debug)]
+pub(crate) enum TableFilter {
+    Bloom(BloomFilter),
+    Surf(Surf),
+}
+
+/// An immutable sorted table.
+#[derive(Debug)]
+pub struct SsTable {
+    pub(crate) id: u64,
+    /// Disk block ids, in key order.
+    pub(crate) blocks: Vec<u32>,
+    /// First key of each block (the "restarting point" fence index).
+    pub(crate) fences: Vec<Vec<u8>>,
+    pub(crate) min_key: Vec<u8>,
+    pub(crate) max_key: Vec<u8>,
+    pub(crate) filter: Option<TableFilter>,
+    pub(crate) num_entries: usize,
+}
+
+impl SsTable {
+    /// Serializes sorted `entries` into blocks of ~`block_size` bytes,
+    /// builds the configured filter, and writes everything to `disk`.
+    pub(crate) fn build(
+        id: u64,
+        disk: &SimDisk,
+        entries: &[(Vec<u8>, Vec<u8>)],
+        block_size: usize,
+        filter: &FilterKind,
+    ) -> Self {
+        assert!(!entries.is_empty());
+        let mut blocks = Vec::new();
+        let mut fences = Vec::new();
+        let mut start = 0usize;
+        while start < entries.len() {
+            let mut bytes = 0usize;
+            let mut end = start;
+            while end < entries.len()
+                && (end == start || bytes + entries[end].0.len() + entries[end].1.len() + 4 <= block_size)
+            {
+                bytes += entries[end].0.len() + entries[end].1.len() + 4;
+                end += 1;
+            }
+            fences.push(entries[start].0.clone());
+            blocks.push(disk.write(Self::encode_block(&entries[start..end])));
+            start = end;
+        }
+        let keys: Vec<&[u8]> = entries.iter().map(|(k, _)| k.as_slice()).collect();
+        let filter = match filter {
+            FilterKind::None => None,
+            FilterKind::Bloom(bpk) => Some(TableFilter::Bloom(BloomFilter::new(&keys, *bpk))),
+            FilterKind::SurfHash(bits) => Some(TableFilter::Surf(Surf::new(
+                &keys,
+                SuffixConfig::Hash(*bits),
+            ))),
+            FilterKind::SurfReal(bits) => Some(TableFilter::Surf(Surf::new(
+                &keys,
+                SuffixConfig::Real(*bits),
+            ))),
+            FilterKind::SurfMixed(h, r) => Some(TableFilter::Surf(Surf::new(
+                &keys,
+                SuffixConfig::Mixed(*h, *r),
+            ))),
+        };
+        Self {
+            id,
+            blocks,
+            fences,
+            min_key: entries[0].0.clone(),
+            max_key: entries[entries.len() - 1].0.clone(),
+            filter,
+            num_entries: entries.len(),
+        }
+    }
+
+    fn encode_block(entries: &[(Vec<u8>, Vec<u8>)]) -> Box<[u8]> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+        for (k, v) in entries {
+            out.extend_from_slice(&(k.len() as u16).to_le_bytes());
+            out.extend_from_slice(&(v.len() as u16).to_le_bytes());
+        }
+        for (k, _) in entries {
+            out.extend_from_slice(k);
+        }
+        for (_, v) in entries {
+            out.extend_from_slice(v);
+        }
+        out.into_boxed_slice()
+    }
+
+    pub(crate) fn decode_block(raw: &[u8]) -> DecodedBlock {
+        let n = u32::from_le_bytes(raw[0..4].try_into().unwrap()) as usize;
+        let mut lens = Vec::with_capacity(n);
+        let mut pos = 4;
+        for _ in 0..n {
+            let kl = u16::from_le_bytes(raw[pos..pos + 2].try_into().unwrap()) as usize;
+            let vl = u16::from_le_bytes(raw[pos + 2..pos + 4].try_into().unwrap()) as usize;
+            lens.push((kl, vl));
+            pos += 4;
+        }
+        let mut out = Vec::with_capacity(n);
+        let mut kpos = pos;
+        let mut vpos = pos + lens.iter().map(|(k, _)| k).sum::<usize>();
+        for (kl, vl) in lens {
+            out.push((raw[kpos..kpos + kl].to_vec(), raw[vpos..vpos + vl].to_vec()));
+            kpos += kl;
+            vpos += vl;
+        }
+        out
+    }
+
+    /// Index of the block that may contain `key` (last fence `<= key`).
+    pub(crate) fn candidate_block(&self, key: &[u8]) -> usize {
+        self.fences
+            .partition_point(|f| f.as_slice() <= key)
+            .saturating_sub(1)
+    }
+
+    /// Does `key` fall within this table's [min, max] range?
+    pub(crate) fn covers(&self, key: &[u8]) -> bool {
+        self.min_key.as_slice() <= key && key <= self.max_key.as_slice()
+    }
+
+    /// Does the table's key range overlap `[lo, hi]`?
+    pub(crate) fn overlaps(&self, lo: &[u8], hi: &[u8]) -> bool {
+        self.min_key.as_slice() <= hi && lo <= self.max_key.as_slice()
+    }
+
+    /// Filter check for point gets; `true` when no filter is attached.
+    pub(crate) fn filter_may_contain(&self, key: &[u8]) -> bool {
+        match &self.filter {
+            None => true,
+            Some(TableFilter::Bloom(b)) => b.may_contain(key),
+            Some(TableFilter::Surf(s)) => s.may_contain(key),
+        }
+    }
+
+    /// The SuRF filter, when configured.
+    pub(crate) fn surf(&self) -> Option<&Surf> {
+        match &self.filter {
+            Some(TableFilter::Surf(s)) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.num_entries
+    }
+
+    /// True when the table holds no entries (never happens post-build).
+    pub fn is_empty(&self) -> bool {
+        self.num_entries == 0
+    }
+
+    /// In-memory footprint: fences + filter (blocks live on "disk").
+    pub fn mem_usage(&self) -> usize {
+        let filter = match &self.filter {
+            None => 0,
+            Some(TableFilter::Bloom(b)) => b.size_bytes(),
+            Some(TableFilter::Surf(s)) => s.size_bytes(),
+        };
+        vec_bytes(&self.blocks) + vec_of_bytes(&self.fences) + filter
+    }
+
+    /// Releases the table's disk blocks.
+    pub(crate) fn release(&self, disk: &SimDisk) {
+        for &b in &self.blocks {
+            disk.release(b);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn entries(n: u64) -> Vec<(Vec<u8>, Vec<u8>)> {
+        (0..n)
+            .map(|i| {
+                (
+                    memtree_common::key::encode_u64(i * 3).to_vec(),
+                    vec![i as u8; 32],
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn block_roundtrip() {
+        let e = entries(100);
+        let raw = SsTable::encode_block(&e);
+        assert_eq!(SsTable::decode_block(&raw), e);
+    }
+
+    #[test]
+    fn build_and_locate() {
+        let disk = SimDisk::new(Duration::ZERO);
+        let e = entries(1000);
+        let t = SsTable::build(1, &disk, &e, 4096, &FilterKind::Bloom(10.0));
+        assert!(t.blocks.len() > 5, "should span multiple blocks");
+        assert_eq!(t.len(), 1000);
+        // Candidate block actually contains the key.
+        for probe in [0u64, 999, 1500, 2997] {
+            let key = memtree_common::key::encode_u64(probe);
+            let b = t.candidate_block(&key);
+            let blk = SsTable::decode_block(&disk.read(t.blocks[b]));
+            if probe % 3 == 0 && probe <= 2997 {
+                assert!(
+                    blk.iter().any(|(k, _)| k.as_slice() == key),
+                    "probe {probe} missing from its candidate block"
+                );
+            }
+        }
+        // Filter admits members.
+        for i in (0..1000u64).step_by(37) {
+            assert!(t.filter_may_contain(&memtree_common::key::encode_u64(i * 3)));
+        }
+    }
+
+    #[test]
+    fn surf_filter_attach() {
+        let disk = SimDisk::new(Duration::ZERO);
+        let e = entries(500);
+        let t = SsTable::build(2, &disk, &e, 4096, &FilterKind::SurfReal(4));
+        assert!(t.surf().is_some());
+        assert!(t.covers(&memtree_common::key::encode_u64(300)));
+        assert!(!t.covers(&memtree_common::key::encode_u64(4000)));
+        assert!(t.overlaps(
+            &memtree_common::key::encode_u64(100),
+            &memtree_common::key::encode_u64(200)
+        ));
+    }
+}

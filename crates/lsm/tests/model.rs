@@ -1,0 +1,97 @@
+//! The LSM engine against a `BTreeMap` model: puts, overwrites, gets,
+//! open/closed seeks and counts must agree (modulo documented count
+//! over-approximation) under every filter configuration.
+
+use memtree_lsm::{Db, DbOptions, FilterKind, SeekResult};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+fn key() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(prop_oneof![Just(b'k'), Just(b'l'), Just(b'm')], 1..6)
+}
+
+#[derive(Debug, Clone)]
+enum Cmd {
+    Put(Vec<u8>, u8),
+    Get(Vec<u8>),
+    SeekOpen(Vec<u8>),
+    SeekClosed(Vec<u8>, Vec<u8>),
+    Count(Vec<u8>, Vec<u8>),
+    Flush,
+}
+
+fn cmd() -> impl Strategy<Value = Cmd> {
+    prop_oneof![
+        4 => (key(), any::<u8>()).prop_map(|(k, v)| Cmd::Put(k, v)),
+        3 => key().prop_map(Cmd::Get),
+        1 => key().prop_map(Cmd::SeekOpen),
+        1 => (key(), key()).prop_map(|(a, b)| Cmd::SeekClosed(a, b)),
+        1 => (key(), key()).prop_map(|(a, b)| Cmd::Count(a, b)),
+        1 => Just(Cmd::Flush),
+    ]
+}
+
+fn filter_for(case: usize) -> FilterKind {
+    match case % 4 {
+        0 => FilterKind::None,
+        1 => FilterKind::Bloom(12.0),
+        2 => FilterKind::SurfHash(6),
+        _ => FilterKind::SurfReal(6),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn db_matches_model(cmds in proptest::collection::vec(cmd(), 1..150), fsel in 0usize..4) {
+        let mut db = Db::new(DbOptions {
+            memtable_bytes: 256, // tiny: force flushes + compactions
+            filter: filter_for(fsel),
+            cache_blocks: 4,
+            ..Default::default()
+        });
+        let mut model: BTreeMap<Vec<u8>, u8> = BTreeMap::new();
+        for (step, c) in cmds.iter().enumerate() {
+            match c {
+                Cmd::Put(k, v) => {
+                    db.put(k, &[*v]);
+                    model.insert(k.clone(), *v);
+                }
+                Cmd::Get(k) => {
+                    let expect = model.get(k).map(|v| vec![*v]);
+                    prop_assert_eq!(db.get(k), expect, "step {} get {:?}", step, k);
+                }
+                Cmd::SeekOpen(k) => {
+                    let expect = model.range(k.clone()..).next().map(|(k, _)| k.clone());
+                    let got = match db.seek(k, None) {
+                        SeekResult::Found { key } => Some(key),
+                        SeekResult::NotFound => None,
+                    };
+                    prop_assert_eq!(got, expect, "step {} open-seek {:?}", step, k);
+                }
+                Cmd::SeekClosed(a, b) => {
+                    let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+                    let expect = model
+                        .range(lo.clone()..hi.clone())
+                        .next()
+                        .map(|(k, _)| k.clone());
+                    let got = match db.seek(lo, Some(hi)) {
+                        SeekResult::Found { key } => Some(key),
+                        SeekResult::NotFound => None,
+                    };
+                    prop_assert_eq!(got, expect, "step {} closed-seek {:?}..{:?}", step, lo, hi);
+                }
+                Cmd::Count(a, b) => {
+                    let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+                    let truth = model.range(lo.clone()..hi.clone()).count();
+                    let got = db.count(lo, hi);
+                    // Counts may over-approximate (per-level duplicates +
+                    // SuRF boundary slack) but never under-count.
+                    prop_assert!(got >= truth, "step {} count {} < {}", step, got, truth);
+                }
+                Cmd::Flush => db.flush(),
+            }
+        }
+    }
+}

@@ -1,0 +1,312 @@
+//! The per-trie-node B+tree of Masstree: fixed `(slice, len)` keys.
+//!
+//! Masstree's speed comes from comparing fixed 8-byte slices instead of
+//! byte strings; this internal B+tree does exactly that. The thesis's
+//! Masstree uses fanout-15 B+tree nodes; we use 16.
+
+use memtree_common::mem::vec_bytes;
+use memtree_common::probe::ProbeStats;
+
+type NodeId = u32;
+const NIL: NodeId = u32::MAX;
+
+/// Max keys per node.
+const FANOUT: usize = 16;
+
+/// A `(keyslice, slice_len)` pair; tuple order equals byte-string order for
+/// zero-padded big-endian slices.
+pub type SliceKey = (u64, u8);
+
+#[derive(Debug)]
+enum SNode<V> {
+    Leaf {
+        keys: Vec<SliceKey>,
+        vals: Vec<V>,
+        next: NodeId,
+    },
+    Inner {
+        keys: Vec<SliceKey>,
+        children: Vec<NodeId>,
+    },
+}
+
+/// A B+tree over fixed-size slice keys.
+#[derive(Debug)]
+pub struct SliceTree<V> {
+    nodes: Vec<SNode<V>>,
+    root: NodeId,
+    len: usize,
+}
+
+impl<V> Default for SliceTree<V> {
+    fn default() -> Self {
+        Self {
+            nodes: vec![SNode::Leaf {
+                keys: Vec::new(),
+                vals: Vec::new(),
+                next: NIL,
+            }],
+            root: 0,
+            len: 0,
+        }
+    }
+}
+
+enum Up {
+    Done,
+    Split(SliceKey, NodeId),
+}
+
+impl<V> SliceTree<V> {
+    /// Number of entries.
+    #[allow(dead_code)]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn find_leaf(&self, key: &SliceKey) -> NodeId {
+        let mut id = self.root;
+        loop {
+            match &self.nodes[id as usize] {
+                SNode::Leaf { .. } => return id,
+                SNode::Inner { keys, children } => {
+                    let ci = keys.partition_point(|k| k <= key);
+                    id = children[ci];
+                }
+            }
+        }
+    }
+
+    /// Reference to the value for `key`.
+    pub fn get(&self, key: &SliceKey) -> Option<&V> {
+        let SNode::Leaf { keys, vals, .. } = &self.nodes[self.find_leaf(key) as usize] else {
+            unreachable!()
+        };
+        keys.binary_search(key).ok().map(|i| &vals[i])
+    }
+
+    /// Mutable reference to the value for `key`.
+    pub fn get_mut(&mut self, key: &SliceKey) -> Option<&mut V> {
+        let leaf = self.find_leaf(key);
+        let SNode::Leaf { keys, vals, .. } = &mut self.nodes[leaf as usize] else {
+            unreachable!()
+        };
+        keys.binary_search(key).ok().map(|i| &mut vals[i])
+    }
+
+    /// Instrumented lookup counting B+tree-walk events into `stats`.
+    pub fn get_profiled(&self, key: &SliceKey, stats: &mut ProbeStats) -> Option<&V> {
+        let mut id = self.root;
+        loop {
+            stats.nodes_visited += 1;
+            match &self.nodes[id as usize] {
+                SNode::Inner { keys, children } => {
+                    stats.key_bytes_compared += 8 * (keys.len().ilog2() as u64 + 1);
+                    let ci = keys.partition_point(|k| k <= key);
+                    stats.pointer_derefs += 1;
+                    id = children[ci];
+                }
+                SNode::Leaf { keys, vals, .. } => {
+                    stats.key_bytes_compared +=
+                        8 * (keys.len().max(1).ilog2() as u64 + 1);
+                    return keys.binary_search(key).ok().map(|i| &vals[i]);
+                }
+            }
+        }
+    }
+
+    /// Inserts `key -> value`. The key must not already be present (callers
+    /// check with [`Self::get_mut`] first).
+    pub fn insert(&mut self, key: SliceKey, value: V) {
+        match self.insert_rec(self.root, key, value) {
+            Up::Done => {}
+            Up::Split(sep, rid) => {
+                let new_root = SNode::Inner {
+                    keys: vec![sep],
+                    children: vec![self.root, rid],
+                };
+                self.nodes.push(new_root);
+                self.root = (self.nodes.len() - 1) as NodeId;
+            }
+        }
+        self.len += 1;
+    }
+
+    fn insert_rec(&mut self, id: NodeId, key: SliceKey, value: V) -> Up {
+        let child_slot = match &self.nodes[id as usize] {
+            SNode::Leaf { .. } => None,
+            SNode::Inner { keys, children } => {
+                let ci = keys.partition_point(|k| k <= &key);
+                Some((ci, children[ci]))
+            }
+        };
+        match child_slot {
+            None => {
+                let SNode::Leaf { keys, vals, next } = &mut self.nodes[id as usize] else {
+                    unreachable!()
+                };
+                let pos = keys.partition_point(|k| k < &key);
+                debug_assert!(pos >= keys.len() || keys[pos] != key, "duplicate slice key");
+                keys.insert(pos, key);
+                vals.insert(pos, value);
+                if keys.len() <= FANOUT {
+                    return Up::Done;
+                }
+                let mid = keys.len() / 2;
+                let r_keys = keys.split_off(mid);
+                let r_vals = vals.split_off(mid);
+                let sep = r_keys[0];
+                let old_next = *next;
+                self.nodes.push(SNode::Leaf {
+                    keys: r_keys,
+                    vals: r_vals,
+                    next: old_next,
+                });
+                let rid = (self.nodes.len() - 1) as NodeId;
+                let SNode::Leaf { next, .. } = &mut self.nodes[id as usize] else {
+                    unreachable!()
+                };
+                *next = rid;
+                Up::Split(sep, rid)
+            }
+            Some((ci, child)) => match self.insert_rec(child, key, value) {
+                Up::Done => Up::Done,
+                Up::Split(sep, new_child) => {
+                    let SNode::Inner { keys, children } = &mut self.nodes[id as usize] else {
+                        unreachable!()
+                    };
+                    keys.insert(ci, sep);
+                    children.insert(ci + 1, new_child);
+                    if children.len() <= FANOUT {
+                        return Up::Done;
+                    }
+                    let mid = keys.len() / 2;
+                    let up = keys[mid];
+                    let r_keys = keys.split_off(mid + 1);
+                    keys.pop();
+                    let r_children = children.split_off(mid + 1);
+                    self.nodes.push(SNode::Inner {
+                        keys: r_keys,
+                        children: r_children,
+                    });
+                    Up::Split(up, (self.nodes.len() - 1) as NodeId)
+                }
+            },
+        }
+    }
+
+    /// Removes `key` (no page rebalancing; Masstree compacts via rebuild).
+    pub fn remove(&mut self, key: &SliceKey) -> Option<V> {
+        let leaf = self.find_leaf(key);
+        let SNode::Leaf { keys, vals, .. } = &mut self.nodes[leaf as usize] else {
+            unreachable!()
+        };
+        match keys.binary_search(key) {
+            Ok(i) => {
+                keys.remove(i);
+                self.len -= 1;
+                Some(vals.remove(i))
+            }
+            Err(_) => None,
+        }
+    }
+
+    /// Visits entries in key order starting at the first key `>= low`,
+    /// until `f` returns `false`.
+    pub fn range_from(&self, low: &SliceKey, f: &mut dyn FnMut(&SliceKey, &V) -> bool) {
+        let mut id = self.find_leaf(low);
+        let mut start = {
+            let SNode::Leaf { keys, .. } = &self.nodes[id as usize] else {
+                unreachable!()
+            };
+            keys.partition_point(|k| k < low)
+        };
+        loop {
+            let SNode::Leaf { keys, vals, next } = &self.nodes[id as usize] else {
+                unreachable!()
+            };
+            for i in start..keys.len() {
+                if !f(&keys[i], &vals[i]) {
+                    return;
+                }
+            }
+            if *next == NIL {
+                return;
+            }
+            id = *next;
+            start = 0;
+        }
+    }
+
+    /// Visits all entries in key order.
+    pub fn for_each(&self, f: &mut dyn FnMut(&SliceKey, &V) -> bool) {
+        self.range_from(&(0, 0), f);
+    }
+
+    /// Heap bytes of the tree structure (excluding heap data owned by `V`s,
+    /// which callers account for via [`Self::for_each`]).
+    pub fn mem_usage(&self) -> usize {
+        let mut total = vec_bytes(&self.nodes);
+        for n in &self.nodes {
+            match n {
+                SNode::Leaf { keys, vals, .. } => {
+                    total += vec_bytes(keys) + vec_bytes(vals);
+                }
+                SNode::Inner { keys, children } => {
+                    total += vec_bytes(keys) + vec_bytes(children);
+                }
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove() {
+        let mut t: SliceTree<u64> = SliceTree::default();
+        for i in 0..1000u64 {
+            t.insert((i * 3, 8), i);
+        }
+        assert_eq!(t.len(), 1000);
+        for i in 0..1000u64 {
+            assert_eq!(t.get(&(i * 3, 8)), Some(&i));
+            assert_eq!(t.get(&(i * 3 + 1, 8)), None);
+        }
+        assert_eq!(t.remove(&(30, 8)), Some(10));
+        assert_eq!(t.get(&(30, 8)), None);
+        assert_eq!(t.len(), 999);
+    }
+
+    #[test]
+    fn len_distinguishes_keys() {
+        let mut t: SliceTree<u64> = SliceTree::default();
+        t.insert((42, 2), 1);
+        t.insert((42, 8), 2);
+        assert_eq!(t.get(&(42, 2)), Some(&1));
+        assert_eq!(t.get(&(42, 8)), Some(&2));
+        assert_eq!(t.get(&(42, 5)), None);
+    }
+
+    #[test]
+    fn range_from_ordering() {
+        let mut t: SliceTree<u64> = SliceTree::default();
+        for i in (0..500u64).rev() {
+            t.insert((i * 2, 8), i);
+        }
+        let mut got = Vec::new();
+        t.range_from(&(100, 0), &mut |k, _v| {
+            got.push(k.0);
+            got.len() < 5
+        });
+        assert_eq!(got, vec![100, 102, 104, 106, 108]);
+    }
+}

@@ -1,0 +1,446 @@
+//! Crit-bit (PATRICIA) trie — the workspace's stand-in for HOT in the
+//! HOPE evaluation (Chapter 6; substitution documented in DESIGN.md).
+//!
+//! Inner nodes store only a *critical bit position* (byte index + bit
+//! mask); leaves store full keys. Like HOT, navigation touches only the
+//! discriminative bits of the key, so the tree's height depends on key
+//! distinctness rather than key length.
+//!
+//! Out-of-range bytes read as zero (djb semantics): keys that differ only
+//! by trailing NUL bytes are not distinguishable — the same NUL-freeness
+//! assumption HOPE makes.
+
+#![warn(missing_docs)]
+
+use memtree_common::mem::vec_bytes;
+use memtree_common::traits::{OrderedIndex, Value};
+
+#[derive(Debug)]
+enum Node {
+    Leaf {
+        key: Box<[u8]>,
+        value: Value,
+    },
+    Inner {
+        /// Byte index of the critical bit.
+        byte: u32,
+        /// Single-bit mask within that byte (0x80 = most significant).
+        mask: u8,
+        /// `children[0]`: crit bit clear (smaller keys).
+        children: [Box<Node>; 2],
+    },
+}
+
+/// Bit of `key` at `(byte, mask)`; bytes past the end read as 0.
+#[inline]
+fn dir(key: &[u8], byte: u32, mask: u8) -> usize {
+    let b = key.get(byte as usize).copied().unwrap_or(0);
+    usize::from(b & mask != 0)
+}
+
+/// Is crit position `(b1, m1)` strictly earlier (more significant) than
+/// `(b2, m2)`?
+#[inline]
+fn crit_lt(b1: u32, m1: u8, b2: u32, m2: u8) -> bool {
+    b1 < b2 || (b1 == b2 && m1 > m2)
+}
+
+/// First differing bit position between `a` and `b` as `(byte, mask)`;
+/// `None` when equal under zero-extension.
+fn first_diff(a: &[u8], b: &[u8]) -> Option<(u32, u8)> {
+    let n = a.len().max(b.len());
+    for i in 0..n {
+        let x = a.get(i).copied().unwrap_or(0);
+        let y = b.get(i).copied().unwrap_or(0);
+        if x != y {
+            let diff = x ^ y;
+            // Highest set bit of the xor.
+            let mask = 0x80u8 >> diff.leading_zeros();
+            return Some((i as u32, mask));
+        }
+    }
+    None
+}
+
+/// A crit-bit trie mapping byte strings to values.
+#[derive(Debug, Default)]
+pub struct CritBitTrie {
+    root: Option<Box<Node>>,
+    len: usize,
+}
+
+impl CritBitTrie {
+    /// Creates an empty trie.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The leaf reached by following `key`'s bits (the "best match").
+    fn best_leaf<'a>(&'a self, key: &[u8]) -> Option<(&'a [u8], Value)> {
+        let mut node = self.root.as_deref()?;
+        loop {
+            match node {
+                Node::Leaf { key: lk, value } => return Some((lk, *value)),
+                Node::Inner {
+                    byte,
+                    mask,
+                    children,
+                } => node = &children[dir(key, *byte, *mask)],
+            }
+        }
+    }
+
+    fn emit_all(node: &Node, f: &mut dyn FnMut(&[u8], Value) -> bool) -> bool {
+        match node {
+            Node::Leaf { key, value } => f(key, *value),
+            Node::Inner { children, .. } => {
+                Self::emit_all(&children[0], f) && Self::emit_all(&children[1], f)
+            }
+        }
+    }
+
+    /// In-order iteration from the first key `>= low`.
+    pub fn range_from(&self, low: &[u8], f: &mut dyn FnMut(&[u8], Value) -> bool) {
+        let Some(root) = self.root.as_deref() else {
+            return;
+        };
+        if low.is_empty() {
+            Self::emit_all(root, f);
+            return;
+        }
+        let (best, _) = self.best_leaf(low).expect("non-empty");
+        let diff = first_diff(low, best);
+        // Re-descend, collecting the right subtrees of left turns — these
+        // are the successor regions, nearest last.
+        let mut pending: Vec<&Node> = Vec::new();
+        let mut node = root;
+        let (c_byte, c_mask) = diff.unwrap_or((u32::MAX, 0));
+        while let Node::Inner {
+            byte,
+            mask,
+            children,
+        } = node
+        {
+            if diff.is_some() && !crit_lt(*byte, *mask, c_byte, c_mask) {
+                break;
+            }
+            let d = dir(low, *byte, *mask);
+            if d == 0 {
+                pending.push(&children[1]);
+            }
+            node = &children[d];
+        }
+        // `node` now roots the subtree agreeing with `low` up to the diff.
+        let include_subtree = match diff {
+            None => true,                              // exact match region
+            Some((b, m)) => dir(low, b, m) == 0,       // subtree keys > low
+        };
+        if include_subtree && !Self::emit_all(node, f) {
+            return;
+        }
+        for sub in pending.into_iter().rev() {
+            if !Self::emit_all(sub, f) {
+                return;
+            }
+        }
+    }
+}
+
+impl OrderedIndex for CritBitTrie {
+    fn insert(&mut self, key: &[u8], value: Value) -> bool {
+        let Some(_) = self.root.as_deref() else {
+            self.root = Some(Box::new(Node::Leaf {
+                key: key.into(),
+                value,
+            }));
+            self.len = 1;
+            return true;
+        };
+        let (best, _) = self.best_leaf(key).expect("non-empty");
+        let Some((c_byte, c_mask)) = first_diff(key, best) else {
+            return false; // duplicate
+        };
+        let new_dir = dir(key, c_byte, c_mask); // bit of the NEW key
+        // Find the insertion point: the first node whose crit position is
+        // after (c_byte, c_mask).
+        let mut slot = self.root.as_mut().expect("non-empty");
+        loop {
+            match slot.as_ref() {
+                Node::Inner { byte, mask, .. } if crit_lt(*byte, *mask, c_byte, c_mask) => {
+                    let (byte, mask) = (*byte, *mask);
+                    let Node::Inner { children, .. } = slot.as_mut() else {
+                        unreachable!()
+                    };
+                    let d = dir(key, byte, mask);
+                    slot = &mut children[d];
+                }
+                _ => break,
+            }
+        }
+        let old = std::mem::replace(
+            slot,
+            Box::new(Node::Leaf {
+                key: Box::from(&[][..]),
+                value: 0,
+            }),
+        );
+        let new_leaf = Box::new(Node::Leaf {
+            key: key.into(),
+            value,
+        });
+        let children = if new_dir == 0 {
+            [new_leaf, old]
+        } else {
+            [old, new_leaf]
+        };
+        *slot = Box::new(Node::Inner {
+            byte: c_byte,
+            mask: c_mask,
+            children,
+        });
+        self.len += 1;
+        true
+    }
+
+    fn get(&self, key: &[u8]) -> Option<Value> {
+        let (best, value) = self.best_leaf(key)?;
+        (best == key).then_some(value)
+    }
+
+    fn update(&mut self, key: &[u8], value: Value) -> bool {
+        let mut node = self.root.as_deref_mut();
+        while let Some(n) = node {
+            match n {
+                Node::Leaf { key: lk, value: v } => {
+                    if lk.as_ref() == key {
+                        *v = value;
+                        return true;
+                    }
+                    return false;
+                }
+                Node::Inner {
+                    byte,
+                    mask,
+                    children,
+                } => {
+                    let d = dir(key, *byte, *mask);
+                    node = Some(children[d].as_mut());
+                }
+            }
+        }
+        false
+    }
+
+    fn remove(&mut self, key: &[u8]) -> bool {
+        // Walk tracking the parent; on leaf match, replace the parent with
+        // the sibling subtree.
+        match self.root.as_deref() {
+            None => return false,
+            Some(Node::Leaf { key: lk, .. }) => {
+                if lk.as_ref() == key {
+                    self.root = None;
+                    self.len = 0;
+                    return true;
+                }
+                return false;
+            }
+            _ => {}
+        }
+        // Root is an inner node.
+        let root = self.root.as_mut().expect("checked");
+        if Self::remove_rec(root, key) {
+            self.len -= 1;
+            return true;
+        }
+        false
+    }
+
+    fn scan(&self, low: &[u8], n: usize, out: &mut Vec<Value>) -> usize {
+        let before = out.len();
+        self.range_from(low, &mut |_k, v| {
+            if out.len() - before == n {
+                return false;
+            }
+            out.push(v);
+            out.len() - before < n
+        });
+        out.len() - before
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn mem_usage(&self) -> usize {
+        fn node_mem(n: &Node) -> usize {
+            match n {
+                Node::Leaf { key, .. } => std::mem::size_of::<Node>() + key.len(),
+                Node::Inner { children, .. } => {
+                    std::mem::size_of::<Node>() + node_mem(&children[0]) + node_mem(&children[1])
+                }
+            }
+        }
+        self.root.as_deref().map_or(0, node_mem) + vec_bytes(&Vec::<u8>::new())
+    }
+
+    fn for_each_sorted(&self, f: &mut dyn FnMut(&[u8], Value)) {
+        if let Some(root) = self.root.as_deref() {
+            Self::emit_all(root, &mut |k, v| {
+                f(k, v);
+                true
+            });
+        }
+    }
+
+    fn range_from(&self, low: &[u8], f: &mut dyn FnMut(&[u8], Value) -> bool) {
+        CritBitTrie::range_from(self, low, f);
+    }
+
+    fn clear(&mut self) {
+        self.root = None;
+        self.len = 0;
+    }
+}
+
+impl CritBitTrie {
+    /// Removes within an inner subtree; collapses the parent on success.
+    fn remove_rec(node: &mut Box<Node>, key: &[u8]) -> bool {
+        let Node::Inner {
+            byte,
+            mask,
+            children,
+        } = node.as_mut()
+        else {
+            unreachable!("called on inner nodes only");
+        };
+        let d = dir(key, *byte, *mask);
+        match children[d].as_ref() {
+            Node::Leaf { key: lk, .. } => {
+                if lk.as_ref() != key {
+                    return false;
+                }
+                // Replace this inner node with the sibling.
+                let sibling = std::mem::replace(
+                    &mut children[1 - d],
+                    Box::new(Node::Leaf {
+                        key: Box::from(&[][..]),
+                        value: 0,
+                    }),
+                );
+                *node = sibling;
+                true
+            }
+            Node::Inner { .. } => Self::remove_rec(&mut children[d], key),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memtree_common::hash::splitmix64;
+    use memtree_common::key::encode_u64;
+
+    #[test]
+    fn insert_get_random() {
+        let mut t = CritBitTrie::new();
+        let mut state = 3u64;
+        let mut keys = Vec::new();
+        for _ in 0..5000 {
+            let k = splitmix64(&mut state) | 1; // avoid all-zero-byte keys
+            if t.insert(&encode_u64(k), k) {
+                keys.push(k);
+            }
+        }
+        assert_eq!(t.len(), keys.len());
+        for &k in &keys {
+            assert_eq!(t.get(&encode_u64(k)), Some(k));
+        }
+        assert!(!t.insert(&encode_u64(keys[0]), 1));
+    }
+
+    #[test]
+    fn string_keys_with_shared_prefixes() {
+        let mut t = CritBitTrie::new();
+        let words: Vec<&[u8]> = vec![
+            b"romane", b"romanus", b"romulus", b"rubens", b"ruber", b"rubicon", b"rubicundus",
+        ];
+        for (i, w) in words.iter().enumerate() {
+            assert!(t.insert(w, i as u64));
+        }
+        for (i, w) in words.iter().enumerate() {
+            assert_eq!(t.get(w), Some(i as u64));
+        }
+        assert_eq!(t.get(b"roman"), None);
+        assert_eq!(t.get(b"rubiconx"), None);
+    }
+
+    #[test]
+    fn sorted_iteration() {
+        let mut t = CritBitTrie::new();
+        let mut state = 9u64;
+        let mut keys: Vec<Vec<u8>> = Vec::new();
+        for _ in 0..2000 {
+            let k = splitmix64(&mut state) % 100_000 + 1;
+            let key = format!("user{k:06}").into_bytes();
+            if t.insert(&key, k) {
+                keys.push(key);
+            }
+        }
+        keys.sort();
+        let mut got = Vec::new();
+        t.for_each_sorted(&mut |k, _| got.push(k.to_vec()));
+        assert_eq!(got, keys);
+    }
+
+    #[test]
+    fn range_from_matches_reference() {
+        let mut t = CritBitTrie::new();
+        let mut keys: Vec<Vec<u8>> = (0..1000u64)
+            .map(|i| format!("k{:05}", i * 7 + 1).into_bytes())
+            .collect();
+        keys.sort();
+        for (i, k) in keys.iter().enumerate() {
+            t.insert(k, i as u64);
+        }
+        for probe in ["k00000", "k00350", "k00351", "k06994", "k99999", "a", "z"] {
+            let expect: Vec<Vec<u8>> = keys
+                .iter()
+                .filter(|k| k.as_slice() >= probe.as_bytes())
+                .take(5)
+                .cloned()
+                .collect();
+            let mut got = Vec::new();
+            t.range_from(probe.as_bytes(), &mut |k, _| {
+                got.push(k.to_vec());
+                got.len() < 5
+            });
+            assert_eq!(got, expect, "probe {probe}");
+        }
+    }
+
+    #[test]
+    fn update_remove() {
+        let mut t = CritBitTrie::new();
+        for i in 1..=100u64 {
+            t.insert(&encode_u64(i), i);
+        }
+        assert!(t.update(&encode_u64(50), 999));
+        assert_eq!(t.get(&encode_u64(50)), Some(999));
+        assert!(t.remove(&encode_u64(50)));
+        assert_eq!(t.get(&encode_u64(50)), None);
+        assert!(!t.remove(&encode_u64(50)));
+        assert_eq!(t.len(), 99);
+        for i in 1..=100u64 {
+            if i != 50 {
+                assert_eq!(t.get(&encode_u64(i)), Some(i), "{i}");
+            }
+        }
+        // Remove everything.
+        for i in 1..=100u64 {
+            t.remove(&encode_u64(i));
+        }
+        assert_eq!(t.len(), 0);
+        assert!(t.insert(b"fresh", 1));
+    }
+}

@@ -1,0 +1,157 @@
+//! A plain bit vector stored in `u64` words.
+
+use memtree_common::mem::vec_bytes;
+
+/// A growable bit vector. Bits are addressed from 0; storage is an array of
+/// little-endian-within-word `u64`s (bit `i` lives in word `i / 64` at bit
+/// `i % 64`).
+#[derive(Debug, Clone, Default)]
+pub struct BitVector {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitVector {
+    /// Creates an empty bit vector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an all-zero bit vector of `len` bits.
+    pub fn zeros(len: usize) -> Self {
+        Self {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Creates an empty bit vector with room for `bits` bits.
+    pub fn with_capacity(bits: usize) -> Self {
+        Self {
+            words: Vec::with_capacity(bits.div_ceil(64)),
+            len: 0,
+        }
+    }
+
+    /// Number of bits.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no bits are stored.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Appends a bit.
+    #[inline]
+    pub fn push(&mut self, bit: bool) {
+        let w = self.len / 64;
+        if w == self.words.len() {
+            self.words.push(0);
+        }
+        if bit {
+            self.words[w] |= 1u64 << (self.len % 64);
+        }
+        self.len += 1;
+    }
+
+    /// Appends `n` copies of `bit`.
+    pub fn push_n(&mut self, bit: bool, n: usize) {
+        // Could be word-accelerated; builder-only path, clarity wins.
+        for _ in 0..n {
+            self.push(bit);
+        }
+    }
+
+    /// Sets bit `pos` to 1. `pos` must be `< len`.
+    #[inline]
+    pub fn set(&mut self, pos: usize) {
+        debug_assert!(pos < self.len);
+        self.words[pos / 64] |= 1u64 << (pos % 64);
+    }
+
+    /// Reads bit `pos`. `pos` must be `< len`.
+    #[inline]
+    pub fn get(&self, pos: usize) -> bool {
+        debug_assert!(pos < self.len, "bit index {pos} out of range {}", self.len);
+        (self.words[pos / 64] >> (pos % 64)) & 1 == 1
+    }
+
+    /// Underlying words (the last word's bits past `len` are zero).
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Total number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Number of set bits in positions `[0, pos]` — a naive O(n) rank used
+    /// by tests as ground truth.
+    pub fn rank1_naive(&self, pos: usize) -> usize {
+        (0..=pos).filter(|&i| self.get(i)).count()
+    }
+
+    /// Shrinks the backing storage to fit.
+    pub fn shrink_to_fit(&mut self) {
+        self.words.shrink_to_fit();
+    }
+
+    /// Heap bytes used.
+    pub fn mem_usage(&self) -> usize {
+        vec_bytes(&self.words)
+    }
+}
+
+impl FromIterator<bool> for BitVector {
+    fn from_iter<I: IntoIterator<Item = bool>>(iter: I) -> Self {
+        let mut bv = BitVector::new();
+        for b in iter {
+            bv.push(b);
+        }
+        bv
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_get_set() {
+        let mut bv = BitVector::new();
+        for i in 0..200 {
+            bv.push(i % 3 == 0);
+        }
+        assert_eq!(bv.len(), 200);
+        for i in 0..200 {
+            assert_eq!(bv.get(i), i % 3 == 0, "bit {i}");
+        }
+        let mut z = BitVector::zeros(100);
+        z.set(99);
+        assert!(z.get(99));
+        assert!(!z.get(98));
+    }
+
+    #[test]
+    fn count_ones_and_words() {
+        let bv: BitVector = (0..130).map(|i| i % 2 == 0).collect();
+        assert_eq!(bv.count_ones(), 65);
+        assert_eq!(bv.words().len(), 3);
+    }
+
+    #[test]
+    fn push_n_runs() {
+        let mut bv = BitVector::new();
+        bv.push_n(true, 70);
+        bv.push_n(false, 70);
+        assert_eq!(bv.len(), 140);
+        assert_eq!(bv.count_ones(), 70);
+        assert!(bv.get(69) && !bv.get(70));
+    }
+}

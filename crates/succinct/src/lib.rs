@@ -1,0 +1,90 @@
+//! Succinct data-structure primitives for the Fast Succinct Trie.
+//!
+//! Implements from scratch the machinery Chapter 3 of the thesis builds on:
+//!
+//! * [`BitVector`] — a plain bit vector over `u64` words.
+//! * [`rank`] — rank-1 support with a single-level lookup table whose basic
+//!   block size is configurable: the FST design uses **B = 64** for
+//!   LOUDS-Dense (one `popcount` per query) and **B = 512** for
+//!   LOUDS-Sparse (one cache line per block, 6.25 % overhead), per §3.6.
+//! * [`select`] — sampled select-1 support (default sampling rate S = 64)
+//!   plus a slower LUT-free fallback used as the "Poppy baseline" in the
+//!   Figure 3.6 ablation.
+//! * [`louds`] — Level-Ordered Unary Degree Sequence encoding of ordinal
+//!   trees (§3.1 background), used by tests and the `TxTrie` baseline.
+
+#![warn(missing_docs)]
+
+pub mod bitvec;
+pub mod louds;
+pub mod rank;
+pub mod select;
+
+pub use bitvec::BitVector;
+pub use rank::RankSupport;
+pub use select::SelectSupport;
+
+/// Position of the `k`-th (1-based) set bit within a 64-bit word, or 64 if
+/// the word has fewer than `k` set bits. Byte-stepping implementation: at
+/// most 8 popcounts, no lookup tables needed.
+#[inline]
+pub fn select_in_word(word: u64, mut k: u32) -> u32 {
+    debug_assert!(k >= 1);
+    let mut base = 0u32;
+    let mut w = word;
+    loop {
+        let byte = (w & 0xFF) as u8;
+        let cnt = byte.count_ones();
+        if cnt >= k {
+            // Scan bits within the byte.
+            let mut b = byte;
+            for i in 0..8 {
+                if b & 1 == 1 {
+                    k -= 1;
+                    if k == 0 {
+                        return base + i;
+                    }
+                }
+                b >>= 1;
+            }
+        }
+        k -= cnt;
+        base += 8;
+        if base >= 64 {
+            return 64;
+        }
+        w >>= 8;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn select_in_word_matches_naive() {
+        let words = [
+            0u64,
+            1,
+            u64::MAX,
+            0x8000_0000_0000_0000,
+            0xAAAA_AAAA_AAAA_AAAA,
+            0x0123_4567_89AB_CDEF,
+        ];
+        for &w in &words {
+            let ones = w.count_ones();
+            let mut naive = Vec::new();
+            for i in 0..64 {
+                if w >> i & 1 == 1 {
+                    naive.push(i);
+                }
+            }
+            for k in 1..=ones {
+                assert_eq!(select_in_word(w, k), naive[(k - 1) as usize], "w={w:#x} k={k}");
+            }
+            if ones < 64 {
+                assert_eq!(select_in_word(w, ones + 1), 64);
+            }
+        }
+    }
+}

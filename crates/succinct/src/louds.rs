@@ -1,0 +1,189 @@
+//! Level-Ordered Unary Degree Sequence encoding of ordinal trees (§3.1).
+//!
+//! LOUDS traverses nodes breadth-first and writes each node's degree in
+//! unary (`degree` ones followed by a zero). Navigation reduces to
+//! rank/select:
+//!
+//! * position of the *i*-th node = `select0(i) + 1`
+//! * *k*-th child of the node at `p` = `select0(rank1(p + k)) + 1`
+//! * parent of the node at `p` = `select1(rank0(p))`
+//!
+//! This module is the textbook encoding used as background and as ground
+//! truth in tests; FST's LOUDS-Sparse/Dense variants live in `memtree-fst`.
+
+use crate::bitvec::BitVector;
+use crate::rank::RankSupport;
+use crate::select::SelectSupport;
+
+/// An ordinal tree encoded with LOUDS. Node ids are BFS (level) order,
+/// starting at 0 for the root.
+#[derive(Debug)]
+pub struct LoudsTree {
+    bits: BitVector,
+    rank: RankSupport,
+    sel1: SelectSupport,
+    sel0: SelectSupport,
+    /// Complemented bits, so select-0 can reuse [`SelectSupport`].
+    comp: BitVector,
+    num_nodes: usize,
+}
+
+impl LoudsTree {
+    /// Builds the encoding from a tree given as `children[node] = Vec<node>`
+    /// with node 0 the root. Encodes a virtual super-root ("10") first, the
+    /// standard trick that makes the identities uniform.
+    pub fn from_children(children: &[Vec<usize>]) -> Self {
+        let mut bits = BitVector::new();
+        bits.push(true); // super-root degree 1
+        bits.push(false);
+        // BFS
+        let mut queue = std::collections::VecDeque::from([0usize]);
+        let mut order = Vec::with_capacity(children.len());
+        while let Some(n) = queue.pop_front() {
+            order.push(n);
+            bits.push_n(true, children[n].len());
+            bits.push(false);
+            for &c in &children[n] {
+                queue.push_back(c);
+            }
+        }
+        let comp: BitVector = (0..bits.len()).map(|i| !bits.get(i)).collect();
+        let rank = RankSupport::new(&bits, 512);
+        let sel1 = SelectSupport::new(&bits, 64);
+        let sel0 = SelectSupport::new(&comp, 64);
+        Self {
+            bits,
+            rank,
+            sel1,
+            sel0,
+            comp,
+            num_nodes: children.len(),
+        }
+    }
+
+    /// Number of encoded nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Bit position where node `i` (BFS order, 0-based) starts.
+    pub fn node_pos(&self, i: usize) -> usize {
+        // position of i-th node = select0(i) + 1 with 1-based select and the
+        // super-root shifting everything by one zero.
+        self.sel0.select1(&self.comp, i + 1) + 1
+    }
+
+    /// Degree (number of children) of node `i`.
+    pub fn degree(&self, i: usize) -> usize {
+        let p = self.node_pos(i);
+        let mut d = 0;
+        while p + d < self.bits.len() && self.bits.get(p + d) {
+            d += 1;
+        }
+        d
+    }
+
+    /// BFS id of the `k`-th (0-based) child of node `i`, if any.
+    pub fn child(&self, i: usize, k: usize) -> Option<usize> {
+        let p = self.node_pos(i);
+        if k >= self.degree(i) {
+            return None;
+        }
+        // Child's node id = rank1(p + k) - 1 (super-root's one discounted by
+        // the node-id origin).
+        Some(self.rank.rank1(&self.bits, p + k) - 1)
+    }
+
+    /// BFS id of the parent of node `i` (`None` for the root).
+    pub fn parent(&self, i: usize) -> Option<usize> {
+        if i == 0 {
+            return None;
+        }
+        // The edge leading to node i is the (i+1)-th set bit (super-root
+        // owns the first). Its position lies within the parent's unary run.
+        let edge_pos = self.sel1.select1(&self.bits, i + 1);
+        // Number of zeros before edge_pos = parent's node id + 1.
+        let zeros = if edge_pos == 0 {
+            0
+        } else {
+            self.rank.rank0(&self.bits, edge_pos - 1)
+        };
+        Some(zeros - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The example tree from Figure 3.1-style diagrams: root with three
+    /// children; second child has two children; etc.
+    fn sample_tree() -> Vec<Vec<usize>> {
+        // 0 -> 1,2,3 ; 2 -> 4,5 ; 3 -> 6 ; 5 -> 7,8,9
+        vec![
+            vec![1, 2, 3],
+            vec![],
+            vec![4, 5],
+            vec![6],
+            vec![],
+            vec![7, 8, 9],
+            vec![],
+            vec![],
+            vec![],
+            vec![],
+        ]
+    }
+
+    #[test]
+    fn degrees_and_children() {
+        let t = LoudsTree::from_children(&sample_tree());
+        assert_eq!(t.num_nodes(), 10);
+        assert_eq!(t.degree(0), 3);
+        assert_eq!(t.degree(2), 2);
+        assert_eq!(t.degree(5), 3);
+        assert_eq!(t.degree(9), 0);
+        assert_eq!(t.child(0, 0), Some(1));
+        assert_eq!(t.child(0, 2), Some(3));
+        assert_eq!(t.child(2, 1), Some(5));
+        assert_eq!(t.child(5, 2), Some(9));
+        assert_eq!(t.child(1, 0), None);
+    }
+
+    #[test]
+    fn parents_invert_children() {
+        let tree = sample_tree();
+        let t = LoudsTree::from_children(&tree);
+        assert_eq!(t.parent(0), None);
+        for (p, kids) in tree.iter().enumerate() {
+            for (k, &c) in kids.iter().enumerate() {
+                assert_eq!(t.child(p, k), Some(c));
+                assert_eq!(t.parent(c), Some(p), "child {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn linear_chain() {
+        // 0 -> 1 -> 2 -> ... -> 9
+        let chain: Vec<Vec<usize>> = (0..10)
+            .map(|i| if i < 9 { vec![i + 1] } else { vec![] })
+            .collect();
+        let t = LoudsTree::from_children(&chain);
+        for i in 0..9 {
+            assert_eq!(t.child(i, 0), Some(i + 1));
+            assert_eq!(t.parent(i + 1), Some(i));
+        }
+    }
+
+    #[test]
+    fn wide_root() {
+        let mut tree = vec![Vec::new(); 257];
+        tree[0] = (1..257).collect();
+        let t = LoudsTree::from_children(&tree);
+        assert_eq!(t.degree(0), 256);
+        for k in 0..256 {
+            assert_eq!(t.child(0, k), Some(k + 1));
+            assert_eq!(t.parent(k + 1), Some(0));
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! Property tests: rank/select agree with naive counting on arbitrary bit
+//! patterns, for both FST block configurations and every select path.
+
+use memtree_succinct::{BitVector, RankSupport, SelectSupport};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn rank_matches_naive(bits in proptest::collection::vec(any::<bool>(), 1..3000)) {
+        let bv: BitVector = bits.iter().copied().collect();
+        for block in [64usize, 512] {
+            let rs = RankSupport::new(&bv, block);
+            let mut acc = 0usize;
+            for (i, &b) in bits.iter().enumerate() {
+                acc += usize::from(b);
+                prop_assert_eq!(rs.rank1(&bv, i), acc, "block {} pos {}", block, i);
+                prop_assert_eq!(rs.rank0(&bv, i), i + 1 - acc);
+            }
+        }
+    }
+
+    #[test]
+    fn select_matches_naive(
+        bits in proptest::collection::vec(any::<bool>(), 1..3000),
+        sample in 1usize..100,
+    ) {
+        let bv: BitVector = bits.iter().copied().collect();
+        let positions: Vec<usize> = bits
+            .iter()
+            .enumerate()
+            .filter(|(_, &b)| b)
+            .map(|(i, _)| i)
+            .collect();
+        let ss = SelectSupport::new(&bv, sample);
+        let rs = RankSupport::new(&bv, 512);
+        prop_assert_eq!(ss.ones(), positions.len());
+        for (k, &pos) in positions.iter().enumerate() {
+            prop_assert_eq!(ss.select1(&bv, k + 1), pos, "sampled k={}", k + 1);
+            prop_assert_eq!(
+                SelectSupport::select1_via_rank(&bv, &rs, k + 1),
+                pos,
+                "via-rank k={}",
+                k + 1
+            );
+        }
+    }
+
+    #[test]
+    fn rank_select_are_inverse(bits in proptest::collection::vec(any::<bool>(), 64..2000)) {
+        let bv: BitVector = bits.iter().copied().collect();
+        let rs = RankSupport::new(&bv, 64);
+        let ss = SelectSupport::new(&bv, 64);
+        for i in 1..=ss.ones() {
+            let pos = ss.select1(&bv, i);
+            prop_assert_eq!(rs.rank1(&bv, pos), i);
+            prop_assert!(bv.get(pos));
+        }
+    }
+}

@@ -1,0 +1,521 @@
+//! SuRF — the Succinct Range Filter (Chapter 4).
+//!
+//! SuRF turns the FST into an approximate-membership filter by storing
+//! only each key's *minimum distinguishing prefix plus one byte*
+//! (SuRF-Base), optionally augmented with per-key suffix bits:
+//!
+//! * **SuRF-Hash** — `n` low bits of a 64-bit key hash; cuts point-query
+//!   FPR below `2^-n` but contributes nothing to range queries.
+//! * **SuRF-Real** — the `n` key bits immediately following the stored
+//!   prefix; helps both point and range queries, but is weaker per bit for
+//!   points on correlated key sets.
+//! * **SuRF-Mixed** — a hash part and a real part, stored adjacently so
+//!   one fetch reads both.
+//!
+//! All operations guarantee **one-sided errors**: `false` means the
+//! key/range is definitely absent; `count` over-counts by at most 2.
+
+#![warn(missing_docs)]
+
+use memtree_common::hash::hash64;
+use memtree_common::mem::vec_bytes;
+use memtree_common::traits::{PointFilter, RangeFilter};
+use memtree_fst::{LookupResult, LoudsTrie, TrieIter, TrieOpts};
+
+/// Which suffix bits a SuRF stores per key (§4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SuffixConfig {
+    /// SuRF-Base: no suffix bits.
+    None,
+    /// SuRF-Hash: `n` hashed bits per key (1..=32).
+    Hash(u8),
+    /// SuRF-Real: `n` real key bits per key (1..=32).
+    Real(u8),
+    /// SuRF-Mixed: hash bits then real bits.
+    Mixed(u8, u8),
+}
+
+impl SuffixConfig {
+    fn hash_bits(self) -> u32 {
+        match self {
+            SuffixConfig::Hash(h) => h as u32,
+            SuffixConfig::Mixed(h, _) => h as u32,
+            _ => 0,
+        }
+    }
+
+    fn real_bits(self) -> u32 {
+        match self {
+            SuffixConfig::Real(r) => r as u32,
+            SuffixConfig::Mixed(_, r) => r as u32,
+            _ => 0,
+        }
+    }
+
+    fn total_bits(self) -> u32 {
+        self.hash_bits() + self.real_bits()
+    }
+}
+
+/// Fixed-width bit-packed array for the suffix store.
+#[derive(Debug, Default)]
+struct PackedBits {
+    words: Vec<u64>,
+    width: u32,
+}
+
+impl PackedBits {
+    fn new(width: u32, n: usize) -> Self {
+        Self {
+            words: vec![0; ((width as usize * n) + 63) / 64],
+            width,
+        }
+    }
+
+    fn set(&mut self, i: usize, value: u64) {
+        let w = self.width as usize;
+        if w == 0 {
+            return;
+        }
+        debug_assert!(w == 64 || value < (1u64 << w));
+        let bit = i * w;
+        let (word, off) = (bit / 64, bit % 64);
+        self.words[word] |= value << off;
+        if off + w > 64 {
+            self.words[word + 1] |= value >> (64 - off);
+        }
+    }
+
+    fn get(&self, i: usize) -> u64 {
+        let w = self.width as usize;
+        if w == 0 {
+            return 0;
+        }
+        let bit = i * w;
+        let (word, off) = (bit / 64, bit % 64);
+        let mut v = self.words[word] >> off;
+        if off + w > 64 {
+            v |= self.words[word + 1] << (64 - off);
+        }
+        v & (u64::MAX >> (64 - w))
+    }
+
+    fn mem_usage(&self) -> usize {
+        vec_bytes(&self.words)
+    }
+}
+
+/// The Succinct Range Filter.
+#[derive(Debug)]
+pub struct Surf {
+    trie: LoudsTrie,
+    suffixes: PackedBits,
+    config: SuffixConfig,
+    num_keys: usize,
+}
+
+/// Extracts `bits` key bits starting at byte offset `depth` (zero-padded
+/// past the end of the key), MSB-first so numeric order matches key order.
+fn real_suffix_bits(key: &[u8], depth: usize, bits: u32) -> u64 {
+    if bits == 0 {
+        return 0;
+    }
+    let mut v: u64 = 0;
+    let nbytes = bits.div_ceil(8) as usize;
+    for i in 0..nbytes {
+        let b = key.get(depth + i).copied().unwrap_or(0);
+        v = (v << 8) | b as u64;
+    }
+    v >> (nbytes as u32 * 8 - bits)
+}
+
+impl Surf {
+    /// Builds a SuRF over sorted, duplicate-free keys.
+    pub fn new(keys: &[&[u8]], config: SuffixConfig) -> Self {
+        let trie = LoudsTrie::build(keys, TrieOpts::surf());
+        let mut suffixes = PackedBits::new(config.total_bits(), trie.num_values());
+        if config.total_bits() > 0 {
+            // Stored-prefix depth of key i = max LCP with its neighbors + 1
+            // (capped at the key length) — exactly where truncation cut it.
+            let lcp = |a: &[u8], b: &[u8]| memtree_common::key::common_prefix_len(a, b);
+            for (value_idx, &key_idx) in trie.leaf_key_order().iter().enumerate() {
+                let k = keys[key_idx as usize];
+                let mut depth = 0usize;
+                if key_idx > 0 {
+                    depth = depth.max(lcp(keys[key_idx as usize - 1], k) + 1);
+                }
+                if (key_idx as usize) < keys.len() - 1 {
+                    depth = depth.max(lcp(k, keys[key_idx as usize + 1]) + 1);
+                }
+                let depth = depth.min(k.len()).max(1.min(k.len()));
+                let mut bits = 0u64;
+                let h = config.hash_bits();
+                if h > 0 {
+                    bits = hash64(k) & (u64::MAX >> (64 - h));
+                }
+                let r = config.real_bits();
+                if r > 0 {
+                    bits = (bits << r) | real_suffix_bits(k, depth, r);
+                }
+                suffixes.set(value_idx, bits);
+            }
+        }
+        Self {
+            trie,
+            suffixes,
+            config,
+            num_keys: keys.len(),
+        }
+    }
+
+    /// Convenience constructor from owned keys.
+    pub fn from_keys(keys: &[Vec<u8>], config: SuffixConfig) -> Self {
+        let refs: Vec<&[u8]> = keys.iter().map(|k| k.as_slice()).collect();
+        Self::new(&refs, config)
+    }
+
+    /// Number of keys the filter was built over.
+    pub fn num_keys(&self) -> usize {
+        self.num_keys
+    }
+
+    /// Bits of filter per stored key.
+    pub fn bits_per_key(&self) -> f64 {
+        (self.size_bytes() as f64 * 8.0) / self.num_keys.max(1) as f64
+    }
+
+    /// The underlying truncated trie.
+    pub fn trie(&self) -> &LoudsTrie {
+        &self.trie
+    }
+
+    /// Stored suffix bits for a value slot (hash bits above real bits).
+    fn stored(&self, value_idx: usize) -> u64 {
+        self.suffixes.get(value_idx)
+    }
+
+    fn check_suffix(&self, value_idx: usize, key: &[u8], depth: usize) -> bool {
+        let h = self.config.hash_bits();
+        let r = self.config.real_bits();
+        if h + r == 0 {
+            return true;
+        }
+        let stored = self.stored(value_idx);
+        if h > 0 {
+            let expect = hash64(key) & (u64::MAX >> (64 - h));
+            if stored >> r != expect {
+                return false;
+            }
+        }
+        if r > 0 {
+            let expect = real_suffix_bits(key, depth, r);
+            if stored & (u64::MAX >> (64 - r)) != expect {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Point membership test with the value-slot exposed (for tests).
+    pub fn lookup(&self, key: &[u8]) -> bool {
+        match self.trie.lookup(key) {
+            LookupResult::Found { value_idx, depth } => self.check_suffix(value_idx, key, depth),
+            LookupResult::NotFound => false,
+        }
+    }
+
+    /// SuRF's `moveToNext(k)` (§4.1.5): an iterator at the smallest stored
+    /// key `>= low` under one-sided-error semantics, refined by real suffix
+    /// bits where possible. Returns `(iter, fp_flag)`.
+    pub fn move_to_next<'a>(&'a self, low: &[u8]) -> (TrieIter<'a>, bool) {
+        let mut it = self.trie.lower_bound(low);
+        let mut fp = it.valid() && it.fp_flag();
+        if fp {
+            let r = self.config.real_bits();
+            if r > 0 {
+                // The stored key is a strict prefix of `low`; its real
+                // suffix bits order it against low's bits at that position.
+                let value_idx = it.value_idx();
+                let stored_real = self.stored(value_idx) & (u64::MAX >> (64 - r));
+                let query = real_suffix_bits(low, it.key().len(), r);
+                if stored_real < query {
+                    // Definitely smaller than low: advance.
+                    it.next();
+                    fp = false;
+                } else if stored_real > query {
+                    fp = false; // definitely >= low
+                }
+            }
+        }
+        (it, fp)
+    }
+
+    /// Approximate range count (§4.1.5): number of stored keys in
+    /// `[low, high)`; may over-count by at most 2 (one per boundary).
+    pub fn count(&self, low: &[u8], high: &[u8]) -> usize {
+        if low >= high {
+            return 0;
+        }
+        let (lo_it, _lo_fp) = self.move_to_next(low);
+        let (mut hi_it, hi_fp) = self.move_to_next(high);
+        if hi_fp && hi_it.valid() {
+            // Ambiguous boundary: include it (over-count, never under).
+            hi_it.next();
+        }
+        let before_hi = self.trie.count_before(&hi_it);
+        let before_lo = self.trie.count_before(&lo_it);
+        before_hi.saturating_sub(before_lo)
+    }
+}
+
+impl PointFilter for Surf {
+    fn may_contain(&self, key: &[u8]) -> bool {
+        self.lookup(key)
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.trie.mem_usage() + self.suffixes.mem_usage()
+    }
+}
+
+impl RangeFilter for Surf {
+    fn may_contain_range(&self, low: &[u8], high: &[u8]) -> bool {
+        if low >= high {
+            return false;
+        }
+        let (it, fp) = self.move_to_next(low);
+        if !it.valid() {
+            return false;
+        }
+        let _ = fp;
+        let k = it.key();
+        // `k` is the stored (possibly truncated) prefix of the candidate.
+        // If k >= high, the true key (an extension of k) is >= high too...
+        // unless k is a strict prefix of high, where extensions may fall
+        // either side — return true (one-sided).
+        if k < high {
+            return true;
+        }
+        // k >= high: definitely out of range only if high is not a prefix
+        // of k (an extension of a prefix < high can still be < high — but
+        // k >= high lexicographically already implies the extension is,
+        // too, unless k == high's prefix, impossible when k >= high and
+        // k != high[..k.len()]).
+        k.len() <= high.len() && &high[..k.len()] == k
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memtree_common::hash::splitmix64;
+    use memtree_common::key::encode_u64;
+
+    fn random_keys(n: usize, seed: u64) -> Vec<Vec<u8>> {
+        let mut state = seed;
+        let mut keys: Vec<Vec<u8>> = (0..n)
+            .map(|_| encode_u64(splitmix64(&mut state)).to_vec())
+            .collect();
+        keys.sort();
+        keys.dedup();
+        keys
+    }
+
+    fn email_keys(n: usize) -> Vec<Vec<u8>> {
+        let mut keys: Vec<Vec<u8>> = (0..n)
+            .map(|i| {
+                format!(
+                    "com.domain{:02}@user{:06}",
+                    i % 40,
+                    (i as u64).wrapping_mul(2654435761) % 1_000_000
+                )
+                .into_bytes()
+            })
+            .collect();
+        keys.sort();
+        keys.dedup();
+        keys
+    }
+
+    fn all_configs() -> Vec<SuffixConfig> {
+        vec![
+            SuffixConfig::None,
+            SuffixConfig::Hash(4),
+            SuffixConfig::Real(8),
+            SuffixConfig::Mixed(4, 4),
+        ]
+    }
+
+    #[test]
+    fn no_false_negatives_point() {
+        for keys in [random_keys(5000, 1), email_keys(5000)] {
+            for cfg in all_configs() {
+                let s = Surf::from_keys(&keys, cfg);
+                for k in &keys {
+                    assert!(s.may_contain(k), "false negative {k:?} cfg {cfg:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hash_suffix_fpr_bounded() {
+        // With n hash bits, FPR on disjoint queries must be ~2^-n.
+        let keys = random_keys(20_000, 3);
+        let s = Surf::from_keys(&keys, SuffixConfig::Hash(8));
+        let mut state = 999u64;
+        let mut fp = 0usize;
+        let trials = 20_000;
+        for _ in 0..trials {
+            let q = encode_u64(splitmix64(&mut state) | 1 << 63);
+            let miss = keys.binary_search(&q.to_vec()).is_err();
+            if miss && s.may_contain(&q) {
+                fp += 1;
+            }
+        }
+        let fpr = fp as f64 / trials as f64;
+        assert!(fpr < 0.03, "hash FPR too high: {fpr}");
+    }
+
+    #[test]
+    fn suffixes_reduce_fpr_in_order() {
+        // FPR(base) >= FPR(real8) and FPR(base) >= FPR(hash8) on emails.
+        let keys = email_keys(20_000);
+        let probes: Vec<Vec<u8>> = (0..10_000)
+            .map(|i| {
+                format!(
+                    "com.domain{:02}@user{:06}x",
+                    i % 40,
+                    (i as u64).wrapping_mul(97) % 1_000_000
+                )
+                .into_bytes()
+            })
+            .collect();
+        let fpr = |cfg: SuffixConfig| {
+            let s = Surf::from_keys(&keys, cfg);
+            let mut fp = 0;
+            let mut neg = 0;
+            for p in &probes {
+                if keys.binary_search(p).is_err() {
+                    neg += 1;
+                    if s.may_contain(p) {
+                        fp += 1;
+                    }
+                }
+            }
+            fp as f64 / neg as f64
+        };
+        let base = fpr(SuffixConfig::None);
+        let hash = fpr(SuffixConfig::Hash(8));
+        let real = fpr(SuffixConfig::Real(8));
+        assert!(hash <= base + 1e-9, "hash {hash} vs base {base}");
+        assert!(real <= base + 1e-9, "real {real} vs base {base}");
+        assert!(hash < 0.05, "hash FPR {hash}");
+    }
+
+    #[test]
+    fn no_false_negatives_range() {
+        let keys = random_keys(3000, 7);
+        for cfg in all_configs() {
+            let s = Surf::from_keys(&keys, cfg);
+            // Ranges built around every 50th stored key must hit.
+            for k in keys.iter().step_by(50) {
+                let lo = k.clone();
+                let hi = memtree_common::key::successor(k);
+                assert!(
+                    s.may_contain_range(&lo, &hi),
+                    "range miss around {k:?} cfg {cfg:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn range_filter_rejects_empty_gaps() {
+        // Keys spaced far apart: tight in-gap ranges should mostly be
+        // rejected (not a correctness requirement — an efficacy check).
+        let keys: Vec<Vec<u8>> = (0..10_000u64)
+            .map(|i| encode_u64(i << 20).to_vec())
+            .collect();
+        let s = Surf::from_keys(&keys, SuffixConfig::Real(8));
+        let mut rejected = 0;
+        let total = 1000;
+        for i in 0..total {
+            let base = ((i as u64) << 20) + 5000;
+            let lo = encode_u64(base);
+            let hi = encode_u64(base + 100);
+            if !s.may_contain_range(&lo, &hi) {
+                rejected += 1;
+            }
+        }
+        assert!(
+            rejected > total * 9 / 10,
+            "only {rejected}/{total} empty ranges rejected"
+        );
+    }
+
+    #[test]
+    fn count_over_counts_by_at_most_two() {
+        let keys = random_keys(5000, 11);
+        for cfg in [SuffixConfig::None, SuffixConfig::Real(8)] {
+            let s = Surf::from_keys(&keys, cfg);
+            let mut state = 77u64;
+            for _ in 0..500 {
+                let a = encode_u64(splitmix64(&mut state)).to_vec();
+                let b = encode_u64(splitmix64(&mut state)).to_vec();
+                let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+                let truth = keys.partition_point(|k| k.as_slice() < hi.as_slice())
+                    - keys.partition_point(|k| k.as_slice() < lo.as_slice());
+                let got = s.count(&lo, &hi);
+                assert!(
+                    got >= truth && got <= truth + 2,
+                    "count {got} vs truth {truth} cfg {cfg:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn base_is_about_10_bits_per_key_on_random_ints() {
+        let keys = random_keys(100_000, 13);
+        let s = Surf::from_keys(&keys, SuffixConfig::None);
+        let bpk = s.bits_per_key();
+        assert!(bpk > 5.0 && bpk < 16.0, "bits per key {bpk:.1}");
+        // Email keys share prefixes: more internal nodes per key.
+        let emails = email_keys(50_000);
+        let se = Surf::from_keys(&emails, SuffixConfig::None);
+        assert!(
+            se.bits_per_key() > bpk * 0.8,
+            "email {:.1} vs int {bpk:.1}",
+            se.bits_per_key()
+        );
+    }
+
+    #[test]
+    fn packed_bits_roundtrip() {
+        for width in [1u32, 4, 7, 8, 13, 32] {
+            let mut pb = PackedBits::new(width, 100);
+            let mask = u64::MAX >> (64 - width);
+            for i in 0..100usize {
+                pb.set(i, (i as u64 * 2654435761) & mask);
+            }
+            for i in 0..100usize {
+                assert_eq!(pb.get(i), (i as u64 * 2654435761) & mask, "w={width} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_suffix_uses_both_parts() {
+        let keys = email_keys(5000);
+        let s = Surf::from_keys(&keys, SuffixConfig::Mixed(4, 4));
+        for k in keys.iter().step_by(13) {
+            assert!(s.may_contain(k));
+        }
+        // Size reflects 8 suffix bits per key.
+        let base = Surf::from_keys(&keys, SuffixConfig::None);
+        let diff_bits =
+            (s.size_bytes() - base.size_bytes()) as f64 * 8.0 / keys.len() as f64;
+        assert!(diff_bits > 7.0 && diff_bits < 10.0, "diff {diff_bits:.1}");
+    }
+}

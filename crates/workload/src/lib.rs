@@ -1,0 +1,18 @@
+//! Workload generation for every experiment in the thesis.
+//!
+//! * [`zipf`] — YCSB's Zipfian / scrambled-Zipfian request distributions.
+//! * [`ycsb`] — workloads A (50/50 read/update), C (read-only) and
+//!   E (95/5 scan/insert) over a loaded key set.
+//! * [`keys`] — the thesis's key sets: 64-bit random and mono-inc
+//!   integers, host-reversed emails, wiki-title-like and URL-like strings,
+//!   and the SuRF worst-case dataset of Figure 4.10. Real corpora are
+//!   substituted with generators matching their reported statistics
+//!   (DESIGN.md §2).
+//! * [`timeseries`] — the Poisson sensor-event stream of §4.4.
+
+#![warn(missing_docs)]
+
+pub mod keys;
+pub mod timeseries;
+pub mod ycsb;
+pub mod zipf;

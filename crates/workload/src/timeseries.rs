@@ -1,0 +1,95 @@
+//! The §4.4 time-series dataset: distributed sensors emitting Poisson
+//! events. Each record key is a 128-bit value — 64-bit timestamp followed
+//! by 64-bit sensor id — so keys sort by time.
+
+use memtree_common::hash::splitmix64;
+
+/// One sensor event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Nanosecond timestamp.
+    pub timestamp: u64,
+    /// Sensor identifier.
+    pub sensor: u64,
+}
+
+impl Event {
+    /// The 16-byte key: big-endian timestamp ++ big-endian sensor id.
+    pub fn key(&self) -> [u8; 16] {
+        let mut k = [0u8; 16];
+        k[..8].copy_from_slice(&self.timestamp.to_be_bytes());
+        k[8..].copy_from_slice(&self.sensor.to_be_bytes());
+        k
+    }
+}
+
+/// Generates `sensors` Poisson processes with expected inter-arrival
+/// `lambda_ns`, each running for `duration_ns`, merged into one
+/// time-sorted event stream. Start offsets are randomized within one
+/// expected period, as in the thesis setup.
+pub fn sensor_events(sensors: u64, lambda_ns: u64, duration_ns: u64, seed: u64) -> Vec<Event> {
+    let mut state = seed;
+    let mut events = Vec::new();
+    for sensor in 0..sensors {
+        let mut t = splitmix64(&mut state) % lambda_ns.max(1);
+        while t < duration_ns {
+            events.push(Event {
+                timestamp: t,
+                sensor,
+            });
+            // Exponential inter-arrival: -ln(U) * lambda.
+            let u = ((splitmix64(&mut state) >> 11) as f64 + 1.0) / (1u64 << 53) as f64;
+            let gap = (-u.ln() * lambda_ns as f64).ceil() as u64;
+            t += gap.max(1);
+        }
+    }
+    events.sort_unstable_by_key(|e| (e.timestamp, e.sensor));
+    events
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_sorted_and_keys_order_preserving() {
+        let events = sensor_events(20, 100_000, 10_000_000, 7);
+        assert!(!events.is_empty());
+        for w in events.windows(2) {
+            assert!(w[0].timestamp <= w[1].timestamp);
+            assert!(w[0].key() < w[1].key() || w[0] == w[1]);
+        }
+    }
+
+    #[test]
+    fn poisson_rate_approximately_correct() {
+        // Expected events per sensor = duration / lambda.
+        let events = sensor_events(10, 200_000, 100_000_000, 3);
+        let expect = 10.0 * (100_000_000.0 / 200_000.0);
+        let got = events.len() as f64;
+        assert!(
+            (got - expect).abs() < expect * 0.25,
+            "got {got} expected ~{expect}"
+        );
+    }
+
+    #[test]
+    fn empty_interval_probability_matches_exponential() {
+        // P(no event in interval R) ≈ e^{-R/λ} for a single sensor.
+        let events = sensor_events(1, 100_000, 1_000_000_000, 11);
+        let r = 69_310u64; // ln(2) * lambda: ~50% empty
+        let mut empty = 0;
+        let trials = 1000;
+        let mut state = 5u64;
+        for _ in 0..trials {
+            let start = splitmix64(&mut state) % (1_000_000_000 - r);
+            let i = events.partition_point(|e| e.timestamp < start);
+            let has = i < events.len() && events[i].timestamp < start + r;
+            if !has {
+                empty += 1;
+            }
+        }
+        let frac = empty as f64 / trials as f64;
+        assert!((0.35..0.65).contains(&frac), "empty fraction {frac}");
+    }
+}

@@ -1,0 +1,154 @@
+//! YCSB core workloads (§2.5, §5.3.1): A (50/50 read/update), C
+//! (read-only), E (95/5 scan/insert), plus the insert-only load phase.
+
+use crate::zipf::Zipfian;
+use memtree_common::hash::splitmix64;
+
+/// The YCSB workload mixes used throughout the thesis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mix {
+    /// Insert-only (the load phase measured as its own workload).
+    InsertOnly,
+    /// Workload A: 50 % reads, 50 % updates.
+    A,
+    /// Workload C: 100 % reads.
+    C,
+    /// Workload E: 95 % short scans, 5 % inserts.
+    E,
+}
+
+impl Mix {
+    /// Thesis-order list.
+    pub fn all() -> [Mix; 4] {
+        [Mix::InsertOnly, Mix::C, Mix::A, Mix::E]
+    }
+
+    /// Figure-label name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Mix::InsertOnly => "insert-only",
+            Mix::A => "read/write",
+            Mix::C => "read-only",
+            Mix::E => "scan/insert",
+        }
+    }
+}
+
+/// One generated operation. Key indexes refer to the loaded key set;
+/// `Insert` carries an index into the *reserve* key set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Point read of loaded key `i`.
+    Read(usize),
+    /// Value update of loaded key `i`.
+    Update(usize),
+    /// Insert of reserve key `i`.
+    Insert(usize),
+    /// Scan starting at loaded key `i` for `len` items.
+    Scan(usize, usize),
+}
+
+/// Generates the operation stream for a mix over `loaded` keys with
+/// Zipfian access skew (YCSB default).
+#[derive(Debug)]
+pub struct OpGenerator {
+    mix: Mix,
+    zipf: Zipfian,
+    state: u64,
+    inserted: usize,
+}
+
+impl OpGenerator {
+    /// Creates a generator over `loaded` keys.
+    pub fn new(mix: Mix, loaded: usize, seed: u64) -> Self {
+        Self {
+            mix,
+            zipf: Zipfian::new(loaded.max(1), seed),
+            state: seed ^ 0xdead_beef,
+            inserted: 0,
+        }
+    }
+
+    /// Next operation.
+    pub fn next(&mut self) -> Op {
+        let pick = self.zipf.next_scrambled();
+        match self.mix {
+            Mix::InsertOnly => {
+                let i = self.inserted;
+                self.inserted += 1;
+                Op::Insert(i)
+            }
+            Mix::C => Op::Read(pick),
+            Mix::A => {
+                if splitmix64(&mut self.state) % 2 == 0 {
+                    Op::Read(pick)
+                } else {
+                    Op::Update(pick)
+                }
+            }
+            Mix::E => {
+                if splitmix64(&mut self.state) % 100 < 5 {
+                    let i = self.inserted;
+                    self.inserted += 1;
+                    Op::Insert(i)
+                } else {
+                    // YCSB-E scans 50–100 items.
+                    let len = 50 + (splitmix64(&mut self.state) % 51) as usize;
+                    Op::Scan(pick, len)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mixes_have_expected_ratios() {
+        let count = |mix: Mix| {
+            let mut g = OpGenerator::new(mix, 1000, 42);
+            let mut reads = 0;
+            let mut updates = 0;
+            let mut inserts = 0;
+            let mut scans = 0;
+            for _ in 0..10_000 {
+                match g.next() {
+                    Op::Read(_) => reads += 1,
+                    Op::Update(_) => updates += 1,
+                    Op::Insert(_) => inserts += 1,
+                    Op::Scan(..) => scans += 1,
+                }
+            }
+            (reads, updates, inserts, scans)
+        };
+        let (r, u, i, s) = count(Mix::C);
+        assert_eq!((r, u, i, s), (10_000, 0, 0, 0));
+        let (r, u, _, _) = count(Mix::A);
+        assert!((4000..6000).contains(&r) && (4000..6000).contains(&u));
+        let (_, _, i, s) = count(Mix::E);
+        assert!((300..800).contains(&i), "inserts {i}");
+        assert!(s > 9000);
+        let (_, _, i, _) = count(Mix::InsertOnly);
+        assert_eq!(i, 10_000);
+    }
+
+    #[test]
+    fn insert_indexes_are_sequential() {
+        let mut g = OpGenerator::new(Mix::InsertOnly, 10, 1);
+        for expect in 0..100 {
+            assert_eq!(g.next(), Op::Insert(expect));
+        }
+    }
+
+    #[test]
+    fn scan_lengths_in_ycsb_range() {
+        let mut g = OpGenerator::new(Mix::E, 1000, 5);
+        for _ in 0..1000 {
+            if let Op::Scan(_, len) = g.next() {
+                assert!((50..=100).contains(&len));
+            }
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! Request distributions: uniform, Zipfian (YCSB's incremental generator,
+//! Gray et al.), and scrambled Zipfian (hot items spread over the key
+//! space, as YCSB uses for its default workloads).
+
+use memtree_common::hash::{fmix64, splitmix64};
+
+/// YCSB's default Zipfian constant.
+pub const ZIPFIAN_CONSTANT: f64 = 0.99;
+
+/// Picks items `0..n` with a Zipfian distribution (item 0 hottest).
+#[derive(Debug, Clone)]
+pub struct Zipfian {
+    n: usize,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+    zeta2theta: f64,
+    state: u64,
+}
+
+impl Zipfian {
+    /// Creates a generator over `n` items with the default skew.
+    pub fn new(n: usize, seed: u64) -> Self {
+        Self::with_theta(n, ZIPFIAN_CONSTANT, seed)
+    }
+
+    /// Creates a generator with explicit skew `theta` in (0, 1).
+    pub fn with_theta(n: usize, theta: f64, seed: u64) -> Self {
+        assert!(n > 0);
+        let zetan = Self::zeta(n, theta);
+        let zeta2theta = Self::zeta(2, theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2theta / zetan);
+        Self {
+            n,
+            theta,
+            alpha,
+            zetan,
+            eta,
+            zeta2theta,
+            state: seed,
+        }
+    }
+
+    fn zeta(n: usize, theta: f64) -> f64 {
+        // Exact for small n; sampled + extrapolated for large n (the
+        // harmonic-like sum converges slowly but smoothly).
+        if n <= 1_000_000 {
+            (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+        } else {
+            let base: f64 = (1..=1_000_000)
+                .map(|i| 1.0 / (i as f64).powf(theta))
+                .sum();
+            // ∫ x^-theta dx from 1e6 to n.
+            base + ((n as f64).powf(1.0 - theta) - 1_000_000f64.powf(1.0 - theta)) / (1.0 - theta)
+        }
+    }
+
+    /// Next sample in `0..n` (0 is the hottest item).
+    pub fn next(&mut self) -> usize {
+        let u = (splitmix64(&mut self.state) >> 11) as f64 / (1u64 << 53) as f64;
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let idx = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as usize;
+        idx.min(self.n - 1)
+    }
+
+    /// Zipfian rank scrambled over the item space with a 64-bit mixer —
+    /// YCSB's `ScrambledZipfianGenerator`.
+    pub fn next_scrambled(&mut self) -> usize {
+        (fmix64(self.next() as u64) % self.n as u64) as usize
+    }
+
+    /// The skew parameter.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// Unused-field silencer with meaning: zeta(2,θ) participates in eta.
+    #[doc(hidden)]
+    pub fn zeta2(&self) -> f64 {
+        self.zeta2theta
+    }
+}
+
+/// Uniform picks over `0..n`.
+#[derive(Debug, Clone)]
+pub struct Uniform {
+    n: usize,
+    state: u64,
+}
+
+impl Uniform {
+    /// Creates a generator over `n` items.
+    pub fn new(n: usize, seed: u64) -> Self {
+        assert!(n > 0);
+        Self { n, state: seed }
+    }
+
+    /// Next sample.
+    pub fn next(&mut self) -> usize {
+        (splitmix64(&mut self.state) % self.n as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipfian_is_skewed_toward_zero() {
+        let mut z = Zipfian::new(10_000, 7);
+        let mut counts = vec![0u32; 10_000];
+        for _ in 0..100_000 {
+            counts[z.next()] += 1;
+        }
+        // Item 0 should absorb a large share; the tail should be thin.
+        assert!(counts[0] > 5_000, "head {}", counts[0]);
+        assert!(counts[0] > counts[100] * 10);
+        let tail: u32 = counts[5000..].iter().sum();
+        assert!(tail < 20_000, "tail {tail}");
+    }
+
+    #[test]
+    fn scrambled_spreads_hot_items() {
+        let mut z = Zipfian::new(10_000, 13);
+        let mut hits = std::collections::HashSet::new();
+        for _ in 0..1000 {
+            hits.insert(z.next_scrambled());
+        }
+        // Scrambling should place hot items across the space.
+        let min = *hits.iter().min().unwrap();
+        let max = *hits.iter().max().unwrap();
+        assert!(max - min > 5000, "range {min}..{max}");
+    }
+
+    #[test]
+    fn samples_in_range() {
+        let mut z = Zipfian::new(100, 1);
+        let mut u = Uniform::new(100, 2);
+        for _ in 0..10_000 {
+            assert!(z.next() < 100);
+            assert!(z.next_scrambled() < 100);
+            assert!(u.next() < 100);
+        }
+    }
+
+    #[test]
+    fn uniform_is_roughly_flat() {
+        let mut u = Uniform::new(64, 3);
+        let mut counts = vec![0u32; 64];
+        for _ in 0..64_000 {
+            counts[u.next()] += 1;
+        }
+        assert!(counts.iter().all(|&c| c > 700 && c < 1300));
+    }
+}

@@ -1,0 +1,55 @@
+//! The hybrid index inside an OLTP engine: run TPC-C on the mini H-Store
+//! with each index configuration and compare throughput and memory
+//! (Figure 5.11's experiment at laptop scale).
+//!
+//! ```sh
+//! cargo run --release --example hybrid_oltp
+//! ```
+
+use memtree::hstore::db::IndexChoice;
+use memtree::hstore::tpcc::{Tpcc, TpccConfig};
+use memtree::hstore::Database;
+use std::time::Instant;
+
+fn main() {
+    let cfg = TpccConfig {
+        warehouses: 2,
+        items: 20_000,
+        customers_per_district: 600,
+    };
+    println!("TPC-C, {} warehouses, {} items", cfg.warehouses, cfg.items);
+    println!(
+        "{:<20} {:>10} {:>12} {:>12} {:>12}",
+        "index", "txn/s", "index MB", "tuple MB", "total MB"
+    );
+    for choice in [
+        IndexChoice::BTree,
+        IndexChoice::Hybrid,
+        IndexChoice::HybridCompressed,
+    ] {
+        let mut db = Database::new(choice);
+        let mut tpcc = Tpcc::load(&mut db, cfg, 42);
+        // Warm up, then measure.
+        for _ in 0..2_000 {
+            tpcc.run_one(&mut db);
+        }
+        let txns = 20_000;
+        let start = Instant::now();
+        for _ in 0..txns {
+            tpcc.run_one(&mut db);
+        }
+        let secs = start.elapsed().as_secs_f64();
+        let stats = db.stats();
+        println!(
+            "{:<20} {:>10.0} {:>12.1} {:>12.1} {:>12.1}",
+            choice.name(),
+            txns as f64 / secs,
+            (stats.primary_index_bytes + stats.secondary_index_bytes) as f64 / 1e6,
+            stats.tuple_bytes as f64 / 1e6,
+            stats.total() as f64 / 1e6,
+        );
+    }
+    println!();
+    println!("hybrid indexes trade a few percent of throughput for a much");
+    println!("smaller index footprint (thesis: 40-55% index memory saved).");
+}

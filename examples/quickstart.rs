@@ -1,0 +1,105 @@
+//! Quickstart: one tour through the thesis's recipe.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use memtree::prelude::*;
+use memtree::trees::{BPlusTree, CompactBTree};
+use memtree::workload::keys;
+
+fn main() {
+    // ------------------------------------------------------------------
+    // Step 0: a key set. 200k email addresses (host-reversed).
+    // ------------------------------------------------------------------
+    let raw = keys::email_keys(200_000, 42);
+    let sorted = keys::sorted_unique(raw);
+    let entries: Vec<(Vec<u8>, u64)> = sorted
+        .iter()
+        .enumerate()
+        .map(|(i, k)| (k.clone(), i as u64))
+        .collect();
+    println!("loaded {} email keys", entries.len());
+
+    // ------------------------------------------------------------------
+    // Step 1 (Ch. 2): dynamic tree vs its D-to-S compact version.
+    // ------------------------------------------------------------------
+    let mut dynamic = BPlusTree::new();
+    for (k, v) in &entries {
+        dynamic.insert(k, *v);
+    }
+    let compact = CompactBTree::build(&entries);
+    println!(
+        "B+tree: dynamic {:.1} MB -> compact {:.1} MB ({}% saved)",
+        dynamic.mem_usage() as f64 / 1e6,
+        compact.mem_usage() as f64 / 1e6,
+        100 - 100 * compact.mem_usage() / dynamic.mem_usage()
+    );
+
+    // ------------------------------------------------------------------
+    // Step 2 (Ch. 3): the Fast Succinct Trie.
+    // ------------------------------------------------------------------
+    let fst = Fst::build(&entries);
+    println!(
+        "FST: {:.1} MB, {:.1} bits/node over {} nodes",
+        fst.mem_usage() as f64 / 1e6,
+        fst.trie().mem_usage() as f64 * 8.0 / fst.trie().num_nodes() as f64,
+        fst.trie().num_nodes()
+    );
+    let probe = &entries[12345];
+    assert_eq!(fst.get(&probe.0), Some(probe.1));
+
+    // ------------------------------------------------------------------
+    // Step 3 (Ch. 4): SuRF — approximate range filtering.
+    // ------------------------------------------------------------------
+    let surf = Surf::from_keys(&sorted, SuffixConfig::Real(8));
+    println!(
+        "SuRF-Real8: {:.1} bits per key (complete keys average {:.0} bits)",
+        surf.bits_per_key(),
+        sorted.iter().map(|k| k.len()).sum::<usize>() as f64 * 8.0 / sorted.len() as f64
+    );
+    assert!(surf.may_contain(&probe.0));
+    let miss = b"zz.unknown@nobody".to_vec();
+    println!(
+        "  point query on an absent key -> {}",
+        surf.may_contain(&miss)
+    );
+
+    // ------------------------------------------------------------------
+    // Step 4 (Ch. 5): the hybrid index keeps writes fast.
+    // ------------------------------------------------------------------
+    let mut hybrid = HybridBTree::new();
+    for (k, v) in &entries {
+        hybrid.insert(k, *v);
+    }
+    println!(
+        "Hybrid B+tree: {:.1} MB after {} merges (dynamic stage holds {} of {} keys)",
+        hybrid.mem_usage() as f64 / 1e6,
+        hybrid.merge_stats().merges,
+        hybrid.dynamic_len(),
+        hybrid.len()
+    );
+
+    // ------------------------------------------------------------------
+    // Step 5 (Ch. 6): HOPE compresses the keys themselves.
+    // ------------------------------------------------------------------
+    let sample: Vec<Vec<u8>> = sorted.iter().step_by(100).cloned().collect();
+    let hope = Hope::train_keys(Scheme::ThreeGrams, &sample, 1 << 16);
+    let refs: Vec<&[u8]> = sorted.iter().map(|k| k.as_slice()).collect();
+    println!(
+        "HOPE 3-Grams: compression rate {:.2}x with a {:.0} KB dictionary",
+        hope.cpr(&refs),
+        hope.dict_mem() as f64 / 1e3
+    );
+    let mut compressed_tree = HopeIndex::new(BPlusTree::new(), hope);
+    for (k, v) in &entries {
+        compressed_tree.insert(k, *v);
+    }
+    println!(
+        "HOPE-encoded B+tree: {:.1} MB vs plain {:.1} MB",
+        compressed_tree.mem_usage() as f64 / 1e6,
+        dynamic.mem_usage() as f64 / 1e6
+    );
+    assert_eq!(compressed_tree.get(&probe.0), Some(probe.1));
+    println!("all lookups verified — recipe complete");
+}

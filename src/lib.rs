@@ -1,0 +1,12 @@
+//! # memtree
+//!
+//! Memory-efficient search trees for database management systems — a
+//! from-scratch Rust reproduction of Huanchen Zhang's thesis (FST, SuRF,
+//! the Hybrid Index, and HOPE, plus every substrate they are evaluated
+//! on). This crate re-exports [`memtree_core`]; see that crate's
+//! documentation for the full map, `DESIGN.md` for the system inventory,
+//! and `EXPERIMENTS.md` for reproduced results.
+
+#![warn(missing_docs)]
+
+pub use memtree_core::*;

@@ -1,0 +1,155 @@
+//! Cross-crate consistency: every dynamic tree and every static tree must
+//! behave identically to a `BTreeMap` reference model under randomized
+//! operation sequences.
+
+use memtree::prelude::*;
+use memtree::trees::*;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone)]
+enum Action {
+    Insert(Vec<u8>, u64),
+    Get(Vec<u8>),
+    Update(Vec<u8>, u64),
+    Remove(Vec<u8>),
+    Scan(Vec<u8>, usize),
+}
+
+fn key_strategy() -> impl Strategy<Value = Vec<u8>> {
+    // Small alphabet + short keys maximize prefix/boundary collisions.
+    proptest::collection::vec(prop_oneof![Just(b'a'), Just(b'b'), Just(b'c')], 0..7)
+}
+
+fn action_strategy() -> impl Strategy<Value = Action> {
+    prop_oneof![
+        (key_strategy(), any::<u64>()).prop_map(|(k, v)| Action::Insert(k, v)),
+        key_strategy().prop_map(Action::Get),
+        (key_strategy(), any::<u64>()).prop_map(|(k, v)| Action::Update(k, v)),
+        key_strategy().prop_map(Action::Remove),
+        (key_strategy(), 0..20usize).prop_map(|(k, n)| Action::Scan(k, n)),
+    ]
+}
+
+fn check_against_model<T: OrderedIndex>(tree: &mut T, actions: &[Action]) {
+    let mut model: BTreeMap<Vec<u8>, u64> = BTreeMap::new();
+    for (step, action) in actions.iter().enumerate() {
+        match action {
+            Action::Insert(k, v) => {
+                let expect = !model.contains_key(k);
+                if expect {
+                    model.insert(k.clone(), *v);
+                }
+                assert_eq!(tree.insert(k, *v), expect, "step {step} insert {k:?}");
+            }
+            Action::Get(k) => {
+                assert_eq!(tree.get(k), model.get(k).copied(), "step {step} get {k:?}");
+            }
+            Action::Update(k, v) => {
+                let expect = model.contains_key(k);
+                if expect {
+                    model.insert(k.clone(), *v);
+                }
+                assert_eq!(tree.update(k, *v), expect, "step {step} update {k:?}");
+            }
+            Action::Remove(k) => {
+                let expect = model.remove(k).is_some();
+                assert_eq!(tree.remove(k), expect, "step {step} remove {k:?}");
+            }
+            Action::Scan(k, n) => {
+                let expect: Vec<u64> = model.range(k.clone()..).take(*n).map(|(_, v)| *v).collect();
+                let mut got = Vec::new();
+                tree.scan(k, *n, &mut got);
+                assert_eq!(got, expect, "step {step} scan {k:?}+{n}");
+            }
+        }
+        assert_eq!(tree.len(), model.len(), "step {step} len");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn btree_matches_model(actions in proptest::collection::vec(action_strategy(), 1..120)) {
+        check_against_model(&mut BPlusTree::with_fanout(4), &actions);
+    }
+
+    #[test]
+    fn skiplist_matches_model(actions in proptest::collection::vec(action_strategy(), 1..120)) {
+        check_against_model(&mut SkipList::new(), &actions);
+    }
+
+    #[test]
+    fn art_matches_model(actions in proptest::collection::vec(action_strategy(), 1..120)) {
+        check_against_model(&mut Art::new(), &actions);
+    }
+
+    #[test]
+    fn masstree_matches_model(actions in proptest::collection::vec(action_strategy(), 1..120)) {
+        check_against_model(&mut Masstree::new(), &actions);
+    }
+
+    #[test]
+    fn prefix_btree_matches_model(actions in proptest::collection::vec(action_strategy(), 1..120)) {
+        check_against_model(&mut PrefixBTree::with_fanout(4), &actions);
+    }
+
+    #[test]
+    fn hybrid_btree_matches_model(actions in proptest::collection::vec(action_strategy(), 1..120)) {
+        check_against_model(&mut HybridBTree::new(), &actions);
+    }
+
+    #[test]
+    fn static_trees_match_sorted_input(
+        keys in proptest::collection::btree_set(key_strategy(), 1..200),
+        probes in proptest::collection::vec(key_strategy(), 10),
+    ) {
+        let entries: Vec<(Vec<u8>, u64)> = keys
+            .iter()
+            .enumerate()
+            .map(|(i, k)| (k.clone(), i as u64))
+            .collect();
+        let model: BTreeMap<&[u8], u64> =
+            entries.iter().map(|(k, v)| (k.as_slice(), *v)).collect();
+
+        let compact_b = CompactBTree::build(&entries);
+        let compact_s = CompactSkipList::build(&entries);
+        let compact_a = CompactArt::build(&entries);
+        let compact_m = CompactMasstree::build(&entries);
+        let compressed = CompressedBTree::build(&entries);
+        let fst = Fst::build(&entries);
+
+        for probe in keys.iter().chain(probes.iter()) {
+            let expect = model.get(probe.as_slice()).copied();
+            prop_assert_eq!(compact_b.get(probe), expect, "compact-btree {:?}", probe);
+            prop_assert_eq!(compact_s.get(probe), expect, "compact-skiplist {:?}", probe);
+            prop_assert_eq!(compact_a.get(probe), expect, "compact-art {:?}", probe);
+            prop_assert_eq!(compact_m.get(probe), expect, "compact-masstree {:?}", probe);
+            prop_assert_eq!(compressed.get(probe), expect, "compressed {:?}", probe);
+            prop_assert_eq!(fst.get(probe), expect, "fst {:?}", probe);
+            // Scans agree too.
+            let expect_scan: Vec<u64> = model
+                .range(probe.as_slice()..)
+                .take(5)
+                .map(|(_, v)| *v)
+                .collect();
+            for (name, got) in [
+                ("compact-btree", scan_of(&compact_b, probe)),
+                ("compact-skiplist", scan_of(&compact_s, probe)),
+                ("compact-art", scan_of(&compact_a, probe)),
+                ("compact-masstree", scan_of(&compact_m, probe)),
+                ("compressed", scan_of(&compressed, probe)),
+                ("fst", scan_of(&fst, probe)),
+            ] {
+                prop_assert_eq!(&got, &expect_scan, "{} scan {:?}", name, probe);
+            }
+        }
+    }
+}
+
+fn scan_of<T: StaticIndex>(t: &T, low: &[u8]) -> Vec<u64> {
+    let mut out = Vec::new();
+    t.scan(low, 5, &mut out);
+    out
+}
