@@ -190,12 +190,11 @@ impl CompactArt {
         }
         path.extend_from_slice(prefix);
         let ndepth = path.len();
-        if !restricted && m.terminal != 0 {
-            if !f(path, self.terminal_vals[m.terminal as usize - 1]) {
+        if !restricted && m.terminal != 0
+            && !f(path, self.terminal_vals[m.terminal as usize - 1]) {
                 path.truncate(depth);
                 return false;
             }
-        }
         let pivot = if restricted { low[ndepth] } else { 0 };
         let mut cont = true;
         if m.edges_len == LAYOUT3 {

@@ -407,7 +407,7 @@ impl Art {
                         }),
                     );
                 }
-                *node = Box::new(Node::Inner(Box::new(inner)));
+                **node = Node::Inner(Box::new(inner));
                 true
             }
             Node::Inner(inner) => {
@@ -441,7 +441,7 @@ impl Art {
                             }),
                         );
                     }
-                    *node = Box::new(Node::Inner(Box::new(new_inner)));
+                    **node = Node::Inner(Box::new(new_inner));
                     return true;
                 }
                 let depth = depth + inner.prefix.len();
@@ -531,14 +531,14 @@ impl Art {
                         let (byte, child) = inner.children.only_child().unwrap();
                         match *child {
                             Node::Leaf { key, value } => {
-                                *node = Box::new(Node::Leaf { key, value });
+                                **node = Node::Leaf { key, value };
                             }
                             Node::Inner(mut cin) => {
                                 let mut new_prefix = std::mem::take(&mut inner.prefix);
                                 new_prefix.push(byte);
                                 new_prefix.extend_from_slice(&cin.prefix);
                                 cin.prefix = new_prefix;
-                                *node = Box::new(Node::Inner(cin));
+                                **node = Node::Inner(cin);
                             }
                         }
                         false

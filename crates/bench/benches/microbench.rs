@@ -1,8 +1,12 @@
-//! Criterion microbenchmarks over the core operations: one group per
-//! headline claim. (The per-table/figure harness is the `repro` binary;
-//! these benches give statistically robust single-operation numbers.)
+//! Microbenchmarks over the core operations: one group per headline
+//! claim. (The per-table/figure harness is the `repro` binary; these give
+//! quick single-operation numbers.)
+//!
+//! Plain `harness = false` binary with manual timing — the workspace
+//! builds fully offline, so no external bench framework. Each benchmark
+//! runs a batch several times and reports the best ns/op (min over runs
+//! rejects scheduler noise better than the mean).
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use memtree_btree::{BPlusTree, CompactBTree};
 use memtree_common::traits::{OrderedIndex, PointFilter, StaticIndex};
 use memtree_fst::{Fst, TrieOpts};
@@ -11,8 +15,10 @@ use memtree_hybrid::HybridBTree;
 use memtree_surf::{SuffixConfig, Surf};
 use memtree_workload::keys;
 use memtree_workload::zipf::Zipfian;
+use std::time::Instant;
 
 const N_KEYS: usize = 200_000;
+const RUNS: usize = 5;
 
 fn int_entries() -> Vec<(Vec<u8>, u64)> {
     keys::sorted_unique(keys::rand_u64_keys(N_KEYS, 1))
@@ -27,168 +33,113 @@ fn picks(n: usize) -> Vec<usize> {
     (0..n).map(|_| z.next_scrambled()).collect()
 }
 
-fn bench_point_queries(c: &mut Criterion) {
+/// Times `f` (which performs `ops` operations and returns an accumulator
+/// to defeat dead-code elimination) over several runs; prints best ns/op.
+fn bench<T: std::fmt::Debug>(group: &str, name: &str, ops: usize, mut f: impl FnMut() -> T) {
+    let mut best = f64::INFINITY;
+    let mut sink = None;
+    for _ in 0..RUNS {
+        let start = Instant::now();
+        sink = Some(f());
+        let ns = start.elapsed().as_nanos() as f64 / ops as f64;
+        best = best.min(ns);
+    }
+    println!("{group:<14} {name:<18} {best:>10.1} ns/op   (sink {:?})", sink.unwrap());
+}
+
+fn bench_point_queries() {
     let entries = int_entries();
     let keyset: Vec<&[u8]> = entries.iter().map(|(k, _)| k.as_slice()).collect();
     let idx = picks(1 << 14);
-
-    let mut group = c.benchmark_group("point_query");
-    group.throughput(Throughput::Elements(idx.len() as u64));
+    let ops = idx.len();
 
     let mut btree = BPlusTree::new();
     for (k, v) in &entries {
         btree.insert(k, *v);
     }
-    group.bench_function("btree", |b| {
-        b.iter(|| {
-            let mut acc = 0u64;
-            for &i in &idx {
-                acc += btree.get(keyset[i]).unwrap();
-            }
-            acc
-        })
+    bench("point_query", "btree", ops, || {
+        idx.iter().map(|&i| btree.get(keyset[i]).unwrap()).sum::<u64>()
     });
 
     let compact = CompactBTree::build(&entries);
-    group.bench_function("compact_btree", |b| {
-        b.iter(|| {
-            let mut acc = 0u64;
-            for &i in &idx {
-                acc += compact.get(keyset[i]).unwrap();
-            }
-            acc
-        })
+    bench("point_query", "compact_btree", ops, || {
+        idx.iter().map(|&i| compact.get(keyset[i]).unwrap()).sum::<u64>()
     });
 
     let mut art = memtree_art::Art::new();
     for (k, v) in &entries {
         art.insert(k, *v);
     }
-    group.bench_function("art", |b| {
-        b.iter(|| {
-            let mut acc = 0u64;
-            for &i in &idx {
-                acc += art.get(keyset[i]).unwrap();
-            }
-            acc
-        })
+    bench("point_query", "art", ops, || {
+        idx.iter().map(|&i| art.get(keyset[i]).unwrap()).sum::<u64>()
     });
 
     let fst = Fst::build(&entries);
-    group.bench_function("fst", |b| {
-        b.iter(|| {
-            let mut acc = 0u64;
-            for &i in &idx {
-                acc += fst.get(keyset[i]).unwrap();
-            }
-            acc
-        })
+    bench("point_query", "fst", ops, || {
+        idx.iter().map(|&i| fst.get(keyset[i]).unwrap()).sum::<u64>()
     });
 
     let fst_baseline = Fst::build_with(&entries, TrieOpts::baseline());
-    group.bench_function("fst_unoptimized", |b| {
-        b.iter(|| {
-            let mut acc = 0u64;
-            for &i in &idx {
-                acc += fst_baseline.get(keyset[i]).unwrap();
-            }
-            acc
-        })
+    bench("point_query", "fst_unoptimized", ops, || {
+        idx.iter()
+            .map(|&i| fst_baseline.get(keyset[i]).unwrap())
+            .sum::<u64>()
     });
-    group.finish();
 }
 
-fn bench_filters(c: &mut Criterion) {
+fn bench_filters() {
     let entries = int_entries();
     let keyset: Vec<Vec<u8>> = entries.iter().map(|(k, _)| k.clone()).collect();
     let idx = picks(1 << 14);
+    let ops = idx.len();
 
-    let mut group = c.benchmark_group("filter_lookup");
-    group.throughput(Throughput::Elements(idx.len() as u64));
     let surf = Surf::from_keys(&keyset, SuffixConfig::Real(8));
-    group.bench_function("surf_real8", |b| {
-        b.iter(|| {
-            let mut acc = 0usize;
-            for &i in &idx {
-                acc += usize::from(surf.may_contain(&keyset[i]));
-            }
-            acc
-        })
+    bench("filter_lookup", "surf_real8", ops, || {
+        idx.iter()
+            .map(|&i| usize::from(surf.may_contain(&keyset[i])))
+            .sum::<usize>()
     });
     let bloom = memtree_filters::BloomFilter::from_keys(&keyset, 14.0);
-    group.bench_function("bloom14", |b| {
-        b.iter(|| {
-            let mut acc = 0usize;
-            for &i in &idx {
-                acc += usize::from(bloom.may_contain(&keyset[i]));
-            }
-            acc
-        })
+    bench("filter_lookup", "bloom14", ops, || {
+        idx.iter()
+            .map(|&i| usize::from(bloom.may_contain(&keyset[i])))
+            .sum::<usize>()
     });
-    group.finish();
 }
 
-fn bench_inserts(c: &mut Criterion) {
+fn bench_inserts() {
     let key_list = keys::rand_u64_keys(1 << 14, 3);
-    let mut group = c.benchmark_group("insert");
-    group.throughput(Throughput::Elements(key_list.len() as u64));
-    group.bench_function("btree", |b| {
-        b.iter_batched(
-            BPlusTree::new,
-            |mut t| {
-                for (i, k) in key_list.iter().enumerate() {
-                    t.insert(k, i as u64);
-                }
-                t
-            },
-            BatchSize::LargeInput,
-        )
+    let ops = key_list.len();
+    bench("insert", "btree", ops, || {
+        let mut t = BPlusTree::new();
+        for (i, k) in key_list.iter().enumerate() {
+            t.insert(k, i as u64);
+        }
+        t.len()
     });
-    group.bench_function("hybrid_btree", |b| {
-        b.iter_batched(
-            HybridBTree::new,
-            |mut t| {
-                for (i, k) in key_list.iter().enumerate() {
-                    t.insert(k, i as u64);
-                }
-                t
-            },
-            BatchSize::LargeInput,
-        )
+    bench("insert", "hybrid_btree", ops, || {
+        let mut t = HybridBTree::new();
+        for (i, k) in key_list.iter().enumerate() {
+            t.insert(k, i as u64);
+        }
+        t.len()
     });
-    group.finish();
 }
 
-fn bench_hope_encode(c: &mut Criterion) {
+fn bench_hope_encode() {
     let emails = keys::sorted_unique(keys::email_keys(50_000, 1));
     let sample: Vec<Vec<u8>> = emails.iter().step_by(100).cloned().collect();
-    let mut group = c.benchmark_group("hope_encode");
-    group.throughput(Throughput::Elements(emails.len() as u64));
     for scheme in [Scheme::SingleChar, Scheme::DoubleChar, Scheme::ThreeGrams] {
         let hope = Hope::train_keys(scheme, &sample, 1 << 16);
-        group.bench_function(scheme.name(), |b| {
-            b.iter(|| {
-                let mut acc = 0usize;
-                for k in &emails {
-                    acc += hope.encode_bytes(k).len();
-                }
-                acc
-            })
+        bench("hope_encode", scheme.name(), emails.len(), || {
+            emails.iter().map(|k| hope.encode_bytes(k).len()).sum::<usize>()
         });
     }
-    group.finish();
 }
 
-fn config() -> Criterion {
-    Criterion::default()
-        .sample_size(10)
-        .measurement_time(std::time::Duration::from_secs(3))
-        .warm_up_time(std::time::Duration::from_secs(1))
+fn main() {
+    bench_point_queries();
+    bench_filters();
+    bench_inserts();
+    bench_hope_encode();
 }
-
-criterion_group! {
-    name = benches;
-    config = config();
-    targets = bench_point_queries, bench_filters, bench_inserts, bench_hope_encode
-}
-criterion_main!(benches);

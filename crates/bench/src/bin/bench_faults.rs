@@ -1,0 +1,154 @@
+//! Robustness-tax baseline: what does checksummed block framing cost?
+//!
+//! Measures the exact production paths with the CRC32C frame on vs off —
+//! static-stage (merge) build and uncached point reads through
+//! `CompressedBTree`, plus the raw codec — and writes `BENCH_faults.json`
+//! so later PRs can track the overhead. The unframed variants exist only
+//! here; every production block stays framed.
+//!
+//! Run from the repo root: `cargo run -p memtree-bench --release --bin
+//! bench_faults` (add a path argument to write the JSON elsewhere).
+
+use memtree_bench::{mops, time};
+use memtree_btree::CompressedBTree;
+use memtree_common::traits::{OrderedIndex, StaticIndex, Value};
+use memtree_compress::{compress, decode_block, decompress, encode_block};
+use memtree_hybrid::{HybridCompressedBTree, MergeTrigger};
+use memtree_workload::keys;
+use memtree_workload::zipf::Zipfian;
+use std::time::Duration;
+
+const N_KEYS: usize = 1_000_000;
+const N_READS: usize = 200_000;
+const RUNS: usize = 3;
+
+fn entries() -> Vec<(Vec<u8>, Value)> {
+    keys::sorted_unique(keys::rand_u64_keys(N_KEYS, 1))
+        .into_iter()
+        .enumerate()
+        .map(|(i, k)| (k, i as u64))
+        .collect()
+}
+
+/// Best-of-RUNS duration for `f` (min rejects scheduler noise).
+fn best<F: FnMut()>(mut f: F) -> Duration {
+    (0..RUNS).map(|_| time(|| f())).min().unwrap()
+}
+
+fn pct_overhead(on: f64, off: f64) -> f64 {
+    (off / on - 1.0) * 100.0
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_faults.json".into());
+    let e = entries();
+
+    // Merge throughput: rebuilding the static stage IS the hybrid merge's
+    // dominant cost; build it framed (production) and unframed (baseline).
+    // One untimed build first so the allocator and page cache are warm for
+    // whichever variant is measured first.
+    std::hint::black_box(CompressedBTree::build(&e));
+    let framed_build = best(|| {
+        std::hint::black_box(CompressedBTree::build(&e));
+    });
+    let unframed_build = best(|| {
+        std::hint::black_box(CompressedBTree::build_unframed(&e));
+    });
+    let build_on = mops(N_KEYS, framed_build);
+    let build_off = mops(N_KEYS, unframed_build);
+    println!(
+        "merge build      checksums on {build_on:.2} Mkeys/s   off {build_off:.2} Mkeys/s   tax {:.1}%",
+        pct_overhead(build_on, build_off)
+    );
+
+    // Uncached point reads: cache capacity 0 forces a block decode (and
+    // frame validation when on) for every lookup — the worst-case read tax.
+    let mut framed = CompressedBTree::build(&e);
+    framed.set_cache_blocks(0);
+    let mut unframed = CompressedBTree::build_unframed(&e);
+    unframed.set_cache_blocks(0);
+    let mut z = Zipfian::new(N_KEYS, 5);
+    let picks: Vec<usize> = (0..N_READS).map(|_| z.next_scrambled()).collect();
+    let read_framed = best(|| {
+        let s: u64 = picks.iter().map(|&i| framed.get(&e[i].0).unwrap()).sum();
+        std::hint::black_box(s);
+    });
+    let read_unframed = best(|| {
+        let s: u64 = picks.iter().map(|&i| unframed.get(&e[i].0).unwrap()).sum();
+        std::hint::black_box(s);
+    });
+    let read_on = mops(N_READS, read_framed);
+    let read_off = mops(N_READS, read_unframed);
+    println!(
+        "uncached get     checksums on {read_on:.2} Mops/s    off {read_off:.2} Mops/s    tax {:.1}%",
+        pct_overhead(read_on, read_off)
+    );
+
+    // Raw codec: frame+CRC vs bare LZ block, over many distinct leaf-sized
+    // images (distinct inputs keep the pure calls inside the timing loop).
+    let leaves: Vec<Vec<u8>> = e
+        .chunks(4096)
+        .take(64)
+        .map(|c| c.iter().flat_map(|(k, _)| k.clone()).collect())
+        .collect();
+    let total_raw: usize = leaves.iter().map(Vec::len).sum();
+    let enc_framed = best(|| {
+        for leaf in &leaves {
+            std::hint::black_box(encode_block(leaf));
+        }
+    });
+    let enc_raw = best(|| {
+        for leaf in &leaves {
+            std::hint::black_box(compress(leaf));
+        }
+    });
+    let blocks: Vec<Vec<u8>> = leaves.iter().map(|l| encode_block(l)).collect();
+    let raw_blocks: Vec<Vec<u8>> = leaves.iter().map(|l| compress(l)).collect();
+    let dec_framed = best(|| {
+        for b in &blocks {
+            std::hint::black_box(decode_block(b).unwrap());
+        }
+    });
+    let dec_raw = best(|| {
+        for b in &raw_blocks {
+            std::hint::black_box(decompress(b).unwrap());
+        }
+    });
+    let mbs = |d: Duration| total_raw as f64 / d.as_secs_f64() / 1e6;
+    let (enc_on, enc_off) = (mbs(enc_framed), mbs(enc_raw));
+    let (dec_on, dec_off) = (mbs(dec_framed), mbs(dec_raw));
+    println!(
+        "codec encode     checksums on {enc_on:.0} MB/s      off {enc_off:.0} MB/s      tax {:.1}%",
+        pct_overhead(enc_on, enc_off)
+    );
+    println!(
+        "codec decode     checksums on {dec_on:.0} MB/s      off {dec_off:.0} MB/s      tax {:.1}%",
+        pct_overhead(dec_on, dec_off)
+    );
+
+    // End-to-end hybrid merge on the compressed static stage (checksums on
+    // is the only production path; recorded for trend tracking).
+    let merge = best(|| {
+        let mut h = HybridCompressedBTree::with_config(MergeTrigger::Manual, false);
+        for (k, v) in &e {
+            h.insert(k, *v);
+        }
+        h.force_merge().unwrap();
+        std::hint::black_box(h.static_len());
+    });
+    let merge_mkeys = mops(N_KEYS, merge);
+    println!("hybrid merge e2e checksums on {merge_mkeys:.2} Mkeys/s (insert+merge, production path)");
+
+    let json = format!(
+        "{{\n  \"meta\": {{\n    \"n_keys\": {N_KEYS},\n    \"n_reads\": {N_READS},\n    \"runs\": {RUNS},\n    \"note\": \"robustness tax of CRC32C block framing; overhead_pct = (off/on - 1) * 100\"\n  }},\n  \"merge_build\": {{ \"on_mkeys_per_s\": {build_on:.3}, \"off_mkeys_per_s\": {build_off:.3}, \"overhead_pct\": {:.2} }},\n  \"uncached_point_get\": {{ \"on_mops_per_s\": {read_on:.3}, \"off_mops_per_s\": {read_off:.3}, \"overhead_pct\": {:.2} }},\n  \"codec_encode\": {{ \"on_mb_per_s\": {enc_on:.1}, \"off_mb_per_s\": {enc_off:.1}, \"overhead_pct\": {:.2} }},\n  \"codec_decode\": {{ \"on_mb_per_s\": {dec_on:.1}, \"off_mb_per_s\": {dec_off:.1}, \"overhead_pct\": {:.2} }},\n  \"hybrid_merge_end_to_end\": {{ \"on_mkeys_per_s\": {merge_mkeys:.3} }}\n}}\n",
+        pct_overhead(build_on, build_off),
+        pct_overhead(read_on, read_off),
+        pct_overhead(enc_on, enc_off),
+        pct_overhead(dec_on, dec_off),
+    );
+    if let Err(e) = std::fs::write(&out_path, json) {
+        eprintln!("error: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out_path}");
+}

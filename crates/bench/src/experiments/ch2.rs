@@ -49,21 +49,21 @@ pub fn table1_1(scale: Scale) {
     let mut db = Database::new(IndexChoice::BTree);
     let mut tpcc = Tpcc::load(&mut db, TpccConfig::small(), 1);
     for _ in 0..txns {
-        tpcc.run_one(&mut db);
+        tpcc.run_one(&mut db).expect("txn");
     }
     print_share("TPC-C", &db);
 
     let mut db = Database::new(IndexChoice::BTree);
     let mut voter = Voter::load(&mut db, 6, 2);
     for _ in 0..txns * 2 {
-        voter.run_one(&mut db);
+        voter.run_one(&mut db).expect("txn");
     }
     print_share("Voter", &db);
 
     let mut db = Database::new(IndexChoice::BTree);
     let mut art = Articles::load(&mut db, (scale.n_keys / 20) as i64, (scale.n_keys / 50) as i64, 3);
     for _ in 0..txns {
-        art.run_one(&mut db);
+        art.run_one(&mut db).expect("txn");
     }
     print_share("Articles", &db);
     println!("(paper: TPC-C 42.5/33.5/24.0, Voter 45.1/54.9/0, Articles 64.8/22.6/12.6)");

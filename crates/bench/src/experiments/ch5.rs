@@ -181,7 +181,7 @@ pub fn fig5_7(scale: Scale) {
         for (i, k) in keyset.iter().enumerate() {
             h.insert(k, i as u64);
         }
-        h.force_merge();
+        h.force_merge().unwrap();
         let mut z = memtree_workload::zipf::Zipfian::new(keyset.len(), 13);
         let picks: Vec<usize> = (0..scale.n_ops).map(|_| z.next_scrambled()).collect();
         let d = time(|| {
@@ -216,11 +216,11 @@ pub fn fig5_8(scale: Scale) {
         for (i, k) in static_keys.iter().enumerate() {
             h.insert(k, i as u64);
         }
-        h.force_merge();
+        h.force_merge().unwrap();
         for (i, k) in dyn_keys.iter().enumerate() {
             h.insert(k, i as u64 + 1_000_000_000);
         }
-        let d = time(|| h.force_merge());
+        let d = time(|| h.force_merge().unwrap());
         println!(
             "{:>14} {:>14.1} {:>16.2}",
             size,
@@ -371,7 +371,7 @@ pub fn fig5_11(scale: Scale) {
         None,
         |db| {
             let mut t = Tpcc::load(db, TpccConfig::small(), 42);
-            Box::new(move |db| t.run_one(db))
+            Box::new(move |db| t.run_one(db).expect("txn"))
         },
     );
     println!("(paper: hybrids cost ~10% TPC-C throughput, save 40-55% index memory)");
@@ -386,7 +386,7 @@ pub fn fig5_12(scale: Scale) {
         None,
         |db| {
             let mut v = Voter::load(db, 6, 42);
-            Box::new(move |db| v.run_one(db))
+            Box::new(move |db| v.run_one(db).expect("txn"))
         },
     );
     println!("(paper: Voter is index-heavy — hybrids save the most here)");
@@ -401,7 +401,7 @@ pub fn fig5_13(scale: Scale) {
         None,
         |db| {
             let mut a = Articles::load(db, 2000, 1000, 42);
-            Box::new(move |db| a.run_one(db))
+            Box::new(move |db| a.run_one(db).expect("txn"))
         },
     );
     println!("(paper: read-mostly Articles loses only ~1% throughput with hybrids)");
@@ -425,7 +425,7 @@ pub fn table5_1(scale: Scale) {
         let mut lat: Vec<f64> = Vec::with_capacity(txns);
         for _ in 0..txns {
             let d = time(|| {
-                tpcc.run_one(&mut db);
+                tpcc.run_one(&mut db).expect("txn");
             });
             lat.push(d.as_secs_f64());
         }
@@ -452,7 +452,7 @@ pub fn fig5_14(scale: Scale) {
         Some((40 << 20, Duration::from_micros(100))),
         |db| {
             let mut t = Tpcc::load(db, TpccConfig::small(), 42);
-            Box::new(move |db| t.run_one(db))
+            Box::new(move |db| t.run_one(db).expect("txn"))
         },
     );
     println!("(paper: hybrids evict later and keep more hot tuples resident -> more txns)");
@@ -467,7 +467,7 @@ pub fn fig5_15(scale: Scale) {
         Some((6 << 20, Duration::from_micros(100))),
         |db| {
             let mut v = Voter::load(db, 6, 42);
-            Box::new(move |db| v.run_one(db))
+            Box::new(move |db| v.run_one(db).expect("txn"))
         },
     );
     println!("(paper: indexes cannot be evicted — B+tree exhausts memory first; Voter");
@@ -483,7 +483,7 @@ pub fn fig5_16(scale: Scale) {
         Some((3 << 20, Duration::from_micros(100))),
         |db| {
             let mut a = Articles::load(db, 4000, 2000, 42);
-            Box::new(move |db| a.run_one(db))
+            Box::new(move |db| a.run_one(db).expect("txn"))
         },
     );
     println!("(paper: Articles reads cold data occasionally — fetches dent throughput)");

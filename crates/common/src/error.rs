@@ -1,0 +1,108 @@
+//! The workspace-wide error taxonomy.
+//!
+//! Fallible paths (block decode, hybrid merges, anti-cache fetches) return
+//! [`MemtreeError`] instead of panicking, so a single corrupt block or an
+//! injected fault degrades one operation rather than the whole process.
+//! DESIGN.md §"Fault model & error taxonomy" documents where each variant
+//! can surface.
+
+/// Convenience alias used by fallible memtree APIs.
+pub type Result<T> = std::result::Result<T, MemtreeError>;
+
+/// The typed failure modes of the workspace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MemtreeError {
+    /// A checksummed block failed validation (bad magic, inconsistent
+    /// lengths, CRC mismatch, or an undecodable payload). The data behind
+    /// it must not be trusted.
+    Corruption {
+        /// Which subsystem detected the corruption (e.g. `"block-frame"`,
+        /// `"anti-cache"`).
+        context: &'static str,
+        /// Human-readable detail (what check failed).
+        detail: String,
+    },
+    /// A fault-injection point fired (testing only; never produced in
+    /// production configurations).
+    Injected {
+        /// The name of the injection point that fired.
+        point: String,
+    },
+    /// A hybrid-index merge failed after exhausting its retry budget. The
+    /// index remains fully readable in its pre-merge state.
+    MergeFailed {
+        /// Merge attempts made before giving up.
+        attempts: u32,
+    },
+    /// An anti-cache block was quarantined after failing validation;
+    /// tuples stored in it are unreachable until reloaded.
+    Quarantined {
+        /// The quarantined block id.
+        block: u32,
+    },
+    /// An allocation or capacity limit was exceeded.
+    Allocation {
+        /// The size of the request that failed, in bytes.
+        bytes: usize,
+    },
+}
+
+impl std::fmt::Display for MemtreeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MemtreeError::Corruption { context, detail } => {
+                write!(f, "corruption detected in {context}: {detail}")
+            }
+            MemtreeError::Injected { point } => {
+                write!(f, "injected fault at `{point}`")
+            }
+            MemtreeError::MergeFailed { attempts } => {
+                write!(f, "hybrid merge failed after {attempts} attempt(s)")
+            }
+            MemtreeError::Quarantined { block } => {
+                write!(f, "anti-cache block {block} is quarantined")
+            }
+            MemtreeError::Allocation { bytes } => {
+                write!(f, "allocation of {bytes} bytes failed")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MemtreeError {}
+
+impl MemtreeError {
+    /// Shorthand for a [`MemtreeError::Corruption`].
+    pub fn corruption(context: &'static str, detail: impl Into<String>) -> Self {
+        MemtreeError::Corruption {
+            context,
+            detail: detail.into(),
+        }
+    }
+
+    /// True for variants that indicate untrustworthy data (as opposed to
+    /// transient failures that a retry may clear).
+    pub fn is_corruption(&self) -> bool {
+        matches!(
+            self,
+            MemtreeError::Corruption { .. } | MemtreeError::Quarantined { .. }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = MemtreeError::corruption("block-frame", "crc mismatch");
+        assert!(e.to_string().contains("block-frame"));
+        assert!(e.is_corruption());
+        let e = MemtreeError::Injected {
+            point: "hybrid.merge.build".into(),
+        };
+        assert!(!e.is_corruption());
+        assert!(e.to_string().contains("hybrid.merge.build"));
+    }
+}

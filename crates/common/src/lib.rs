@@ -15,13 +15,23 @@
 //! * [`mem`] — lightweight heap-size accounting helpers.
 //! * [`probe`] — software profiling counters standing in for the PAPI
 //!   hardware counters of Table 2.2.
+//! * [`error`] — the typed error taxonomy ([`MemtreeError`]) returned by
+//!   fallible paths (block decode, merges, anti-cache fetches).
+//! * [`crc`] — from-scratch CRC32C used to frame compressed blocks.
+//! * [`check`] — a deterministic, dependency-free property-test harness
+//!   (seeded generator + `prop_check`), replacing the external `proptest`.
 
 #![warn(missing_docs)]
 
+pub mod check;
+pub mod crc;
+pub mod error;
 pub mod hash;
 pub mod key;
 pub mod mem;
 pub mod probe;
 pub mod traits;
 
+pub use crc::{crc32c, crc32c_update};
+pub use error::MemtreeError;
 pub use traits::{OrderedIndex, PointFilter, RangeFilter, StaticIndex, Value};

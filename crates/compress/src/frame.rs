@@ -1,0 +1,159 @@
+//! Checksummed block framing.
+//!
+//! Layout (little-endian):
+//!
+//! ```text
+//! +--------+---------+----------+-------+-----------------------+
+//! | magic  | raw_len | comp_len | crc32c| compressed payload    |
+//! | u32    | u32     | u32      | u32   | comp_len bytes        |
+//! +--------+---------+----------+-------+-----------------------+
+//! ```
+//!
+//! The CRC covers `raw_len`, `comp_len`, and the payload, so a flipped
+//! bit in a length field is caught even when the payload still happens to
+//! decode. The magic pins the format; it is excluded from the CRC because
+//! a corrupt magic already fails its own equality check. Every single-bit
+//! corruption of a frame is therefore detected:
+//!
+//! * magic bits → magic mismatch;
+//! * length or payload bits → CRC mismatch;
+//! * CRC bits → CRC mismatch;
+//! * and as defense in depth, the decompressed size must equal `raw_len`.
+
+use crate::{compress, decompress};
+use memtree_common::crc::crc32c_update;
+use memtree_common::error::MemtreeError;
+
+/// `"MTB1"` — memtree block, format version 1.
+const MAGIC: u32 = u32::from_le_bytes(*b"MTB1");
+
+/// Size of the frame header preceding the compressed payload.
+pub const FRAME_HEADER_BYTES: usize = 16;
+
+/// CRC32C over the two length fields and the payload (iSCSI final-xor
+/// form, matching [`memtree_common::crc::crc32c`]).
+fn frame_crc(raw_len: u32, comp_len: u32, payload: &[u8]) -> u32 {
+    let mut state = crc32c_update(!0, &raw_len.to_le_bytes());
+    state = crc32c_update(state, &comp_len.to_le_bytes());
+    !crc32c_update(state, payload)
+}
+
+/// Compresses `input` and wraps it in a checksummed frame.
+pub fn encode_block(input: &[u8]) -> Vec<u8> {
+    let payload = compress(input);
+    let raw_len = input.len() as u32;
+    let comp_len = payload.len() as u32;
+    let crc = frame_crc(raw_len, comp_len, &payload);
+    let mut out = Vec::with_capacity(FRAME_HEADER_BYTES + payload.len());
+    out.extend_from_slice(&MAGIC.to_le_bytes());
+    out.extend_from_slice(&raw_len.to_le_bytes());
+    out.extend_from_slice(&comp_len.to_le_bytes());
+    out.extend_from_slice(&crc.to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+#[inline]
+fn read_u32(block: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes(block[at..at + 4].try_into().expect("bounds checked"))
+}
+
+/// Validates and decompresses a frame produced by [`encode_block`].
+///
+/// Returns [`MemtreeError::Corruption`] on any validation failure — short
+/// frame, bad magic, inconsistent lengths, CRC mismatch, undecodable
+/// payload, or a decompressed size that disagrees with the header.
+pub fn decode_block(block: &[u8]) -> Result<Vec<u8>, MemtreeError> {
+    if block.len() < FRAME_HEADER_BYTES {
+        return Err(MemtreeError::corruption(
+            "block-frame",
+            format!("frame too short: {} bytes", block.len()),
+        ));
+    }
+    if read_u32(block, 0) != MAGIC {
+        return Err(MemtreeError::corruption("block-frame", "bad magic"));
+    }
+    let raw_len = read_u32(block, 4);
+    let comp_len = read_u32(block, 8);
+    let crc = read_u32(block, 12);
+    let payload = &block[FRAME_HEADER_BYTES..];
+    if payload.len() != comp_len as usize {
+        return Err(MemtreeError::corruption(
+            "block-frame",
+            format!("length mismatch: header {} vs actual {}", comp_len, payload.len()),
+        ));
+    }
+    if frame_crc(raw_len, comp_len, payload) != crc {
+        return Err(MemtreeError::corruption("block-frame", "crc mismatch"));
+    }
+    let raw = decompress(payload).map_err(|e| {
+        MemtreeError::corruption("block-frame", format!("payload undecodable: {e}"))
+    })?;
+    if raw.len() != raw_len as usize {
+        return Err(MemtreeError::corruption(
+            "block-frame",
+            format!("raw length mismatch: header {} vs decoded {}", raw_len, raw.len()),
+        ));
+    }
+    Ok(raw)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        for data in [
+            &b""[..],
+            b"a",
+            b"hello world hello world hello world",
+            &vec![7u8; 10_000],
+        ] {
+            let block = encode_block(data);
+            assert_eq!(decode_block(&block).unwrap(), data);
+        }
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let block = encode_block(b"some moderately compressible input input input");
+        for cut in 0..block.len() {
+            assert!(
+                decode_block(&block[..cut]).is_err(),
+                "truncation to {cut} undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn every_single_bit_flip_detected() {
+        let mut data = Vec::new();
+        for i in 0..64u64 {
+            data.extend_from_slice(&(i * 977).to_be_bytes());
+        }
+        let mut block = encode_block(&data);
+        let n = block.len();
+        for byte in 0..n {
+            for bit in 0..8 {
+                block[byte] ^= 1 << bit;
+                match decode_block(&block) {
+                    Err(MemtreeError::Corruption { .. }) => {}
+                    Ok(out) => {
+                        // A flip may never yield a successful decode of
+                        // different bytes — and by construction it can't
+                        // yield a successful decode at all.
+                        panic!(
+                            "flip {byte}.{bit} decoded {} bytes silently (equal: {})",
+                            out.len(),
+                            out == data
+                        );
+                    }
+                    Err(other) => panic!("flip {byte}.{bit}: unexpected error {other:?}"),
+                }
+                block[byte] ^= 1 << bit;
+            }
+        }
+        assert_eq!(decode_block(&block).unwrap(), data, "restore failed");
+    }
+}

@@ -17,8 +17,22 @@
 //! Longer literals/matches are emitted as multiple tokens. The format is
 //! self-terminating at the compressed length; the caller stores the
 //! compressed byte count.
+//!
+//! ## Checksummed framing
+//!
+//! [`encode_block`]/[`decode_block`] wrap a compressed stream in a
+//! self-describing frame — magic, raw length, compressed length, CRC32C —
+//! so any corruption (a single flipped bit anywhere in the frame) surfaces
+//! as [`MemtreeError::Corruption`] on decode instead of silently wrong
+//! bytes. The Hybrid-Compressed B+tree and H-Store anti-caching store only
+//! framed blocks.
 
 #![warn(missing_docs)]
+
+mod frame;
+
+pub use frame::{decode_block, encode_block, FRAME_HEADER_BYTES};
+pub use memtree_common::error::MemtreeError;
 
 const MIN_MATCH: usize = 4;
 const MAX_MATCH_TOKEN: usize = 131; // 4 + 127

@@ -1,0 +1,284 @@
+//! Deterministic fault injection for the memtree workspace.
+//!
+//! A process-wide registry of **named injection points**. Production code
+//! marks its risky transitions with [`fail_point!`] (or [`should_fail`]);
+//! tests arm specific points with a seed, a failure probability, and an
+//! optional failure budget, then assert that the system degrades instead
+//! of corrupting state.
+//!
+//! Design goals, in order:
+//!
+//! 1. **Zero cost when disarmed** — a single relaxed atomic load guards
+//!    every point; release binaries that never call [`enable`] pay one
+//!    branch per point.
+//! 2. **Deterministic** — each point owns a SplitMix64 stream seeded from
+//!    the global seed and the point's name, so a failing schedule replays
+//!    from `(seed, op sequence)` alone, independent of unrelated points.
+//! 3. **Thread-safe** — the registry is a `Mutex`-guarded map; points are
+//!    armed/tripped atomically.
+//!
+//! ```
+//! use memtree_faults as faults;
+//!
+//! fn fetch_block() -> memtree_common::error::Result<Vec<u8>> {
+//!     faults::fail_point!("doc.fetch");
+//!     Ok(vec![1, 2, 3])
+//! }
+//!
+//! let _guard = faults::test_lock(); // serialize fault tests in one binary
+//! faults::enable(42);
+//! faults::arm("doc.fetch", 1.0, Some(1)); // always fail, once
+//! assert!(fetch_block().is_err());
+//! assert!(fetch_block().is_ok()); // budget exhausted
+//! assert_eq!(faults::trips("doc.fetch"), 1);
+//! faults::disable();
+//! ```
+
+#![warn(missing_docs)]
+
+use memtree_common::hash::{hash64_seed, splitmix64};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
+
+pub use memtree_common::error::MemtreeError;
+
+/// Fast-path switch: when false, every [`should_fail`] returns false after
+/// one relaxed load.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+#[derive(Debug, Default)]
+struct PointState {
+    /// Probability in [0, 1] that an evaluation trips.
+    probability: f64,
+    /// Remaining failures allowed (`None` = unlimited).
+    budget: Option<u64>,
+    /// Per-point deterministic RNG stream.
+    rng: u64,
+    /// Times this point fired.
+    trips: u64,
+    /// Times this point was evaluated while armed.
+    evals: u64,
+}
+
+#[derive(Debug, Default)]
+struct Registry {
+    seed: u64,
+    points: HashMap<String, PointState>,
+}
+
+fn registry() -> &'static Mutex<Registry> {
+    static REGISTRY: OnceLock<Mutex<Registry>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Registry::default()))
+}
+
+fn lock() -> MutexGuard<'static, Registry> {
+    registry().lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Enables fault injection with a global seed. Clears any previously armed
+/// points so each test starts from a clean registry.
+pub fn enable(seed: u64) {
+    let mut r = lock();
+    r.seed = seed;
+    r.points.clear();
+    ENABLED.store(true, Ordering::SeqCst);
+}
+
+/// Disables fault injection and clears every armed point. All
+/// [`should_fail`] calls return false afterwards.
+pub fn disable() {
+    ENABLED.store(false, Ordering::SeqCst);
+    lock().points.clear();
+}
+
+/// True while the registry is enabled.
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Arms `point` to fail with `probability` (clamped to [0, 1]) and an
+/// optional budget of at most `budget` failures. Re-arming resets the
+/// point's counters and RNG stream.
+pub fn arm(point: &str, probability: f64, budget: Option<u64>) {
+    let mut r = lock();
+    let rng = r.seed ^ hash64_seed(point.as_bytes(), 0x0FA1_7599);
+    r.points.insert(
+        point.to_string(),
+        PointState {
+            probability: probability.clamp(0.0, 1.0),
+            budget,
+            rng,
+            trips: 0,
+            evals: 0,
+        },
+    );
+}
+
+/// Disarms a single point, leaving the rest of the registry untouched.
+pub fn disarm(point: &str) {
+    lock().points.remove(point);
+}
+
+/// Evaluates `point`: returns true if the fault should fire now. Counts
+/// the evaluation, consumes budget on a trip. Points that were never
+/// [`arm`]ed never fire.
+pub fn should_fail(point: &str) -> bool {
+    if !ENABLED.load(Ordering::Relaxed) {
+        return false;
+    }
+    let mut r = lock();
+    let Some(s) = r.points.get_mut(point) else {
+        return false;
+    };
+    s.evals += 1;
+    if s.budget == Some(0) {
+        return false;
+    }
+    let draw = splitmix64(&mut s.rng) as f64 / u64::MAX as f64;
+    if draw >= s.probability {
+        return false;
+    }
+    if let Some(b) = &mut s.budget {
+        *b -= 1;
+    }
+    s.trips += 1;
+    true
+}
+
+/// Times `point` has fired since it was armed.
+pub fn trips(point: &str) -> u64 {
+    lock().points.get(point).map_or(0, |s| s.trips)
+}
+
+/// Times `point` was evaluated while armed.
+pub fn evaluations(point: &str) -> u64 {
+    lock().points.get(point).map_or(0, |s| s.evals)
+}
+
+/// Serializes fault-injection tests within one test binary. The registry
+/// is process-global, so concurrently running `#[test]`s would otherwise
+/// see each other's armed points. Hold the guard for the whole test.
+pub fn test_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Marks a fallible injection point. If the point is armed and fires, the
+/// enclosing function returns `Err(MemtreeError::Injected { .. })` (or a
+/// custom error with the two-argument form).
+///
+/// Compiles to a single relaxed atomic load plus a never-taken branch when
+/// injection is disabled.
+#[macro_export]
+macro_rules! fail_point {
+    ($name:expr) => {
+        if $crate::should_fail($name) {
+            return Err($crate::MemtreeError::Injected {
+                point: ($name).to_string(),
+            }
+            .into());
+        }
+    };
+    ($name:expr, $err:expr) => {
+        if $crate::should_fail($name) {
+            return Err($err);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disarmed_points_never_fire_and_cost_nothing() {
+        let _g = test_lock();
+        disable();
+        assert!(!should_fail("never.armed"));
+        enable(1);
+        assert!(!should_fail("never.armed"));
+        disable();
+    }
+
+    #[test]
+    fn probability_one_always_fires_until_budget() {
+        let _g = test_lock();
+        enable(7);
+        arm("t.always", 1.0, Some(3));
+        let fired: Vec<bool> = (0..5).map(|_| should_fail("t.always")).collect();
+        assert_eq!(fired, [true, true, true, false, false]);
+        assert_eq!(trips("t.always"), 3);
+        assert_eq!(evaluations("t.always"), 5);
+        disable();
+    }
+
+    #[test]
+    fn seeded_schedules_replay_exactly() {
+        let _g = test_lock();
+        let run = |seed| {
+            enable(seed);
+            arm("t.half", 0.5, None);
+            let v: Vec<bool> = (0..64).map(|_| should_fail("t.half")).collect();
+            disable();
+            v
+        };
+        assert_eq!(run(99), run(99));
+        assert_ne!(run(99), run(100));
+    }
+
+    #[test]
+    fn points_are_independent_streams() {
+        let _g = test_lock();
+        enable(5);
+        arm("t.a", 0.5, None);
+        arm("t.b", 0.5, None);
+        let solo: Vec<bool> = (0..32).map(|_| should_fail("t.a")).collect();
+        // Re-arm and interleave evaluations of another point: t.a's
+        // schedule must not change.
+        arm("t.a", 0.5, None);
+        let interleaved: Vec<bool> = (0..32)
+            .map(|_| {
+                should_fail("t.b");
+                should_fail("t.a")
+            })
+            .collect();
+        assert_eq!(solo, interleaved);
+        disable();
+    }
+
+    #[test]
+    fn fail_point_macro_returns_typed_error() {
+        let _g = test_lock();
+        fn op() -> Result<u32, MemtreeError> {
+            crate::fail_point!("t.macro");
+            Ok(42)
+        }
+        enable(3);
+        arm("t.macro", 1.0, Some(1));
+        match op() {
+            Err(MemtreeError::Injected { point }) => assert_eq!(point, "t.macro"),
+            other => panic!("expected injected error, got {other:?}"),
+        }
+        assert_eq!(op(), Ok(42));
+        disable();
+    }
+
+    #[test]
+    fn threads_share_the_registry_safely() {
+        let _g = test_lock();
+        enable(11);
+        arm("t.mt", 1.0, Some(1000));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                std::thread::spawn(|| (0..250).filter(|_| should_fail("t.mt")).count())
+            })
+            .collect();
+        let total: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(total, 1000);
+        assert_eq!(trips("t.mt"), 1000);
+        disable();
+    }
+}

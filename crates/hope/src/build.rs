@@ -210,14 +210,14 @@ fn interval_symbol_len(lo: &[u8], hi: &[u8]) -> usize {
     // sup{s : s < hi}: drop a trailing 0x00, or decrement the last byte
     // and extend with infinite 0xFF.
     let mut h = hi.to_vec();
-    let extended; // h is followed by conceptual 0xFF...
-    if h.last() == Some(&0) {
+    // `extended` records whether h is followed by conceptual 0xFF...
+    let extended = if h.last() == Some(&0) {
         h.pop();
-        extended = false;
+        false
     } else {
         *h.last_mut().expect("boundaries are non-empty") -= 1;
-        extended = true;
-    }
+        true
+    };
     let c = common_prefix_len(lo, &h);
     let mut sym = c;
     if extended && c == h.len() {

@@ -2,18 +2,17 @@
 //! scheme's dictionary is *complete* (any NUL-free key encodes) and
 //! *order-preserving*, and encodings are uniquely decodable.
 
+use memtree_common::check::{prop_check, Gen};
+use memtree_common::{check, check_eq};
 use memtree_hope::{Hope, Scheme};
-use proptest::prelude::*;
 
-fn nul_free_key() -> impl Strategy<Value = Vec<u8>> {
-    proptest::collection::vec(1u8..=255, 0..24)
+fn nul_free_key(g: &mut Gen) -> Vec<u8> {
+    let n = g.range(0..24);
+    (0..n).map(|_| (g.u64() % 255) as u8 + 1).collect()
 }
 
-fn ascii_key() -> impl Strategy<Value = Vec<u8>> {
-    proptest::collection::vec(
-        prop_oneof![Just(b'a'), Just(b'b'), Just(b'c'), Just(b'.'), Just(b'@')],
-        0..20,
-    )
+fn ascii_key(g: &mut Gen) -> Vec<u8> {
+    g.bytes_from(b"abc.@", 0..20)
 }
 
 fn train(scheme: Scheme, seed: u64) -> Hope {
@@ -26,60 +25,69 @@ fn train(scheme: Scheme, seed: u64) -> Hope {
     Hope::train_keys(scheme, &sample, limit)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn encode_is_order_preserving(mut keys in proptest::collection::vec(ascii_key(), 2..40)) {
+#[test]
+fn encode_is_order_preserving() {
+    prop_check("encode_is_order_preserving", 24, |g: &mut Gen| {
+        let n = g.range(2..40);
+        let mut keys: Vec<Vec<u8>> = (0..n).map(|_| ascii_key(g)).collect();
         keys.sort();
         keys.dedup();
         for scheme in Scheme::all() {
             let hope = train(scheme, 7);
             let encoded: Vec<Vec<u8>> = keys.iter().map(|k| hope.encode_bytes(k)).collect();
             for w in encoded.windows(2) {
-                prop_assert!(
-                    w[0] <= w[1],
-                    "{scheme:?} broke order"
-                );
+                check!(w[0] <= w[1], "{:?} broke order", scheme);
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn encode_decode_roundtrip_arbitrary_bytes(key in nul_free_key()) {
+#[test]
+fn encode_decode_roundtrip_arbitrary_bytes() {
+    prop_check("encode_decode_roundtrip_arbitrary_bytes", 24, |g: &mut Gen| {
+        let key = nul_free_key(g);
         for scheme in Scheme::all() {
             let hope = train(scheme, 3);
             let (bytes, bits) = hope.encode(&key);
-            prop_assert_eq!(
-                hope.decode(&bytes, bits),
-                key.clone(),
-                "{:?} failed roundtrip",
-                scheme
-            );
+            check_eq!(hope.decode(&bytes, bits), key, "{:?} failed roundtrip", scheme);
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn distinct_keys_distinct_encodings(a in ascii_key(), b in ascii_key()) {
-        prop_assume!(a != b);
+#[test]
+fn distinct_keys_distinct_encodings() {
+    prop_check("distinct_keys_distinct_encodings", 24, |g: &mut Gen| {
+        let a = ascii_key(g);
+        let b = ascii_key(g);
+        if a == b {
+            return Ok(()); // vacuous case (proptest's prop_assume!)
+        }
         for scheme in Scheme::all() {
             let hope = train(scheme, 11);
             let ea = hope.encode(&a);
             let eb = hope.encode(&b);
-            prop_assert_ne!(ea, eb, "{:?} collided {:?} vs {:?}", scheme, &a, &b);
+            check!(ea != eb, "{:?} collided {:?} vs {:?}", scheme, &a, &b);
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn batch_encoder_agrees_with_single(mut keys in proptest::collection::vec(ascii_key(), 1..40)) {
+#[test]
+fn batch_encoder_agrees_with_single() {
+    prop_check("batch_encoder_agrees_with_single", 24, |g: &mut Gen| {
+        let n = g.range(1..40);
+        let mut keys: Vec<Vec<u8>> = (0..n).map(|_| ascii_key(g)).collect();
         keys.sort();
         keys.dedup();
         for scheme in [Scheme::DoubleChar, Scheme::ThreeGrams, Scheme::AlmImproved] {
             let hope = train(scheme, 5);
             let mut batch = hope.batch_encoder();
             for k in &keys {
-                prop_assert_eq!(hope.encode(k), batch.encode(k), "{:?} {:?}", scheme, k);
+                check_eq!(hope.encode(k), batch.encode(k), "{:?} {:?}", scheme, k);
             }
         }
-    }
+        Ok(())
+    });
 }

@@ -4,6 +4,7 @@
 
 use crate::db::Database;
 use crate::row::Val;
+use memtree_common::error::MemtreeError;
 use memtree_common::hash::splitmix64;
 
 /// The Articles benchmark handle.
@@ -72,23 +73,24 @@ impl Articles {
         (splitmix64(&mut self.state) % n.max(1) as u64) as i64
     }
 
-    /// One transaction from the mix (~80 % reads).
-    pub fn run_one(&mut self, db: &mut Database) -> &'static str {
+    /// One transaction from the mix (~80 % reads). Fails if a touched
+    /// tuple cannot be fetched back from the anti-cache.
+    pub fn run_one(&mut self, db: &mut Database) -> Result<&'static str, MemtreeError> {
         let dice = self.rand(100);
-        if dice < 80 {
+        Ok(if dice < 80 {
             // GetArticle: read the requesting user, the article, and its
             // comments.
             let u = self.rand(self.num_users);
             if let Some(us) = db.get_unique(self.users_pk, &[Val::I64(u)]) {
-                db.read(self.users, us);
+                db.read(self.users, us)?;
             }
             let a = self.rand(self.num_articles);
             if let Some(slot) = db.get_unique(self.articles_pk, &[Val::I64(a)]) {
                 db.update(self.articles, slot, |row| {
                     row[4] = Val::I64(row[4].i64() + 1)
-                });
+                })?;
                 for c in db.get_multi(self.comments_by_article, &[Val::I64(a)]) {
-                    db.read(self.comments, c);
+                    db.read(self.comments, c)?;
                 }
             }
             "GetArticle"
@@ -113,7 +115,7 @@ impl Articles {
             if let Some(slot) = db.get_unique(self.articles_pk, &[Val::I64(a)]) {
                 db.update(self.articles, slot, |row| {
                     row[3] = Val::I64(row[3].i64() + 1)
-                });
+                })?;
             }
             "AddComment"
         } else {
@@ -123,7 +125,7 @@ impl Articles {
             self.insert_article(db, id);
             self.num_articles = self.article_seq;
             "SubmitArticle"
-        }
+        })
     }
 }
 
@@ -138,7 +140,7 @@ mod tests {
         let mut art = Articles::load(&mut db, 200, 100, 9);
         let mut names = std::collections::HashMap::new();
         for _ in 0..2000 {
-            *names.entry(art.run_one(&mut db)).or_insert(0) += 1;
+            *names.entry(art.run_one(&mut db).unwrap()).or_insert(0) += 1;
         }
         assert!(names["GetArticle"] > 1200, "{names:?}");
         assert!(names["AddComment"] > 100);

@@ -2,11 +2,25 @@
 //! anti-caching.
 
 use crate::index::{MultiIndex, UniqueIndex};
-use crate::row::{encode_key, row_bytes, Row, Val};
+use crate::row::{decode_tuples, encode_key, encode_tuples, row_bytes, Row, Val};
 use memtree_btree::BPlusTree;
+use memtree_common::error::MemtreeError;
+use memtree_compress::{decode_block, encode_block};
 use memtree_hybrid::{HybridBTree, HybridCompressedBTree, SecondaryIndex};
 use std::collections::HashMap;
 use std::time::Duration;
+
+/// Fault point: transient anti-cache block fetch failure (retried).
+pub const FP_ANTICACHE_FETCH: &str = "hstore.anticache.fetch";
+/// Fault point: storage corruption of an anti-cache block at eviction
+/// time (a byte of the framed image is flipped; the checksum catches it
+/// at fetch and the block is quarantined).
+pub const FP_ANTICACHE_CORRUPT: &str = "hstore.anticache.corrupt";
+/// Fault point: an eviction round aborts before touching any slot.
+pub const FP_ANTICACHE_EVICT: &str = "hstore.anticache.evict";
+
+/// Transient-fetch retry budget before the fetch is given up.
+const FETCH_MAX_ATTEMPTS: u32 = 3;
 
 /// Which index implementation every index in the database uses — the
 /// three configurations of Figures 5.11–5.16.
@@ -82,13 +96,31 @@ struct MultiDef {
     index: MultiIndex,
 }
 
+/// One anti-cache block slot.
+#[derive(Debug)]
+enum BlockState {
+    /// A compressed, checksum-framed tuple image (see
+    /// [`memtree_compress::encode_block`] and [`crate::row::encode_tuples`]).
+    Live(Vec<u8>),
+    /// The frame failed checksum validation at fetch time. The block is
+    /// kept (never reused) so reads of its tuples keep returning
+    /// [`MemtreeError::Quarantined`] instead of wrong data; everything
+    /// else keeps serving.
+    Quarantined,
+    /// Fetched back and available for reuse.
+    Free,
+}
+
 struct AntiCache {
     threshold_bytes: usize,
-    blocks: Vec<Vec<(u16, u32, Row)>>,
+    blocks: Vec<BlockState>,
     free_blocks: Vec<u32>,
     fetch_latency: Duration,
     evictions: u64,
     fetches: u64,
+    fetch_retries: u64,
+    quarantined: u64,
+    evict_failures: u64,
     tuples_per_block: usize,
 }
 
@@ -107,6 +139,12 @@ pub struct DbStats {
     pub evictions: u64,
     /// Evicted-tuple fetches (each implies an abort-and-restart).
     pub fetches: u64,
+    /// Transient fetch failures that were retried.
+    pub fetch_retries: u64,
+    /// Blocks quarantined after failing checksum validation.
+    pub quarantined_blocks: u64,
+    /// Eviction rounds aborted by an injected fault.
+    pub evict_failures: u64,
 }
 
 impl DbStats {
@@ -156,6 +194,9 @@ impl Database {
             fetch_latency,
             evictions: 0,
             fetches: 0,
+            fetch_retries: 0,
+            quarantined: 0,
+            evict_failures: 0,
             tuples_per_block: 256,
         });
     }
@@ -255,39 +296,60 @@ impl Database {
     }
 
     /// Reads a row (cloned), un-evicting it if anti-cached. Marks it
-    /// recently used.
-    pub fn read(&mut self, table: usize, slot: u64) -> Row {
-        self.ensure_resident(table, slot);
+    /// recently used. Fails if the tuple sits in a quarantined or
+    /// unfetchable anti-cache block.
+    pub fn read(&mut self, table: usize, slot: u64) -> Result<Row, MemtreeError> {
+        self.ensure_resident(table, slot)?;
         match &mut self.tables[table].slots[slot as usize] {
             Slot::Present { row, referenced } => {
                 *referenced = true;
-                row.clone()
+                Ok(row.clone())
             }
-            _ => unreachable!("ensure_resident restored the tuple"),
+            _ => Err(MemtreeError::corruption(
+                "hstore-slot",
+                format!("slot {slot} of table {table} is not resident after fetch"),
+            )),
         }
     }
 
     /// Applies `f` to a row in place. Must not modify indexed columns.
-    pub fn update<F: FnOnce(&mut Row)>(&mut self, table: usize, slot: u64, f: F) {
-        self.ensure_resident(table, slot);
+    /// Fails (without calling `f`) if the tuple cannot be made resident.
+    pub fn update<F: FnOnce(&mut Row)>(
+        &mut self,
+        table: usize,
+        slot: u64,
+        f: F,
+    ) -> Result<(), MemtreeError> {
+        self.ensure_resident(table, slot)?;
         let t = &mut self.tables[table];
         let Slot::Present { row, referenced } = &mut t.slots[slot as usize] else {
-            unreachable!()
+            return Err(MemtreeError::corruption(
+                "hstore-slot",
+                format!("slot {slot} of table {table} is not resident after fetch"),
+            ));
         };
         let before = row_bytes(row);
         f(row);
         *referenced = true;
         let after = row_bytes(row);
         t.resident_bytes = t.resident_bytes + after - before;
+        Ok(())
     }
 
-    /// Deletes a row by slot, maintaining all indexes.
-    pub fn delete(&mut self, table: usize, slot: u64) {
-        self.ensure_resident(table, slot);
+    /// Deletes a row by slot, maintaining all indexes. Fails (leaving the
+    /// row and indexes untouched) if the tuple cannot be made resident.
+    pub fn delete(&mut self, table: usize, slot: u64) -> Result<(), MemtreeError> {
+        self.ensure_resident(table, slot)?;
         let t = &mut self.tables[table];
+        if !matches!(t.slots[slot as usize], Slot::Present { .. }) {
+            return Err(MemtreeError::corruption(
+                "hstore-slot",
+                format!("slot {slot} of table {table} is not resident after fetch"),
+            ));
+        }
         let old = std::mem::replace(&mut t.slots[slot as usize], Slot::Free);
         let Slot::Present { row, .. } = old else {
-            unreachable!()
+            unreachable!("matched Present above")
         };
         t.resident_bytes -= row_bytes(&row) + std::mem::size_of::<Slot>();
         t.resident_count -= 1;
@@ -302,6 +364,7 @@ impl Database {
                 def.index.remove(&encode_key(&row, &def.cols), slot);
             }
         }
+        Ok(())
     }
 
     /// Point lookup through a unique index.
@@ -339,18 +402,16 @@ impl Database {
             .range_from(&crate::row::encode_vals(low_vals), f);
     }
 
-    fn ensure_resident(&mut self, table: usize, slot: u64) {
-        let needs_fetch = matches!(
-            self.tables[table].slots[slot as usize],
-            Slot::Evicted { .. }
-        );
-        if !needs_fetch {
-            return;
-        }
+    fn ensure_resident(&mut self, table: usize, slot: u64) -> Result<(), MemtreeError> {
         let Slot::Evicted { block } = self.tables[table].slots[slot as usize] else {
-            unreachable!()
+            return Ok(());
         };
-        let anti = self.anti.as_mut().expect("evicted implies anti-caching");
+        let Some(anti) = self.anti.as_mut() else {
+            return Err(MemtreeError::corruption(
+                "hstore-anticache",
+                format!("slot {slot} of table {table} is evicted but anti-caching is off"),
+            ));
+        };
         anti.fetches += 1;
         if !anti.fetch_latency.is_zero() {
             let start = std::time::Instant::now();
@@ -358,8 +419,40 @@ impl Database {
                 std::hint::spin_loop();
             }
         }
+        // The simulated storage read is retried on transient failure
+        // (injected via `hstore.anticache.fetch`).
+        let mut attempt = 1;
+        while memtree_faults::should_fail(FP_ANTICACHE_FETCH) {
+            if attempt >= FETCH_MAX_ATTEMPTS {
+                return Err(MemtreeError::Injected {
+                    point: FP_ANTICACHE_FETCH.to_string(),
+                });
+            }
+            anti.fetch_retries += 1;
+            attempt += 1;
+        }
+        // Validate the frame before touching any slot. A checksum failure
+        // quarantines the block: its tuples stay Evicted and every read
+        // of them reports Quarantined instead of serving damaged bytes.
+        let tuples = match &anti.blocks[block as usize] {
+            BlockState::Live(frame) => decode_block(frame).and_then(|raw| decode_tuples(&raw)),
+            BlockState::Quarantined => return Err(MemtreeError::Quarantined { block }),
+            BlockState::Free => Err(MemtreeError::corruption(
+                "hstore-anticache",
+                format!("slot points at freed block {block}"),
+            )),
+        };
+        let tuples = match tuples {
+            Ok(t) => t,
+            Err(e) if e.is_corruption() => {
+                anti.blocks[block as usize] = BlockState::Quarantined;
+                anti.quarantined += 1;
+                return Err(MemtreeError::Quarantined { block });
+            }
+            Err(e) => return Err(e),
+        };
         // Block-merge policy: restore every tuple in the fetched block.
-        let tuples = std::mem::take(&mut anti.blocks[block as usize]);
+        anti.blocks[block as usize] = BlockState::Free;
         anti.free_blocks.push(block);
         for (tbl, s, row) in tuples {
             let t = &mut self.tables[tbl as usize];
@@ -371,6 +464,7 @@ impl Database {
                 referenced: true,
             };
         }
+        Ok(())
     }
 
     /// Evicts cold tuples (CLOCK second chance) while over the threshold.
@@ -386,9 +480,19 @@ impl Database {
         if resident <= tuple_budget {
             return;
         }
+        let per_block = anti.tuples_per_block;
         // Evict from the largest tables first (the thesis evicts the
         // coldest data DB-wide; per-table CLOCK approximates it).
         while resident > tuple_budget {
+            // An eviction round that fails here aborts before any slot or
+            // block is touched — memory stays over budget (recorded in
+            // `evict_failures`) but no data is lost or half-moved.
+            if memtree_faults::should_fail(FP_ANTICACHE_EVICT) {
+                if let Some(anti) = self.anti.as_mut() {
+                    anti.evict_failures += 1;
+                }
+                return;
+            }
             let victim_table = self
                 .tables
                 .iter()
@@ -399,7 +503,6 @@ impl Database {
             let Some(tbl) = victim_table else {
                 return;
             };
-            let per_block = self.anti.as_ref().unwrap().tuples_per_block;
             let mut batch: Vec<(u16, u32, Row)> = Vec::with_capacity(per_block);
             {
                 let t = &mut self.tables[tbl];
@@ -412,43 +515,51 @@ impl Database {
                     let i = t.clock_hand % n;
                     t.clock_hand = (t.clock_hand + 1) % n;
                     sweeps += 1;
-                    match &mut t.slots[i] {
-                        Slot::Present { referenced, .. } => {
-                            if *referenced {
-                                *referenced = false;
-                            } else {
-                                let old = std::mem::replace(&mut t.slots[i], Slot::Free);
-                                let Slot::Present { row, .. } = old else {
-                                    unreachable!()
-                                };
-                                t.resident_bytes -= row_bytes(&row) + std::mem::size_of::<Slot>();
-                                t.resident_count -= 1;
-                                t.evicted_count += 1;
-                                batch.push((tbl as u16, i as u32, row));
-                            }
+                    if let Slot::Present { referenced, .. } = &mut t.slots[i] {
+                        if *referenced {
+                            *referenced = false;
+                        } else {
+                            let old = std::mem::replace(&mut t.slots[i], Slot::Free);
+                            let Slot::Present { row, .. } = old else {
+                                unreachable!()
+                            };
+                            t.resident_bytes -= row_bytes(&row) + std::mem::size_of::<Slot>();
+                            t.resident_count -= 1;
+                            t.evicted_count += 1;
+                            batch.push((tbl as u16, i as u32, row));
                         }
-                        _ => {}
                     }
                 }
             }
             if batch.is_empty() {
                 return; // everything referenced; give up this round
             }
-            let anti = self.anti.as_mut().unwrap();
+            // Serialize, compress, and checksum-frame the block image.
+            let mut frame = encode_block(&encode_tuples(&batch));
+            if memtree_faults::should_fail(FP_ANTICACHE_CORRUPT) {
+                // Simulated storage corruption: damage a payload byte.
+                // The CRC catches it at fetch time.
+                let at = frame.len() / 2;
+                frame[at] ^= 0x40;
+            }
+            let locs: Vec<(u16, u32)> = batch.iter().map(|(t, s, _)| (*t, *s)).collect();
+            let Some(anti) = self.anti.as_mut() else {
+                return;
+            };
             anti.evictions += 1;
             let block = match anti.free_blocks.pop() {
                 Some(b) => {
-                    anti.blocks[b as usize] = batch;
+                    anti.blocks[b as usize] = BlockState::Live(frame);
                     b
                 }
                 None => {
-                    anti.blocks.push(batch);
+                    anti.blocks.push(BlockState::Live(frame));
                     (anti.blocks.len() - 1) as u32
                 }
             };
             // Re-point the evicted slots at the block.
-            for (tbl2, s, _) in &self.anti.as_ref().unwrap().blocks[block as usize] {
-                self.tables[*tbl2 as usize].slots[*s as usize] = Slot::Evicted { block };
+            for (tbl2, s) in locs {
+                self.tables[tbl2 as usize].slots[s as usize] = Slot::Evicted { block };
             }
             resident = self.tables.iter().map(|t| t.resident_bytes).sum();
         }
@@ -463,7 +574,46 @@ impl Database {
             evicted_tuples: self.tables.iter().map(|t| t.evicted_count).sum(),
             evictions: self.anti.as_ref().map_or(0, |a| a.evictions),
             fetches: self.anti.as_ref().map_or(0, |a| a.fetches),
+            fetch_retries: self.anti.as_ref().map_or(0, |a| a.fetch_retries),
+            quarantined_blocks: self.anti.as_ref().map_or(0, |a| a.quarantined),
+            evict_failures: self.anti.as_ref().map_or(0, |a| a.evict_failures),
         }
+    }
+
+    /// Flips `mask` into one byte of a live anti-cache block's frame (test
+    /// hook for corruption-detection coverage). Returns the block id that
+    /// was damaged, or `None` if no live block exists.
+    #[doc(hidden)]
+    pub fn corrupt_anticache_block(&mut self, offset: usize, mask: u8) -> Option<u32> {
+        let anti = self.anti.as_mut()?;
+        for (i, b) in anti.blocks.iter_mut().enumerate() {
+            if let BlockState::Live(frame) = b {
+                if !frame.is_empty() {
+                    let at = offset % frame.len();
+                    frame[at] ^= mask;
+                    return Some(i as u32);
+                }
+            }
+        }
+        None
+    }
+
+    /// Length of a live anti-cache block's frame (test hook companion to
+    /// [`Self::corrupt_anticache_block`]).
+    #[doc(hidden)]
+    pub fn anticache_block_len(&self) -> Option<usize> {
+        self.anticache_block_frame().map(|f| f.len())
+    }
+
+    /// Clone of the first live anti-cache block's framed image (test hook
+    /// for exhaustive corruption-detection coverage).
+    #[doc(hidden)]
+    pub fn anticache_block_frame(&self) -> Option<Vec<u8>> {
+        let anti = self.anti.as_ref()?;
+        anti.blocks.iter().find_map(|b| match b {
+            BlockState::Live(frame) => Some(frame.clone()),
+            _ => None,
+        })
     }
 
     /// Per-table (name, resident tuple bytes).
@@ -518,15 +668,15 @@ mod tests {
             assert!(db.insert(t, vec![Val::I64(5), Val::I64(0), Val::Str("dup".into())]).is_none());
             // Point read through the PK.
             let slot = db.get_unique(pk, &[Val::I64(123)]).unwrap();
-            assert_eq!(db.read(t, slot)[2].str(), "item123");
+            assert_eq!(db.read(t, slot).unwrap()[2].str(), "item123");
             // Secondary index fans out.
             let cat3 = db.get_multi(by_cat, &[Val::I64(3)]);
             assert_eq!(cat3.len(), 1000 / 7 + 1);
             // Update a non-indexed column.
-            db.update(t, slot, |row| row[2] = Val::Str("renamed".into()));
-            assert_eq!(db.read(t, slot)[2].str(), "renamed");
+            db.update(t, slot, |row| row[2] = Val::Str("renamed".into())).unwrap();
+            assert_eq!(db.read(t, slot).unwrap()[2].str(), "renamed");
             // Delete maintains both indexes.
-            db.delete(t, slot);
+            db.delete(t, slot).unwrap();
             assert!(db.get_unique(pk, &[Val::I64(123)]).is_none());
             assert!(!db.get_multi(by_cat, &[Val::I64(123 % 7)]).contains(&slot));
         }
@@ -560,7 +710,7 @@ mod tests {
         assert!(s.tuple_bytes <= 500 << 10, "resident {}", s.tuple_bytes);
         // Reading a cold tuple fetches it back.
         let slot = db.get_unique(pk, &[Val::I64(10)]).unwrap();
-        let row = db.read(t, slot);
+        let row = db.read(t, slot).unwrap();
         assert_eq!(row[0].i64(), 10);
         let s2 = db.stats();
         assert!(s2.fetches >= 1 || s.evicted_tuples > s2.evicted_tuples);

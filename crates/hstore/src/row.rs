@@ -88,6 +88,132 @@ pub fn row_bytes(row: &Row) -> usize {
     row.len() * std::mem::size_of::<Val>() + row.iter().map(Val::heap_bytes).sum::<usize>()
 }
 
+// ---- anti-cache tuple serialization ------------------------------------
+//
+// Evicted tuples travel through the anti-cache as a flat byte image (then
+// compressed and checksum-framed by `memtree-compress`). Layout, all
+// little-endian: `u32` tuple count, then per tuple `u16` table id, `u32`
+// slot, `u16` column count, then per column a tag byte (0=I64, 1=Str,
+// 2=F64) and its payload (i64 / u32 len + bytes / f64 bits).
+
+use memtree_common::error::MemtreeError;
+
+/// Serializes an eviction batch into a flat byte image.
+pub fn encode_tuples(tuples: &[(u16, u32, Row)]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64 * tuples.len());
+    out.extend_from_slice(&(tuples.len() as u32).to_le_bytes());
+    for (tbl, slot, row) in tuples {
+        out.extend_from_slice(&tbl.to_le_bytes());
+        out.extend_from_slice(&slot.to_le_bytes());
+        out.extend_from_slice(&(row.len() as u16).to_le_bytes());
+        for val in row {
+            match val {
+                Val::I64(v) => {
+                    out.push(0);
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+                Val::Str(s) => {
+                    out.push(1);
+                    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+                    out.extend_from_slice(s.as_bytes());
+                }
+                Val::F64(v) => {
+                    out.push(2);
+                    out.extend_from_slice(&v.to_bits().to_le_bytes());
+                }
+            }
+        }
+    }
+    out
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], MemtreeError> {
+        let end = self.at.checked_add(n).filter(|&e| e <= self.buf.len());
+        match end {
+            Some(end) => {
+                let s = &self.buf[self.at..end];
+                self.at = end;
+                Ok(s)
+            }
+            None => Err(MemtreeError::corruption(
+                "anticache-tuples",
+                format!("truncated at byte {} (wanted {n} more)", self.at),
+            )),
+        }
+    }
+
+    fn u16(&mut self) -> Result<u16, MemtreeError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, MemtreeError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, MemtreeError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+}
+
+/// Deserializes an eviction batch. Returns
+/// [`MemtreeError::Corruption`] on any structural damage; never panics.
+pub fn decode_tuples(bytes: &[u8]) -> Result<Vec<(u16, u32, Row)>, MemtreeError> {
+    let mut c = Cursor { buf: bytes, at: 0 };
+    let count = c.u32()? as usize;
+    // A tuple needs at least 8 header bytes: reject absurd counts early.
+    if count > bytes.len() / 8 + 1 {
+        return Err(MemtreeError::corruption(
+            "anticache-tuples",
+            format!("implausible tuple count {count} for {} bytes", bytes.len()),
+        ));
+    }
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        let tbl = c.u16()?;
+        let slot = c.u32()?;
+        let ncols = c.u16()? as usize;
+        let mut row = Vec::with_capacity(ncols);
+        for _ in 0..ncols {
+            let tag = c.take(1)?[0];
+            row.push(match tag {
+                0 => Val::I64(c.u64()? as i64),
+                1 => {
+                    let len = c.u32()? as usize;
+                    let raw = c.take(len)?;
+                    let s = std::str::from_utf8(raw).map_err(|e| {
+                        MemtreeError::corruption(
+                            "anticache-tuples",
+                            format!("non-UTF-8 string column: {e}"),
+                        )
+                    })?;
+                    Val::Str(s.to_string())
+                }
+                2 => Val::F64(f64::from_bits(c.u64()?)),
+                t => {
+                    return Err(MemtreeError::corruption(
+                        "anticache-tuples",
+                        format!("unknown value tag {t}"),
+                    ))
+                }
+            });
+        }
+        out.push((tbl, slot, row));
+    }
+    if c.at != bytes.len() {
+        return Err(MemtreeError::corruption(
+            "anticache-tuples",
+            format!("{} trailing bytes after last tuple", bytes.len() - c.at),
+        ));
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -119,5 +245,32 @@ mod tests {
         let short = encode_vals(&[Val::Str("ab".into()), Val::I64(9)]);
         let long = encode_vals(&[Val::Str("abc".into()), Val::I64(0)]);
         assert!(short < long);
+    }
+
+    #[test]
+    fn tuples_roundtrip() {
+        let tuples = vec![
+            (0u16, 7u32, vec![Val::I64(-3), Val::Str("hello".into()), Val::F64(1.25)]),
+            (9, 100_000, vec![]),
+            (1, 0, vec![Val::Str(String::new())]),
+        ];
+        let bytes = encode_tuples(&tuples);
+        assert_eq!(decode_tuples(&bytes).unwrap(), tuples);
+        assert_eq!(decode_tuples(&encode_tuples(&[])).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn corrupt_tuple_images_error_never_panic() {
+        let tuples = vec![(2u16, 5u32, vec![Val::I64(1), Val::Str("abcd".into())])];
+        let bytes = encode_tuples(&tuples);
+        for cut in 0..bytes.len() {
+            assert!(decode_tuples(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+        // Byte garbage must decode or error, never panic. (The checksum
+        // frame above this layer catches flips; this is defense in depth.)
+        for seed in 0..64u8 {
+            let junk: Vec<u8> = (0..97).map(|i| seed.wrapping_mul(31).wrapping_add(i)).collect();
+            let _ = decode_tuples(&junk);
+        }
     }
 }

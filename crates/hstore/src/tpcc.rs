@@ -3,6 +3,7 @@
 
 use crate::db::Database;
 use crate::row::Val;
+use memtree_common::error::MemtreeError;
 use memtree_common::hash::splitmix64;
 
 /// Scale parameters (thesis: 8 warehouses, 100 000 items).
@@ -192,40 +193,43 @@ impl Tpcc {
     }
 
     /// Runs one transaction from the standard mix; returns its name.
-    pub fn run_one(&mut self, db: &mut Database) -> &'static str {
-        match self.rand(100) {
+    ///
+    /// Fails (H-Store's abort-and-restart path) if a tuple it touches
+    /// cannot be fetched back from the anti-cache.
+    pub fn run_one(&mut self, db: &mut Database) -> Result<&'static str, MemtreeError> {
+        Ok(match self.rand(100) {
             0..=44 => {
-                self.new_order_txn(db);
+                self.new_order_txn(db)?;
                 "NewOrder"
             }
             45..=87 => {
-                self.payment_txn(db);
+                self.payment_txn(db)?;
                 "Payment"
             }
             88..=91 => {
-                self.order_status_txn(db);
+                self.order_status_txn(db)?;
                 "OrderStatus"
             }
             92..=95 => {
-                self.delivery_txn(db);
+                self.delivery_txn(db)?;
                 "Delivery"
             }
             _ => {
-                self.stock_level_txn(db);
+                self.stock_level_txn(db)?;
                 "StockLevel"
             }
-        }
+        })
     }
 
-    fn new_order_txn(&mut self, db: &mut Database) {
+    fn new_order_txn(&mut self, db: &mut Database) -> Result<(), MemtreeError> {
         let w = self.rand(self.cfg.warehouses);
         let d = self.rand(DISTRICTS);
         let c = self.rand(self.cfg.customers_per_district);
         let d_slot = db
             .get_unique(self.district_pk, &[Val::I64(w), Val::I64(d)])
             .expect("district");
-        let o_id = db.read(self.district, d_slot)[2].i64();
-        db.update(self.district, d_slot, |row| row[2] = Val::I64(o_id + 1));
+        let o_id = db.read(self.district, d_slot)?[2].i64();
+        db.update(self.district, d_slot, |row| row[2] = Val::I64(o_id + 1))?;
         let ol_cnt = 5 + self.rand(11);
         db.insert(
             self.orders,
@@ -246,7 +250,7 @@ impl Tpcc {
             let i_id = self.rand(self.cfg.items);
             let qty = 1 + self.rand(10);
             let item_slot = db.get_unique(self.item_pk, &[Val::I64(i_id)]).expect("item");
-            let price = db.read(self.item, item_slot)[2].f64();
+            let price = db.read(self.item, item_slot)?[2].f64();
             let stock_slot = db
                 .get_unique(self.stock_pk, &[Val::I64(w), Val::I64(i_id)])
                 .expect("stock");
@@ -259,7 +263,7 @@ impl Tpcc {
                 });
                 row[3] = Val::I64(row[3].i64() + qty);
                 row[4] = Val::I64(row[4].i64() + 1);
-            });
+            })?;
             db.insert(
                 self.order_line,
                 vec![
@@ -274,9 +278,10 @@ impl Tpcc {
                 ],
             );
         }
+        Ok(())
     }
 
-    fn pick_customer(&mut self, db: &mut Database, w: i64, d: i64) -> u64 {
+    fn pick_customer(&mut self, db: &mut Database, w: i64, d: i64) -> Result<u64, MemtreeError> {
         if self.rand(100) < 60 {
             // By last name: take the middle match (TPC-C rule).
             let name = last_name(self.rand(self.cfg.customers_per_district.min(1000)));
@@ -286,34 +291,35 @@ impl Tpcc {
             );
             if !slots.is_empty() {
                 slots.sort_unstable();
-                return slots[slots.len() / 2];
+                return Ok(slots[slots.len() / 2]);
             }
         }
         let c = self.rand(self.cfg.customers_per_district);
-        db.get_unique(self.customer_pk, &[Val::I64(w), Val::I64(d), Val::I64(c)])
-            .expect("customer")
+        Ok(db
+            .get_unique(self.customer_pk, &[Val::I64(w), Val::I64(d), Val::I64(c)])
+            .expect("customer"))
     }
 
-    fn payment_txn(&mut self, db: &mut Database) {
+    fn payment_txn(&mut self, db: &mut Database) -> Result<(), MemtreeError> {
         let w = self.rand(self.cfg.warehouses);
         let d = self.rand(DISTRICTS);
         let amount = 1.0 + self.rand(5000) as f64;
         let w_slot = db.get_unique(self.warehouse_pk, &[Val::I64(w)]).expect("wh");
         db.update(self.warehouse, w_slot, |row| {
             row[2] = Val::F64(row[2].f64() + amount)
-        });
+        })?;
         let d_slot = db
             .get_unique(self.district_pk, &[Val::I64(w), Val::I64(d)])
             .expect("district");
         db.update(self.district, d_slot, |row| {
             row[3] = Val::F64(row[3].f64() + amount)
-        });
-        let c_slot = self.pick_customer(db, w, d);
+        })?;
+        let c_slot = self.pick_customer(db, w, d)?;
         db.update(self.customer, c_slot, |row| {
             row[4] = Val::F64(row[4].f64() - amount);
             row[5] = Val::F64(row[5].f64() + amount);
             row[6] = Val::I64(row[6].i64() + 1);
-        });
+        })?;
         let h = self.history_seq;
         self.history_seq += 1;
         db.insert(
@@ -326,13 +332,14 @@ impl Tpcc {
                 Val::Str(format!("payment-{w}-{d}")),
             ],
         );
+        Ok(())
     }
 
-    fn order_status_txn(&mut self, db: &mut Database) {
+    fn order_status_txn(&mut self, db: &mut Database) -> Result<(), MemtreeError> {
         let w = self.rand(self.cfg.warehouses);
         let d = self.rand(DISTRICTS);
-        let c_slot = self.pick_customer(db, w, d);
-        let c = db.read(self.customer, c_slot)[2].i64();
+        let c_slot = self.pick_customer(db, w, d)?;
+        let c = db.read(self.customer, c_slot)?[2].i64();
         let orders = db.get_multi(
             self.orders_by_customer,
             &[Val::I64(w), Val::I64(d), Val::I64(c)],
@@ -340,25 +347,26 @@ impl Tpcc {
         // Most recent order: highest o_id.
         let mut best: Option<(i64, u64)> = None;
         for slot in orders {
-            let o_id = db.read(self.orders, slot)[2].i64();
+            let o_id = db.read(self.orders, slot)?[2].i64();
             if best.is_none_or(|(b, _)| o_id > b) {
                 best = Some((o_id, slot));
             }
         }
         if let Some((o_id, slot)) = best {
-            let ol_cnt = db.read(self.orders, slot)[5].i64();
+            let ol_cnt = db.read(self.orders, slot)?[5].i64();
             for ol in 0..ol_cnt {
                 if let Some(l) = db.get_unique(
                     self.order_line_pk,
                     &[Val::I64(w), Val::I64(d), Val::I64(o_id), Val::I64(ol)],
                 ) {
-                    db.read(self.order_line, l);
+                    db.read(self.order_line, l)?;
                 }
             }
         }
+        Ok(())
     }
 
-    fn delivery_txn(&mut self, db: &mut Database) {
+    fn delivery_txn(&mut self, db: &mut Database) -> Result<(), MemtreeError> {
         let w = self.rand(self.cfg.warehouses);
         let carrier = 1 + self.rand(10);
         for d in 0..DISTRICTS {
@@ -375,27 +383,27 @@ impl Tpcc {
             let Some((_, no_slot, _)) = found else {
                 continue;
             };
-            let no_row = db.read(self.new_order, no_slot);
+            let no_row = db.read(self.new_order, no_slot)?;
             if no_row[0].i64() != w || no_row[1].i64() != d {
                 continue; // ran past the district
             }
             let o_id = no_row[2].i64();
-            db.delete(self.new_order, no_slot);
+            db.delete(self.new_order, no_slot)?;
             if let Some(o_slot) =
                 db.get_unique(self.orders_pk, &[Val::I64(w), Val::I64(d), Val::I64(o_id)])
             {
                 let (c_id, ol_cnt) = {
-                    let row = db.read(self.orders, o_slot);
+                    let row = db.read(self.orders, o_slot)?;
                     (row[3].i64(), row[5].i64())
                 };
-                db.update(self.orders, o_slot, |row| row[4] = Val::I64(carrier));
+                db.update(self.orders, o_slot, |row| row[4] = Val::I64(carrier))?;
                 let mut total = 0.0;
                 for ol in 0..ol_cnt {
                     if let Some(l) = db.get_unique(
                         self.order_line_pk,
                         &[Val::I64(w), Val::I64(d), Val::I64(o_id), Val::I64(ol)],
                     ) {
-                        total += db.read(self.order_line, l)[6].f64();
+                        total += db.read(self.order_line, l)?[6].f64();
                     }
                 }
                 if let Some(c_slot) = db.get_unique(
@@ -404,20 +412,21 @@ impl Tpcc {
                 ) {
                     db.update(self.customer, c_slot, |row| {
                         row[4] = Val::F64(row[4].f64() + total)
-                    });
+                    })?;
                 }
             }
         }
+        Ok(())
     }
 
-    fn stock_level_txn(&mut self, db: &mut Database) {
+    fn stock_level_txn(&mut self, db: &mut Database) -> Result<(), MemtreeError> {
         let w = self.rand(self.cfg.warehouses);
         let d = self.rand(DISTRICTS);
         let threshold = 10 + self.rand(11);
         let d_slot = db
             .get_unique(self.district_pk, &[Val::I64(w), Val::I64(d)])
             .expect("district");
-        let next_o = db.read(self.district, d_slot)[2].i64();
+        let next_o = db.read(self.district, d_slot)?[2].i64();
         let mut low_stock = 0;
         for o_id in (next_o - 20).max(0)..next_o {
             for ol in 0..15 {
@@ -427,15 +436,16 @@ impl Tpcc {
                 ) else {
                     break;
                 };
-                let i_id = db.read(self.order_line, l)[4].i64();
+                let i_id = db.read(self.order_line, l)?[4].i64();
                 if let Some(s) = db.get_unique(self.stock_pk, &[Val::I64(w), Val::I64(i_id)]) {
-                    if db.read(self.stock, s)[2].i64() < threshold {
+                    if db.read(self.stock, s)?[2].i64() < threshold {
                         low_stock += 1;
                     }
                 }
             }
         }
         let _ = low_stock;
+        Ok(())
     }
 }
 
@@ -455,7 +465,7 @@ mod tests {
         let mut tpcc = Tpcc::load(&mut db, cfg, 42);
         let mut counts = std::collections::HashMap::new();
         for _ in 0..500 {
-            let name = tpcc.run_one(&mut db);
+            let name = tpcc.run_one(&mut db).unwrap();
             *counts.entry(name).or_insert(0) += 1;
         }
         assert!(counts["NewOrder"] > 150, "{counts:?}");
@@ -481,7 +491,7 @@ mod tests {
         };
         let mut tpcc = Tpcc::load(&mut db, cfg, 7);
         for _ in 0..300 {
-            tpcc.run_one(&mut db);
+            tpcc.run_one(&mut db).unwrap();
         }
         let s = db.stats();
         assert!(s.primary_index_bytes > 0);

@@ -5,6 +5,7 @@
 
 use crate::db::Database;
 use crate::row::Val;
+use memtree_common::error::MemtreeError;
 use memtree_common::hash::splitmix64;
 
 /// Votes allowed per phone number.
@@ -50,8 +51,9 @@ impl Voter {
         }
     }
 
-    /// One Vote transaction.
-    pub fn run_one(&mut self, db: &mut Database) -> &'static str {
+    /// One Vote transaction. Fails if a touched tuple cannot be fetched
+    /// back from the anti-cache.
+    pub fn run_one(&mut self, db: &mut Database) -> Result<&'static str, MemtreeError> {
         // Area-code-weighted phone number, reused across calls so the
         // per-phone limit actually fires.
         let phone = 2_000_000_000 + (splitmix64(&mut self.state) % 5_000_000) as i64;
@@ -59,7 +61,7 @@ impl Voter {
         let prior = db.get_multi(self.votes_by_phone, &[Val::I64(phone)]);
         if prior.len() as i64 >= MAX_VOTES_PER_PHONE {
             self.rejected += 1;
-            return "VoteRejected";
+            return Ok("VoteRejected");
         }
         let id = self.vote_seq;
         self.vote_seq += 1;
@@ -72,8 +74,8 @@ impl Voter {
             .expect("contestant");
         db.update(self.contestants, slot, |row| {
             row[2] = Val::I64(row[2].i64() + 1)
-        });
-        "Vote"
+        })?;
+        Ok("Vote")
     }
 
     /// Votes rejected by the per-phone limit.
@@ -102,7 +104,7 @@ mod tests {
         let mut db = Database::new(IndexChoice::BTree);
         let mut voter = Voter::load(&mut db, 6, 3);
         for _ in 0..5000 {
-            voter.run_one(&mut db);
+            voter.run_one(&mut db).unwrap();
         }
         let stats: std::collections::HashMap<String, usize> = db
             .table_stats()
@@ -114,7 +116,7 @@ mod tests {
         let mut total = 0i64;
         for c in 0..6i64 {
             let slot = db.get_unique(voter.contestants_pk, &[Val::I64(c)]).unwrap();
-            total += db.read(voter.contestants, slot)[2].i64();
+            total += db.read(voter.contestants, slot).unwrap()[2].i64();
         }
         assert_eq!(total as usize, stats["VOTES"]);
     }

@@ -15,6 +15,7 @@
 
 #![warn(missing_docs)]
 
+use memtree_common::error::MemtreeError;
 use memtree_common::traits::{OrderedIndex, PointFilter, StaticIndex, Value};
 use memtree_filters::DynamicBloom;
 use std::collections::HashSet;
@@ -55,6 +56,14 @@ pub enum MergeTrigger {
 pub struct MergeStats {
     /// Completed merges.
     pub merges: u64,
+    /// Merge attempts that failed (the index stayed in its pre-merge
+    /// state; see the crash-consistency contract on
+    /// [`DualStage::force_merge`]).
+    pub failed_merges: u64,
+    /// Failed attempts that were retried by
+    /// [`DualStage::merge_with_retry`] (each retry waits an
+    /// exponentially growing backoff).
+    pub merge_retries: u64,
     /// Total blocking time spent merging.
     pub total_merge_time: Duration,
     /// Duration of the most recent merge.
@@ -62,6 +71,14 @@ pub struct MergeStats {
     /// Static-stage entry count at the most recent merge.
     pub last_merge_static_len: usize,
 }
+
+/// Maximum attempts an automatic (trigger-driven) merge makes before
+/// giving up until the next trigger.
+pub const MERGE_MAX_ATTEMPTS: u32 = 3;
+/// First retry backoff; doubles per retry, capped at [`MERGE_BACKOFF_CAP`].
+pub const MERGE_BACKOFF_START: Duration = Duration::from_micros(100);
+/// Upper bound on the per-retry backoff sleep.
+pub const MERGE_BACKOFF_CAP: Duration = Duration::from_millis(10);
 
 /// The dual-stage hybrid index.
 #[derive(Debug)]
@@ -164,25 +181,48 @@ impl<D: OrderedIndex + Default, S: StaticIndex> DualStage<D, S> {
     /// Merges the dynamic stage into the static stage (blocking,
     /// merge-all). The core is a linear merge of two sorted runs — the
     /// array extension of §5.2.1.
-    pub fn force_merge(&mut self) {
+    ///
+    /// # Crash consistency
+    ///
+    /// The merge builds the replacement static stage entirely off to the
+    /// side and commits it with an atomic in-memory swap only after the
+    /// build succeeds. If the merge fails partway (e.g. via an armed
+    /// [`memtree_faults`] point such as `hybrid.merge.prepare`,
+    /// `hybrid.merge.build`, or `hybrid.merge.swap`), the index is left
+    /// exactly as it was: both stages, tombstones, Bloom filter, and hot
+    /// set are untouched, and every key remains readable.
+    pub fn force_merge(&mut self) -> Result<(), MemtreeError> {
+        match self.try_merge() {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                self.stats.failed_merges += 1;
+                Err(e)
+            }
+        }
+    }
+
+    fn try_merge(&mut self) -> Result<(), MemtreeError> {
         let start = Instant::now();
-        let mut dyn_entries = self.dynamic.drain_sorted();
+        memtree_faults::fail_point!("hybrid.merge.prepare");
+        // Snapshot the dynamic stage without draining it — nothing is
+        // mutated until the commit point below.
+        let mut dyn_entries: Vec<(Vec<u8>, Value)> = Vec::with_capacity(self.dynamic.len());
+        self.dynamic
+            .for_each_sorted(&mut |k, v| dyn_entries.push((k.to_vec(), v)));
         // Merge-cold: recently re-written keys go back to the dynamic
         // stage instead of migrating — unless nearly everything is hot
         // (then retaining would starve the merge, §5.2.2's caveat).
         let mut retained: Vec<(Vec<u8>, Value)> = Vec::new();
         if self.strategy == MergeStrategy::Cold && self.hot.len() * 2 < dyn_entries.len() {
-            let hot = std::mem::take(&mut self.hot);
+            let hot = &self.hot;
             let (keep, merge): (Vec<_>, Vec<_>) =
                 dyn_entries.into_iter().partition(|(k, _)| hot.contains(k));
             retained = keep;
             dyn_entries = merge;
-        } else {
-            self.hot.clear();
         }
         let mut merged: Vec<(Vec<u8>, Value)> =
             Vec::with_capacity(dyn_entries.len() + self.static_len());
-        match self.stat.take() {
+        match self.stat.as_ref() {
             None => {
                 merged.extend(
                     dyn_entries
@@ -222,6 +262,11 @@ impl<D: OrderedIndex + Default, S: StaticIndex> DualStage<D, S> {
                 }
             }
         }
+        memtree_faults::fail_point!("hybrid.merge.build");
+        let new_stat = S::build(&merged);
+        memtree_faults::fail_point!("hybrid.merge.swap");
+
+        // ---- commit point: everything below is infallible. ----
         // Retained hot keys that shadow a surviving static copy must not
         // be double-counted.
         let retained_new = retained
@@ -229,8 +274,10 @@ impl<D: OrderedIndex + Default, S: StaticIndex> DualStage<D, S> {
             .filter(|(k, _)| merged.binary_search_by(|(m, _)| m.cmp(k)).is_err())
             .count();
         self.len = merged.len() + retained_new;
-        self.stat = Some(S::build(&merged));
+        self.stat = Some(new_stat);
+        self.dynamic.clear();
         self.tombstones.clear();
+        self.hot.clear();
         if let Some(b) = &mut self.bloom {
             b.reset();
         }
@@ -246,11 +293,39 @@ impl<D: OrderedIndex + Default, S: StaticIndex> DualStage<D, S> {
         self.stats.total_merge_time += elapsed;
         self.stats.last_merge_time = elapsed;
         self.stats.last_merge_static_len = self.len;
+        Ok(())
+    }
+
+    /// [`force_merge`](Self::force_merge) with bounded retry and
+    /// exponential backoff. Each failed attempt bumps
+    /// [`MergeStats::merge_retries`] and sleeps (100µs doubling, capped
+    /// at 10ms) before trying again; after `max_attempts` failures it
+    /// gives up with [`MemtreeError::MergeFailed`]. The index stays fully
+    /// readable throughout.
+    pub fn merge_with_retry(&mut self, max_attempts: u32) -> Result<(), MemtreeError> {
+        let mut backoff = MERGE_BACKOFF_START;
+        for attempt in 1..=max_attempts.max(1) {
+            match self.force_merge() {
+                Ok(()) => return Ok(()),
+                Err(_) if attempt < max_attempts => {
+                    self.stats.merge_retries += 1;
+                    std::thread::sleep(backoff);
+                    backoff = (backoff * 2).min(MERGE_BACKOFF_CAP);
+                }
+                Err(_) => break,
+            }
+        }
+        Err(MemtreeError::MergeFailed {
+            attempts: max_attempts.max(1),
+        })
     }
 
     fn maybe_merge(&mut self) {
         if self.should_merge() {
-            self.force_merge();
+            // A merge that keeps failing is survivable: writes continue to
+            // land in the dynamic stage and the trigger re-fires on the
+            // next insert. `failed_merges` records the degradation.
+            let _ = self.merge_with_retry(MERGE_MAX_ATTEMPTS);
         }
     }
 }
@@ -521,7 +596,7 @@ mod tests {
         for i in 0..5000u64 {
             h.insert(&encode_u64(i), i);
         }
-        h.force_merge();
+        h.force_merge().unwrap();
         assert_eq!(h.dynamic_len(), 0);
         // Key now lives in the static stage; a re-insert must fail.
         assert!(!h.insert(&encode_u64(42), 999));
@@ -534,11 +609,11 @@ mod tests {
         for i in 0..5000u64 {
             h.insert(&encode_u64(i), i);
         }
-        h.force_merge();
+        h.force_merge().unwrap();
         assert!(h.update(&encode_u64(100), 12345));
         assert_eq!(h.get(&encode_u64(100)), Some(12345));
         // After another merge the shadow wins permanently.
-        h.force_merge();
+        h.force_merge().unwrap();
         assert_eq!(h.get(&encode_u64(100)), Some(12345));
         assert_eq!(h.len(), 5000);
         assert!(!h.update(&encode_u64(999_999), 1));
@@ -550,7 +625,7 @@ mod tests {
         for i in 0..5000u64 {
             h.insert(&encode_u64(i), i);
         }
-        h.force_merge();
+        h.force_merge().unwrap();
         assert!(h.remove(&encode_u64(7)));
         assert_eq!(h.get(&encode_u64(7)), None);
         assert!(!h.remove(&encode_u64(7)));
@@ -558,7 +633,7 @@ mod tests {
         // Reinsert after delete works and survives a merge.
         assert!(h.insert(&encode_u64(7), 77));
         assert_eq!(h.get(&encode_u64(7)), Some(77));
-        h.force_merge();
+        h.force_merge().unwrap();
         assert_eq!(h.get(&encode_u64(7)), Some(77));
         assert_eq!(h.len(), 5000);
     }
@@ -570,7 +645,7 @@ mod tests {
         for i in (0..1000u64).step_by(2) {
             h.insert(&encode_u64(i), i);
         }
-        h.force_merge();
+        h.force_merge().unwrap();
         for i in (1..1000u64).step_by(2) {
             h.insert(&encode_u64(i), i);
         }
@@ -611,7 +686,7 @@ mod tests {
             h.insert(&encode_u64(i), i);
             d.insert(&encode_u64(i), i);
         }
-        h.force_merge();
+        h.force_merge().unwrap();
         assert!(
             (h.mem_usage() as f64) < 0.75 * d.mem_usage() as f64,
             "hybrid {} vs dynamic {}",
@@ -633,7 +708,7 @@ mod merge_cold_tests {
         for i in 0..10_000u64 {
             h.insert(&encode_u64(i), i);
         }
-        h.force_merge();
+        h.force_merge().unwrap();
         // A small hot set of re-writes (shadowing static copies) plus a
         // batch of fresh cold inserts.
         for i in 0..100u64 {
@@ -643,7 +718,7 @@ mod merge_cold_tests {
             assert!(h.insert(&encode_u64(i), i));
         }
         assert_eq!(h.dynamic_len(), 1000);
-        h.force_merge();
+        h.force_merge().unwrap();
         // Hot keys were retained; cold inserts migrated.
         assert_eq!(h.dynamic_len(), 100, "hot keys should stay dynamic");
         assert_eq!(h.len(), 10_900, "no double counting");
@@ -654,7 +729,7 @@ mod merge_cold_tests {
             assert_eq!(h.get(&encode_u64(i)), Some(i));
         }
         // A second merge with no new heat migrates everything.
-        h.force_merge();
+        h.force_merge().unwrap();
         assert_eq!(h.dynamic_len(), 0);
         assert_eq!(h.len(), 10_900);
         assert_eq!(h.get(&encode_u64(5)), Some(1_000_005));
@@ -667,12 +742,12 @@ mod merge_cold_tests {
         for i in 0..100u64 {
             h.insert(&encode_u64(i), i);
         }
-        h.force_merge();
+        h.force_merge().unwrap();
         for i in 0..100u64 {
             h.update(&encode_u64(i), i + 1);
         }
         // Everything is hot: retaining all would starve the merge.
-        h.force_merge();
+        h.force_merge().unwrap();
         assert_eq!(h.dynamic_len(), 0);
         assert_eq!(h.len(), 100);
         assert_eq!(h.get(&encode_u64(7)), Some(8));

@@ -197,7 +197,7 @@ mod tests {
                 naive.insert(&k, rep);
             }
         }
-        s.inner_mut().force_merge();
+        s.inner_mut().force_merge().unwrap();
         assert!(
             (s.mem_usage() as f64) < 0.6 * naive.mem_usage() as f64,
             "secondary {} vs naive {}",

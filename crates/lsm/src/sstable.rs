@@ -11,8 +11,10 @@ use memtree_surf::{SuffixConfig, Surf};
 /// A decoded data block: sorted `(key, value)` pairs.
 pub(crate) type DecodedBlock = Vec<(Vec<u8>, Vec<u8>)>;
 
-/// Per-table filter.
+/// Per-table filter. One instance per SSTable, so the inline size gap
+/// between the variants is irrelevant.
 #[derive(Debug)]
+#[allow(clippy::large_enum_variant)]
 pub(crate) enum TableFilter {
     Bloom(BloomFilter),
     Surf(Surf),

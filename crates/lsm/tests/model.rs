@@ -2,12 +2,13 @@
 //! open/closed seeks and counts must agree (modulo documented count
 //! over-approximation) under every filter configuration.
 
+use memtree_common::check::{prop_check, Gen};
+use memtree_common::{check, check_eq};
 use memtree_lsm::{Db, DbOptions, FilterKind, SeekResult};
-use proptest::prelude::*;
 use std::collections::BTreeMap;
 
-fn key() -> impl Strategy<Value = Vec<u8>> {
-    proptest::collection::vec(prop_oneof![Just(b'k'), Just(b'l'), Just(b'm')], 1..6)
+fn key(g: &mut Gen) -> Vec<u8> {
+    g.bytes_from(b"klm", 1..6)
 }
 
 #[derive(Debug, Clone)]
@@ -20,15 +21,16 @@ enum Cmd {
     Flush,
 }
 
-fn cmd() -> impl Strategy<Value = Cmd> {
-    prop_oneof![
-        4 => (key(), any::<u8>()).prop_map(|(k, v)| Cmd::Put(k, v)),
-        3 => key().prop_map(Cmd::Get),
-        1 => key().prop_map(Cmd::SeekOpen),
-        1 => (key(), key()).prop_map(|(a, b)| Cmd::SeekClosed(a, b)),
-        1 => (key(), key()).prop_map(|(a, b)| Cmd::Count(a, b)),
-        1 => Just(Cmd::Flush),
-    ]
+fn cmd(g: &mut Gen) -> Cmd {
+    // Same weights as the original proptest strategy: 4/3/1/1/1/1.
+    match g.range(0..11) {
+        0..=3 => Cmd::Put(key(g), g.u64() as u8),
+        4..=6 => Cmd::Get(key(g)),
+        7 => Cmd::SeekOpen(key(g)),
+        8 => Cmd::SeekClosed(key(g), key(g)),
+        9 => Cmd::Count(key(g), key(g)),
+        _ => Cmd::Flush,
+    }
 }
 
 fn filter_for(case: usize) -> FilterKind {
@@ -40,11 +42,12 @@ fn filter_for(case: usize) -> FilterKind {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn db_matches_model(cmds in proptest::collection::vec(cmd(), 1..150), fsel in 0usize..4) {
+#[test]
+fn db_matches_model() {
+    let mut fsel = 0usize;
+    prop_check("db_matches_model", 48, |g: &mut Gen| {
+        // Cycle through every filter configuration across cases.
+        fsel += 1;
         let mut db = Db::new(DbOptions {
             memtable_bytes: 256, // tiny: force flushes + compactions
             filter: filter_for(fsel),
@@ -52,23 +55,24 @@ proptest! {
             ..Default::default()
         });
         let mut model: BTreeMap<Vec<u8>, u8> = BTreeMap::new();
-        for (step, c) in cmds.iter().enumerate() {
-            match c {
+        let n_cmds = g.range(1..150);
+        for step in 0..n_cmds {
+            match cmd(g) {
                 Cmd::Put(k, v) => {
-                    db.put(k, &[*v]);
-                    model.insert(k.clone(), *v);
+                    db.put(&k, &[v]);
+                    model.insert(k, v);
                 }
                 Cmd::Get(k) => {
-                    let expect = model.get(k).map(|v| vec![*v]);
-                    prop_assert_eq!(db.get(k), expect, "step {} get {:?}", step, k);
+                    let expect = model.get(&k).map(|v| vec![*v]);
+                    check_eq!(db.get(&k), expect, "step {} get {:?}", step, k);
                 }
                 Cmd::SeekOpen(k) => {
                     let expect = model.range(k.clone()..).next().map(|(k, _)| k.clone());
-                    let got = match db.seek(k, None) {
+                    let got = match db.seek(&k, None) {
                         SeekResult::Found { key } => Some(key),
                         SeekResult::NotFound => None,
                     };
-                    prop_assert_eq!(got, expect, "step {} open-seek {:?}", step, k);
+                    check_eq!(got, expect, "step {} open-seek {:?}", step, k);
                 }
                 Cmd::SeekClosed(a, b) => {
                     let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
@@ -76,22 +80,23 @@ proptest! {
                         .range(lo.clone()..hi.clone())
                         .next()
                         .map(|(k, _)| k.clone());
-                    let got = match db.seek(lo, Some(hi)) {
+                    let got = match db.seek(&lo, Some(&hi)) {
                         SeekResult::Found { key } => Some(key),
                         SeekResult::NotFound => None,
                     };
-                    prop_assert_eq!(got, expect, "step {} closed-seek {:?}..{:?}", step, lo, hi);
+                    check_eq!(got, expect, "step {} closed-seek {:?}..{:?}", step, lo, hi);
                 }
                 Cmd::Count(a, b) => {
                     let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
                     let truth = model.range(lo.clone()..hi.clone()).count();
-                    let got = db.count(lo, hi);
+                    let got = db.count(&lo, &hi);
                     // Counts may over-approximate (per-level duplicates +
                     // SuRF boundary slack) but never under-count.
-                    prop_assert!(got >= truth, "step {} count {} < {}", step, got, truth);
+                    check!(got >= truth, "step {} count {} < {}", step, got, truth);
                 }
                 Cmd::Flush => db.flush(),
             }
         }
-    }
+        Ok(())
+    });
 }

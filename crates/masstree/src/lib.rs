@@ -139,7 +139,7 @@ impl Layer {
         match self.tree.get_mut(&(slice, len)) {
             None => false,
             Some(Entry::Value { suffix, .. }) => {
-                let rest: &[u8] = if len == 8 { &key[(depth as usize + 1) * 8..] } else { &[] };
+                let rest: &[u8] = if len == 8 { &key[(depth + 1) * 8..] } else { &[] };
                 if suffix.as_ref() == rest {
                     self.tree.remove(&(slice, len));
                     true

@@ -193,11 +193,11 @@ impl OrderedIndex for CritBitTrie {
         } else {
             [old, new_leaf]
         };
-        *slot = Box::new(Node::Inner {
+        **slot = Node::Inner {
             byte: c_byte,
             mask: c_mask,
             children,
-        });
+        };
         self.len += 1;
         true
     }

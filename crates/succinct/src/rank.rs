@@ -30,7 +30,7 @@ impl RankSupport {
     /// Builds rank support with the given basic block size (must be a
     /// non-zero multiple of 64).
     pub fn new(bv: &BitVector, block_bits: usize) -> Self {
-        assert!(block_bits > 0 && block_bits % 64 == 0);
+        assert!(block_bits > 0 && block_bits.is_multiple_of(64));
         let words_per_block = block_bits / 64;
         let nblocks = bv.len().div_ceil(block_bits).max(1);
         let mut lut = Vec::with_capacity(nblocks);

@@ -34,7 +34,7 @@ impl SelectSupport {
             let mut word = w;
             while word != 0 {
                 let tz = word.trailing_zeros() as usize;
-                if count % sample == 0 {
+                if count.is_multiple_of(sample) {
                     lut.push((wi * 64 + tz) as u32);
                 }
                 count += 1;

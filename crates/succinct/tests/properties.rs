@@ -1,31 +1,33 @@
 //! Property tests: rank/select agree with naive counting on arbitrary bit
 //! patterns, for both FST block configurations and every select path.
 
+use memtree_common::check::{prop_check, Gen};
+use memtree_common::{check, check_eq};
 use memtree_succinct::{BitVector, RankSupport, SelectSupport};
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn rank_matches_naive(bits in proptest::collection::vec(any::<bool>(), 1..3000)) {
+#[test]
+fn rank_matches_naive() {
+    prop_check("rank_matches_naive", 64, |g: &mut Gen| {
+        let bits = g.bools(1..3000);
         let bv: BitVector = bits.iter().copied().collect();
         for block in [64usize, 512] {
             let rs = RankSupport::new(&bv, block);
             let mut acc = 0usize;
             for (i, &b) in bits.iter().enumerate() {
                 acc += usize::from(b);
-                prop_assert_eq!(rs.rank1(&bv, i), acc, "block {} pos {}", block, i);
-                prop_assert_eq!(rs.rank0(&bv, i), i + 1 - acc);
+                check_eq!(rs.rank1(&bv, i), acc, "block {} pos {}", block, i);
+                check_eq!(rs.rank0(&bv, i), i + 1 - acc);
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn select_matches_naive(
-        bits in proptest::collection::vec(any::<bool>(), 1..3000),
-        sample in 1usize..100,
-    ) {
+#[test]
+fn select_matches_naive() {
+    prop_check("select_matches_naive", 64, |g: &mut Gen| {
+        let bits = g.bools(1..3000);
+        let sample = g.range(1..100);
         let bv: BitVector = bits.iter().copied().collect();
         let positions: Vec<usize> = bits
             .iter()
@@ -35,27 +37,32 @@ proptest! {
             .collect();
         let ss = SelectSupport::new(&bv, sample);
         let rs = RankSupport::new(&bv, 512);
-        prop_assert_eq!(ss.ones(), positions.len());
+        check_eq!(ss.ones(), positions.len());
         for (k, &pos) in positions.iter().enumerate() {
-            prop_assert_eq!(ss.select1(&bv, k + 1), pos, "sampled k={}", k + 1);
-            prop_assert_eq!(
+            check_eq!(ss.select1(&bv, k + 1), pos, "sampled k={}", k + 1);
+            check_eq!(
                 SelectSupport::select1_via_rank(&bv, &rs, k + 1),
                 pos,
                 "via-rank k={}",
                 k + 1
             );
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn rank_select_are_inverse(bits in proptest::collection::vec(any::<bool>(), 64..2000)) {
+#[test]
+fn rank_select_are_inverse() {
+    prop_check("rank_select_are_inverse", 64, |g: &mut Gen| {
+        let bits = g.bools(64..2000);
         let bv: BitVector = bits.iter().copied().collect();
         let rs = RankSupport::new(&bv, 64);
         let ss = SelectSupport::new(&bv, 64);
         for i in 1..=ss.ones() {
             let pos = ss.select1(&bv, i);
-            prop_assert_eq!(rs.rank1(&bv, pos), i);
-            prop_assert!(bv.get(pos));
+            check_eq!(rs.rank1(&bv, pos), i);
+            check!(bv.get(pos));
         }
-    }
+        Ok(())
+    });
 }

@@ -67,7 +67,7 @@ struct PackedBits {
 impl PackedBits {
     fn new(width: u32, n: usize) -> Self {
         Self {
-            words: vec![0; ((width as usize * n) + 63) / 64],
+            words: vec![0; (width as usize * n).div_ceil(64)],
             width,
         }
     }

@@ -104,7 +104,7 @@ pub fn wiki_keys(n: usize, seed: u64) -> Vec<Vec<u8>> {
             }
             title.extend(chars);
         }
-        if splitmix64(&mut state) % 3 == 0 {
+        if splitmix64(&mut state).is_multiple_of(3) {
             title.push_str(&format!("_({})", 1800 + splitmix64(&mut state) % 225));
         }
         if seen.insert(title.clone()) {

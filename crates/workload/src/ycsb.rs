@@ -69,7 +69,9 @@ impl OpGenerator {
         }
     }
 
-    /// Next operation.
+    /// Next operation. (Deliberately not an `Iterator`: the stream is
+    /// infinite and callers drive it by count.)
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> Op {
         let pick = self.zipf.next_scrambled();
         match self.mix {
@@ -80,7 +82,7 @@ impl OpGenerator {
             }
             Mix::C => Op::Read(pick),
             Mix::A => {
-                if splitmix64(&mut self.state) % 2 == 0 {
+                if splitmix64(&mut self.state).is_multiple_of(2) {
                     Op::Read(pick)
                 } else {
                     Op::Update(pick)

@@ -57,7 +57,9 @@ impl Zipfian {
         }
     }
 
-    /// Next sample in `0..n` (0 is the hottest item).
+    /// Next sample in `0..n` (0 is the hottest item). (Deliberately not
+    /// an `Iterator`: the stream is infinite and callers drive it by count.)
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> usize {
         let u = (splitmix64(&mut self.state) >> 11) as f64 / (1u64 << 53) as f64;
         let uz = u * self.zetan;
@@ -103,7 +105,8 @@ impl Uniform {
         Self { n, state: seed }
     }
 
-    /// Next sample.
+    /// Next sample. (Deliberately not an `Iterator`; see [`Zipfian::next`].)
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> usize {
         (splitmix64(&mut self.state) % self.n as u64) as usize
     }

@@ -31,12 +31,12 @@ fn main() {
         let mut tpcc = Tpcc::load(&mut db, cfg, 42);
         // Warm up, then measure.
         for _ in 0..2_000 {
-            tpcc.run_one(&mut db);
+            tpcc.run_one(&mut db).expect("txn");
         }
         let txns = 20_000;
         let start = Instant::now();
         for _ in 0..txns {
-            tpcc.run_one(&mut db);
+            tpcc.run_one(&mut db).expect("txn");
         }
         let secs = start.elapsed().as_secs_f64();
         let stats = db.stats();

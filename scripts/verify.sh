@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Mirrors CI / tier-1 locally: offline build, tests, and lint.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release (offline) =="
+cargo build --release --offline
+
+echo "== cargo test -q (tier-1, offline) =="
+cargo test -q --offline
+
+echo "== cargo test --workspace (offline) =="
+cargo test -q --workspace --offline
+
+echo "== cargo clippy --all-targets -D warnings (offline) =="
+cargo clippy --all-targets --offline -- -D warnings
+
+echo "verify: OK"

@@ -2,9 +2,10 @@
 //! behave identically to a `BTreeMap` reference model under randomized
 //! operation sequences.
 
+use memtree::common::check::{prop_check, Gen};
+use memtree::common::check_eq;
 use memtree::prelude::*;
 use memtree::trees::*;
-use proptest::prelude::*;
 use std::collections::BTreeMap;
 
 #[derive(Debug, Clone)]
@@ -16,22 +17,30 @@ enum Action {
     Scan(Vec<u8>, usize),
 }
 
-fn key_strategy() -> impl Strategy<Value = Vec<u8>> {
+fn key(g: &mut Gen) -> Vec<u8> {
     // Small alphabet + short keys maximize prefix/boundary collisions.
-    proptest::collection::vec(prop_oneof![Just(b'a'), Just(b'b'), Just(b'c')], 0..7)
+    g.bytes_from(b"abc", 0..7)
 }
 
-fn action_strategy() -> impl Strategy<Value = Action> {
-    prop_oneof![
-        (key_strategy(), any::<u64>()).prop_map(|(k, v)| Action::Insert(k, v)),
-        key_strategy().prop_map(Action::Get),
-        (key_strategy(), any::<u64>()).prop_map(|(k, v)| Action::Update(k, v)),
-        key_strategy().prop_map(Action::Remove),
-        (key_strategy(), 0..20usize).prop_map(|(k, n)| Action::Scan(k, n)),
-    ]
+fn action(g: &mut Gen) -> Action {
+    match g.range(0..5) {
+        0 => Action::Insert(key(g), g.u64()),
+        1 => Action::Get(key(g)),
+        2 => Action::Update(key(g), g.u64()),
+        3 => Action::Remove(key(g)),
+        _ => Action::Scan(key(g), g.range(0..20)),
+    }
 }
 
-fn check_against_model<T: OrderedIndex>(tree: &mut T, actions: &[Action]) {
+fn actions(g: &mut Gen) -> Vec<Action> {
+    let n = g.range(1..120);
+    (0..n).map(|_| action(g)).collect()
+}
+
+fn check_against_model<T: OrderedIndex>(
+    tree: &mut T,
+    actions: &[Action],
+) -> Result<(), String> {
     let mut model: BTreeMap<Vec<u8>, u64> = BTreeMap::new();
     for (step, action) in actions.iter().enumerate() {
         match action {
@@ -40,71 +49,82 @@ fn check_against_model<T: OrderedIndex>(tree: &mut T, actions: &[Action]) {
                 if expect {
                     model.insert(k.clone(), *v);
                 }
-                assert_eq!(tree.insert(k, *v), expect, "step {step} insert {k:?}");
+                check_eq!(tree.insert(k, *v), expect, "step {} insert {:?}", step, k);
             }
             Action::Get(k) => {
-                assert_eq!(tree.get(k), model.get(k).copied(), "step {step} get {k:?}");
+                check_eq!(tree.get(k), model.get(k).copied(), "step {} get {:?}", step, k);
             }
             Action::Update(k, v) => {
                 let expect = model.contains_key(k);
                 if expect {
                     model.insert(k.clone(), *v);
                 }
-                assert_eq!(tree.update(k, *v), expect, "step {step} update {k:?}");
+                check_eq!(tree.update(k, *v), expect, "step {} update {:?}", step, k);
             }
             Action::Remove(k) => {
                 let expect = model.remove(k).is_some();
-                assert_eq!(tree.remove(k), expect, "step {step} remove {k:?}");
+                check_eq!(tree.remove(k), expect, "step {} remove {:?}", step, k);
             }
             Action::Scan(k, n) => {
                 let expect: Vec<u64> = model.range(k.clone()..).take(*n).map(|(_, v)| *v).collect();
                 let mut got = Vec::new();
                 tree.scan(k, *n, &mut got);
-                assert_eq!(got, expect, "step {step} scan {k:?}+{n}");
+                check_eq!(got, expect, "step {} scan {:?}+{}", step, k, n);
             }
         }
-        assert_eq!(tree.len(), model.len(), "step {step} len");
+        check_eq!(tree.len(), model.len(), "step {} len", step);
     }
+    Ok(())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(40))]
+#[test]
+fn btree_matches_model() {
+    prop_check("btree_matches_model", 40, |g: &mut Gen| {
+        check_against_model(&mut BPlusTree::with_fanout(4), &actions(g))
+    });
+}
 
-    #[test]
-    fn btree_matches_model(actions in proptest::collection::vec(action_strategy(), 1..120)) {
-        check_against_model(&mut BPlusTree::with_fanout(4), &actions);
-    }
+#[test]
+fn skiplist_matches_model() {
+    prop_check("skiplist_matches_model", 40, |g: &mut Gen| {
+        check_against_model(&mut SkipList::new(), &actions(g))
+    });
+}
 
-    #[test]
-    fn skiplist_matches_model(actions in proptest::collection::vec(action_strategy(), 1..120)) {
-        check_against_model(&mut SkipList::new(), &actions);
-    }
+#[test]
+fn art_matches_model() {
+    prop_check("art_matches_model", 40, |g: &mut Gen| {
+        check_against_model(&mut Art::new(), &actions(g))
+    });
+}
 
-    #[test]
-    fn art_matches_model(actions in proptest::collection::vec(action_strategy(), 1..120)) {
-        check_against_model(&mut Art::new(), &actions);
-    }
+#[test]
+fn masstree_matches_model() {
+    prop_check("masstree_matches_model", 40, |g: &mut Gen| {
+        check_against_model(&mut Masstree::new(), &actions(g))
+    });
+}
 
-    #[test]
-    fn masstree_matches_model(actions in proptest::collection::vec(action_strategy(), 1..120)) {
-        check_against_model(&mut Masstree::new(), &actions);
-    }
+#[test]
+fn prefix_btree_matches_model() {
+    prop_check("prefix_btree_matches_model", 40, |g: &mut Gen| {
+        check_against_model(&mut PrefixBTree::with_fanout(4), &actions(g))
+    });
+}
 
-    #[test]
-    fn prefix_btree_matches_model(actions in proptest::collection::vec(action_strategy(), 1..120)) {
-        check_against_model(&mut PrefixBTree::with_fanout(4), &actions);
-    }
+#[test]
+fn hybrid_btree_matches_model() {
+    prop_check("hybrid_btree_matches_model", 40, |g: &mut Gen| {
+        check_against_model(&mut HybridBTree::new(), &actions(g))
+    });
+}
 
-    #[test]
-    fn hybrid_btree_matches_model(actions in proptest::collection::vec(action_strategy(), 1..120)) {
-        check_against_model(&mut HybridBTree::new(), &actions);
-    }
-
-    #[test]
-    fn static_trees_match_sorted_input(
-        keys in proptest::collection::btree_set(key_strategy(), 1..200),
-        probes in proptest::collection::vec(key_strategy(), 10),
-    ) {
+#[test]
+fn static_trees_match_sorted_input() {
+    prop_check("static_trees_match_sorted_input", 40, |g: &mut Gen| {
+        let n = g.range(1..200);
+        let keys: std::collections::BTreeSet<Vec<u8>> = (0..n).map(|_| key(g)).collect();
+        let probes: Vec<Vec<u8>> = (0..10).map(|_| key(g)).collect();
         let entries: Vec<(Vec<u8>, u64)> = keys
             .iter()
             .enumerate()
@@ -122,12 +142,12 @@ proptest! {
 
         for probe in keys.iter().chain(probes.iter()) {
             let expect = model.get(probe.as_slice()).copied();
-            prop_assert_eq!(compact_b.get(probe), expect, "compact-btree {:?}", probe);
-            prop_assert_eq!(compact_s.get(probe), expect, "compact-skiplist {:?}", probe);
-            prop_assert_eq!(compact_a.get(probe), expect, "compact-art {:?}", probe);
-            prop_assert_eq!(compact_m.get(probe), expect, "compact-masstree {:?}", probe);
-            prop_assert_eq!(compressed.get(probe), expect, "compressed {:?}", probe);
-            prop_assert_eq!(fst.get(probe), expect, "fst {:?}", probe);
+            check_eq!(compact_b.get(probe), expect, "compact-btree {:?}", probe);
+            check_eq!(compact_s.get(probe), expect, "compact-skiplist {:?}", probe);
+            check_eq!(compact_a.get(probe), expect, "compact-art {:?}", probe);
+            check_eq!(compact_m.get(probe), expect, "compact-masstree {:?}", probe);
+            check_eq!(compressed.get(probe), expect, "compressed {:?}", probe);
+            check_eq!(fst.get(probe), expect, "fst {:?}", probe);
             // Scans agree too.
             let expect_scan: Vec<u64> = model
                 .range(probe.as_slice()..)
@@ -142,10 +162,11 @@ proptest! {
                 ("compressed", scan_of(&compressed, probe)),
                 ("fst", scan_of(&fst, probe)),
             ] {
-                prop_assert_eq!(&got, &expect_scan, "{} scan {:?}", name, probe);
+                check_eq!(got, expect_scan, "{} scan {:?}", name, probe);
             }
         }
-    }
+        Ok(())
+    });
 }
 
 fn scan_of<T: StaticIndex>(t: &T, low: &[u8]) -> Vec<u64> {

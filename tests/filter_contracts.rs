@@ -1,38 +1,40 @@
 //! One-sided-error contracts for every filter, as property tests: a
 //! filter may lie with "maybe", never with "no".
 
+use memtree::common::check::{prop_check, Gen};
+use memtree::common::check;
 use memtree::prelude::*;
 use memtree::surf::SuffixConfig as SC;
-use proptest::prelude::*;
 
-fn keyset() -> impl Strategy<Value = std::collections::BTreeSet<Vec<u8>>> {
-    proptest::collection::btree_set(
-        proptest::collection::vec(prop_oneof![Just(b'x'), Just(b'y'), Just(b'z')], 1..8),
-        1..150,
-    )
+fn keyset(g: &mut Gen) -> Vec<Vec<u8>> {
+    let n = g.range(1..150);
+    let set: std::collections::BTreeSet<Vec<u8>> =
+        (0..n).map(|_| g.bytes_from(b"xyz", 1..8)).collect();
+    set.into_iter().collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(30))]
-
-    #[test]
-    fn surf_point_no_false_negatives(keys in keyset(), cfg in 0..4usize) {
-        let keys: Vec<Vec<u8>> = keys.into_iter().collect();
-        let config = [SC::None, SC::Hash(6), SC::Real(6), SC::Mixed(3, 3)][cfg];
+#[test]
+fn surf_point_no_false_negatives() {
+    prop_check("surf_point_no_false_negatives", 30, |g: &mut Gen| {
+        let keys = keyset(g);
+        let config = *g.pick(&[SC::None, SC::Hash(6), SC::Real(6), SC::Mixed(3, 3)]);
         let surf = Surf::from_keys(&keys, config);
         for k in &keys {
-            prop_assert!(surf.may_contain(k), "false negative {:?} {:?}", k, config);
+            check!(surf.may_contain(k), "false negative {:?} {:?}", k, config);
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn surf_range_no_false_negatives(keys in keyset(), cfg in 0..4usize) {
-        let keys: Vec<Vec<u8>> = keys.into_iter().collect();
-        let config = [SC::None, SC::Hash(6), SC::Real(6), SC::Mixed(3, 3)][cfg];
+#[test]
+fn surf_range_no_false_negatives() {
+    prop_check("surf_range_no_false_negatives", 30, |g: &mut Gen| {
+        let keys = keyset(g);
+        let config = *g.pick(&[SC::None, SC::Hash(6), SC::Real(6), SC::Mixed(3, 3)]);
         let surf = Surf::from_keys(&keys, config);
         // Every window around consecutive stored keys must report "maybe".
         for w in keys.windows(2) {
-            prop_assert!(
+            check!(
                 surf.may_contain_range(&w[0], &w[1]) || w[0] >= w[1],
                 "range [{:?}, {:?}) missed its left endpoint",
                 w[0],
@@ -41,45 +43,59 @@ proptest! {
         }
         if let Some(last) = keys.last() {
             let hi = memtree::common::key::successor(last);
-            prop_assert!(surf.may_contain_range(last, &hi));
+            check!(surf.may_contain_range(last, &hi));
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn surf_count_never_undercounts(keys in keyset(), a in 0..200u8, b in 0..200u8) {
-        let keys: Vec<Vec<u8>> = keys.into_iter().collect();
+#[test]
+fn surf_count_never_undercounts() {
+    prop_check("surf_count_never_undercounts", 30, |g: &mut Gen| {
+        let keys = keyset(g);
+        let (a, b) = ((g.u64() % 200) as u8, (g.u64() % 200) as u8);
         let surf = Surf::from_keys(&keys, SC::Real(4));
         let (lo, hi) = (vec![b'x', a], vec![b'y', b]);
         let truth = keys.iter().filter(|k| **k >= lo && **k < hi).count();
         let got = surf.count(&lo, &hi);
-        prop_assert!(got >= truth, "undercount: {} < {}", got, truth);
-        prop_assert!(got <= truth + 2, "overcount beyond bound: {} > {}+2", got, truth);
-    }
+        check!(got >= truth, "undercount: {} < {}", got, truth);
+        check!(got <= truth + 2, "overcount beyond bound: {} > {}+2", got, truth);
+        Ok(())
+    });
+}
 
-    #[test]
-    fn bloom_no_false_negatives(keys in keyset(), bpk in 2.0..16.0f64) {
-        let keys: Vec<Vec<u8>> = keys.into_iter().collect();
+#[test]
+fn bloom_no_false_negatives() {
+    prop_check("bloom_no_false_negatives", 30, |g: &mut Gen| {
+        let keys = keyset(g);
+        let bpk = 2.0 + (g.u64() % 1400) as f64 / 100.0;
         let bloom = BloomFilter::from_keys(&keys, bpk);
         for k in &keys {
-            prop_assert!(bloom.may_contain(k));
+            check!(bloom.may_contain(k));
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn arf_no_false_negatives_under_any_training(
-        keys in proptest::collection::btree_set(any::<u64>(), 1..100),
-        queries in proptest::collection::vec((any::<u64>(), any::<u32>()), 0..50),
-    ) {
-        let keys: Vec<u64> = keys.into_iter().collect();
+#[test]
+fn arf_no_false_negatives_under_any_training() {
+    prop_check("arf_no_false_negatives_under_any_training", 30, |g: &mut Gen| {
+        let n = g.range(1..100);
+        let keyset: std::collections::BTreeSet<u64> = (0..n).map(|_| g.u64()).collect();
+        let keys: Vec<u64> = keyset.into_iter().collect();
         let mut arf = Arf::new(keys.clone(), 4096);
-        for (lo, span) in queries {
+        let n_queries = g.range(0..50);
+        for _ in 0..n_queries {
+            let lo = g.u64();
+            let span = g.u64() as u32;
             let hi = lo.saturating_add(span as u64);
             let truth = keys.iter().any(|&k| k >= lo && k <= hi);
             arf.train(lo, hi, truth);
         }
         arf.freeze();
         for &k in &keys {
-            prop_assert!(arf.may_contain_range_u64(k, k), "lost key {}", k);
+            check!(arf.may_contain_range_u64(k, k), "lost key {}", k);
         }
-    }
+        Ok(())
+    });
 }
