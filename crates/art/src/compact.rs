@@ -7,7 +7,7 @@
 //! per-node allocations and no stored sibling pointers.
 
 use memtree_common::mem::vec_bytes;
-use memtree_common::traits::{StaticIndex, Value};
+use memtree_common::traits::{BatchProbe, StaticIndex, Value};
 
 /// Fanout above which Layout 3 (direct 256-slot array) is smaller than
 /// Layout 1 (key byte + 4-byte child ref per branch): `256*4 < n*(1+4)`.
@@ -142,6 +142,67 @@ impl CompactArt {
             terminal,
         });
         (self.meta.len() - 1) as u32
+    }
+
+    /// Sorted-batch descent for [`BatchProbe::multi_get`]: every probe in
+    /// `group` (ascending key order) has already matched the path leading
+    /// to `child` and consumed `depth` key bytes. Runs of keys sharing the
+    /// next branch byte descend together, so each node's prefix bytes and
+    /// edge array are resolved once per run instead of once per key.
+    fn batch_descend(
+        &self,
+        child: u32,
+        keys: &[&[u8]],
+        group: &[u32],
+        depth: usize,
+        base: usize,
+        out: &mut [Option<Value>],
+    ) {
+        if child == NONE {
+            return;
+        }
+        if child & LEAF_BIT != 0 {
+            let leaf = (child & !LEAF_BIT) as usize;
+            let suffix = self.leaf_suffix(leaf);
+            for &gi in group {
+                if &keys[gi as usize][depth..] == suffix {
+                    out[base + gi as usize] = Some(self.leaf_vals[leaf]);
+                }
+            }
+            return;
+        }
+        let m = self.meta[child as usize];
+        let prefix = self.prefix(&m);
+        let ndepth = depth + prefix.len();
+        let mut i = 0usize;
+        while i < group.len() {
+            let key = keys[group[i] as usize];
+            if !key[depth..].starts_with(prefix) {
+                i += 1; // prefix mismatch: stays a miss
+                continue;
+            }
+            if key.len() == ndepth {
+                if m.terminal != 0 {
+                    out[base + group[i] as usize] =
+                        Some(self.terminal_vals[m.terminal as usize - 1]);
+                }
+                i += 1;
+                continue;
+            }
+            let b = key[ndepth];
+            // Sorted order makes keys sharing this branch byte contiguous.
+            let mut j = i + 1;
+            while j < group.len() {
+                let k2 = keys[group[j] as usize];
+                if k2.len() > ndepth && k2[depth..].starts_with(prefix) && k2[ndepth] == b {
+                    j += 1;
+                } else {
+                    break;
+                }
+            }
+            self.batch_descend(self.child(&m, b), keys, &group[i..j], ndepth + 1, base, out);
+            i = j;
+        }
     }
 
     /// In-order traversal from the first key `>= low`.
@@ -340,6 +401,25 @@ impl StaticIndex for CompactArt {
     }
 }
 
+impl BatchProbe for CompactArt {
+    fn probe_one(&self, key: &[u8]) -> Option<Value> {
+        self.get(key)
+    }
+
+    /// Sorted-batch multi-get: probes are sorted once, then runs of keys
+    /// that share a branch descend each node together.
+    fn multi_get(&self, keys: &[&[u8]], out: &mut Vec<Option<Value>>) {
+        let base = out.len();
+        out.resize(base + keys.len(), None);
+        if self.root == NONE || keys.is_empty() {
+            return;
+        }
+        let mut order: Vec<u32> = (0..keys.len() as u32).collect();
+        order.sort_unstable_by_key(|&i| keys[i as usize]);
+        self.batch_descend(self.root, keys, &order, 0, base, out);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -457,6 +537,57 @@ mod tests {
         assert_eq!(t.get(b"solo"), Some(42));
         assert_eq!(t.get(b"sol"), None);
         assert_eq!(t.get(b"solos"), None);
+    }
+
+    #[test]
+    fn multi_get_matches_per_key_loop() {
+        // String keys with heavy prefix sharing plus pure-random integers;
+        // probes mix hits, extensions, truncations, and duplicates.
+        let mut cases: Vec<Vec<(Vec<u8>, Value)>> = vec![
+            sorted_random(6000, 31, u64::MAX),
+            sorted_random(2000, 33, 50_000),
+        ];
+        let mut emails: Vec<(Vec<u8>, Value)> = (0..3000u64)
+            .map(|i| {
+                (
+                    format!("com.domain{}@user{:05}", i % 13, i).into_bytes(),
+                    i,
+                )
+            })
+            .collect();
+        emails.sort();
+        cases.push(emails);
+        for entries in cases {
+            let t = CompactArt::build(&entries);
+            let mut probes: Vec<Vec<u8>> = Vec::new();
+            for (i, (k, _)) in entries.iter().enumerate() {
+                probes.push(k.clone());
+                if i % 2 == 0 {
+                    let mut q = k.clone();
+                    q.push(0xFF);
+                    probes.push(q);
+                }
+                if i % 3 == 0 && !k.is_empty() {
+                    probes.push(k[..k.len() - 1].to_vec());
+                }
+                if i % 7 == 0 {
+                    probes.push(k.clone());
+                }
+            }
+            probes.push(Vec::new());
+            probes.reverse();
+            let refs: Vec<&[u8]> = probes.iter().map(|k| k.as_slice()).collect();
+            let expect: Vec<Option<Value>> = refs.iter().map(|k| t.get(k)).collect();
+            for chunk in [1usize, 16, 200, refs.len()] {
+                let mut got = Vec::new();
+                for c in refs.chunks(chunk) {
+                    t.multi_get(c, &mut got);
+                }
+                assert_eq!(got, expect, "chunk {chunk}");
+            }
+        }
+        let t = CompactArt::build(&[]);
+        assert_eq!(t.multi_get_vec(&[b"x".as_slice()]), vec![None]);
     }
 
     #[test]

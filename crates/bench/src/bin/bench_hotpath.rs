@@ -1,0 +1,460 @@
+//! Hot-path kernel and batched multi-get benchmark.
+//!
+//! Three layers of ablation, written to `BENCH_hotpath.json`:
+//!
+//! 1. **Kernels** — in-word select (scalar byte-stepping vs SWAR broadword
+//!    vs runtime-dispatched PDEP), `rank1` with the one-popcount `B = 64`
+//!    fast path vs `B = 512` blocks, and byte-label search (scalar vs SWAR
+//!    vs runtime-dispatched SSE2).
+//! 2. **FST point lookups** — `TrieOpts::baseline()` (all §3.6
+//!    optimizations off) vs `TrieOpts::default()` (vectorized), plus the
+//!    batched `multi_get` against the per-key loop at several batch sizes
+//!    for FST, Compact B+tree, Compact ART and the hybrid `DualStage`.
+//! 3. **Thread scaling** — N reader threads over one shared static FST.
+//!
+//! Every variant is cross-checked against its scalar baseline before being
+//! timed; a mismatch panics. `--smoke` runs tiny inputs (CI) and writes
+//! into `target/` so the checkout stays clean. `--out PATH` overrides the
+//! output path.
+//!
+//! Run from the repo root:
+//! `cargo run -p memtree-bench --release --bin bench_hotpath`
+
+use memtree_bench::{mops, time};
+use memtree_btree::CompactBTree;
+use memtree_common::hash::splitmix64;
+use memtree_common::traits::{BatchProbe, OrderedIndex, StaticIndex, Value};
+use memtree_fst::{Fst, TrieOpts};
+use memtree_hybrid::{HybridBTree, MergeTrigger};
+use memtree_succinct::{
+    find_byte, find_byte_scalar, find_byte_swar, select_in_word, select_in_word_scalar,
+    select_in_word_swar, BitVector, RankSupport,
+};
+use memtree_workload::keys;
+use std::sync::Arc;
+use std::time::Duration;
+
+struct Config {
+    n_keys: usize,
+    n_reads: usize,
+    kernel_iters: usize,
+    runs: usize,
+    threads: Vec<usize>,
+    out_path: String,
+    smoke: bool,
+}
+
+fn config() -> Config {
+    let mut smoke = false;
+    let mut out: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => out = args.next(),
+            other => {
+                eprintln!("unknown argument: {other} (expected --smoke / --out PATH)");
+                std::process::exit(2);
+            }
+        }
+    }
+    let hw = std::thread::available_parallelism().map_or(1, |p| p.get());
+    if smoke {
+        Config {
+            n_keys: 20_000,
+            n_reads: 20_000,
+            kernel_iters: 100_000,
+            runs: 1,
+            threads: if hw > 1 { vec![1, 2] } else { vec![1] },
+            out_path: out.unwrap_or_else(|| "target/BENCH_hotpath_smoke.json".into()),
+            smoke,
+        }
+    } else {
+        Config {
+            n_keys: 1_000_000,
+            n_reads: 400_000,
+            kernel_iters: 4_000_000,
+            runs: 3,
+            threads: [1usize, 2, 4, 8].iter().copied().filter(|&t| t <= hw).collect(),
+            out_path: out.unwrap_or_else(|| "BENCH_hotpath.json".into()),
+            smoke,
+        }
+    }
+}
+
+/// Best-of-runs duration (min rejects scheduler noise).
+fn best<F: FnMut()>(runs: usize, mut f: F) -> Duration {
+    (0..runs).map(|_| time(|| f())).min().unwrap()
+}
+
+// ---------------------------------------------------------------------------
+// Cross-checks: every vectorized variant must agree with its scalar
+// baseline on the exact inputs the timing loops use. Panic on mismatch —
+// a wrong kernel must never produce a benchmark number.
+// ---------------------------------------------------------------------------
+
+fn crosscheck_kernels(words: &[u64], haystacks: &[Vec<u8>]) {
+    for &w in words {
+        for k in 1..=65u32 {
+            let expect = select_in_word_scalar(w, k);
+            assert_eq!(select_in_word_swar(w, k), expect, "swar select w={w:#x} k={k}");
+            assert_eq!(select_in_word(w, k), expect, "dispatch select w={w:#x} k={k}");
+        }
+    }
+    for hay in haystacks {
+        for needle in [0u8, b'a', b'q', 0xFF] {
+            let expect = find_byte_scalar(hay, needle);
+            assert_eq!(find_byte_swar(hay, needle), expect, "swar find len={}", hay.len());
+            assert_eq!(find_byte(hay, needle), expect, "dispatch find len={}", hay.len());
+        }
+    }
+    println!("kernel cross-check passed ({} words, {} haystacks)", words.len(), haystacks.len());
+}
+
+// ---------------------------------------------------------------------------
+// Layer 1: kernel ablations
+// ---------------------------------------------------------------------------
+
+struct KernelNumbers {
+    select_scalar: f64,
+    select_swar: f64,
+    select_dispatch: f64,
+    rank_b512: f64,
+    rank_b64: f64,
+    find_scalar: f64,
+    find_swar: f64,
+    find_dispatch: f64,
+}
+
+fn bench_kernels(cfg: &Config) -> KernelNumbers {
+    let mut state = 0x9E37_79B9_7F4A_7C15u64;
+    let words: Vec<u64> = (0..4096).map(|_| splitmix64(&mut state)).collect();
+    let ks: Vec<u32> = words
+        .iter()
+        .map(|&w| 1 + (splitmix64(&mut state) % w.count_ones().max(1) as u64) as u32)
+        .collect();
+    // Label-node-shaped haystacks (sparse nodes are mostly < 64 labels).
+    let haystacks: Vec<Vec<u8>> = (0..1024)
+        .map(|_| {
+            let len = 4 + (splitmix64(&mut state) % 60) as usize;
+            (0..len).map(|_| (splitmix64(&mut state) % 26) as u8 + b'a').collect()
+        })
+        .collect();
+    crosscheck_kernels(&words[..256], &haystacks[..128]);
+
+    let iters = cfg.kernel_iters;
+    let n = words.len();
+    let run_select = |f: &dyn Fn(u64, u32) -> u32| {
+        best(cfg.runs, || {
+            let mut acc = 0u64;
+            for i in 0..iters {
+                let j = i % n;
+                acc = acc.wrapping_add(f(words[j], ks[j]) as u64);
+            }
+            std::hint::black_box(acc);
+        })
+    };
+    let select_scalar = mops(iters, run_select(&select_in_word_scalar));
+    let select_swar = mops(iters, run_select(&select_in_word_swar));
+    let select_dispatch = mops(iters, run_select(&select_in_word));
+
+    // rank1: same bit vector, wide blocks vs the B=64 one-popcount path.
+    let bits: BitVector = (0..1 << 20).map(|_| splitmix64(&mut state) & 1 == 1).collect();
+    let r64 = RankSupport::new(&bits, 64);
+    let r512 = RankSupport::new(&bits, 512);
+    let positions: Vec<usize> =
+        (0..65536).map(|_| (splitmix64(&mut state) % bits.len() as u64) as usize).collect();
+    let np = positions.len();
+    let run_rank = |r: &RankSupport| {
+        best(cfg.runs, || {
+            let mut acc = 0usize;
+            for i in 0..iters {
+                acc = acc.wrapping_add(r.rank1(&bits, positions[i % np]));
+            }
+            std::hint::black_box(acc);
+        })
+    };
+    let rank_b512 = mops(iters, run_rank(&r512));
+    let rank_b64 = mops(iters, run_rank(&r64));
+
+    let nh = haystacks.len();
+    let run_find = |f: &dyn Fn(&[u8], u8) -> Option<usize>| {
+        best(cfg.runs, || {
+            let mut acc = 0usize;
+            for i in 0..iters {
+                let hay = &haystacks[i % nh];
+                let needle = (i % 26) as u8 + b'a';
+                acc = acc.wrapping_add(f(hay, needle).unwrap_or(64));
+            }
+            std::hint::black_box(acc);
+        })
+    };
+    let find_scalar = mops(iters, run_find(&find_byte_scalar));
+    let find_swar = mops(iters, run_find(&find_byte_swar));
+    let find_dispatch = mops(iters, run_find(&find_byte));
+
+    println!("select_in_word   scalar {select_scalar:.0}  swar {select_swar:.0}  dispatch {select_dispatch:.0} Mops/s");
+    println!("rank1            B=512  {rank_b512:.0}  B=64 {rank_b64:.0} Mops/s");
+    println!("find_byte        scalar {find_scalar:.0}  swar {find_swar:.0}  dispatch {find_dispatch:.0} Mops/s");
+    KernelNumbers {
+        select_scalar,
+        select_swar,
+        select_dispatch,
+        rank_b512,
+        rank_b64,
+        find_scalar,
+        find_swar,
+        find_dispatch,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Layer 2: FST point lookups (scalar vs vectorized) and batched multi-get
+// ---------------------------------------------------------------------------
+
+fn probe_set(entries: &[(Vec<u8>, Value)], n_reads: usize, seed: u64) -> Vec<Vec<u8>> {
+    // Half hits (uniform over entries), half misses (perturbed keys).
+    let mut state = seed;
+    (0..n_reads)
+        .map(|i| {
+            let pick = (splitmix64(&mut state) % entries.len() as u64) as usize;
+            let mut k = entries[pick].0.clone();
+            if i % 2 == 1 {
+                let last = k.len() - 1;
+                k[last] ^= 0x55;
+            }
+            k
+        })
+        .collect()
+}
+
+fn bench_point_lookup(cfg: &Config, entries: &[(Vec<u8>, Value)]) -> (f64, f64, f64) {
+    let scalar = Fst::build_with(entries, TrieOpts::baseline());
+    let vector = Fst::build_with(entries, TrieOpts::default());
+    let probes = probe_set(entries, cfg.n_reads, 7);
+    let refs: Vec<&[u8]> = probes.iter().map(|k| k.as_slice()).collect();
+    // Differential check before timing: both builds must agree everywhere.
+    for k in &refs {
+        assert_eq!(scalar.get(k), vector.get(k), "baseline/vectorized disagree");
+    }
+    let t_scalar = best(cfg.runs, || {
+        let hits = refs.iter().filter(|k| scalar.get(k).is_some()).count();
+        std::hint::black_box(hits);
+    });
+    let t_vector = best(cfg.runs, || {
+        let hits = refs.iter().filter(|k| vector.get(k).is_some()).count();
+        std::hint::black_box(hits);
+    });
+    let (scalar_mops, vector_mops) = (mops(refs.len(), t_scalar), mops(refs.len(), t_vector));
+    let speedup = vector_mops / scalar_mops;
+    println!(
+        "fst point get    scalar {scalar_mops:.2}  vectorized {vector_mops:.2} Mops/s  ({speedup:.2}x)"
+    );
+    (scalar_mops, vector_mops, speedup)
+}
+
+struct BatchLine {
+    name: &'static str,
+    batch: usize,
+    per_key: f64,
+    batched: f64,
+}
+
+fn bench_batched<S: BatchProbe>(
+    cfg: &Config,
+    name: &'static str,
+    index: &S,
+    refs: &[&[u8]],
+    lines: &mut Vec<BatchLine>,
+) {
+    // Correctness first: batched answers must equal the per-key loop.
+    let expect: Vec<Option<Value>> = refs.iter().map(|k| index.probe_one(k)).collect();
+    for batch in [16usize, 64, 256] {
+        let mut got = Vec::with_capacity(refs.len());
+        for c in refs.chunks(batch) {
+            index.multi_get(c, &mut got);
+        }
+        assert_eq!(got, expect, "{name} batched mismatch at batch {batch}");
+        let t_loop = best(cfg.runs, || {
+            let mut out: Vec<Option<Value>> = Vec::with_capacity(refs.len());
+            for k in refs {
+                out.push(index.probe_one(k));
+            }
+            std::hint::black_box(out.len());
+        });
+        let t_batch = best(cfg.runs, || {
+            let mut out: Vec<Option<Value>> = Vec::with_capacity(refs.len());
+            for c in refs.chunks(batch) {
+                index.multi_get(c, &mut out);
+            }
+            std::hint::black_box(out.len());
+        });
+        let (per_key, batched) = (mops(refs.len(), t_loop), mops(refs.len(), t_batch));
+        println!(
+            "{name:<16} batch {batch:>3}  per-key {per_key:.2}  batched {batched:.2} Mops/s  ({:.2}x)",
+            batched / per_key
+        );
+        lines.push(BatchLine {
+            name,
+            batch,
+            per_key,
+            batched,
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Layer 3: multi-threaded readers over one shared static stage
+// ---------------------------------------------------------------------------
+
+fn bench_threads(cfg: &Config, fst: &Arc<Fst>, probes: &Arc<Vec<Vec<u8>>>) -> Vec<(usize, f64)> {
+    let mut out = Vec::new();
+    for &t in &cfg.threads {
+        let d = best(cfg.runs, || {
+            let handles: Vec<_> = (0..t)
+                .map(|tid| {
+                    let fst = Arc::clone(fst);
+                    let probes = Arc::clone(probes);
+                    std::thread::spawn(move || {
+                        // Each thread probes the full set, offset so threads
+                        // never march in lockstep over the same lines.
+                        let n = probes.len();
+                        let mut hits = 0usize;
+                        let mut batch: Vec<&[u8]> = Vec::with_capacity(64);
+                        let mut results = Vec::with_capacity(64);
+                        let mut i = tid * n / t.max(1);
+                        for _ in 0..(n / 64) {
+                            batch.clear();
+                            for _ in 0..64 {
+                                batch.push(probes[i % n].as_slice());
+                                i += 1;
+                            }
+                            results.clear();
+                            fst.multi_get(&batch, &mut results);
+                            hits += results.iter().flatten().count();
+                        }
+                        std::hint::black_box(hits)
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+        });
+        let total_ops = (probes.len() / 64) * 64 * t;
+        let rate = mops(total_ops, d);
+        println!("threads {t:>2}       {rate:.2} Mops/s aggregate (batched shared-FST readers)");
+        out.push((t, rate));
+    }
+    out
+}
+
+fn main() {
+    let cfg = config();
+    let entries: Vec<(Vec<u8>, Value)> =
+        keys::sorted_unique(keys::rand_u64_keys(cfg.n_keys, 1))
+            .into_iter()
+            .enumerate()
+            .map(|(i, k)| (k, i as u64))
+            .collect();
+
+    let kn = bench_kernels(&cfg);
+    let (scalar_mops, vector_mops, speedup) = bench_point_lookup(&cfg, &entries);
+
+    // Batched multi-get across the tree zoo, same probe set everywhere.
+    let probes = probe_set(&entries, cfg.n_reads.min(200_000), 11);
+    let refs: Vec<&[u8]> = probes.iter().map(|k| k.as_slice()).collect();
+    let mut lines: Vec<BatchLine> = Vec::new();
+    let fst = Fst::build_with(&entries, TrieOpts::default());
+    bench_batched(&cfg, "fst", &fst, &refs, &mut lines);
+    let cbt = CompactBTree::build(&entries);
+    bench_batched(&cfg, "compact_btree", &cbt, &refs, &mut lines);
+    let cart = memtree_art::CompactArt::build(&entries);
+    bench_batched(&cfg, "compact_art", &cart, &refs, &mut lines);
+    let mut hybrid = HybridBTree::with_config(MergeTrigger::Manual, true);
+    for (k, v) in &entries {
+        hybrid.insert(k, *v);
+    }
+    hybrid.force_merge().unwrap();
+    // Dynamic stage holds fresh (shadowing) writes, as after a checkpoint.
+    for (k, _) in entries.iter().step_by(64) {
+        hybrid.update(k, 0xDEAD);
+    }
+    bench_batched(&cfg, "hybrid_btree", &hybrid, &refs, &mut lines);
+
+    // Thread scaling over a shared Arc<Fst>.
+    let shared = Arc::new(Fst::build_with(&entries, TrieOpts::default()));
+    let shared_probes = Arc::new(probes.clone());
+    let threads = bench_threads(&cfg, &shared, &shared_probes);
+
+    // ---- acceptance gates (full runs only; smoke is correctness-only) ----
+    if !cfg.smoke {
+        assert!(
+            speedup >= 1.3,
+            "vectorized FST point lookup only {speedup:.2}x over scalar baseline (need >= 1.3x)"
+        );
+        let batched_wins = lines
+            .iter()
+            .filter(|l| l.batch >= 16 && l.batched > l.per_key)
+            .count();
+        assert!(
+            batched_wins >= lines.len() / 2,
+            "multi_get should beat the per-key loop at batch >= 16 (won {batched_wins}/{})",
+            lines.len()
+        );
+    }
+
+    // ---- handwritten JSON ----
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!(
+        "  \"meta\": {{\n    \"n_keys\": {},\n    \"n_reads\": {},\n    \"runs\": {},\n    \"smoke\": {},\n    \"note\": \"hot-path kernel ablations + batched multi-get; all rates in Mops/s\"\n  }},\n",
+        cfg.n_keys, cfg.n_reads, cfg.runs, cfg.smoke
+    ));
+    json.push_str(&format!(
+        "  \"kernels\": {{\n    \"select_in_word\": {{ \"scalar\": {:.1}, \"swar\": {:.1}, \"dispatch\": {:.1} }},\n    \"rank1\": {{ \"b512\": {:.1}, \"b64_fast_path\": {:.1} }},\n    \"find_byte\": {{ \"scalar\": {:.1}, \"swar\": {:.1}, \"dispatch\": {:.1} }}\n  }},\n",
+        kn.select_scalar,
+        kn.select_swar,
+        kn.select_dispatch,
+        kn.rank_b512,
+        kn.rank_b64,
+        kn.find_scalar,
+        kn.find_swar,
+        kn.find_dispatch
+    ));
+    json.push_str(&format!(
+        "  \"fst_point_lookup\": {{ \"scalar_baseline\": {scalar_mops:.3}, \"vectorized\": {vector_mops:.3}, \"speedup\": {speedup:.3} }},\n"
+    ));
+    json.push_str("  \"multi_get\": [\n");
+    for (i, l) in lines.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{ \"index\": \"{}\", \"batch\": {}, \"per_key\": {:.3}, \"batched\": {:.3}, \"speedup\": {:.3} }}{}\n",
+            l.name,
+            l.batch,
+            l.per_key,
+            l.batched,
+            l.batched / l.per_key,
+            if i + 1 < lines.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"thread_scaling\": [\n");
+    for (i, (t, rate)) in threads.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{ \"threads\": {t}, \"mops\": {rate:.3} }}{}\n",
+            if i + 1 < threads.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    if let Some(dir) = std::path::Path::new(&cfg.out_path).parent() {
+        if !dir.as_os_str().is_empty() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+    }
+    if let Err(e) = std::fs::write(&cfg.out_path, json) {
+        eprintln!("error: cannot write {}: {e}", cfg.out_path);
+        std::process::exit(1);
+    }
+    println!("wrote {}", cfg.out_path);
+}

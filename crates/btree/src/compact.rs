@@ -8,7 +8,7 @@
 //! arrows of Figure 2.3.
 
 use memtree_common::mem::vec_bytes;
-use memtree_common::traits::{StaticIndex, Value};
+use memtree_common::traits::{BatchProbe, StaticIndex, Value};
 
 /// Sampling factor / logical node size of the computed internal levels.
 pub const NODE_FANOUT: usize = 32;
@@ -81,6 +81,58 @@ impl CompactBTree {
             }
         }
         l - lo
+    }
+
+    /// Sorted-batch descent for [`BatchProbe::multi_get`]: `group` holds
+    /// probe indexes whose keys are ascending and all fall inside
+    /// `node_range` of `levels[depth]`. One `partition_point` per *run* of
+    /// keys resolves the shared child, so upper-level separator probes are
+    /// paid once per child instead of once per key.
+    fn batch_descend(
+        &self,
+        keys: &[&[u8]],
+        group: &[u32],
+        depth: usize,
+        node_range: (usize, usize),
+        base: usize,
+        out: &mut [Option<Value>],
+    ) {
+        let level = &self.levels[depth];
+        let (s, e) = node_range;
+        let n = self.len();
+        let mut i = 0usize;
+        while i < group.len() {
+            let target = keys[group[i] as usize];
+            let slot = level[s..e].partition_point(|&ki| self.key(ki as usize) <= target);
+            let child = s + slot.saturating_sub(1);
+            // Grow the run: every following key that still falls under the
+            // same separator shares this child.
+            let mut j = i + 1;
+            while j < group.len()
+                && (child + 1 >= e
+                    || self.key(level[child + 1] as usize) > keys[group[j] as usize])
+            {
+                j += 1;
+            }
+            if depth == 0 {
+                let lo = level[child] as usize;
+                let hi = level.get(child + 1).map_or(n, |&next| next as usize);
+                for &gi in &group[i..j] {
+                    let key = keys[gi as usize];
+                    let pos = lo + self.key_bytes_partition(lo, hi, key);
+                    if pos < n && self.key(pos) == key {
+                        out[base + gi as usize] = Some(self.vals[pos]);
+                    }
+                }
+            } else {
+                let child_range = (
+                    child * NODE_FANOUT,
+                    ((child + 1) * NODE_FANOUT).min(self.levels[depth - 1].len()),
+                );
+                self.batch_descend(keys, &group[i..j], depth - 1, child_range, base, out);
+            }
+            i = j;
+        }
     }
 
     /// The key at sorted position `i`.
@@ -171,6 +223,35 @@ impl StaticIndex for CompactBTree {
         for i in self.lower_bound(low)..self.len() {
             if !f(self.key(i), self.vals[i]) {
                 return;
+            }
+        }
+    }
+}
+
+impl BatchProbe for CompactBTree {
+    fn probe_one(&self, key: &[u8]) -> Option<Value> {
+        self.get(key)
+    }
+
+    /// Sorted-batch multi-get: probes are sorted once, then descend the
+    /// sampled levels together — each upper-level node is binary-searched
+    /// once per *run* of keys instead of once per key, and leaf binary
+    /// searches start from an already-narrowed range.
+    fn multi_get(&self, keys: &[&[u8]], out: &mut Vec<Option<Value>>) {
+        let base = out.len();
+        out.resize(base + keys.len(), None);
+        if self.len() == 0 || keys.is_empty() {
+            return;
+        }
+        let mut order: Vec<u32> = (0..keys.len() as u32).collect();
+        order.sort_unstable_by_key(|&i| keys[i as usize]);
+        if let Some(top) = self.levels.last() {
+            let depth = self.levels.len() - 1;
+            self.batch_descend(keys, &order, depth, (0, top.len()), base, out);
+        } else {
+            // Single-node tree: nothing to share, probe directly.
+            for &i in &order {
+                out[base + i as usize] = self.get(keys[i as usize]);
             }
         }
     }
@@ -268,6 +349,52 @@ mod tests {
             ct.mem_usage(),
             dt.mem_usage()
         );
+    }
+
+    #[test]
+    fn multi_get_matches_per_key_loop() {
+        let mut state = 23u64;
+        let mut keys: Vec<Vec<u8>> = (0..8000)
+            .map(|_| {
+                let len = 1 + (memtree_common::hash::splitmix64(&mut state) % 16) as usize;
+                (0..len)
+                    .map(|_| (memtree_common::hash::splitmix64(&mut state) % 8) as u8)
+                    .collect()
+            })
+            .collect();
+        keys.sort();
+        keys.dedup();
+        let entries: Vec<(Vec<u8>, Value)> = keys
+            .iter()
+            .enumerate()
+            .map(|(i, k)| (k.clone(), i as Value))
+            .collect();
+        for n in [0usize, 1, 5, NODE_FANOUT, NODE_FANOUT + 1, keys.len()] {
+            let t = CompactBTree::build(&entries[..n]);
+            // Unsorted probe order with hits, misses, and duplicates.
+            let mut probes: Vec<Vec<u8>> = Vec::new();
+            for (i, k) in keys.iter().enumerate().take(n.max(64)) {
+                probes.push(k.clone());
+                if i % 2 == 0 {
+                    let mut miss = k.clone();
+                    miss.push(9);
+                    probes.push(miss);
+                }
+                if i % 5 == 0 {
+                    probes.push(k.clone());
+                }
+            }
+            probes.reverse(); // force the sort to do real work
+            let refs: Vec<&[u8]> = probes.iter().map(|k| k.as_slice()).collect();
+            let expect: Vec<Option<Value>> = refs.iter().map(|k| t.get(k)).collect();
+            for chunk in [1usize, 16, 100, refs.len().max(1)] {
+                let mut got = Vec::new();
+                for c in refs.chunks(chunk) {
+                    t.multi_get(c, &mut got);
+                }
+                assert_eq!(got, expect, "n={n} chunk={chunk}");
+            }
+        }
     }
 
     #[test]

@@ -34,4 +34,4 @@ pub mod traits;
 
 pub use crc::{crc32c, crc32c_update};
 pub use error::MemtreeError;
-pub use traits::{OrderedIndex, PointFilter, RangeFilter, StaticIndex, Value};
+pub use traits::{BatchProbe, OrderedIndex, PointFilter, RangeFilter, StaticIndex, Value};

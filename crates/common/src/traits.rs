@@ -102,6 +102,41 @@ pub trait StaticIndex: Sized {
     fn range_from(&self, low: &[u8], f: &mut dyn FnMut(&[u8], Value) -> bool);
 }
 
+/// Batched point-lookup extension for [`OrderedIndex`] / [`StaticIndex`]
+/// implementations — the serving layer's multi-get.
+///
+/// # Contract
+///
+/// * Results are **positional**: `multi_get` appends exactly one element
+///   per input key, and `out[i]` (relative to the append point) answers
+///   `keys[i]`.
+/// * A miss is `None`; duplicate keys in the batch are allowed and each
+///   gets its own answer.
+/// * Implementations may probe in any internal order (sorted-batch
+///   descent, level-synchronous traversal, …) but must report results in
+///   input order, and must behave exactly like a per-key `get` loop.
+///
+/// The default `multi_get` *is* the per-key loop; structures with a real
+/// batched path (FST, Compact B+tree, Compact ART, the hybrid `DualStage`)
+/// override it to amortize cache misses across the batch.
+pub trait BatchProbe {
+    /// Single-key probe; the default `multi_get` fallback calls this once
+    /// per key. Implementations delegate to their `get`.
+    fn probe_one(&self, key: &[u8]) -> Option<Value>;
+
+    /// Batched point lookup: appends one `Option<Value>` per key to `out`.
+    fn multi_get(&self, keys: &[&[u8]], out: &mut Vec<Option<Value>>) {
+        out.extend(keys.iter().map(|k| self.probe_one(k)));
+    }
+
+    /// Convenience wrapper returning a fresh vector.
+    fn multi_get_vec(&self, keys: &[&[u8]]) -> Vec<Option<Value>> {
+        let mut out = Vec::with_capacity(keys.len());
+        self.multi_get(keys, &mut out);
+        out
+    }
+}
+
 /// Approximate point-membership filter (Bloom filter, SuRF). One-sided
 /// error: `false` guarantees absence, `true` may be a false positive.
 pub trait PointFilter {

@@ -30,7 +30,7 @@ pub use baselines::{PdtLite, TxTrie};
 pub use iter::TrieIter;
 pub use louds::{LookupResult, LoudsTrie, TrieOpts};
 
-use memtree_common::traits::{StaticIndex, Value};
+use memtree_common::traits::{BatchProbe, StaticIndex, Value};
 
 /// The Fast Succinct Trie as an ordered static map over complete keys.
 #[derive(Debug)]
@@ -62,6 +62,19 @@ impl Fst {
     /// Iterator positioned at the first key `>= low`.
     pub fn iter_from(&self, low: &[u8]) -> TrieIter<'_> {
         self.trie.lower_bound(low)
+    }
+
+    /// Batched point lookup via the trie's level-synchronous descent
+    /// ([`LoudsTrie::lookup_batch`]): the whole batch advances one trie
+    /// level per round with prefetches issued ahead of each round's
+    /// probes, so the cache misses of independent keys overlap.
+    pub fn get_batch(&self, keys: &[&[u8]], out: &mut Vec<Option<Value>>) {
+        let mut results = Vec::with_capacity(keys.len());
+        self.trie.lookup_batch(keys, &mut results);
+        out.extend(results.iter().map(|r| match *r {
+            LookupResult::Found { value_idx, .. } => Some(self.values[value_idx]),
+            LookupResult::NotFound => None,
+        }));
     }
 
     /// Exact number of keys in `[low, high)`, in O(height) rank operations
@@ -124,6 +137,16 @@ impl StaticIndex for Fst {
             }
             it.next();
         }
+    }
+}
+
+impl BatchProbe for Fst {
+    fn probe_one(&self, key: &[u8]) -> Option<Value> {
+        self.get(key)
+    }
+
+    fn multi_get(&self, keys: &[&[u8]], out: &mut Vec<Option<Value>>) {
+        self.get_batch(keys, out);
     }
 }
 
@@ -266,6 +289,60 @@ mod tests {
         let mut out = Vec::new();
         f.scan(b"", 10, &mut out);
         assert_eq!(out, vec![7]);
+    }
+
+    #[test]
+    fn multi_get_matches_per_key_loop() {
+        let mut state = 17u64;
+        let mut keys: Vec<Vec<u8>> = (0..6000)
+            .map(|_| {
+                let len = 1 + (memtree_common::hash::splitmix64(&mut state) % 14) as usize;
+                (0..len)
+                    .map(|_| (memtree_common::hash::splitmix64(&mut state) % 5) as u8 + b'a')
+                    .collect()
+            })
+            .collect();
+        keys.push(Vec::new()); // exercise the empty-key cursor
+        keys.sort();
+        keys.dedup();
+        let entries: Vec<(Vec<u8>, Value)> = keys
+            .iter()
+            .enumerate()
+            .map(|(i, k)| (k.clone(), i as Value))
+            .collect();
+        for opts in [TrieOpts::default(), TrieOpts::baseline()] {
+            let f = Fst::build_with(&entries, opts);
+            // Batch mixes hits, misses, prefixes-of-keys, and duplicates.
+            let mut probes: Vec<Vec<u8>> = Vec::new();
+            for (i, k) in keys.iter().enumerate() {
+                probes.push(k.clone());
+                if i % 3 == 0 {
+                    let mut miss = k.clone();
+                    miss.push(b'z');
+                    probes.push(miss);
+                }
+                if i % 5 == 0 && !k.is_empty() {
+                    probes.push(k[..k.len() - 1].to_vec());
+                }
+                if i % 7 == 0 {
+                    probes.push(k.clone()); // duplicate
+                }
+            }
+            probes.push(Vec::new());
+            let refs: Vec<&[u8]> = probes.iter().map(|k| k.as_slice()).collect();
+            let expect: Vec<Option<Value>> = refs.iter().map(|k| f.get(k)).collect();
+            // Exercise several batch sizes including odd tails.
+            for chunk in [1usize, 7, 16, 64, 333, refs.len()] {
+                let mut got = Vec::new();
+                for c in refs.chunks(chunk) {
+                    f.multi_get(c, &mut got);
+                }
+                assert_eq!(got, expect, "chunk {chunk}");
+            }
+        }
+        // Empty trie still answers positionally.
+        let f = Fst::build(&[]);
+        assert_eq!(f.multi_get_vec(&[b"a".as_slice(), b""]), vec![None, None]);
     }
 
     #[test]

@@ -2,6 +2,7 @@
 //! primitives shared by the iterator and SuRF.
 
 use memtree_common::mem::vec_bytes;
+use memtree_succinct::kernels::{find_byte, prefetch_read};
 use memtree_succinct::{BitVector, RankSupport, SelectSupport};
 
 /// Options controlling the encoding and the §3.6 optimizations; each knob
@@ -67,13 +68,25 @@ impl TrieOpts {
 /// Issues a best-effort cache-line prefetch (x86_64 only).
 #[inline(always)]
 fn prefetch_ptr<T>(p: *const T) {
-    #[cfg(target_arch = "x86_64")]
-    // SAFETY: _mm_prefetch has no memory effects; any address is allowed.
-    unsafe {
-        core::arch::x86_64::_mm_prefetch::<{ core::arch::x86_64::_MM_HINT_T0 }>(p as *const i8)
-    }
-    #[cfg(not(target_arch = "x86_64"))]
-    let _ = p;
+    prefetch_read(p);
+}
+
+/// Per-key cursor used by [`LoudsTrie::lookup_batch`]: where one key of
+/// the batch currently sits in its level-synchronous descent.
+#[derive(Clone, Copy)]
+enum BatchCursor {
+    /// Descending the LOUDS-Dense levels at this global node id.
+    Dense {
+        /// Global dense node id.
+        node: usize,
+    },
+    /// Descending the LOUDS-Sparse levels at this local sparse node id.
+    Sparse {
+        /// Sparse node id (global id minus `dense_node_count`).
+        node: usize,
+    },
+    /// Resolved; carries the final answer.
+    Done(LookupResult),
 }
 
 /// Result of a point lookup.
@@ -201,15 +214,6 @@ impl LoudsTrie {
     // Rank helpers (inclusive & exclusive)
     // ------------------------------------------------------------------
 
-    #[inline]
-    fn rank_excl(rs: &RankSupport, bv: &BitVector, pos: usize) -> usize {
-        if pos == 0 {
-            0
-        } else {
-            rs.rank1(bv, (pos - 1).min(bv.len() - 1))
-        }
-    }
-
     /// Terminal-value slots strictly before dense position `pos`, plus
     /// prefix-key slots of nodes before `node(pos)`; `include_own_prefix`
     /// additionally counts `node(pos)`'s prefix slot (which sits before all
@@ -217,12 +221,12 @@ impl LoudsTrie {
     #[inline]
     fn d_values_before(&self, pos: usize, include_own_prefix: bool) -> usize {
         let node = pos / 256;
-        let labels = Self::rank_excl(&self.d_labels_rank, &self.d_labels, pos);
-        let children = Self::rank_excl(&self.d_has_child_rank, &self.d_has_child, pos);
+        let labels = self.d_labels_rank.rank1_excl(&self.d_labels, pos);
+        let children = self.d_has_child_rank.rank1_excl(&self.d_has_child, pos);
         let prefixes = if include_own_prefix && node < self.dense_node_count {
             self.d_is_prefix_rank.rank1(&self.d_is_prefix, node)
         } else {
-            Self::rank_excl(&self.d_is_prefix_rank, &self.d_is_prefix, node)
+            self.d_is_prefix_rank.rank1_excl(&self.d_is_prefix, node)
         };
         labels - children + prefixes
     }
@@ -230,8 +234,7 @@ impl LoudsTrie {
     /// Value slots strictly before sparse position `pos` (global slot id).
     #[inline]
     fn s_values_before(&self, pos: usize) -> usize {
-        self.dense_value_count + pos
-            - Self::rank_excl(&self.s_has_child_rank, &self.s_has_child, pos)
+        self.dense_value_count + pos - self.s_has_child_rank.rank1_excl(&self.s_has_child, pos)
     }
 
     /// Value slot of the terminal branch at dense position `pos`.
@@ -319,29 +322,12 @@ impl LoudsTrie {
         if self.s_is_special(s) {
             s += 1;
         }
-        if self.opts.simd_labels && end - s > 8 {
-            // SWAR: scan 8 labels at a time for an equal byte. Small nodes
-            // (>90% of them, §3.6) go through the plain loop below — the
-            // SWAR setup only pays off past one chunk.
-            let pat = u64::from_ne_bytes([byte; 8]);
-            let labels = &self.s_labels[s..end];
-            let mut off = 0usize;
-            let mut chunks = labels.chunks_exact(8);
-            for chunk in &mut chunks {
-                let v = u64::from_ne_bytes(chunk.try_into().unwrap());
-                let x = v ^ pat;
-                let hit = x.wrapping_sub(0x0101_0101_0101_0101) & !x & 0x8080_8080_8080_8080;
-                if hit != 0 {
-                    return Some(s + off + (hit.trailing_zeros() / 8) as usize);
-                }
-                off += 8;
-            }
-            for (i, &l) in chunks.remainder().iter().enumerate() {
-                if l == byte {
-                    return Some(s + off + i);
-                }
-            }
-            None
+        if self.opts.simd_labels {
+            // Word-parallel label compare: SSE2 (16 labels/cmp) when the
+            // CPU has it, 8-byte SWAR otherwise; `find_byte` itself routes
+            // small nodes (>90% of them, §3.6) through the plain loop where
+            // the vector setup wouldn't pay off.
+            find_byte(&self.s_labels[s..end], byte).map(|i| s + i)
         } else {
             (s..end).find(|&p| self.s_labels[p] == byte)
         }
@@ -482,6 +468,167 @@ impl LoudsTrie {
         }
     }
 
+    /// Batched point lookup: all keys descend the trie level-synchronously
+    /// and each round prefetches the lines the next pass will touch before
+    /// any of them is dereferenced, overlapping the cache misses of up to
+    /// `keys.len()` independent probes (the §3.6 prefetch idea applied
+    /// *across* queries instead of within one).
+    ///
+    /// Appends exactly one [`LookupResult`] per key, in input order, each
+    /// identical to what [`LoudsTrie::lookup`] returns for that key.
+    pub fn lookup_batch(&self, keys: &[&[u8]], out: &mut Vec<LookupResult>) {
+        // Seed per-key cursors, resolving the trivial cases inline.
+        let mut states: Vec<BatchCursor> = keys
+            .iter()
+            .map(|key| {
+                if self.num_values == 0 || (self.num_nodes == 0 && !key.is_empty()) {
+                    BatchCursor::Done(LookupResult::NotFound)
+                } else if key.is_empty() {
+                    BatchCursor::Done(if self.empty_key {
+                        LookupResult::Found {
+                            value_idx: 0,
+                            depth: 0,
+                        }
+                    } else {
+                        LookupResult::NotFound
+                    })
+                } else if self.dense_levels == 0 {
+                    BatchCursor::Sparse { node: 0 }
+                } else {
+                    BatchCursor::Dense { node: 0 }
+                }
+            })
+            .collect();
+        let mut scratch_starts = vec![0usize; keys.len()];
+        let mut level = 0usize;
+        let mut active = states.iter().any(|s| !matches!(s, BatchCursor::Done(_)));
+        while active {
+            active = false;
+            // ---- pass 1: issue prefetches for everything pass 2 reads ----
+            if self.opts.prefetch {
+                for (key, st) in keys.iter().zip(states.iter()) {
+                    if let BatchCursor::Dense { node } = *st {
+                        // SAFETY: prefetch is a hint; the offsets stay within
+                        // (or harmlessly at the edge of) the word arrays.
+                        if level < key.len() {
+                            let pos = node * 256 + key[level] as usize;
+                            prefetch_ptr(unsafe {
+                                self.d_labels.words().as_ptr().add(pos / 64)
+                            });
+                            prefetch_ptr(unsafe {
+                                self.d_has_child.words().as_ptr().add(pos / 64)
+                            });
+                        } else {
+                            prefetch_ptr(unsafe {
+                                self.d_is_prefix.words().as_ptr().add(node / 64)
+                            });
+                        }
+                    }
+                }
+            }
+            for (i, st) in states.iter().enumerate() {
+                if let BatchCursor::Sparse { node } = *st {
+                    let start = self.s_node_start(node);
+                    scratch_starts[i] = start;
+                    if self.opts.prefetch {
+                        // SAFETY: as above — `start` indexes live label and
+                        // bitmap storage of this trie.
+                        prefetch_ptr(unsafe { self.s_labels.as_ptr().add(start) });
+                        prefetch_ptr(unsafe {
+                            self.s_has_child.words().as_ptr().add(start / 64)
+                        });
+                        prefetch_ptr(unsafe { self.s_louds.words().as_ptr().add(start / 64) });
+                    }
+                }
+            }
+            // ---- pass 2: advance every live cursor by one level ----
+            for (i, st) in states.iter_mut().enumerate() {
+                let key = keys[i];
+                match *st {
+                    BatchCursor::Done(_) => {}
+                    BatchCursor::Dense { node } => {
+                        if level == key.len() {
+                            *st = BatchCursor::Done(if self.d_is_prefix.get(node) {
+                                LookupResult::Found {
+                                    value_idx: self.d_prefix_value_idx(node),
+                                    depth: level,
+                                }
+                            } else {
+                                LookupResult::NotFound
+                            });
+                            continue;
+                        }
+                        let pos = node * 256 + key[level] as usize;
+                        if !self.d_labels.get(pos) {
+                            *st = BatchCursor::Done(LookupResult::NotFound);
+                        } else if !self.d_has_child.get(pos) {
+                            *st = BatchCursor::Done(
+                                if self.opts.truncate || key.len() == level + 1 {
+                                    LookupResult::Found {
+                                        value_idx: self.d_value_idx(pos),
+                                        depth: level + 1,
+                                    }
+                                } else {
+                                    LookupResult::NotFound
+                                },
+                            );
+                        } else {
+                            let child = self.d_child_node(pos);
+                            *st = if child >= self.dense_node_count {
+                                BatchCursor::Sparse {
+                                    node: child - self.dense_node_count,
+                                }
+                            } else {
+                                BatchCursor::Dense { node: child }
+                            };
+                            active = true;
+                        }
+                    }
+                    BatchCursor::Sparse { .. } => {
+                        let start = scratch_starts[i];
+                        let end = self.s_node_end(start);
+                        if level == key.len() {
+                            *st = BatchCursor::Done(if self.s_is_special(start) {
+                                LookupResult::Found {
+                                    value_idx: self.s_value_idx(start),
+                                    depth: level,
+                                }
+                            } else {
+                                LookupResult::NotFound
+                            });
+                        } else if let Some(pos) = self.s_find_label(start, end, key[level]) {
+                            if !self.s_has_child.get(pos) {
+                                *st = BatchCursor::Done(
+                                    if self.opts.truncate || key.len() == level + 1 {
+                                        LookupResult::Found {
+                                            value_idx: self.s_value_idx(pos),
+                                            depth: level + 1,
+                                        }
+                                    } else {
+                                        LookupResult::NotFound
+                                    },
+                                );
+                            } else {
+                                *st = BatchCursor::Sparse {
+                                    node: self.s_child_node(pos) - self.dense_node_count,
+                                };
+                                active = true;
+                            }
+                        } else {
+                            *st = BatchCursor::Done(LookupResult::NotFound);
+                        }
+                    }
+                }
+            }
+            level += 1;
+        }
+        out.extend(states.iter().map(|s| match s {
+            BatchCursor::Done(r) => *r,
+            // The loop only exits once every cursor is Done.
+            _ => unreachable!("live cursor after batch drain"),
+        }));
+    }
+
     /// Number of stored values whose key is strictly smaller than the key
     /// at `it`. Invalid iterators count as "past the end". Runs in
     /// O(height) rank operations — the engine behind SuRF's `count`
@@ -506,11 +653,11 @@ impl LoudsTrie {
                 if level < self.dense_levels {
                     values_before = self.d_values_before(pos, !frames[level].is_prefix);
                     children_before =
-                        Self::rank_excl(&self.d_has_child_rank, &self.d_has_child, pos);
+                        self.d_has_child_rank.rank1_excl(&self.d_has_child, pos);
                 } else {
                     values_before = self.s_values_before(pos);
                     children_before = self.dense_child_count
-                        + Self::rank_excl(&self.s_has_child_rank, &self.s_has_child, pos);
+                        + self.s_has_child_rank.rank1_excl(&self.s_has_child, pos);
                 }
             } else {
                 // Below the iterator's depth: clamp the boundary into this
@@ -522,7 +669,7 @@ impl LoudsTrie {
                     let pos = node * 256;
                     values_before = self.d_values_before(pos, false);
                     children_before =
-                        Self::rank_excl(&self.d_has_child_rank, &self.d_has_child, pos);
+                        self.d_has_child_rank.rank1_excl(&self.d_has_child, pos);
                 } else {
                     let local = node - self.dense_node_count;
                     let pos = if local >= self.sparse_node_count() {
@@ -532,7 +679,7 @@ impl LoudsTrie {
                     };
                     values_before = self.s_values_before(pos);
                     children_before = self.dense_child_count
-                        + Self::rank_excl(&self.s_has_child_rank, &self.s_has_child, pos);
+                        + self.s_has_child_rank.rank1_excl(&self.s_has_child, pos);
                 }
             }
             total += values_before - self.values_at_level_start(level);

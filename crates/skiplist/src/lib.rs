@@ -16,7 +16,7 @@
 
 use memtree_common::mem::vec_bytes;
 use memtree_common::probe::ProbeStats;
-use memtree_common::traits::{OrderedIndex, StaticIndex, Value};
+use memtree_common::traits::{BatchProbe, OrderedIndex, StaticIndex, Value};
 
 type PageId = u32;
 const NIL: PageId = u32::MAX;
@@ -318,6 +318,13 @@ impl OrderedIndex for SkipList {
         self.len = 0;
     }
 }
+/// Per-key fallback `multi_get`; no batched descent for this structure.
+impl BatchProbe for SkipList {
+    fn probe_one(&self, key: &[u8]) -> Option<Value> {
+        self.get(key)
+    }
+}
+
 
 /// Compact skip list: every level flattened into one contiguous array,
 /// next-pointers removed (Figure 2.3, Skip List row).
@@ -443,6 +450,13 @@ impl StaticIndex for CompactSkipList {
         }
     }
 }
+/// Per-key fallback `multi_get`; no batched descent for this structure.
+impl BatchProbe for CompactSkipList {
+    fn probe_one(&self, key: &[u8]) -> Option<Value> {
+        self.get(key)
+    }
+}
+
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,328 @@
+//! Hot-path bit and byte kernels (§3.6–3.7).
+//!
+//! The FST query path spends almost all of its time in three tiny loops:
+//! in-word select (the tail of every sampled select), in-word rank (the
+//! tail of every rank), and byte-label search over LOUDS-Sparse nodes.
+//! This module provides branch-free/word-parallel implementations of each,
+//! with a portable SWAR form and, on `x86_64`, a hardware form selected by
+//! cached runtime CPU-feature detection:
+//!
+//! * [`select_in_word`] — BMI2 `PDEP` when available, otherwise Vigna's
+//!   broadword select ([`select_in_word_swar`]). The byte-stepping loop the
+//!   repo started with survives as [`select_in_word_scalar`] for the
+//!   ablation harness.
+//! * [`find_byte`] — SSE2 16-lane compare+movemask when available,
+//!   otherwise the 8-byte SWAR zero-in-word trick ([`find_byte_swar`]);
+//!   short slices fall through to the plain loop ([`find_byte_scalar`]).
+//!
+//! All variants are exported so `bench_hotpath` can ablate scalar vs SWAR
+//! vs SIMD and the differential test suite can cross-check them.
+
+/// `SELECT_IN_BYTE[(k << 8) | b]` = position of the `(k+1)`-th set bit of
+/// byte `b`, or 8 when `b` has at most `k` set bits.
+static SELECT_IN_BYTE: [u8; 2048] = select_in_byte_table();
+
+const fn select_in_byte_table() -> [u8; 2048] {
+    let mut t = [8u8; 2048];
+    let mut k = 0usize;
+    while k < 8 {
+        let mut b = 0usize;
+        while b < 256 {
+            let mut seen = 0usize;
+            let mut i = 0usize;
+            while i < 8 {
+                if (b >> i) & 1 == 1 {
+                    if seen == k {
+                        t[(k << 8) | b] = i as u8;
+                        break;
+                    }
+                    seen += 1;
+                }
+                i += 1;
+            }
+            b += 1;
+        }
+        k += 1;
+    }
+    t
+}
+
+/// Cached runtime CPU-feature detection. The first call per feature pays
+/// for `cpuid`; every later call is one relaxed atomic load.
+#[cfg(target_arch = "x86_64")]
+mod cpu {
+    use std::sync::atomic::{AtomicU8, Ordering};
+
+    const UNKNOWN: u8 = 0;
+    const ABSENT: u8 = 1;
+    const PRESENT: u8 = 2;
+
+    macro_rules! cached {
+        ($cache:ident, $feature:tt) => {{
+            static $cache: AtomicU8 = AtomicU8::new(UNKNOWN);
+            match $cache.load(Ordering::Relaxed) {
+                UNKNOWN => {
+                    let present = std::arch::is_x86_feature_detected!($feature);
+                    $cache.store(if present { PRESENT } else { ABSENT }, Ordering::Relaxed);
+                    present
+                }
+                state => state == PRESENT,
+            }
+        }};
+    }
+
+    #[inline]
+    pub(super) fn has_bmi2() -> bool {
+        cached!(BMI2, "bmi2")
+    }
+
+    #[inline]
+    pub(super) fn has_sse2() -> bool {
+        cached!(SSE2, "sse2")
+    }
+}
+
+// ---------------------------------------------------------------------------
+// In-word select
+// ---------------------------------------------------------------------------
+
+/// Position of the `k`-th (1-based) set bit within a 64-bit word, or 64 if
+/// the word has fewer than `k` set bits.
+///
+/// Dispatches to BMI2 `PDEP` when the CPU has it, otherwise to the
+/// broadword SWAR form — both are branch-free past the one dispatch test.
+#[inline]
+pub fn select_in_word(word: u64, k: u32) -> u32 {
+    #[cfg(target_arch = "x86_64")]
+    if cpu::has_bmi2() {
+        // SAFETY: BMI2 presence was verified at runtime just above.
+        return unsafe { select_in_word_pdep(word, k) };
+    }
+    select_in_word_swar(word, k)
+}
+
+/// BMI2 form of [`select_in_word`]: deposit a single bit at rank `k` into
+/// the word's set positions, then count trailing zeros. `PDEP` of an
+/// out-of-range rank deposits nothing, so `trailing_zeros` of the zero
+/// result yields the contractual 64.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "bmi2")]
+fn select_in_word_pdep(word: u64, k: u32) -> u32 {
+    debug_assert!(k >= 1);
+    if k > 64 {
+        return 64;
+    }
+    core::arch::x86_64::_pdep_u64(1u64 << (k - 1), word).trailing_zeros()
+}
+
+/// Portable broadword form of [`select_in_word`] (Vigna's algorithm 2):
+/// SWAR per-byte popcounts, a multiply to prefix-sum them, a lane-parallel
+/// comparison against `k` to locate the byte, and one 2 KiB table probe to
+/// finish inside it. No data-dependent branches.
+#[inline]
+pub fn select_in_word_swar(word: u64, k: u32) -> u32 {
+    debug_assert!(k >= 1);
+    if k > word.count_ones() {
+        return 64;
+    }
+    const ONES: u64 = 0x0101_0101_0101_0101;
+    const MSBS: u64 = 0x8080_8080_8080_8080;
+    let k = (k - 1) as u64; // 0-based rank
+    // Per-byte popcounts via the classic SWAR reduction.
+    let mut s = word - ((word >> 1) & 0x5555_5555_5555_5555);
+    s = (s & 0x3333_3333_3333_3333) + ((s >> 2) & 0x3333_3333_3333_3333);
+    s = (s + (s >> 4)) & 0x0F0F_0F0F_0F0F_0F0F;
+    // Byte `j` of `sums` = popcount of bytes 0..=j (prefix sums).
+    let sums = s.wrapping_mul(ONES);
+    // Lane-parallel `prefix_sum <= k`: the MSB of each lane survives the
+    // subtraction iff that byte's prefix popcount is <= k. The number of
+    // such lanes is the index of the byte holding the target bit.
+    let geq = (((k * ONES) | MSBS) - sums) & MSBS;
+    let place = geq.count_ones() * 8; // <= 56: the guard above ensures the target byte exists
+    let byte_rank = k - (((sums << 8) >> place) & 0xFF);
+    place + SELECT_IN_BYTE[(byte_rank as usize) << 8 | ((word >> place) & 0xFF) as usize] as u32
+}
+
+/// The original byte-stepping select: at most 8 popcounts plus an in-byte
+/// bit scan. Kept as the scalar baseline for the Figure 3.6-style kernel
+/// ablation in `bench_hotpath`.
+#[inline]
+pub fn select_in_word_scalar(word: u64, mut k: u32) -> u32 {
+    debug_assert!(k >= 1);
+    let mut base = 0u32;
+    let mut w = word;
+    loop {
+        let byte = (w & 0xFF) as u8;
+        let cnt = byte.count_ones();
+        if cnt >= k {
+            let mut b = byte;
+            for i in 0..8 {
+                if b & 1 == 1 {
+                    k -= 1;
+                    if k == 0 {
+                        return base + i;
+                    }
+                }
+                b >>= 1;
+            }
+        }
+        k -= cnt;
+        base += 8;
+        if base >= 64 {
+            return 64;
+        }
+        w >>= 8;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Byte-label search
+// ---------------------------------------------------------------------------
+
+/// Position of the first occurrence of `needle` in `haystack`.
+///
+/// Word-parallel: SSE2 (16 labels per compare) when the CPU has it and the
+/// slice spans at least one vector, 8-byte SWAR for medium slices, plain
+/// loop for short ones — LOUDS-Sparse nodes are mostly small (§3.6), so
+/// the dispatch thresholds matter as much as the kernels.
+#[inline]
+pub fn find_byte(haystack: &[u8], needle: u8) -> Option<usize> {
+    #[cfg(target_arch = "x86_64")]
+    if haystack.len() >= 16 && cpu::has_sse2() {
+        // SAFETY: SSE2 presence was verified at runtime just above.
+        return unsafe { find_byte_sse2(haystack, needle) };
+    }
+    if haystack.len() >= 8 {
+        return find_byte_swar(haystack, needle);
+    }
+    find_byte_scalar(haystack, needle)
+}
+
+/// Plain byte loop — the scalar baseline.
+#[inline]
+pub fn find_byte_scalar(haystack: &[u8], needle: u8) -> Option<usize> {
+    haystack.iter().position(|&b| b == needle)
+}
+
+/// 8-byte SWAR form: XOR against a broadcast pattern turns matches into
+/// zero bytes; the zero-in-word trick lights the MSB of each zero lane.
+#[inline]
+pub fn find_byte_swar(haystack: &[u8], needle: u8) -> Option<usize> {
+    const LOWS: u64 = 0x0101_0101_0101_0101;
+    const MSBS: u64 = 0x8080_8080_8080_8080;
+    let pat = u64::from_ne_bytes([needle; 8]);
+    let mut chunks = haystack.chunks_exact(8);
+    let mut off = 0usize;
+    for chunk in &mut chunks {
+        let x = u64::from_ne_bytes(chunk.try_into().unwrap()) ^ pat;
+        let hit = x.wrapping_sub(LOWS) & !x & MSBS;
+        if hit != 0 {
+            return Some(off + (hit.trailing_zeros() / 8) as usize);
+        }
+        off += 8;
+    }
+    chunks
+        .remainder()
+        .iter()
+        .position(|&b| b == needle)
+        .map(|i| off + i)
+}
+
+/// SSE2 form: one `pcmpeqb` + `pmovmskb` resolves 16 labels per iteration.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "sse2")]
+fn find_byte_sse2(haystack: &[u8], needle: u8) -> Option<usize> {
+    use core::arch::x86_64::*;
+    // SAFETY: every load below reads 16 in-bounds bytes (`i + 16 <= len`).
+    unsafe {
+        let pat = _mm_set1_epi8(needle as i8);
+        let mut i = 0usize;
+        while i + 16 <= haystack.len() {
+            let v = _mm_loadu_si128(haystack.as_ptr().add(i) as *const __m128i);
+            let mask = _mm_movemask_epi8(_mm_cmpeq_epi8(v, pat)) as u32;
+            if mask != 0 {
+                return Some(i + mask.trailing_zeros() as usize);
+            }
+            i += 16;
+        }
+        find_byte_swar(&haystack[i..], needle).map(|p| i + p)
+    }
+}
+
+/// Issues a best-effort L1 cache-line prefetch (no-op off `x86_64`).
+///
+/// Used by the batched query paths to overlap the misses of independent
+/// probes; safe to call with any address.
+#[inline(always)]
+pub fn prefetch_read<T>(p: *const T) {
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: _mm_prefetch has no memory effects; any address is allowed.
+    unsafe {
+        core::arch::x86_64::_mm_prefetch::<{ core::arch::x86_64::_MM_HINT_T0 }>(p as *const i8)
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = p;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_select(w: u64, k: u32) -> u32 {
+        let mut seen = 0;
+        for i in 0..64 {
+            if w >> i & 1 == 1 {
+                seen += 1;
+                if seen == k {
+                    return i;
+                }
+            }
+        }
+        64
+    }
+
+    #[test]
+    fn select_variants_agree_on_fixed_words() {
+        let words = [
+            0u64,
+            1,
+            u64::MAX,
+            0x8000_0000_0000_0000,
+            0xAAAA_AAAA_AAAA_AAAA,
+            0x0123_4567_89AB_CDEF,
+            0x0000_0001_0000_0000,
+        ];
+        for &w in &words {
+            for k in 1..=64u32 {
+                let expect = naive_select(w, k);
+                assert_eq!(select_in_word_scalar(w, k), expect, "scalar w={w:#x} k={k}");
+                assert_eq!(select_in_word_swar(w, k), expect, "swar w={w:#x} k={k}");
+                assert_eq!(select_in_word(w, k), expect, "dispatch w={w:#x} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn find_byte_variants_agree_on_fixed_patterns() {
+        let mut hay = Vec::new();
+        for i in 0..300u32 {
+            hay.push((i.wrapping_mul(37) % 251) as u8);
+        }
+        for len in [0usize, 1, 7, 8, 9, 15, 16, 17, 31, 64, 255, 300] {
+            let h = &hay[..len];
+            for needle in [0u8, 1, 17, 37, 74, 255] {
+                let expect = find_byte_scalar(h, needle);
+                assert_eq!(find_byte_swar(h, needle), expect, "swar len={len} n={needle}");
+                assert_eq!(find_byte(h, needle), expect, "dispatch len={len} n={needle}");
+            }
+        }
+    }
+
+    #[test]
+    fn select_in_byte_table_spot_checks() {
+        assert_eq!(SELECT_IN_BYTE[0xFF], 0); // 1st bit of 0xFF
+        assert_eq!(SELECT_IN_BYTE[(7 << 8) | 0xFF], 7); // 8th bit of 0xFF
+        assert_eq!(SELECT_IN_BYTE[0x80], 7); // 1st bit of 0x80
+        assert_eq!(SELECT_IN_BYTE[(1 << 8) | 0x80], 8); // no 2nd bit
+    }
+}

@@ -12,50 +12,25 @@
 //!   Figure 3.6 ablation.
 //! * [`louds`] — Level-Ordered Unary Degree Sequence encoding of ordinal
 //!   trees (§3.1 background), used by tests and the `TxTrie` baseline.
+//! * [`kernels`] — branch-free/word-parallel hot-path kernels (in-word
+//!   select, byte-label search, software prefetch) with runtime CPU-feature
+//!   dispatch, plus their scalar baselines for the kernel ablation.
 
 #![warn(missing_docs)]
 
 pub mod bitvec;
+pub mod kernels;
 pub mod louds;
 pub mod rank;
 pub mod select;
 
 pub use bitvec::BitVector;
+pub use kernels::{
+    find_byte, find_byte_scalar, find_byte_swar, prefetch_read, select_in_word,
+    select_in_word_scalar, select_in_word_swar,
+};
 pub use rank::RankSupport;
 pub use select::SelectSupport;
-
-/// Position of the `k`-th (1-based) set bit within a 64-bit word, or 64 if
-/// the word has fewer than `k` set bits. Byte-stepping implementation: at
-/// most 8 popcounts, no lookup tables needed.
-#[inline]
-pub fn select_in_word(word: u64, mut k: u32) -> u32 {
-    debug_assert!(k >= 1);
-    let mut base = 0u32;
-    let mut w = word;
-    loop {
-        let byte = (w & 0xFF) as u8;
-        let cnt = byte.count_ones();
-        if cnt >= k {
-            // Scan bits within the byte.
-            let mut b = byte;
-            for i in 0..8 {
-                if b & 1 == 1 {
-                    k -= 1;
-                    if k == 0 {
-                        return base + i;
-                    }
-                }
-                b >>= 1;
-            }
-        }
-        k -= cnt;
-        base += 8;
-        if base >= 64 {
-            return 64;
-        }
-        w >>= 8;
-    }
-}
 
 #[cfg(test)]
 mod tests {

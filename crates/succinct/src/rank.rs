@@ -17,10 +17,14 @@ use memtree_common::mem::vec_bytes;
 /// The support does not own the bits; callers pass the same vector to
 /// queries that they built the support from (FST bundles them in one
 /// struct). Ranks are **inclusive**: `rank1(bv, i)` counts set bits in
-/// `[0, i]`, matching the navigation formulas of §3.2–3.3.
+/// `[0, i]`, matching the navigation formulas of §3.2–3.3. The exclusive
+/// form used by the LOUDS "values before position" formulas is
+/// [`RankSupport::rank1_excl`].
 #[derive(Debug, Clone)]
 pub struct RankSupport {
-    /// `lut[j]` = number of set bits strictly before block `j`.
+    /// `lut[j]` = number of set bits strictly before block `j`, for `j` in
+    /// `0..=nblocks` — the final sentinel entry (total ones) lets exclusive
+    /// rank at one-past-the-end positions stay branch-free.
     lut: Vec<u32>,
     /// Basic block size in bits; a multiple of 64.
     block_bits: usize,
@@ -33,7 +37,7 @@ impl RankSupport {
         assert!(block_bits > 0 && block_bits.is_multiple_of(64));
         let words_per_block = block_bits / 64;
         let nblocks = bv.len().div_ceil(block_bits).max(1);
-        let mut lut = Vec::with_capacity(nblocks);
+        let mut lut = Vec::with_capacity(nblocks + 1);
         let mut acc: u32 = 0;
         let words = bv.words();
         for b in 0..nblocks {
@@ -44,6 +48,7 @@ impl RankSupport {
                 acc += w.count_ones();
             }
         }
+        lut.push(acc); // sentinel: total set bits
         Self { lut, block_bits }
     }
 
@@ -51,17 +56,49 @@ impl RankSupport {
     #[inline]
     pub fn rank1(&self, bv: &BitVector, pos: usize) -> usize {
         debug_assert!(pos < bv.len());
-        let block = pos / self.block_bits;
-        let mut r = self.lut[block] as usize;
         let words = bv.words();
-        let first_word = block * (self.block_bits / 64);
         let last_word = pos / 64;
-        for w in &words[first_word..last_word] {
-            r += w.count_ones() as usize;
-        }
         // Bits [0, pos % 64] of the final word.
         let mask = u64::MAX >> (63 - (pos % 64) as u32);
+        if self.block_bits == 64 {
+            // §3.6 B = 64 fast path: the LUT entry is the word's exclusive
+            // rank, so the answer is one load + exactly one popcount.
+            return self.lut[last_word] as usize
+                + (words[last_word] & mask).count_ones() as usize;
+        }
+        let block = pos / self.block_bits;
+        let mut r = self.lut[block] as usize;
+        for w in &words[block * (self.block_bits / 64)..last_word] {
+            r += w.count_ones() as usize;
+        }
         r + (words[last_word] & mask).count_ones() as usize
+    }
+
+    /// Number of set bits strictly before `pos` (exclusive rank).
+    ///
+    /// Accepts any `pos` in `[0, len]` — positions past the end clamp to
+    /// the total — so LOUDS "values before position" callers need neither
+    /// the `pos == 0` special case nor the `min(len - 1)` clamp that an
+    /// inclusive `rank1(pos - 1)` forces on them.
+    #[inline]
+    pub fn rank1_excl(&self, bv: &BitVector, pos: usize) -> usize {
+        let pos = pos.min(bv.len());
+        let words = bv.words();
+        let wi = pos / 64;
+        // `(1 << off) - 1` keeps bits strictly below `pos`; off == 0 makes
+        // the mask 0, so a clamped word read contributes nothing.
+        let mask = (1u64 << (pos % 64)).wrapping_sub(1);
+        let partial_word = words.get(wi).copied().unwrap_or(0) & mask;
+        if self.block_bits == 64 {
+            // The sentinel entry makes lut[wi] valid even at pos == len.
+            return self.lut[wi] as usize + partial_word.count_ones() as usize;
+        }
+        let block = (pos / self.block_bits).min(self.lut.len() - 1);
+        let mut r = self.lut[block] as usize;
+        for w in &words[(block * (self.block_bits / 64)).min(words.len())..wi.min(words.len())] {
+            r += w.count_ones() as usize;
+        }
+        r + partial_word.count_ones() as usize
     }
 
     /// Number of clear bits in `[0, pos]` (inclusive).
@@ -76,10 +113,10 @@ impl RankSupport {
         self.lut[j] as usize
     }
 
-    /// Number of blocks in the LUT.
+    /// Number of blocks in the LUT (excluding the sentinel entry).
     #[inline]
     pub(crate) fn num_blocks(&self) -> usize {
-        self.lut.len()
+        self.lut.len() - 1
     }
 
     /// Basic block size in bits.
@@ -101,13 +138,18 @@ mod tests {
     fn check_all(bv: &BitVector, block: usize) {
         let rs = RankSupport::new(bv, block);
         let mut acc = 0;
+        assert_eq!(rs.rank1_excl(bv, 0), 0, "excl 0 block {block}");
         for i in 0..bv.len() {
             if bv.get(i) {
                 acc += 1;
             }
             assert_eq!(rs.rank1(bv, i), acc, "pos {i} block {block}");
+            assert_eq!(rs.rank1_excl(bv, i + 1), acc, "excl {} block {block}", i + 1);
             assert_eq!(rs.rank0(bv, i), i + 1 - acc);
         }
+        // Past-the-end exclusive ranks clamp to the total.
+        assert_eq!(rs.rank1_excl(bv, bv.len()), bv.count_ones());
+        assert_eq!(rs.rank1_excl(bv, bv.len() + 100), bv.count_ones());
     }
 
     #[test]

@@ -224,6 +224,22 @@ impl Surf {
         }
     }
 
+    /// Batched point membership test: the whole batch descends the trie
+    /// level-synchronously ([`LoudsTrie::lookup_batch`]) so the cache
+    /// misses of independent probes overlap — an LSM read path checks one
+    /// SuRF per run for the same set of keys, making this the hot shape.
+    ///
+    /// Appends one `bool` per key, in input order, each identical to
+    /// [`Surf::lookup`] on that key.
+    pub fn may_contain_batch(&self, keys: &[&[u8]], out: &mut Vec<bool>) {
+        let mut results = Vec::with_capacity(keys.len());
+        self.trie.lookup_batch(keys, &mut results);
+        out.extend(results.iter().zip(keys).map(|(r, key)| match *r {
+            LookupResult::Found { value_idx, depth } => self.check_suffix(value_idx, key, depth),
+            LookupResult::NotFound => false,
+        }));
+    }
+
     /// SuRF's `moveToNext(k)` (§4.1.5): an iterator at the smallest stored
     /// key `>= low` under one-sided-error semantics, refined by real suffix
     /// bits where possible. Returns `(iter, fp_flag)`.
@@ -353,6 +369,36 @@ mod tests {
                 let s = Surf::from_keys(&keys, cfg);
                 for k in &keys {
                     assert!(s.may_contain(k), "false negative {k:?} cfg {cfg:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_membership_matches_per_key() {
+        for keys in [random_keys(4000, 21), email_keys(4000)] {
+            for cfg in all_configs() {
+                let s = Surf::from_keys(&keys, cfg);
+                let mut probes: Vec<Vec<u8>> = Vec::new();
+                for (i, k) in keys.iter().enumerate() {
+                    probes.push(k.clone());
+                    if i % 2 == 0 {
+                        let mut q = k.clone();
+                        q.push(b'!');
+                        probes.push(q);
+                    }
+                    if i % 3 == 0 && k.len() > 1 {
+                        probes.push(k[..k.len() - 1].to_vec());
+                    }
+                }
+                let refs: Vec<&[u8]> = probes.iter().map(|k| k.as_slice()).collect();
+                let expect: Vec<bool> = refs.iter().map(|k| s.may_contain(k)).collect();
+                for chunk in [1usize, 16, 128, refs.len()] {
+                    let mut got = Vec::new();
+                    for c in refs.chunks(chunk) {
+                        s.may_contain_batch(c, &mut got);
+                    }
+                    assert_eq!(got, expect, "cfg {cfg:?} chunk {chunk}");
                 }
             }
         }
