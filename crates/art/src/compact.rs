@@ -401,14 +401,22 @@ impl StaticIndex for CompactArt {
     }
 }
 
-impl BatchProbe for CompactArt {
-    fn probe_one(&self, key: &[u8]) -> Option<Value> {
-        self.get(key)
-    }
+/// Arena-size cutover for the sorted-batch descent: while the trie is
+/// cache-resident the per-batch sort costs more than the cache misses it
+/// saves — the PR 2 ablation showed ~0.5x at a 25 MB arena on a 260 MB
+/// L3 (`compact_art_cutover` in BENCH_hotpath.json) — so `multi_get`
+/// falls back to the per-key loop below a server-class LLC worth of
+/// arena bytes. `multi_get_batched` stays public to force the batched
+/// descent regardless.
+pub const BATCH_MIN_ARENA_BYTES: usize = 64 << 20;
 
-    /// Sorted-batch multi-get: probes are sorted once, then runs of keys
-    /// that share a branch descend each node together.
-    fn multi_get(&self, keys: &[&[u8]], out: &mut Vec<Option<Value>>) {
+impl CompactArt {
+    /// Sorted-batch multi-get, unconditionally: probes are sorted once,
+    /// then runs of keys that share a branch descend each node together.
+    /// Public as the ablation hook for the `bench_hotpath` cutover study;
+    /// [`BatchProbe::multi_get`] routes here only when the arena exceeds
+    /// [`BATCH_MIN_ARENA_BYTES`].
+    pub fn multi_get_batched(&self, keys: &[&[u8]], out: &mut Vec<Option<Value>>) {
         let base = out.len();
         out.resize(base + keys.len(), None);
         if self.root == NONE || keys.is_empty() {
@@ -417,6 +425,38 @@ impl BatchProbe for CompactArt {
         let mut order: Vec<u32> = (0..keys.len() as u32).collect();
         order.sort_unstable_by_key(|&i| keys[i as usize]);
         self.batch_descend(self.root, keys, &order, 0, base, out);
+    }
+}
+
+impl BatchProbe for CompactArt {
+    fn probe_one(&self, key: &[u8]) -> Option<Value> {
+        self.get(key)
+    }
+
+    /// Adaptive multi-get: per-key loop while the arena is small enough to
+    /// be cache-resident, sorted-batch descent
+    /// ([`CompactArt::multi_get_batched`]) once it is not.
+    fn multi_get(&self, keys: &[&[u8]], out: &mut Vec<Option<Value>>) {
+        if self.mem_usage() < BATCH_MIN_ARENA_BYTES {
+            out.extend(keys.iter().map(|k| self.get(k)));
+        } else {
+            self.multi_get_batched(keys, out);
+        }
+    }
+
+    fn scan_one(&self, low: &[u8], n: usize, out: &mut Vec<Value>) -> usize {
+        self.scan(low, n, out)
+    }
+
+    /// Merged-traversal multi-scan: sorted range starts share one in-order
+    /// walk (`range_from`), so clustered ranges pay one descent per cluster
+    /// instead of one per range.
+    fn multi_scan(&self, ranges: &[(&[u8], usize)], out: &mut Vec<Vec<Value>>) {
+        memtree_common::traits::multi_scan_merged(
+            &|low, f| CompactArt::range_from(self, low, f),
+            ranges,
+            out,
+        );
     }
 }
 
@@ -580,14 +620,53 @@ mod tests {
             let expect: Vec<Option<Value>> = refs.iter().map(|k| t.get(k)).collect();
             for chunk in [1usize, 16, 200, refs.len()] {
                 let mut got = Vec::new();
+                let mut got_batched = Vec::new();
                 for c in refs.chunks(chunk) {
                     t.multi_get(c, &mut got);
+                    // The adaptive cutover sends small tries down the
+                    // per-key path; probe the batched descent directly too
+                    // so both sides of the cutover stay differential-equal.
+                    t.multi_get_batched(c, &mut got_batched);
                 }
                 assert_eq!(got, expect, "chunk {chunk}");
+                assert_eq!(got_batched, expect, "batched chunk {chunk}");
             }
         }
         let t = CompactArt::build(&[]);
         assert_eq!(t.multi_get_vec(&[b"x".as_slice()]), vec![None]);
+    }
+
+    #[test]
+    fn multi_scan_matches_per_range_loop() {
+        let mut state = 41u64;
+        for entries in [
+            Vec::new(),
+            sorted_random(1, 39, u64::MAX),
+            sorted_random(2500, 37, 80_000),
+        ] {
+            let t = CompactArt::build(&entries);
+            let mut lows: Vec<Vec<u8>> = Vec::new();
+            for _ in 0..150 {
+                let r = memtree_common::hash::splitmix64(&mut state);
+                lows.push(encode_u64(r % 100_000).to_vec());
+            }
+            lows.push(Vec::new());
+            lows.push(encode_u64(u64::MAX).to_vec());
+            let ranges: Vec<(&[u8], usize)> = lows
+                .iter()
+                .enumerate()
+                .map(|(i, low)| (low.as_slice(), [0usize, 1, 9, 5000][i % 4]))
+                .collect();
+            let expect: Vec<Vec<Value>> = ranges
+                .iter()
+                .map(|&(low, cnt)| {
+                    let mut one = Vec::new();
+                    t.scan(low, cnt, &mut one);
+                    one
+                })
+                .collect();
+            assert_eq!(t.multi_scan_vec(&ranges), expect, "n={}", entries.len());
+        }
     }
 
     #[test]

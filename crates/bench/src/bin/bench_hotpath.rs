@@ -304,6 +304,100 @@ fn bench_batched<S: BatchProbe>(
 }
 
 // ---------------------------------------------------------------------------
+// Compact ART adaptive-cutover ablation: per-key loop vs unconditionally
+// batched descent vs the adaptive `BatchProbe::multi_get` (which picks per
+// arena size). The small trie sits under `BATCH_MIN_ARENA_BYTES`, where the
+// sorted-batch descent used to *lose* to the plain loop; the large trie
+// sits above it, where batching wins. Adaptive must track the better side
+// at both scales.
+// ---------------------------------------------------------------------------
+
+struct CutoverLine {
+    scale: &'static str,
+    n_keys: usize,
+    arena_bytes: usize,
+    batching_engaged: bool,
+    per_key: f64,
+    forced_batch: f64,
+    adaptive: f64,
+}
+
+fn bench_art_cutover(cfg: &Config, lines: &mut Vec<CutoverLine>) {
+    let scales: [(&'static str, usize); 2] = [
+        ("small", if cfg.smoke { 4_000 } else { 30_000 }),
+        ("large", cfg.n_keys),
+    ];
+    for (scale, n) in scales {
+        let entries: Vec<(Vec<u8>, Value)> = keys::sorted_unique(keys::rand_u64_keys(n, 17))
+            .into_iter()
+            .enumerate()
+            .map(|(i, k)| (k, i as u64))
+            .collect();
+        let art = memtree_art::CompactArt::build(&entries);
+        let probes = probe_set(&entries, cfg.n_reads.min(100_000), 13);
+        let refs: Vec<&[u8]> = probes.iter().map(|k| k.as_slice()).collect();
+
+        // All three paths must agree before any timing.
+        let expect: Vec<Option<Value>> = refs.iter().map(|k| art.get(k)).collect();
+        for use_forced in [false, true] {
+            let mut got = Vec::with_capacity(refs.len());
+            for c in refs.chunks(256) {
+                if use_forced {
+                    art.multi_get_batched(c, &mut got);
+                } else {
+                    art.multi_get(c, &mut got);
+                }
+            }
+            assert_eq!(got, expect, "compact_art {scale} cutover mismatch (forced={use_forced})");
+        }
+
+        // Per-key baseline materializes the same output vector the
+        // multi_get paths do, so the comparison isolates the descent
+        // strategy rather than allocation overhead.
+        let per_key = mops(
+            refs.len(),
+            best(cfg.runs, || {
+                let mut out: Vec<Option<Value>> = Vec::with_capacity(refs.len());
+                for k in &refs {
+                    out.push(art.get(k));
+                }
+                std::hint::black_box(out.len());
+            }),
+        );
+        let time_chunks = |forced: bool| {
+            best(cfg.runs, || {
+                let mut out: Vec<Option<Value>> = Vec::with_capacity(refs.len());
+                for c in refs.chunks(256) {
+                    if forced {
+                        art.multi_get_batched(c, &mut out);
+                    } else {
+                        art.multi_get(c, &mut out);
+                    }
+                }
+                std::hint::black_box(out.len());
+            })
+        };
+        let forced_batch = mops(refs.len(), time_chunks(true));
+        let adaptive = mops(refs.len(), time_chunks(false));
+        let arena_bytes = art.mem_usage();
+        let batching_engaged = arena_bytes >= memtree_art::BATCH_MIN_ARENA_BYTES;
+        println!(
+            "art cutover {scale:<5} ({n} keys, {arena_bytes} B, batch {})  per-key {per_key:.2}  forced {forced_batch:.2}  adaptive {adaptive:.2} Mops/s",
+            if batching_engaged { "on" } else { "off" }
+        );
+        lines.push(CutoverLine {
+            scale,
+            n_keys: n,
+            arena_bytes,
+            batching_engaged,
+            per_key,
+            forced_batch,
+            adaptive,
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Layer 3: multi-threaded readers over one shared static stage
 // ---------------------------------------------------------------------------
 
@@ -382,6 +476,10 @@ fn main() {
     }
     bench_batched(&cfg, "hybrid_btree", &hybrid, &refs, &mut lines);
 
+    // Adaptive-cutover ablation for the Compact ART sorted-batch descent.
+    let mut cutover: Vec<CutoverLine> = Vec::new();
+    bench_art_cutover(&cfg, &mut cutover);
+
     // Thread scaling over a shared Arc<Fst>.
     let shared = Arc::new(Fst::build_with(&entries, TrieOpts::default()));
     let shared_probes = Arc::new(probes.clone());
@@ -402,6 +500,19 @@ fn main() {
             "multi_get should beat the per-key loop at batch >= 16 (won {batched_wins}/{})",
             lines.len()
         );
+        // The adaptive path must track the better of its two modes at both
+        // scales (0.85 margin absorbs timer noise) — i.e. no regression on
+        // small tries and no lost win on large ones.
+        for l in &cutover {
+            let best_mode = l.per_key.max(l.forced_batch);
+            assert!(
+                l.adaptive >= 0.85 * best_mode,
+                "compact_art adaptive cutover regressed at {} scale: adaptive {:.2} vs best {:.2} Mops/s",
+                l.scale,
+                l.adaptive,
+                best_mode
+            );
+        }
     }
 
     // ---- handwritten JSON ----
@@ -435,6 +546,21 @@ fn main() {
             l.batched,
             l.batched / l.per_key,
             if i + 1 < lines.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"compact_art_cutover\": [\n");
+    for (i, l) in cutover.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{ \"scale\": \"{}\", \"n_keys\": {}, \"arena_bytes\": {}, \"batching_engaged\": {}, \"per_key\": {:.3}, \"forced_batch\": {:.3}, \"adaptive\": {:.3} }}{}\n",
+            l.scale,
+            l.n_keys,
+            l.arena_bytes,
+            l.batching_engaged,
+            l.per_key,
+            l.forced_batch,
+            l.adaptive,
+            if i + 1 < cutover.len() { "," } else { "" }
         ));
     }
     json.push_str("  ],\n");

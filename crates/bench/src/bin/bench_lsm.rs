@@ -1,0 +1,366 @@
+//! Batched LSM read-path benchmark, written to `BENCH_lsm.json`.
+//!
+//! For every filter configuration (None / Bloom / SuRF-Hash / SuRF-Real /
+//! SuRF-Mixed) the same negative-lookup workload runs twice: a per-key
+//! `get` loop and chunked `multi_get` at several batch sizes. Because the
+//! disk simulator counts every block read and the engine counts every
+//! filter probe, the comparison is exact, not just a wall-clock race:
+//! batching must perform **fewer filter passes** (one batch descent per
+//! table instead of one per key) and **no more block fetches** (sorted
+//! survivors share candidate blocks).
+//!
+//! Correctness gates run before any timing and in `--smoke` mode too:
+//! `multi_get` must equal the per-key loop and `multi_scan` must equal a
+//! per-range seek/next_after walk, on probe sets mixing hits, misses and
+//! duplicates. The counter assertions (batched ≤ per-key everywhere;
+//! strictly fewer filter passes and aggregate block fetches at batch ≥ 64)
+//! also always run — they are deterministic, not timing-dependent.
+//!
+//! Run from the repo root:
+//! `cargo run -p memtree-bench --release --bin bench_lsm`
+
+use memtree_bench::{mops, time};
+use memtree_common::key::encode_u64;
+use memtree_lsm::{Db, DbOptions, FilterKind, FilterStats, SeekResult};
+use std::time::Duration;
+
+struct Config {
+    n_keys: usize,
+    n_probes: usize,
+    runs: usize,
+    out_path: String,
+    smoke: bool,
+}
+
+fn config() -> Config {
+    let mut smoke = false;
+    let mut out: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => out = args.next(),
+            other => {
+                eprintln!("unknown argument: {other} (expected --smoke / --out PATH)");
+                std::process::exit(2);
+            }
+        }
+    }
+    if smoke {
+        Config {
+            n_keys: 6_000,
+            n_probes: 3_000,
+            runs: 1,
+            out_path: out.unwrap_or_else(|| "target/BENCH_lsm_smoke.json".into()),
+            smoke,
+        }
+    } else {
+        Config {
+            n_keys: 150_000,
+            n_probes: 60_000,
+            runs: 3,
+            out_path: out.unwrap_or_else(|| "BENCH_lsm.json".into()),
+            smoke,
+        }
+    }
+}
+
+fn kinds() -> [(FilterKind, &'static str); 5] {
+    [
+        (FilterKind::None, "none"),
+        (FilterKind::Bloom(14.0), "bloom14"),
+        (FilterKind::SurfHash(8), "surf_hash8"),
+        (FilterKind::SurfReal(8), "surf_real8"),
+        (FilterKind::SurfMixed(4, 4), "surf_mixed4_4"),
+    ]
+}
+
+/// Best-of-runs duration (min rejects scheduler noise).
+fn best<F: FnMut()>(runs: usize, mut f: F) -> Duration {
+    (0..runs).map(|_| time(|| f())).min().unwrap()
+}
+
+/// Stored keys are `i << 12`, so `(j << 12) | 777` is always a miss that
+/// falls inside the table range (the interesting negative-lookup case —
+/// fence indexes alone can't reject it, only a filter can).
+fn stored_key(i: u64) -> [u8; 8] {
+    encode_u64(i << 12)
+}
+
+fn negative_key(i: u64) -> [u8; 8] {
+    encode_u64((i << 12) | 777)
+}
+
+fn build_db(cfg: &Config, filter: FilterKind) -> Db {
+    let mut db = Db::new(DbOptions {
+        memtable_bytes: 32 << 10, // many flushes: leveled shape, several tables
+        cache_blocks: 0,          // every block fetch hits the simulated disk
+        filter,
+        ..Default::default()
+    });
+    for i in 0..cfg.n_keys as u64 {
+        db.put(&stored_key(i), b"valuevalue");
+    }
+    db.flush();
+    db
+}
+
+/// Scattered *clusters* of in-range misses: bases hop around the
+/// keyspace, and each cluster of 64 visits consecutive gaps in a
+/// scrambled order (37 is coprime to 64, so `j * 37 mod 64` permutes the
+/// cluster). Clustering is what makes block sharing possible at all —
+/// with one probe per ~2000 stored keys no batch size puts two probes in
+/// the same data block — while the scrambled order leaves the batched
+/// path real sorting work.
+fn negative_probes(cfg: &Config) -> Vec<[u8; 8]> {
+    let n = cfg.n_keys as u64;
+    (0..cfg.n_probes as u64)
+        .map(|i| {
+            let base = (i / 64) * 7919 % n;
+            let offset = (i * 37) % 64;
+            negative_key((base + offset) % n)
+        })
+        .collect()
+}
+
+/// Hits, misses and duplicates interleaved, for the differential gates.
+fn mixed_probes(cfg: &Config) -> Vec<[u8; 8]> {
+    (0..cfg.n_probes as u64)
+        .map(|i| match i % 4 {
+            0 => stored_key((i * 31) % cfg.n_keys as u64),
+            1 => negative_key((i * 13) % cfg.n_keys as u64),
+            2 => stored_key(((i / 4) * 31) % cfg.n_keys as u64), // duplicate of a recent hit
+            _ => encode_u64(u64::MAX - i),                       // out of range entirely
+        })
+        .collect()
+}
+
+fn check_differential(db: &Db, name: &str, probes: &[[u8; 8]]) {
+    let refs: Vec<&[u8]> = probes.iter().map(|k| k.as_slice()).collect();
+    let expect: Vec<Option<Vec<u8>>> = refs.iter().map(|k| db.get(k)).collect();
+    for chunk in [1usize, 16, 64, 333] {
+        let mut got = Vec::with_capacity(refs.len());
+        for c in refs.chunks(chunk) {
+            got.extend(db.multi_get(c));
+        }
+        assert_eq!(got, expect, "{name}: multi_get differs from per-key gets at chunk {chunk}");
+    }
+
+    // multi_scan against a per-range seek-then-next walk.
+    let ranges: Vec<(&[u8], usize)> = refs
+        .iter()
+        .take(200)
+        .enumerate()
+        .map(|(i, k)| (*k, [0usize, 1, 8, 64][i % 4]))
+        .collect();
+    let want: Vec<Vec<Vec<u8>>> = ranges
+        .iter()
+        .map(|&(low, n)| {
+            let mut acc: Vec<Vec<u8>> = Vec::new();
+            if n == 0 {
+                return acc;
+            }
+            let mut cur = match db.seek(low, None) {
+                SeekResult::Found { key } => Some(key),
+                SeekResult::NotFound => None,
+            };
+            while let Some(k) = cur.take() {
+                acc.push(k);
+                if acc.len() == n {
+                    break;
+                }
+                cur = match db.next_after(acc.last().unwrap(), None) {
+                    SeekResult::Found { key } => Some(key),
+                    SeekResult::NotFound => None,
+                };
+            }
+            acc
+        })
+        .collect();
+    assert_eq!(db.multi_scan(&ranges), want, "{name}: multi_scan differs from seek walk");
+}
+
+struct Counters {
+    block_reads: u64,
+    filter: FilterStats,
+}
+
+/// Runs `f` once with counters zeroed and returns what it cost.
+fn counted<F: FnOnce()>(db: &Db, f: F) -> Counters {
+    db.reset_io_stats();
+    db.reset_filter_stats();
+    f();
+    Counters {
+        block_reads: db.io_stats().block_reads,
+        filter: db.filter_stats(),
+    }
+}
+
+struct BatchLine {
+    batch: usize,
+    mops: f64,
+    c: Counters,
+}
+
+struct KindReport {
+    name: &'static str,
+    tables: usize,
+    per_key_mops: f64,
+    per_key: Counters,
+    batches: Vec<BatchLine>,
+}
+
+fn bench_kind(cfg: &Config, filter: FilterKind, name: &'static str) -> KindReport {
+    let db = build_db(cfg, filter);
+    check_differential(&db, name, &mixed_probes(cfg));
+
+    let probes = negative_probes(cfg);
+    let refs: Vec<&[u8]> = probes.iter().map(|k| k.as_slice()).collect();
+
+    let per_key = counted(&db, || {
+        let misses = refs.iter().filter(|k| db.get(k).is_none()).count();
+        assert_eq!(misses, refs.len(), "{name}: negative probe unexpectedly hit");
+    });
+    let per_key_mops = mops(
+        refs.len(),
+        best(cfg.runs, || {
+            let misses = refs.iter().filter(|k| db.get(k).is_none()).count();
+            std::hint::black_box(misses);
+        }),
+    );
+
+    let mut batches = Vec::new();
+    for batch in [16usize, 64, 256] {
+        let c = counted(&db, || {
+            for chunk in refs.chunks(batch) {
+                std::hint::black_box(db.multi_get(chunk).len());
+            }
+        });
+        let rate = mops(
+            refs.len(),
+            best(cfg.runs, || {
+                for chunk in refs.chunks(batch) {
+                    std::hint::black_box(db.multi_get(chunk).len());
+                }
+            }),
+        );
+        batches.push(BatchLine { batch, mops: rate, c });
+    }
+
+    let report = KindReport {
+        name,
+        tables: db.level_sizes().iter().sum(),
+        per_key_mops,
+        per_key,
+        batches,
+    };
+    println!(
+        "{name:<14} {} tables  per-key {:>8.3} Mops/s  {:>7} reads  {:>7} passes",
+        report.tables, report.per_key_mops, report.per_key.block_reads, report.per_key.filter.probe_passes
+    );
+    for b in &report.batches {
+        println!(
+            "{:<14} batch {:>3}  {:>8.3} Mops/s  {:>7} reads  {:>7} passes  ({:.2}x)",
+            "", b.batch, b.mops, b.c.block_reads, b.c.filter.probe_passes, b.mops / report.per_key_mops
+        );
+    }
+    report
+}
+
+fn enforce_gates(reports: &[KindReport]) {
+    for r in reports {
+        let has_filter = r.per_key.filter.keys_probed > 0;
+        for b in &r.batches {
+            assert!(
+                b.c.block_reads <= r.per_key.block_reads,
+                "{}: batched gets at batch {} fetched more blocks ({} > {})",
+                r.name, b.batch, b.c.block_reads, r.per_key.block_reads
+            );
+            if has_filter {
+                assert_eq!(
+                    b.c.filter.keys_probed, r.per_key.filter.keys_probed,
+                    "{}: batch {} probed a different key set through the filters",
+                    r.name, b.batch
+                );
+                if b.batch >= 64 {
+                    assert!(
+                        b.c.filter.probe_passes < r.per_key.filter.probe_passes,
+                        "{}: batch {} should need strictly fewer filter passes ({} vs {})",
+                        r.name, b.batch, b.c.filter.probe_passes, r.per_key.filter.probe_passes
+                    );
+                }
+            }
+        }
+    }
+    // Aggregate at batch >= 64: strictly fewer block fetches too. The
+    // filterless configuration guarantees this (every probe fetches a
+    // block per key, and sorted batches share candidate blocks).
+    let (mut agg_per_key, mut agg_batched) = (0u64, 0u64);
+    for r in reports {
+        agg_per_key += r.per_key.block_reads;
+        agg_batched += r.batches.iter().filter(|b| b.batch == 64).map(|b| b.c.block_reads).sum::<u64>();
+    }
+    assert!(
+        agg_batched < agg_per_key,
+        "batched negative lookups should fetch strictly fewer blocks overall ({agg_batched} vs {agg_per_key})"
+    );
+}
+
+fn write_json(cfg: &Config, reports: &[KindReport]) {
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!(
+        "  \"meta\": {{\n    \"n_keys\": {},\n    \"n_probes\": {},\n    \"runs\": {},\n    \"smoke\": {},\n    \"note\": \"negative point lookups, per-key get loop vs chunked multi_get; cache disabled so block_reads counts every fetch\"\n  }},\n",
+        cfg.n_keys, cfg.n_probes, cfg.runs, cfg.smoke
+    ));
+    json.push_str("  \"kinds\": [\n");
+    for (i, r) in reports.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\n      \"kind\": \"{}\",\n      \"tables\": {},\n      \"per_key\": {{ \"mops\": {:.3}, \"block_reads\": {}, \"probe_passes\": {}, \"keys_probed\": {} }},\n      \"batches\": [\n",
+            r.name, r.tables, r.per_key_mops, r.per_key.block_reads,
+            r.per_key.filter.probe_passes, r.per_key.filter.keys_probed
+        ));
+        for (j, b) in r.batches.iter().enumerate() {
+            json.push_str(&format!(
+                "        {{ \"batch\": {}, \"mops\": {:.3}, \"block_reads\": {}, \"probe_passes\": {}, \"keys_probed\": {} }}{}\n",
+                b.batch, b.mops, b.c.block_reads, b.c.filter.probe_passes, b.c.filter.keys_probed,
+                if j + 1 < r.batches.len() { "," } else { "" }
+            ));
+        }
+        json.push_str(&format!(
+            "      ]\n    }}{}\n",
+            if i + 1 < reports.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    if let Some(dir) = std::path::Path::new(&cfg.out_path).parent() {
+        if !dir.as_os_str().is_empty() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+    }
+    if let Err(e) = std::fs::write(&cfg.out_path, json) {
+        eprintln!("error: cannot write {}: {e}", cfg.out_path);
+        std::process::exit(1);
+    }
+
+    // Schema self-check: read the artifact back and require every key the
+    // downstream tooling greps for. Catches a silently malformed writer.
+    let back = std::fs::read_to_string(&cfg.out_path).expect("read back BENCH_lsm.json");
+    for required in [
+        "\"meta\"", "\"n_keys\"", "\"n_probes\"", "\"smoke\"", "\"kinds\"", "\"kind\"",
+        "\"tables\"", "\"per_key\"", "\"batches\"", "\"batch\"", "\"mops\"",
+        "\"block_reads\"", "\"probe_passes\"", "\"keys_probed\"",
+    ] {
+        assert!(back.contains(required), "{} missing key {required}", cfg.out_path);
+    }
+    println!("wrote {} (schema check passed)", cfg.out_path);
+}
+
+fn main() {
+    let cfg = config();
+    let reports: Vec<KindReport> =
+        kinds().iter().map(|&(filter, name)| bench_kind(&cfg, filter, name)).collect();
+    enforce_gates(&reports);
+    write_json(&cfg, &reports);
+}

@@ -135,6 +135,51 @@ impl CompactBTree {
         }
     }
 
+    /// Sorted-batch lower-bound descent, the scan-side twin of
+    /// [`Self::batch_descend`]: `group` holds probe indexes whose targets
+    /// are ascending and all fall inside `node_range` of `levels[depth]`.
+    /// Writes each target's lower-bound position into `pos`.
+    fn batch_lower_bound(
+        &self,
+        targets: &[&[u8]],
+        group: &[u32],
+        depth: usize,
+        node_range: (usize, usize),
+        pos: &mut [usize],
+    ) {
+        let level = &self.levels[depth];
+        let (s, e) = node_range;
+        let n = self.len();
+        let mut i = 0usize;
+        while i < group.len() {
+            let target = targets[group[i] as usize];
+            let slot = level[s..e].partition_point(|&ki| self.key(ki as usize) <= target);
+            let child = s + slot.saturating_sub(1);
+            let mut j = i + 1;
+            while j < group.len()
+                && (child + 1 >= e
+                    || self.key(level[child + 1] as usize) > targets[group[j] as usize])
+            {
+                j += 1;
+            }
+            if depth == 0 {
+                let lo = level[child] as usize;
+                let hi = level.get(child + 1).map_or(n, |&next| next as usize);
+                for &gi in &group[i..j] {
+                    let target = targets[gi as usize];
+                    pos[gi as usize] = lo + self.key_bytes_partition(lo, hi, target);
+                }
+            } else {
+                let child_range = (
+                    child * NODE_FANOUT,
+                    ((child + 1) * NODE_FANOUT).min(self.levels[depth - 1].len()),
+                );
+                self.batch_lower_bound(targets, &group[i..j], depth - 1, child_range, pos);
+            }
+            i = j;
+        }
+    }
+
     /// The key at sorted position `i`.
     pub fn key_at(&self, i: usize) -> &[u8] {
         self.key(i)
@@ -253,6 +298,38 @@ impl BatchProbe for CompactBTree {
             for &i in &order {
                 out[base + i as usize] = self.get(keys[i as usize]);
             }
+        }
+    }
+
+    fn scan_one(&self, low: &[u8], n: usize, out: &mut Vec<Value>) -> usize {
+        self.scan(low, n, out)
+    }
+
+    /// Sorted-batch multi-scan: all range starts descend the sampled levels
+    /// together (one separator binary-search per run of nearby lows via
+    /// [`Self::batch_lower_bound`]), then each range is a contiguous value
+    /// slice — scans over a flat leaf array need no cursor at all.
+    fn multi_scan(&self, ranges: &[(&[u8], usize)], out: &mut Vec<Vec<Value>>) {
+        if self.len() == 0 || ranges.is_empty() {
+            out.extend(ranges.iter().map(|_| Vec::new()));
+            return;
+        }
+        let lows: Vec<&[u8]> = ranges.iter().map(|&(low, _)| low).collect();
+        let mut pos = vec![0usize; ranges.len()];
+        if let Some(top) = self.levels.last() {
+            let mut order: Vec<u32> = (0..ranges.len() as u32).collect();
+            order.sort_unstable_by_key(|&i| lows[i as usize]);
+            let depth = self.levels.len() - 1;
+            self.batch_lower_bound(&lows, &order, depth, (0, top.len()), &mut pos);
+        } else {
+            for (i, &low) in lows.iter().enumerate() {
+                pos[i] = self.lower_bound(low);
+            }
+        }
+        for (i, &(_, n)) in ranges.iter().enumerate() {
+            let start = pos[i];
+            let end = (start + n).min(self.len());
+            out.push(self.vals[start..end].to_vec());
         }
     }
 }
@@ -406,5 +483,39 @@ mod tests {
         let mut got = Vec::new();
         t.for_each_sorted(&mut |k, v| got.push((k.to_vec(), v)));
         assert_eq!(got, entries);
+    }
+
+    #[test]
+    fn multi_scan_matches_per_range_loop() {
+        let mut state = 29u64;
+        for n in [0usize, 1, NODE_FANOUT, 3000] {
+            let entries: Vec<(Vec<u8>, Value)> = (0..n as u64)
+                .map(|i| (encode_u64(i * 5).to_vec(), i))
+                .collect();
+            let t = CompactBTree::build(&entries);
+            // Overlapping, duplicate, in-gap, and past-the-end range starts
+            // in shuffled order, with n of 0/1/small/huge.
+            let mut lows: Vec<Vec<u8>> = Vec::new();
+            for _ in 0..200 {
+                let r = memtree_common::hash::splitmix64(&mut state);
+                lows.push(encode_u64(r % (n as u64 * 6 + 10)).to_vec());
+            }
+            lows.push(encode_u64(0).to_vec());
+            lows.push(encode_u64(u64::MAX).to_vec());
+            let ranges: Vec<(&[u8], usize)> = lows
+                .iter()
+                .enumerate()
+                .map(|(i, low)| (low.as_slice(), [0usize, 1, 7, 10_000][i % 4]))
+                .collect();
+            let expect: Vec<Vec<Value>> = ranges
+                .iter()
+                .map(|&(low, cnt)| {
+                    let mut one = Vec::new();
+                    t.scan(low, cnt, &mut one);
+                    one
+                })
+                .collect();
+            assert_eq!(t.multi_scan_vec(&ranges), expect, "n={n}");
+        }
     }
 }

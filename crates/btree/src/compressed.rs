@@ -416,6 +416,10 @@ impl BatchProbe for CompressedBTree {
     fn probe_one(&self, key: &[u8]) -> Option<Value> {
         self.get(key)
     }
+
+    fn scan_one(&self, low: &[u8], n: usize, out: &mut Vec<Value>) -> usize {
+        self.scan(low, n, out)
+    }
 }
 
 

@@ -605,6 +605,10 @@ impl BatchProbe for BPlusTree {
     fn probe_one(&self, key: &[u8]) -> Option<Value> {
         self.get(key)
     }
+
+    fn scan_one(&self, low: &[u8], n: usize, out: &mut Vec<Value>) -> usize {
+        self.scan(low, n, out)
+    }
 }
 
 

@@ -1,0 +1,137 @@
+//! A fixed-length bit set used for positional batch answers.
+//!
+//! [`BitSet`] is the return type of `PointFilter::may_contain_batch`: bit
+//! `i` answers input key `i`. It is a thin `Vec<u64>` with no growth — the
+//! length is fixed at construction so positional semantics can't drift.
+
+/// Fixed-length set of bits, one per batch position.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BitSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitSet {
+    /// An all-zeros bit set of `len` bits.
+    pub fn new(len: usize) -> Self {
+        BitSet {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// An all-ones bit set of `len` bits.
+    pub fn full(len: usize) -> Self {
+        let mut s = BitSet {
+            words: vec![!0u64; len.div_ceil(64)],
+            len,
+        };
+        // Clear the tail bits past `len` so `count_ones` stays exact.
+        let tail = len % 64;
+        if tail != 0 {
+            if let Some(last) = s.words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+        s
+    }
+
+    /// Number of bits (the batch length, not the population count).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the set holds zero bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Sets bit `i`.
+    ///
+    /// # Panics
+    /// If `i >= len()`.
+    pub fn set(&mut self, i: usize) {
+        assert!(i < self.len, "BitSet::set out of range: {i} >= {}", self.len);
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Clears bit `i`.
+    ///
+    /// # Panics
+    /// If `i >= len()`.
+    pub fn clear(&mut self, i: usize) {
+        assert!(i < self.len, "BitSet::clear out of range: {i} >= {}", self.len);
+        self.words[i / 64] &= !(1u64 << (i % 64));
+    }
+
+    /// Reads bit `i`.
+    ///
+    /// # Panics
+    /// If `i >= len()`.
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "BitSet::get out of range: {i} >= {}", self.len);
+        self.words[i / 64] >> (i % 64) & 1 != 0
+    }
+
+    /// Population count: how many bits are set.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Iterates the indices of set bits in ascending order.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let b = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    Some(wi * 64 + b)
+                }
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_clear_roundtrip() {
+        let mut s = BitSet::new(130);
+        assert_eq!(s.len(), 130);
+        assert_eq!(s.count_ones(), 0);
+        for i in [0usize, 1, 63, 64, 65, 127, 128, 129] {
+            assert!(!s.get(i));
+            s.set(i);
+            assert!(s.get(i));
+        }
+        assert_eq!(s.count_ones(), 8);
+        s.clear(64);
+        assert!(!s.get(64));
+        assert_eq!(s.count_ones(), 7);
+        let ones: Vec<usize> = s.iter_ones().collect();
+        assert_eq!(ones, vec![0, 1, 63, 65, 127, 128, 129]);
+    }
+
+    #[test]
+    fn full_masks_tail() {
+        for len in [0usize, 1, 63, 64, 65, 128, 130] {
+            let s = BitSet::full(len);
+            assert_eq!(s.count_ones(), len, "len={len}");
+            assert_eq!(s.iter_ones().count(), len);
+        }
+        let s = BitSet::full(3);
+        assert!(s.get(0) && s.get(1) && s.get(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_past_len_panics() {
+        let s = BitSet::new(10);
+        s.get(10);
+    }
+}

@@ -23,6 +23,7 @@
 
 #![warn(missing_docs)]
 
+pub mod bitset;
 pub mod check;
 pub mod crc;
 pub mod error;
@@ -32,6 +33,9 @@ pub mod mem;
 pub mod probe;
 pub mod traits;
 
+pub use bitset::BitSet;
 pub use crc::{crc32c, crc32c_update};
 pub use error::MemtreeError;
-pub use traits::{BatchProbe, OrderedIndex, PointFilter, RangeFilter, StaticIndex, Value};
+pub use traits::{
+    multi_scan_merged, BatchProbe, OrderedIndex, PointFilter, RangeFilter, StaticIndex, Value,
+};

@@ -5,6 +5,8 @@
 //! single trait covers the thesis's three key types (random u64, mono-inc
 //! u64, email strings).
 
+use crate::bitset::BitSet;
+
 /// The value type stored in every index: a 64-bit "tuple pointer", matching
 /// the thesis microbenchmarks where all values are 64-bit record pointers.
 pub type Value = u64;
@@ -135,6 +137,111 @@ pub trait BatchProbe {
         self.multi_get(keys, &mut out);
         out
     }
+
+    /// Single-range scan; the default `multi_scan` fallback calls this once
+    /// per range. Implementations delegate to their `scan`.
+    fn scan_one(&self, low: &[u8], n: usize, out: &mut Vec<Value>) -> usize;
+
+    /// Batched range scan: for each `(low, n)` pair, appends one result
+    /// vector to `out` holding the values of at most `n` smallest keys
+    /// `>= low`, in key order.
+    ///
+    /// # Contract
+    ///
+    /// * Results are **positional**: exactly one `Vec<Value>` is appended per
+    ///   input range, and `out[i]` (relative to the append point) answers
+    ///   `ranges[i]`. Overlapping or duplicate ranges each get a full,
+    ///   independent answer.
+    /// * Each result must equal what a per-range `scan(low, n, ..)` loop
+    ///   would produce; batching may only change *how* the tree is walked.
+    ///
+    /// Structures with a real batched path (Compact B+tree, Compact ART,
+    /// FST) override this to share the upper-level descent across sorted
+    /// range starts; everything else uses this per-range loop.
+    fn multi_scan(&self, ranges: &[(&[u8], usize)], out: &mut Vec<Vec<Value>>) {
+        for &(low, n) in ranges {
+            let mut one = Vec::with_capacity(n);
+            self.scan_one(low, n, &mut one);
+            out.push(one);
+        }
+    }
+
+    /// Convenience wrapper returning a fresh vector of per-range results.
+    fn multi_scan_vec(&self, ranges: &[(&[u8], usize)]) -> Vec<Vec<Value>> {
+        let mut out = Vec::with_capacity(ranges.len());
+        self.multi_scan(ranges, &mut out);
+        out
+    }
+}
+
+/// A borrowed `range_from`-style cursor source: called with a start key
+/// and a visitor that returns `false` to stop the walk.
+pub type RangeFromFn<'a> = &'a dyn Fn(&[u8], &mut dyn FnMut(&[u8], Value) -> bool);
+
+/// Runs a batched `multi_scan` over any `range_from`-style cursor source,
+/// sharing one forward traversal across ranges whose windows overlap.
+///
+/// `ranges` is answered positionally into the returned vector (one
+/// `Vec<Value>` per input range, ≤ `n` values each, key order). Range starts
+/// are visited in sorted order; while walking one range's window, any later
+/// range whose `low` has been passed is activated and filled from the same
+/// traversal instead of paying its own descent.
+///
+/// `range_from(low, f)` must visit `(key, value)` pairs in ascending order
+/// starting at the first key `>= low`, stopping when `f` returns `false` —
+/// i.e. the `OrderedIndex::range_from` / `StaticIndex::range_from` contract.
+pub fn multi_scan_merged(
+    range_from: RangeFromFn<'_>,
+    ranges: &[(&[u8], usize)],
+    out: &mut Vec<Vec<Value>>,
+) {
+    let base = out.len();
+    out.extend(ranges.iter().map(|&(_, n)| Vec::with_capacity(n.min(64))));
+    if ranges.is_empty() {
+        return;
+    }
+    // Visit range starts smallest-first; ties keep input order (harmless:
+    // duplicates activate together and fill identically).
+    let mut order: Vec<u32> = (0..ranges.len() as u32).collect();
+    order.sort_by(|&a, &b| ranges[a as usize].0.cmp(ranges[b as usize].0));
+    let mut next = 0usize; // next un-activated entry of `order`
+    // Ranges currently being filled by the shared traversal.
+    let mut active: Vec<u32> = Vec::new();
+    while next < order.len() {
+        let start_low = ranges[order[next] as usize].0;
+        active.clear();
+        let mut progressed = false;
+        range_from(start_low, &mut |k, v| {
+            progressed = true;
+            // Activate every pending range whose window includes `k` —
+            // its low has been passed, so this traversal *is* its scan.
+            // Ranges asking for 0 values are trivially done; skip them.
+            while next < order.len() && ranges[order[next] as usize].0 <= k {
+                let ri = order[next];
+                next += 1;
+                if ranges[ri as usize].1 > 0 {
+                    active.push(ri);
+                }
+            }
+            active.retain(|&ri| {
+                let (_, n) = ranges[ri as usize];
+                let slot = &mut out[base + ri as usize];
+                slot.push(v);
+                slot.len() < n
+            });
+            // Stop as soon as no activated range wants more values; a range
+            // starting past this key restarts with its own descent rather
+            // than dragging the cursor through the gap.
+            !active.is_empty()
+        });
+        if !progressed {
+            // The tree holds no key >= start_low; every remaining range
+            // (lows are >= start_low) is empty too.
+            break;
+        }
+        // Loop: either the traversal stopped with pending ranges further
+        // right (restart there), or everything is answered.
+    }
 }
 
 /// Approximate point-membership filter (Bloom filter, SuRF). One-sided
@@ -142,6 +249,23 @@ pub trait BatchProbe {
 pub trait PointFilter {
     /// May `key` be present?
     fn may_contain(&self, key: &[u8]) -> bool;
+
+    /// Batched membership probe: bit `i` of the result answers `keys[i]`
+    /// (the positional contract of [`BatchProbe::multi_get`], packed).
+    ///
+    /// Same one-sided error as [`Self::may_contain`]: a zero bit guarantees
+    /// absence, a set bit may be a false positive. Must answer exactly like
+    /// a per-key `may_contain` loop; the default *is* that loop. SuRF
+    /// overrides it with a level-synchronous descent of the sorted batch.
+    fn may_contain_batch(&self, keys: &[&[u8]]) -> BitSet {
+        let mut out = BitSet::new(keys.len());
+        for (i, k) in keys.iter().enumerate() {
+            if self.may_contain(k) {
+                out.set(i);
+            }
+        }
+        out
+    }
 
     /// Filter size in bytes (for bits-per-key accounting).
     fn size_bytes(&self) -> usize;

@@ -552,6 +552,10 @@ impl<D: OrderedIndex + Default, S: StaticIndex + BatchProbe> BatchProbe for Dual
             }
         }
     }
+
+    fn scan_one(&self, low: &[u8], n: usize, out: &mut Vec<Value>) -> usize {
+        self.scan(low, n, out)
+    }
 }
 
 impl DualStage<memtree_btree::BPlusTree, memtree_btree::CompressedBTree> {

@@ -21,6 +21,6 @@ mod db;
 mod disk;
 mod sstable;
 
-pub use db::{Db, DbOptions, FilterKind, SeekResult};
+pub use db::{Db, DbOptions, FilterKind, FilterStats, SeekResult};
 pub use disk::{IoStats, SimDisk};
 pub use sstable::SsTable;

@@ -3,6 +3,7 @@
 
 use crate::db::FilterKind;
 use crate::disk::SimDisk;
+use memtree_common::bitset::BitSet;
 use memtree_common::mem::{vec_bytes, vec_of_bytes};
 use memtree_common::traits::PointFilter;
 use memtree_filters::BloomFilter;
@@ -149,6 +150,22 @@ impl SsTable {
             None => true,
             Some(TableFilter::Bloom(b)) => b.may_contain(key),
             Some(TableFilter::Surf(s)) => s.may_contain(key),
+        }
+    }
+
+    /// True when a filter is attached (so a batch probe is worth counting).
+    pub(crate) fn has_filter(&self) -> bool {
+        self.filter.is_some()
+    }
+
+    /// Batched filter check: bit `i` answers `keys[i]`. All-ones when no
+    /// filter is attached. SuRF descends the whole batch
+    /// level-synchronously; Bloom takes the per-key default loop.
+    pub(crate) fn filter_may_contain_batch(&self, keys: &[&[u8]]) -> BitSet {
+        match &self.filter {
+            None => BitSet::full(keys.len()),
+            Some(TableFilter::Bloom(b)) => b.may_contain_batch(keys),
+            Some(TableFilter::Surf(s)) => s.may_contain_batch(keys),
         }
     }
 

@@ -321,6 +321,10 @@ impl BatchProbe for Masstree {
     fn probe_one(&self, key: &[u8]) -> Option<Value> {
         self.get(key)
     }
+
+    fn scan_one(&self, low: &[u8], n: usize, out: &mut Vec<Value>) -> usize {
+        self.scan(low, n, out)
+    }
 }
 
 
@@ -597,6 +601,10 @@ impl StaticIndex for CompactMasstree {
 impl BatchProbe for CompactMasstree {
     fn probe_one(&self, key: &[u8]) -> Option<Value> {
         self.get(key)
+    }
+
+    fn scan_one(&self, low: &[u8], n: usize, out: &mut Vec<Value>) -> usize {
+        self.scan(low, n, out)
     }
 }
 

@@ -17,6 +17,7 @@
 
 #![warn(missing_docs)]
 
+use memtree_common::bitset::BitSet;
 use memtree_common::hash::hash64;
 use memtree_common::mem::vec_bytes;
 use memtree_common::traits::{PointFilter, RangeFilter};
@@ -224,22 +225,6 @@ impl Surf {
         }
     }
 
-    /// Batched point membership test: the whole batch descends the trie
-    /// level-synchronously ([`LoudsTrie::lookup_batch`]) so the cache
-    /// misses of independent probes overlap — an LSM read path checks one
-    /// SuRF per run for the same set of keys, making this the hot shape.
-    ///
-    /// Appends one `bool` per key, in input order, each identical to
-    /// [`Surf::lookup`] on that key.
-    pub fn may_contain_batch(&self, keys: &[&[u8]], out: &mut Vec<bool>) {
-        let mut results = Vec::with_capacity(keys.len());
-        self.trie.lookup_batch(keys, &mut results);
-        out.extend(results.iter().zip(keys).map(|(r, key)| match *r {
-            LookupResult::Found { value_idx, depth } => self.check_suffix(value_idx, key, depth),
-            LookupResult::NotFound => false,
-        }));
-    }
-
     /// SuRF's `moveToNext(k)` (§4.1.5): an iterator at the smallest stored
     /// key `>= low` under one-sided-error semantics, refined by real suffix
     /// bits where possible. Returns `(iter, fp_flag)`.
@@ -289,6 +274,28 @@ impl PointFilter for Surf {
         self.lookup(key)
     }
 
+    /// Batched point membership test: the whole batch descends the trie
+    /// level-synchronously ([`LoudsTrie::lookup_batch`]) so the cache
+    /// misses of independent probes overlap — an LSM read path checks one
+    /// SuRF per run for the same set of keys, making this the hot shape.
+    fn may_contain_batch(&self, keys: &[&[u8]]) -> BitSet {
+        let mut results = Vec::with_capacity(keys.len());
+        self.trie.lookup_batch(keys, &mut results);
+        let mut out = BitSet::new(keys.len());
+        for (i, (r, key)) in results.iter().zip(keys).enumerate() {
+            let hit = match *r {
+                LookupResult::Found { value_idx, depth } => {
+                    self.check_suffix(value_idx, key, depth)
+                }
+                LookupResult::NotFound => false,
+            };
+            if hit {
+                out.set(i);
+            }
+        }
+        out
+    }
+
     fn size_bytes(&self) -> usize {
         self.trie.mem_usage() + self.suffixes.mem_usage()
     }
@@ -305,19 +312,18 @@ impl RangeFilter for Surf {
         }
         let _ = fp;
         let k = it.key();
-        // `k` is the stored (possibly truncated) prefix of the candidate.
-        // If k >= high, the true key (an extension of k) is >= high too...
-        // unless k is a strict prefix of high, where extensions may fall
-        // either side — return true (one-sided).
+        // `k` is the stored (possibly truncated) prefix of the candidate;
+        // the true key extends it. If k < high the extensions may fall
+        // either side of `high` — return true (one-sided). A strict prefix
+        // of `high` sorts below `high`, so it is covered here too.
         if k < high {
             return true;
         }
-        // k >= high: definitely out of range only if high is not a prefix
-        // of k (an extension of a prefix < high can still be < high — but
-        // k >= high lexicographically already implies the extension is,
-        // too, unless k == high's prefix, impossible when k >= high and
-        // k != high[..k.len()]).
-        k.len() <= high.len() && &high[..k.len()] == k
+        // k >= high: every extension of k is >= k >= high, outside the
+        // half-open range. In particular a *complete* stored key exactly
+        // equal to `high` is excluded by [low, high) — the pre-fix code
+        // answered true for it.
+        false
     }
 }
 
@@ -396,7 +402,9 @@ mod tests {
                 for chunk in [1usize, 16, 128, refs.len()] {
                     let mut got = Vec::new();
                     for c in refs.chunks(chunk) {
-                        s.may_contain_batch(c, &mut got);
+                        let bits = s.may_contain_batch(c);
+                        assert_eq!(bits.len(), c.len());
+                        got.extend((0..c.len()).map(|i| bits.get(i)));
                     }
                     assert_eq!(got, expect, "cfg {cfg:?} chunk {chunk}");
                 }
@@ -498,6 +506,40 @@ mod tests {
             rejected > total * 9 / 10,
             "only {rejected}/{total} empty ranges rejected"
         );
+    }
+
+    #[test]
+    fn half_open_range_excludes_exact_high_key() {
+        // Regression: a complete stored key exactly equal to `high` is NOT
+        // in [low, high); the filter used to answer true for it.
+        for cfg in all_configs() {
+            let s = Surf::new(&[b"ab", b"ac"], cfg);
+            assert!(
+                !s.may_contain_range(b"aa", b"ab"),
+                "[aa, ab) holds no stored key, cfg {cfg:?}"
+            );
+            // Sanity: the adjacent ranges that do contain a key still hit.
+            assert!(s.may_contain_range(b"ab", b"ac"), "cfg {cfg:?}");
+            assert!(s.may_contain_range(b"ac", b"ad"), "cfg {cfg:?}");
+            assert!(s.may_contain_range(b"aa", b"ab\x00"), "cfg {cfg:?}");
+        }
+        // Same shape on integer keys. Even u64s differ from a neighbor in
+        // their last byte, so every key is stored *complete*; probing from
+        // the odd key below (fixed 8 bytes, so it extends no stored prefix)
+        // makes the exact-high exclusion deterministic.
+        let keys: Vec<Vec<u8>> = (0..1000u64).map(|i| encode_u64(2 * i).to_vec()).collect();
+        for cfg in all_configs() {
+            let s = Surf::from_keys(&keys, cfg);
+            for i in (1..1000u64).step_by(97) {
+                let lo = encode_u64(2 * i - 1);
+                let hi = encode_u64(2 * i);
+                assert!(
+                    !s.may_contain_range(&lo, &hi),
+                    "gap ending at stored key {} leaked, cfg {cfg:?}",
+                    2 * i
+                );
+            }
+        }
     }
 
     #[test]

@@ -15,6 +15,9 @@ cargo test -q --workspace --offline
 echo "== bench_hotpath --smoke (kernel cross-checks, offline) =="
 cargo run -p memtree-bench --release --offline --bin bench_hotpath -- --smoke
 
+echo "== bench_lsm --smoke (batched LSM read-path differential + counter gates, offline) =="
+cargo run -p memtree-bench --release --offline --bin bench_lsm -- --smoke
+
 echo "== cargo clippy --all-targets -D warnings (offline) =="
 cargo clippy --all-targets --offline -- -D warnings
 
