@@ -99,9 +99,9 @@ fn build_db(cfg: &Config, filter: FilterKind) -> Db {
         ..Default::default()
     });
     for i in 0..cfg.n_keys as u64 {
-        db.put(&stored_key(i), b"valuevalue");
+        db.put(&stored_key(i), b"valuevalue").unwrap();
     }
-    db.flush();
+    db.flush().unwrap();
     db
 }
 

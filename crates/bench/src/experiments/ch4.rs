@@ -411,10 +411,10 @@ fn build_lsm(filter: FilterKind, scale: Scale, latency: Duration) -> (Db, Vec<[u
     let value = vec![b'v'; 64];
     let mut keys = Vec::with_capacity(events.len());
     for e in &events {
-        db.put(&e.key(), &value);
+        db.put(&e.key(), &value).unwrap();
         keys.push(e.key());
     }
-    db.flush();
+    db.flush().unwrap();
     db.reset_io_stats();
     (db, keys)
 }

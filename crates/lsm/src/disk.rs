@@ -1,26 +1,86 @@
-//! The simulated block device and its I/O accounting.
+//! The simulated block device: I/O accounting plus a power-loss model.
+//!
+//! Two storage namespaces share one device, mirroring how an LSM engine
+//! splits its on-disk footprint:
+//!
+//! * a **block store** (`write`/`read`/`release`) holding SSTable data
+//!   blocks, addressed by id;
+//! * a small **file namespace** (`append`/`write_file_atomic`/
+//!   `truncate_file`/`read_file`) holding the WAL, MANIFEST files, and the
+//!   CURRENT pointer.
+//!
+//! Every mutation first lands in a volatile **write buffer** and becomes
+//! durable only at [`SimDisk::sync`]. [`SimDisk::crash`] models power loss:
+//! all unsynced writes are dropped, and optionally the *last* in-flight
+//! write is **torn** — a seeded prefix of it reaches the platter. Torn
+//! block writes and torn appends surface as short/CRC-invalid frames to the
+//! recovery path; `write_file_atomic` models `rename(2)` and is never torn
+//! (it applies fully or not at all), which is exactly the primitive the
+//! manifest's CURRENT swap needs.
+//!
+//! Reads are served through the buffer (like the OS page cache), so a
+//! process that never crashes observes its own unsynced writes.
 
+use memtree_common::error::{MemtreeError, Result};
 use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
 use std::time::Duration;
 
-/// Running I/O counters (reads only; the benchmarks measure read I/O).
+/// Running I/O counters. `read_repairs` / `quarantined_blocks` are
+/// maintained by the [`Db`](crate::Db) read-repair path and merged into
+/// this struct by [`Db::io_stats`](crate::Db::io_stats); the raw device
+/// reports them as zero.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct IoStats {
     /// Block reads served by the device (block-cache misses).
     pub block_reads: u64,
     /// Blocks written by flushes and compactions.
     pub block_writes: u64,
+    /// Append/replace calls against the file namespace (WAL + manifest).
+    pub file_appends: u64,
+    /// Bytes handed to the file namespace by those calls.
+    pub file_bytes_written: u64,
+    /// `sync()` barriers issued.
+    pub syncs: u64,
+    /// Block decodes that failed once and succeeded on a re-read.
+    pub read_repairs: u64,
+    /// Blocks quarantined after failing validation twice.
+    pub quarantined_blocks: u64,
 }
 
-/// An in-memory "disk" of fixed-size blocks with exact read accounting and
-/// an optional per-read latency charge (busy-wait, so short latencies are
-/// accurate).
+/// A buffered, not-yet-durable mutation. Order within the buffer is the
+/// order writes were issued; `crash` can tear the last one.
+#[derive(Debug)]
+enum PendingOp {
+    Block { id: u32, data: Box<[u8]> },
+    Append { file: String, data: Vec<u8> },
+    /// Whole-file replace, atomic like `rename(2)`: applied fully or not
+    /// at all, never torn.
+    Replace { file: String, data: Vec<u8> },
+    /// Truncation to `len` bytes; atomic (metadata-only in a real FS).
+    Truncate { file: String, len: usize },
+}
+
+/// An in-memory "disk" of fixed-size blocks and small log files with exact
+/// read accounting, an optional per-read latency charge (busy-wait, so
+/// short latencies are accurate), and crash/tear semantics for recovery
+/// testing.
 #[derive(Debug)]
 pub struct SimDisk {
+    /// Durable block contents (what survives a crash).
     blocks: RefCell<Vec<Box<[u8]>>>,
+    /// Allocation state per block slot.
+    live: RefCell<Vec<bool>>,
     free: RefCell<Vec<u32>>,
+    /// Durable file contents.
+    files: RefCell<BTreeMap<String, Vec<u8>>>,
+    /// The volatile write buffer, in issue order.
+    pending: RefCell<Vec<PendingOp>>,
     reads: Cell<u64>,
     writes: Cell<u64>,
+    appends: Cell<u64>,
+    append_bytes: Cell<u64>,
+    syncs: Cell<u64>,
     read_latency: Duration,
 }
 
@@ -29,27 +89,41 @@ impl SimDisk {
     pub fn new(read_latency: Duration) -> Self {
         Self {
             blocks: RefCell::new(Vec::new()),
+            live: RefCell::new(Vec::new()),
             free: RefCell::new(Vec::new()),
+            files: RefCell::new(BTreeMap::new()),
+            pending: RefCell::new(Vec::new()),
             reads: Cell::new(0),
             writes: Cell::new(0),
+            appends: Cell::new(0),
+            append_bytes: Cell::new(0),
+            syncs: Cell::new(0),
             read_latency,
         }
     }
 
-    /// Writes a block, returning its id.
+    /// Writes a block into the buffer, returning its id. The content is
+    /// readable immediately but durable only after [`SimDisk::sync`].
     pub fn write(&self, data: Box<[u8]>) -> u32 {
         self.writes.set(self.writes.get() + 1);
-        if let Some(id) = self.free.borrow_mut().pop() {
-            self.blocks.borrow_mut()[id as usize] = data;
-            return id;
-        }
-        let mut blocks = self.blocks.borrow_mut();
-        blocks.push(data);
-        (blocks.len() - 1) as u32
+        let id = if let Some(id) = self.free.borrow_mut().pop() {
+            self.live.borrow_mut()[id as usize] = true;
+            id
+        } else {
+            let mut blocks = self.blocks.borrow_mut();
+            blocks.push(Box::from(&[][..]));
+            self.live.borrow_mut().push(true);
+            (blocks.len() - 1) as u32
+        };
+        self.pending.borrow_mut().push(PendingOp::Block { id, data });
+        id
     }
 
-    /// Reads a block (counted, latency-charged).
-    pub fn read(&self, id: u32) -> Box<[u8]> {
+    /// Reads a block (counted, latency-charged) through the write buffer.
+    /// Out-of-range and freed ids return typed errors instead of
+    /// panicking — a stale manifest or a buggy caller must degrade one
+    /// read, not the process.
+    pub fn read(&self, id: u32) -> Result<Box<[u8]>> {
         self.reads.set(self.reads.get() + 1);
         if !self.read_latency.is_zero() {
             let start = std::time::Instant::now();
@@ -57,13 +131,211 @@ impl SimDisk {
                 std::hint::spin_loop();
             }
         }
-        self.blocks.borrow()[id as usize].clone()
+        let live = self.live.borrow();
+        match live.get(id as usize) {
+            None => {
+                return Err(MemtreeError::corruption(
+                    "sim-disk",
+                    format!("read of out-of-range block {id}"),
+                ))
+            }
+            Some(false) => {
+                return Err(MemtreeError::corruption(
+                    "sim-disk",
+                    format!("read of freed block {id}"),
+                ))
+            }
+            Some(true) => {}
+        }
+        // Newest buffered write wins (page-cache semantics).
+        let mut data = 'found: {
+            for op in self.pending.borrow().iter().rev() {
+                if let PendingOp::Block { id: bid, data } = op {
+                    if *bid == id {
+                        break 'found data.clone();
+                    }
+                }
+            }
+            self.blocks.borrow()[id as usize].clone()
+        };
+        // Injection point for media errors: corrupts this read's returned
+        // bytes only (the stored block is untouched), so a retry can
+        // succeed — exercises the Db quarantine-and-read-repair path.
+        if memtree_faults::should_fail("lsm.disk.read_corrupt") {
+            let n = data.len();
+            if n > 0 {
+                data[n / 2] ^= 0x40;
+            }
+        }
+        Ok(data)
     }
 
-    /// Frees a block (after compaction drops an SSTable).
-    pub fn release(&self, id: u32) {
+    /// Frees a block (after compaction drops an SSTable). Double release
+    /// and out-of-range ids are typed errors.
+    pub fn release(&self, id: u32) -> Result<()> {
+        {
+            let mut live = self.live.borrow_mut();
+            match live.get(id as usize) {
+                None => {
+                    return Err(MemtreeError::corruption(
+                        "sim-disk",
+                        format!("release of out-of-range block {id}"),
+                    ))
+                }
+                Some(false) => {
+                    return Err(MemtreeError::corruption(
+                        "sim-disk",
+                        format!("double release of block {id}"),
+                    ))
+                }
+                Some(true) => live[id as usize] = false,
+            }
+        }
         self.blocks.borrow_mut()[id as usize] = Box::from(&[][..]);
+        // Drop buffered writes to the freed slot so a later sync cannot
+        // resurrect them under a new owner of the id.
+        self.pending
+            .borrow_mut()
+            .retain(|op| !matches!(op, PendingOp::Block { id: bid, .. } if *bid == id));
         self.free.borrow_mut().push(id);
+        Ok(())
+    }
+
+    /// Appends bytes to a named file's buffered tail.
+    pub fn append(&self, file: &str, data: &[u8]) {
+        self.appends.set(self.appends.get() + 1);
+        self.append_bytes.set(self.append_bytes.get() + data.len() as u64);
+        self.pending.borrow_mut().push(PendingOp::Append {
+            file: file.to_string(),
+            data: data.to_vec(),
+        });
+    }
+
+    /// Replaces a file's entire content atomically (the `rename(2)`
+    /// primitive): after a crash either the old or the new content is
+    /// visible, never a mix.
+    pub fn write_file_atomic(&self, file: &str, data: &[u8]) {
+        self.appends.set(self.appends.get() + 1);
+        self.append_bytes.set(self.append_bytes.get() + data.len() as u64);
+        self.pending.borrow_mut().push(PendingOp::Replace {
+            file: file.to_string(),
+            data: data.to_vec(),
+        });
+    }
+
+    /// Truncates a file to `len` bytes (buffered; atomic at crash).
+    pub fn truncate_file(&self, file: &str, len: usize) {
+        self.pending.borrow_mut().push(PendingOp::Truncate {
+            file: file.to_string(),
+            len,
+        });
+    }
+
+    /// The file's current content as seen through the write buffer.
+    /// Missing files read as empty.
+    pub fn read_file(&self, file: &str) -> Vec<u8> {
+        let mut content = self
+            .files
+            .borrow()
+            .get(file)
+            .cloned()
+            .unwrap_or_default();
+        for op in self.pending.borrow().iter() {
+            Self::apply_to(&mut content, file, op);
+        }
+        content
+    }
+
+    /// The file's length as seen through the write buffer.
+    pub fn file_len(&self, file: &str) -> usize {
+        self.read_file(file).len()
+    }
+
+    fn apply_to(content: &mut Vec<u8>, file: &str, op: &PendingOp) {
+        match op {
+            PendingOp::Append { file: f, data } if f == file => {
+                content.extend_from_slice(data)
+            }
+            PendingOp::Replace { file: f, data } if f == file => {
+                *content = data.clone()
+            }
+            PendingOp::Truncate { file: f, len } if f == file => {
+                content.truncate(*len)
+            }
+            _ => {}
+        }
+    }
+
+    /// Makes every buffered write durable (the `fsync` barrier).
+    pub fn sync(&self) {
+        self.syncs.set(self.syncs.get() + 1);
+        let ops = std::mem::take(&mut *self.pending.borrow_mut());
+        for op in ops {
+            self.apply_durable(op);
+        }
+    }
+
+    fn apply_durable(&self, op: PendingOp) {
+        match op {
+            PendingOp::Block { id, data } => {
+                // The slot may have been released after the write was
+                // buffered; releases drop matching ops, so reaching here
+                // means the slot is still owned by the writer.
+                self.blocks.borrow_mut()[id as usize] = data;
+            }
+            PendingOp::Append { file, data } => {
+                self.files.borrow_mut().entry(file).or_default().extend_from_slice(&data);
+            }
+            PendingOp::Replace { file, data } => {
+                self.files.borrow_mut().insert(file, data);
+            }
+            PendingOp::Truncate { file, len } => {
+                if let Some(f) = self.files.borrow_mut().get_mut(&file) {
+                    f.truncate(len);
+                }
+            }
+        }
+    }
+
+    /// Simulates power loss: every unsynced write is dropped. With
+    /// `tear_seed`, the **last** in-flight write is torn instead of
+    /// dropped — a seeded prefix of an append or block write reaches
+    /// durable storage (atomic replace/truncate ops apply fully or not at
+    /// all, `rename` semantics, decided by the seed's low bit).
+    ///
+    /// Block ids allocated for unsynced writes stay allocated (their
+    /// durable content is empty or torn); recovery garbage-collects ids no
+    /// manifest references.
+    pub fn crash(&self, tear_seed: Option<u64>) {
+        let mut ops = std::mem::take(&mut *self.pending.borrow_mut());
+        let Some(seed) = tear_seed else { return };
+        let Some(last) = ops.pop() else { return };
+        let mut s = seed;
+        let draw = memtree_common::hash::splitmix64(&mut s);
+        match last {
+            PendingOp::Block { id, data } => {
+                let keep = if data.is_empty() { 0 } else { draw as usize % data.len() };
+                self.blocks.borrow_mut()[id as usize] = Box::from(&data[..keep]);
+            }
+            PendingOp::Append { file, data } => {
+                let keep = if data.is_empty() { 0 } else { draw as usize % data.len() };
+                self.files
+                    .borrow_mut()
+                    .entry(file)
+                    .or_default()
+                    .extend_from_slice(&data[..keep]);
+            }
+            op @ (PendingOp::Replace { .. } | PendingOp::Truncate { .. }) => {
+                if draw & 1 == 1 {
+                    self.apply_durable(op);
+                }
+            }
+        }
+    }
+
+    /// True while any write is buffered but not yet durable.
+    pub fn has_unsynced_writes(&self) -> bool {
+        !self.pending.borrow().is_empty()
     }
 
     /// Current counters.
@@ -71,6 +343,11 @@ impl SimDisk {
         IoStats {
             block_reads: self.reads.get(),
             block_writes: self.writes.get(),
+            file_appends: self.appends.get(),
+            file_bytes_written: self.append_bytes.get(),
+            syncs: self.syncs.get(),
+            read_repairs: 0,
+            quarantined_blocks: 0,
         }
     }
 
@@ -78,11 +355,25 @@ impl SimDisk {
     pub fn reset_stats(&self) {
         self.reads.set(0);
         self.writes.set(0);
+        self.appends.set(0);
+        self.append_bytes.set(0);
+        self.syncs.set(0);
     }
 
-    /// Live (non-freed) block count.
+    /// Live (allocated) block count.
     pub fn live_blocks(&self) -> usize {
-        self.blocks.borrow().len() - self.free.borrow().len()
+        self.live.borrow().iter().filter(|&&l| l).count()
+    }
+
+    /// Number of block slots ever allocated (live or freed); recovery
+    /// iterates `0..block_slots()` to garbage-collect orphans.
+    pub fn block_slots(&self) -> usize {
+        self.blocks.borrow().len()
+    }
+
+    /// True when `id` is currently allocated.
+    pub fn is_live(&self, id: u32) -> bool {
+        self.live.borrow().get(id as usize).copied().unwrap_or(false)
     }
 }
 
@@ -95,15 +386,83 @@ mod tests {
         let d = SimDisk::new(Duration::ZERO);
         let a = d.write(Box::from(&b"hello"[..]));
         let b = d.write(Box::from(&b"world"[..]));
-        assert_eq!(&*d.read(a), b"hello");
-        assert_eq!(&*d.read(b), b"world");
+        assert_eq!(&*d.read(a).unwrap(), b"hello");
+        assert_eq!(&*d.read(b).unwrap(), b"world");
         assert_eq!(d.stats().block_reads, 2);
         assert_eq!(d.stats().block_writes, 2);
-        d.release(a);
+        d.release(a).unwrap();
         let c = d.write(Box::from(&b"again"[..]));
         assert_eq!(c, a, "freed slot reused");
         assert_eq!(d.live_blocks(), 2);
         d.reset_stats();
         assert_eq!(d.stats(), IoStats::default());
+    }
+
+    #[test]
+    fn typed_errors_for_bad_block_ids() {
+        let d = SimDisk::new(Duration::ZERO);
+        let a = d.write(Box::from(&b"x"[..]));
+        assert!(d.read(99).is_err(), "out-of-range read");
+        assert!(d.release(99).is_err(), "out-of-range release");
+        d.release(a).unwrap();
+        assert!(d.release(a).is_err(), "double release");
+        assert!(d.read(a).is_err(), "read of freed block");
+    }
+
+    #[test]
+    fn crash_drops_unsynced_block_writes() {
+        let d = SimDisk::new(Duration::ZERO);
+        let a = d.write(Box::from(&b"durable"[..]));
+        d.sync();
+        let b = d.write(Box::from(&b"volatile"[..]));
+        assert_eq!(&*d.read(b).unwrap(), b"volatile", "buffer readable pre-crash");
+        d.crash(None);
+        assert_eq!(&*d.read(a).unwrap(), b"durable");
+        assert_eq!(&*d.read(b).unwrap(), b"", "unsynced write lost");
+    }
+
+    #[test]
+    fn crash_tears_last_append_at_seeded_offset() {
+        for seed in 0..64u64 {
+            let d = SimDisk::new(Duration::ZERO);
+            d.append("wal", b"AAAA");
+            d.sync();
+            d.append("wal", b"BBBBBBBB");
+            d.crash(Some(seed));
+            let f = d.read_file("wal");
+            assert!(f.starts_with(b"AAAA"), "synced prefix intact");
+            assert!(f.len() < 12, "torn append keeps a strict prefix: {f:?}");
+            assert!(f[4..].iter().all(|&c| c == b'B'));
+        }
+    }
+
+    #[test]
+    fn atomic_replace_never_tears() {
+        for seed in 0..32u64 {
+            let d = SimDisk::new(Duration::ZERO);
+            d.write_file_atomic("CURRENT", b"manifest-1");
+            d.sync();
+            d.write_file_atomic("CURRENT", b"manifest-2");
+            d.crash(Some(seed));
+            let f = d.read_file("CURRENT");
+            assert!(
+                f == b"manifest-1" || f == b"manifest-2",
+                "replace must be atomic, got {f:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn files_append_truncate_roundtrip() {
+        let d = SimDisk::new(Duration::ZERO);
+        d.append("log", b"one");
+        d.append("log", b"two");
+        assert_eq!(d.read_file("log"), b"onetwo", "buffered view");
+        d.sync();
+        d.truncate_file("log", 3);
+        assert_eq!(d.read_file("log"), b"one");
+        d.crash(None); // unsynced truncate dropped
+        assert_eq!(d.read_file("log"), b"onetwo");
+        assert_eq!(d.read_file("missing"), b"");
     }
 }

@@ -14,13 +14,23 @@
 //! `Get`, `Seek` (open and closed) and `Count` follow the Figure 4.3
 //! execution paths, including SuRF's `moveToNext`-based candidate pruning
 //! for seeks.
+//!
+//! Since the durability PR the engine is crash-consistent: puts are logged
+//! to a CRC-framed WAL before touching the MemTable, flushes and
+//! compactions publish their results through a CRC-framed manifest with an
+//! atomic `CURRENT` pointer, and [`Db::open`] recovers the exact
+//! acknowledged prefix of the put history after a simulated power loss
+//! ([`SimDisk::crash`]), including torn final writes.
 
 #![warn(missing_docs)]
 
 mod db;
 mod disk;
+mod manifest;
 mod sstable;
+mod wal;
 
-pub use db::{Db, DbOptions, FilterKind, FilterStats, SeekResult};
+pub use db::{Db, DbOptions, FilterKind, FilterStats, FlushStats, SeekResult};
 pub use disk::{IoStats, SimDisk};
 pub use sstable::SsTable;
+pub use wal::WalStats;

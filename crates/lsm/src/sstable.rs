@@ -1,11 +1,23 @@
 //! SSTables: immutable runs of sorted key-value blocks with fence indexes
 //! and per-table filters.
+//!
+//! Since the durability PR, every data block is wrapped in the CRC frame
+//! from [`crate::wal`]: a torn or bit-flipped block fails validation as a
+//! typed [`MemtreeError`] instead of decoding into garbage, and the DB's
+//! read path decides whether to retry (read repair) or quarantine.
+//! Tables can also be reconstructed from manifest [`TableMeta`] records
+//! without touching data blocks; filters are rebuilt separately because
+//! they live only in memory.
 
 use crate::db::FilterKind;
 use crate::disk::SimDisk;
+use crate::manifest::TableMeta;
+use crate::wal::{decode_single, encode_single};
 use memtree_common::bitset::BitSet;
+use memtree_common::error::{MemtreeError, Result};
 use memtree_common::mem::{vec_bytes, vec_of_bytes};
 use memtree_common::traits::PointFilter;
+use memtree_faults::fail_point;
 use memtree_filters::BloomFilter;
 use memtree_surf::{SuffixConfig, Surf};
 
@@ -37,14 +49,15 @@ pub struct SsTable {
 
 impl SsTable {
     /// Serializes sorted `entries` into blocks of ~`block_size` bytes,
-    /// builds the configured filter, and writes everything to `disk`.
+    /// builds the configured filter, and writes everything to `disk`'s
+    /// write buffer (the caller syncs before publishing the table).
     pub(crate) fn build(
         id: u64,
         disk: &SimDisk,
         entries: &[(Vec<u8>, Vec<u8>)],
         block_size: usize,
         filter: &FilterKind,
-    ) -> Self {
+    ) -> Result<Self> {
         assert!(!entries.is_empty());
         let mut blocks = Vec::new();
         let mut fences = Vec::new();
@@ -58,36 +71,70 @@ impl SsTable {
                 bytes += entries[end].0.len() + entries[end].1.len() + 4;
                 end += 1;
             }
+            fail_point!("lsm.table.block_write");
             fences.push(entries[start].0.clone());
             blocks.push(disk.write(Self::encode_block(&entries[start..end])));
             start = end;
         }
         let keys: Vec<&[u8]> = entries.iter().map(|(k, _)| k.as_slice()).collect();
-        let filter = match filter {
-            FilterKind::None => None,
-            FilterKind::Bloom(bpk) => Some(TableFilter::Bloom(BloomFilter::new(&keys, *bpk))),
-            FilterKind::SurfHash(bits) => Some(TableFilter::Surf(Surf::new(
-                &keys,
-                SuffixConfig::Hash(*bits),
-            ))),
-            FilterKind::SurfReal(bits) => Some(TableFilter::Surf(Surf::new(
-                &keys,
-                SuffixConfig::Real(*bits),
-            ))),
-            FilterKind::SurfMixed(h, r) => Some(TableFilter::Surf(Surf::new(
-                &keys,
-                SuffixConfig::Mixed(*h, *r),
-            ))),
-        };
-        Self {
+        Ok(Self {
             id,
             blocks,
             fences,
             min_key: entries[0].0.clone(),
             max_key: entries[entries.len() - 1].0.clone(),
-            filter,
+            filter: Self::build_filter(&keys, filter),
             num_entries: entries.len(),
+        })
+    }
+
+    fn build_filter(keys: &[&[u8]], filter: &FilterKind) -> Option<TableFilter> {
+        match filter {
+            FilterKind::None => None,
+            FilterKind::Bloom(bpk) => Some(TableFilter::Bloom(BloomFilter::new(keys, *bpk))),
+            FilterKind::SurfHash(bits) => {
+                Some(TableFilter::Surf(Surf::new(keys, SuffixConfig::Hash(*bits))))
+            }
+            FilterKind::SurfReal(bits) => {
+                Some(TableFilter::Surf(Surf::new(keys, SuffixConfig::Real(*bits))))
+            }
+            FilterKind::SurfMixed(h, r) => {
+                Some(TableFilter::Surf(Surf::new(keys, SuffixConfig::Mixed(*h, *r))))
+            }
         }
+    }
+
+    /// Reconstructs the table from a manifest record (no data I/O; the
+    /// filter starts absent and is re-attached by recovery when the
+    /// configuration asks for one).
+    pub(crate) fn from_meta(meta: TableMeta) -> Self {
+        Self {
+            id: meta.id,
+            min_key: meta.fences.first().cloned().unwrap_or_default(),
+            max_key: meta.max_key,
+            blocks: meta.blocks,
+            fences: meta.fences,
+            filter: None,
+            num_entries: meta.num_entries,
+        }
+    }
+
+    /// The manifest record that reconstructs this table at `level`.
+    pub(crate) fn meta(&self, level: usize) -> TableMeta {
+        TableMeta {
+            level,
+            id: self.id,
+            blocks: self.blocks.clone(),
+            fences: self.fences.clone(),
+            max_key: self.max_key.clone(),
+            num_entries: self.num_entries,
+        }
+    }
+
+    /// Rebuilds the configured filter from the table's keys (recovery
+    /// path; counted block reads).
+    pub(crate) fn attach_filter(&mut self, keys: &[&[u8]], filter: &FilterKind) {
+        self.filter = Self::build_filter(keys, filter);
     }
 
     fn encode_block(entries: &[(Vec<u8>, Vec<u8>)]) -> Box<[u8]> {
@@ -103,28 +150,44 @@ impl SsTable {
         for (_, v) in entries {
             out.extend_from_slice(v);
         }
-        out.into_boxed_slice()
+        encode_single(&out).into_boxed_slice()
     }
 
-    pub(crate) fn decode_block(raw: &[u8]) -> DecodedBlock {
+    /// Validates the CRC frame and decodes the payload. Torn writes,
+    /// flipped bits, and inconsistent length tables are all typed
+    /// [`MemtreeError::Corruption`] — never a panic, never a wrong pair.
+    pub(crate) fn decode_block(raw: &[u8]) -> Result<DecodedBlock> {
+        let raw = decode_single(raw, "sstable-block")?;
+        let short = |what: &str| MemtreeError::corruption("sstable-block", what.to_string());
+        if raw.len() < 4 {
+            return Err(short("payload shorter than entry count"));
+        }
         let n = u32::from_le_bytes(raw[0..4].try_into().unwrap()) as usize;
         let mut lens = Vec::with_capacity(n);
         let mut pos = 4;
+        if pos + n * 4 > raw.len() {
+            return Err(short("length table exceeds payload"));
+        }
         for _ in 0..n {
             let kl = u16::from_le_bytes(raw[pos..pos + 2].try_into().unwrap()) as usize;
             let vl = u16::from_le_bytes(raw[pos + 2..pos + 4].try_into().unwrap()) as usize;
             lens.push((kl, vl));
             pos += 4;
         }
+        let ktotal: usize = lens.iter().map(|(k, _)| k).sum();
+        let vtotal: usize = lens.iter().map(|(_, v)| v).sum();
+        if pos + ktotal + vtotal != raw.len() {
+            return Err(short("entry lengths disagree with payload size"));
+        }
         let mut out = Vec::with_capacity(n);
         let mut kpos = pos;
-        let mut vpos = pos + lens.iter().map(|(k, _)| k).sum::<usize>();
+        let mut vpos = pos + ktotal;
         for (kl, vl) in lens {
             out.push((raw[kpos..kpos + kl].to_vec(), raw[vpos..vpos + vl].to_vec()));
             kpos += kl;
             vpos += vl;
         }
-        out
+        Ok(out)
     }
 
     /// Index of the block that may contain `key` (last fence `<= key`).
@@ -198,10 +261,11 @@ impl SsTable {
     }
 
     /// Releases the table's disk blocks.
-    pub(crate) fn release(&self, disk: &SimDisk) {
+    pub(crate) fn release(&self, disk: &SimDisk) -> Result<()> {
         for &b in &self.blocks {
-            disk.release(b);
+            disk.release(b)?;
         }
+        Ok(())
     }
 }
 
@@ -225,21 +289,42 @@ mod tests {
     fn block_roundtrip() {
         let e = entries(100);
         let raw = SsTable::encode_block(&e);
-        assert_eq!(SsTable::decode_block(&raw), e);
+        assert_eq!(SsTable::decode_block(&raw).unwrap(), e);
+    }
+
+    #[test]
+    fn torn_and_flipped_blocks_are_typed_errors() {
+        let e = entries(40);
+        let raw = SsTable::encode_block(&e);
+        for cut in 0..raw.len() {
+            assert!(
+                SsTable::decode_block(&raw[..cut]).is_err(),
+                "torn block at {cut} must not decode"
+            );
+        }
+        let mut flipped = raw.to_vec();
+        for byte in (0..raw.len()).step_by(7) {
+            flipped[byte] ^= 0x10;
+            assert!(
+                SsTable::decode_block(&flipped).is_err(),
+                "flip at {byte} must not decode"
+            );
+            flipped[byte] ^= 0x10;
+        }
     }
 
     #[test]
     fn build_and_locate() {
         let disk = SimDisk::new(Duration::ZERO);
         let e = entries(1000);
-        let t = SsTable::build(1, &disk, &e, 4096, &FilterKind::Bloom(10.0));
+        let t = SsTable::build(1, &disk, &e, 4096, &FilterKind::Bloom(10.0)).unwrap();
         assert!(t.blocks.len() > 5, "should span multiple blocks");
         assert_eq!(t.len(), 1000);
         // Candidate block actually contains the key.
         for probe in [0u64, 999, 1500, 2997] {
             let key = memtree_common::key::encode_u64(probe);
             let b = t.candidate_block(&key);
-            let blk = SsTable::decode_block(&disk.read(t.blocks[b]));
+            let blk = SsTable::decode_block(&disk.read(t.blocks[b]).unwrap()).unwrap();
             if probe % 3 == 0 && probe <= 2997 {
                 assert!(
                     blk.iter().any(|(k, _)| k.as_slice() == key),
@@ -254,10 +339,25 @@ mod tests {
     }
 
     #[test]
+    fn meta_roundtrip_reconstructs_geometry() {
+        let disk = SimDisk::new(Duration::ZERO);
+        let e = entries(500);
+        let t = SsTable::build(7, &disk, &e, 1024, &FilterKind::None).unwrap();
+        let r = SsTable::from_meta(t.meta(2));
+        assert_eq!(r.id, t.id);
+        assert_eq!(r.blocks, t.blocks);
+        assert_eq!(r.fences, t.fences);
+        assert_eq!(r.min_key, t.min_key);
+        assert_eq!(r.max_key, t.max_key);
+        assert_eq!(r.num_entries, t.num_entries);
+        assert!(r.filter.is_none());
+    }
+
+    #[test]
     fn surf_filter_attach() {
         let disk = SimDisk::new(Duration::ZERO);
         let e = entries(500);
-        let t = SsTable::build(2, &disk, &e, 4096, &FilterKind::SurfReal(4));
+        let t = SsTable::build(2, &disk, &e, 4096, &FilterKind::SurfReal(4)).unwrap();
         assert!(t.surf().is_some());
         assert!(t.covers(&memtree_common::key::encode_u64(300)));
         assert!(!t.covers(&memtree_common::key::encode_u64(4000)));

@@ -59,7 +59,7 @@ fn db_matches_model() {
         for step in 0..n_cmds {
             match cmd(g) {
                 Cmd::Put(k, v) => {
-                    db.put(&k, &[v]);
+                    db.put(&k, &[v]).unwrap();
                     model.insert(k, v);
                 }
                 Cmd::Get(k) => {
@@ -94,7 +94,7 @@ fn db_matches_model() {
                     // SuRF boundary slack) but never under-count.
                     check!(got >= truth, "step {} count {} < {}", step, got, truth);
                 }
-                Cmd::Flush => db.flush(),
+                Cmd::Flush => { db.flush().unwrap(); }
             }
         }
         Ok(())

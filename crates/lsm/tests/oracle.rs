@@ -39,11 +39,11 @@ fn build(g: &mut Gen, filter: FilterKind) -> (Db, BTreeMap<Vec<u8>, Vec<u8>>) {
     let mut model = BTreeMap::new();
     for _ in 0..g.range(20..250) {
         if g.bool(0.04) {
-            db.flush();
+            db.flush().unwrap();
         } else {
             let k = key(g);
             let v = vec![g.u64() as u8; g.range(1..4)];
-            db.put(&k, &v);
+            db.put(&k, &v).unwrap();
             model.insert(k, v);
         }
     }

@@ -22,9 +22,9 @@ fn build_db(filter: FilterKind) -> Db {
     // aggregate λ = 10^5 ns), 10s of recording => ~100k events.
     let events = sensor_events(200, 100_000 * 200, 10_000_000_000, 7);
     for e in &events {
-        db.put(&e.key(), b"sensor-record-payload-......"); // small value
+        db.put(&e.key(), b"sensor-record-payload-......").unwrap(); // small value
     }
-    db.flush();
+    db.flush().unwrap();
     db.reset_io_stats();
     db
 }

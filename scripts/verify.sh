@@ -18,6 +18,12 @@ cargo run -p memtree-bench --release --offline --bin bench_hotpath -- --smoke
 echo "== bench_lsm --smoke (batched LSM read-path differential + counter gates, offline) =="
 cargo run -p memtree-bench --release --offline --bin bench_lsm -- --smoke
 
+echo "== bench_recovery --smoke (WAL overhead + clean-shutdown/torn-tail gates, offline) =="
+cargo run -p memtree-bench --release --offline --bin bench_recovery -- --smoke
+
+echo "== crash oracle (seeds ${MEMTREE_FAULT_SEEDS:-0..32}, offline) =="
+cargo test -q --offline -p memtree-lsm --test crash_oracle --test wal_frames
+
 echo "== cargo clippy --all-targets -D warnings (offline) =="
 cargo clippy --all-targets --offline -- -D warnings
 

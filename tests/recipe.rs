@@ -101,9 +101,9 @@ fn surf_guards_lsm_with_zero_false_negatives() {
     });
     let key_set = keys::sorted_unique(keys::email_keys(5000, 21));
     for (i, k) in key_set.iter().enumerate() {
-        db.put(k, &(i as u64).to_le_bytes());
+        db.put(k, &(i as u64).to_le_bytes()).unwrap();
     }
-    db.flush();
+    db.flush().unwrap();
     // Every stored key must be retrievable despite filters at every level.
     for (i, k) in key_set.iter().enumerate() {
         assert_eq!(
