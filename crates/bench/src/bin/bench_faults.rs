@@ -1,29 +1,78 @@
-//! Robustness-tax baseline: what does checksummed block framing cost?
+//! Robustness-cost benchmark, written to `BENCH_faults.json`.
 //!
-//! Measures the exact production paths with the CRC32C frame on vs off —
-//! static-stage (merge) build and uncached point reads through
-//! `CompressedBTree`, plus the raw codec — and writes `BENCH_faults.json`
-//! so later PRs can track the overhead. The unframed variants exist only
-//! here; every production block stays framed.
+//! Four questions, all on exact production paths:
+//!
+//! 1. **What does checksummed block framing cost?** Static-stage (merge)
+//!    build and uncached point reads through `CompressedBTree` with the
+//!    CRC32C frame on vs off, plus the raw codec. The unframed variants
+//!    exist only here; every production block stays framed.
+//! 2. **How fast does scrub verify a database?** `Db::scrub` walks every
+//!    manifest-live block plus the WAL and manifest; reported as GB/s of
+//!    block data verified. Gate: an undamaged database scrubs fully clean.
+//! 3. **What do degraded reads cost?** The same zipfian point-read
+//!    workload against a healthy Bloom-filtered database and against the
+//!    same database after latent corruption forced one table filterless —
+//!    the read tax of graceful degradation.
+//! 4. **Is `Enospc` recovery clean?** Fill to a capacity limit, verify the
+//!    typed error, verify failing flushes leak nothing across attempts,
+//!    then lift the limit and time the retry to success.
 //!
 //! Run from the repo root: `cargo run -p memtree-bench --release --bin
-//! bench_faults` (add a path argument to write the JSON elsewhere).
+//! bench_faults` (`--smoke` for the CI-sized run, `--out PATH` to write
+//! the JSON elsewhere).
 
 use memtree_bench::{mops, time};
 use memtree_btree::CompressedBTree;
+use memtree_common::key::encode_u64;
 use memtree_common::traits::{OrderedIndex, StaticIndex, Value};
 use memtree_compress::{compress, decode_block, decompress, encode_block};
 use memtree_hybrid::{HybridCompressedBTree, MergeTrigger};
+use memtree_lsm::{Db, DbOptions, FilterKind};
 use memtree_workload::keys;
 use memtree_workload::zipf::Zipfian;
 use std::time::Duration;
 
-const N_KEYS: usize = 1_000_000;
-const N_READS: usize = 200_000;
 const RUNS: usize = 3;
 
-fn entries() -> Vec<(Vec<u8>, Value)> {
-    keys::sorted_unique(keys::rand_u64_keys(N_KEYS, 1))
+struct Config {
+    n_keys: usize,     // CRC-tax sections
+    lsm_keys: usize,   // scrub / degraded / enospc sections
+    n_reads: usize,
+    out_path: String,
+    smoke: bool,
+}
+
+fn config() -> Config {
+    let mut smoke = false;
+    let mut out: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => out = args.next(),
+            other => {
+                eprintln!("unknown argument: {other} (expected --smoke / --out PATH)");
+                std::process::exit(2);
+            }
+        }
+    }
+    Config {
+        n_keys: if smoke { 100_000 } else { 1_000_000 },
+        lsm_keys: if smoke { 20_000 } else { 120_000 },
+        n_reads: if smoke { 40_000 } else { 200_000 },
+        out_path: out.unwrap_or_else(|| {
+            if smoke {
+                "target/BENCH_faults_smoke.json".into()
+            } else {
+                "BENCH_faults.json".into()
+            }
+        }),
+        smoke,
+    }
+}
+
+fn entries(n: usize) -> Vec<(Vec<u8>, Value)> {
+    keys::sorted_unique(keys::rand_u64_keys(n, 1))
         .into_iter()
         .enumerate()
         .map(|(i, k)| (k, i as u64))
@@ -39,9 +88,20 @@ fn pct_overhead(on: f64, off: f64) -> f64 {
     (off / on - 1.0) * 100.0
 }
 
-fn main() {
-    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_faults.json".into());
-    let e = entries();
+struct CrcTax {
+    build_on: f64,
+    build_off: f64,
+    read_on: f64,
+    read_off: f64,
+    enc_on: f64,
+    enc_off: f64,
+    dec_on: f64,
+    dec_off: f64,
+    merge_mkeys: f64,
+}
+
+fn bench_crc_tax(cfg: &Config) -> CrcTax {
+    let e = entries(cfg.n_keys);
 
     // Merge throughput: rebuilding the static stage IS the hybrid merge's
     // dominant cost; build it framed (production) and unframed (baseline).
@@ -54,8 +114,8 @@ fn main() {
     let unframed_build = best(|| {
         std::hint::black_box(CompressedBTree::build_unframed(&e));
     });
-    let build_on = mops(N_KEYS, framed_build);
-    let build_off = mops(N_KEYS, unframed_build);
+    let build_on = mops(cfg.n_keys, framed_build);
+    let build_off = mops(cfg.n_keys, unframed_build);
     println!(
         "merge build      checksums on {build_on:.2} Mkeys/s   off {build_off:.2} Mkeys/s   tax {:.1}%",
         pct_overhead(build_on, build_off)
@@ -67,8 +127,8 @@ fn main() {
     framed.set_cache_blocks(0);
     let mut unframed = CompressedBTree::build_unframed(&e);
     unframed.set_cache_blocks(0);
-    let mut z = Zipfian::new(N_KEYS, 5);
-    let picks: Vec<usize> = (0..N_READS).map(|_| z.next_scrambled()).collect();
+    let mut z = Zipfian::new(cfg.n_keys, 5);
+    let picks: Vec<usize> = (0..cfg.n_reads).map(|_| z.next_scrambled()).collect();
     let read_framed = best(|| {
         let s: u64 = picks.iter().map(|&i| framed.get(&e[i].0).unwrap()).sum();
         std::hint::black_box(s);
@@ -77,8 +137,8 @@ fn main() {
         let s: u64 = picks.iter().map(|&i| unframed.get(&e[i].0).unwrap()).sum();
         std::hint::black_box(s);
     });
-    let read_on = mops(N_READS, read_framed);
-    let read_off = mops(N_READS, read_unframed);
+    let read_on = mops(cfg.n_reads, read_framed);
+    let read_off = mops(cfg.n_reads, read_unframed);
     println!(
         "uncached get     checksums on {read_on:.2} Mops/s    off {read_off:.2} Mops/s    tax {:.1}%",
         pct_overhead(read_on, read_off)
@@ -136,19 +196,235 @@ fn main() {
         h.force_merge().unwrap();
         std::hint::black_box(h.static_len());
     });
-    let merge_mkeys = mops(N_KEYS, merge);
+    let merge_mkeys = mops(cfg.n_keys, merge);
     println!("hybrid merge e2e checksums on {merge_mkeys:.2} Mkeys/s (insert+merge, production path)");
 
-    let json = format!(
-        "{{\n  \"meta\": {{\n    \"n_keys\": {N_KEYS},\n    \"n_reads\": {N_READS},\n    \"runs\": {RUNS},\n    \"note\": \"robustness tax of CRC32C block framing; overhead_pct = (off/on - 1) * 100\"\n  }},\n  \"merge_build\": {{ \"on_mkeys_per_s\": {build_on:.3}, \"off_mkeys_per_s\": {build_off:.3}, \"overhead_pct\": {:.2} }},\n  \"uncached_point_get\": {{ \"on_mops_per_s\": {read_on:.3}, \"off_mops_per_s\": {read_off:.3}, \"overhead_pct\": {:.2} }},\n  \"codec_encode\": {{ \"on_mb_per_s\": {enc_on:.1}, \"off_mb_per_s\": {enc_off:.1}, \"overhead_pct\": {:.2} }},\n  \"codec_decode\": {{ \"on_mb_per_s\": {dec_on:.1}, \"off_mb_per_s\": {dec_off:.1}, \"overhead_pct\": {:.2} }},\n  \"hybrid_merge_end_to_end\": {{ \"on_mkeys_per_s\": {merge_mkeys:.3} }}\n}}\n",
-        pct_overhead(build_on, build_off),
-        pct_overhead(read_on, read_off),
-        pct_overhead(enc_on, enc_off),
-        pct_overhead(dec_on, dec_off),
+    CrcTax { build_on, build_off, read_on, read_off, enc_on, enc_off, dec_on, dec_off, merge_mkeys }
+}
+
+fn key_of(i: u64) -> [u8; 8] {
+    encode_u64(i.wrapping_mul(0x9E37_79B9_7F4A_7C15)) // scattered inserts
+}
+
+const VALUE: &[u8] = b"ten-bytes!";
+
+fn lsm_opts(filter: FilterKind) -> DbOptions {
+    DbOptions {
+        memtable_bytes: 64 << 10,
+        filter,
+        ..Default::default()
+    }
+}
+
+fn build_lsm(n: usize, filter: FilterKind) -> Db {
+    let mut db = Db::new(lsm_opts(filter));
+    for i in 0..n as u64 {
+        db.put(&key_of(i), VALUE).unwrap();
+    }
+    db.flush().unwrap();
+    db
+}
+
+struct ScrubLine {
+    gb_per_s: f64,
+    blocks: u64,
+    bytes: u64,
+    ms: f64,
+}
+
+/// Scrub throughput over an undamaged database. Gate: fully clean.
+fn bench_scrub(cfg: &Config) -> ScrubLine {
+    let mut db = build_lsm(cfg.lsm_keys, FilterKind::None);
+    let mut report = None;
+    let elapsed = time(|| {
+        report = Some(db.scrub().expect("scrub of a healthy database"));
+    });
+    let report = report.unwrap();
+    assert!(
+        report.is_clean(),
+        "scrub of an undamaged database must be clean: {report:?}"
     );
-    if let Err(e) = std::fs::write(&out_path, json) {
-        eprintln!("error: cannot write {out_path}: {e}");
+    assert!(report.blocks_scanned > 0, "scrub scanned nothing");
+    let line = ScrubLine {
+        gb_per_s: report.bytes_scanned as f64 / elapsed.as_secs_f64() / 1e9,
+        blocks: report.blocks_scanned,
+        bytes: report.bytes_scanned,
+        ms: elapsed.as_secs_f64() * 1e3,
+    };
+    println!(
+        "scrub            {:.3} GB/s  ({} blocks, {} bytes, {:.2} ms, clean)",
+        line.gb_per_s, line.blocks, line.bytes, line.ms
+    );
+    line
+}
+
+struct DegradedLine {
+    healthy_mops: f64,
+    degraded_mops: f64,
+    tax_pct: f64,
+    degraded_tables: u64,
+}
+
+/// Point-read throughput healthy vs with one table forced filterless by
+/// latent corruption — the price of graceful degradation.
+fn bench_degraded_reads(cfg: &Config) -> DegradedLine {
+    let db = build_lsm(cfg.lsm_keys, FilterKind::Bloom(14.0));
+    let disk = db.close().expect("clean close");
+    let mut z = Zipfian::new(cfg.lsm_keys, 7);
+    let picks: Vec<u64> = (0..cfg.n_reads).map(|_| z.next_scrambled() as u64).collect();
+
+    let db = Db::open(disk.clone(), lsm_opts(FilterKind::Bloom(14.0))).expect("healthy reopen");
+    assert_eq!(db.degraded_tables(), 0, "healthy database opened degraded");
+    let healthy = best(|| {
+        let mut hits = 0usize;
+        for &i in &picks {
+            hits += usize::from(db.get(&key_of(i)).is_some());
+        }
+        std::hint::black_box(hits);
+    });
+    drop(db);
+
+    // Latent corruption in one block: the reopen quarantines it and runs
+    // its whole table filterless (a partial filter would lie).
+    let victim = (0..disk.block_slots() as u32)
+        .find(|&id| disk.is_live(id))
+        .expect("no live blocks");
+    disk.bitrot_block(victim, 42).expect("bitrot");
+    let db = Db::open(disk, lsm_opts(FilterKind::Bloom(14.0))).expect("degraded reopen");
+    assert!(db.degraded_tables() > 0, "corruption did not degrade any table");
+    let degraded = best(|| {
+        let mut hits = 0usize;
+        for &i in &picks {
+            hits += usize::from(db.get(&key_of(i)).is_some());
+        }
+        std::hint::black_box(hits);
+    });
+
+    let line = DegradedLine {
+        healthy_mops: mops(cfg.n_reads, healthy),
+        degraded_mops: mops(cfg.n_reads, degraded),
+        tax_pct: pct_overhead(mops(cfg.n_reads, healthy), mops(cfg.n_reads, degraded)).abs(),
+        degraded_tables: db.degraded_tables(),
+    };
+    println!(
+        "degraded reads   healthy {:.3} Mops/s   degraded {:.3} Mops/s   tax {:.1}%  ({} table filterless)",
+        line.healthy_mops, line.degraded_mops, line.tax_pct, line.degraded_tables
+    );
+    line
+}
+
+struct EnospcLine {
+    typed: bool,
+    leak_free: bool,
+    recovery_ms: f64,
+}
+
+/// Capacity exhaustion: typed error, leak-free failed flushes, timed
+/// recovery after the limit lifts.
+fn bench_enospc_recovery(cfg: &Config) -> EnospcLine {
+    let mut db = build_lsm(cfg.lsm_keys / 4, FilterKind::None);
+    let disk = db.disk_handle();
+    disk.set_capacity_bytes(Some(disk.used_bytes() + 256));
+    let mut typed = false;
+    let mut i = (cfg.lsm_keys / 4) as u64;
+    while !typed {
+        i += 1;
+        match db.put(&key_of(i), VALUE) {
+            Ok(_) => {}
+            Err(memtree_common::error::MemtreeError::Enospc { .. }) => typed = true,
+            Err(e) => panic!("expected Enospc, got {e:?}"),
+        }
+    }
+    // Failed flushes must release their partial blocks: space usage is
+    // identical across attempts.
+    let _ = db.flush();
+    let used_a = disk.used_bytes();
+    let _ = db.flush();
+    let leak_free = disk.used_bytes() == used_a;
+    assert!(leak_free, "failing flushes leak disk space");
+
+    disk.set_capacity_bytes(None);
+    let elapsed = time(|| {
+        db.flush().expect("flush after capacity lift");
+    });
+    // Spot-check: nothing acknowledged was lost across the outage.
+    for j in (0..i).step_by((i as usize / 64).max(1)) {
+        assert_eq!(db.get(&key_of(j)).as_deref(), Some(VALUE), "record {j} lost to Enospc");
+    }
+    let line = EnospcLine { typed, leak_free, recovery_ms: elapsed.as_secs_f64() * 1e3 };
+    println!(
+        "enospc           typed error, leak-free retries, recovery {:.2} ms after lift",
+        line.recovery_ms
+    );
+    line
+}
+
+fn write_json(
+    cfg: &Config,
+    tax: &CrcTax,
+    scrub: &ScrubLine,
+    degraded: &DegradedLine,
+    enospc: &EnospcLine,
+) {
+    let json = format!(
+        "{{\n  \"meta\": {{\n    \"n_keys\": {},\n    \"lsm_keys\": {},\n    \"n_reads\": {},\n    \"runs\": {RUNS},\n    \"smoke\": {},\n    \"note\": \"robustness costs: CRC32C framing tax, scrub throughput, degraded-read tax, Enospc recovery; overhead_pct = (off/on - 1) * 100\"\n  }},\n  \"merge_build\": {{ \"on_mkeys_per_s\": {:.3}, \"off_mkeys_per_s\": {:.3}, \"overhead_pct\": {:.2} }},\n  \"uncached_point_get\": {{ \"on_mops_per_s\": {:.3}, \"off_mops_per_s\": {:.3}, \"overhead_pct\": {:.2} }},\n  \"codec_encode\": {{ \"on_mb_per_s\": {:.1}, \"off_mb_per_s\": {:.1}, \"overhead_pct\": {:.2} }},\n  \"codec_decode\": {{ \"on_mb_per_s\": {:.1}, \"off_mb_per_s\": {:.1}, \"overhead_pct\": {:.2} }},\n  \"hybrid_merge_end_to_end\": {{ \"on_mkeys_per_s\": {:.3} }},\n  \"scrub_gb_per_s\": {:.4},\n  \"scrub_detail\": {{ \"blocks_scanned\": {}, \"bytes_scanned\": {}, \"elapsed_ms\": {:.3}, \"clean\": true }},\n  \"degraded_read_tax_pct\": {:.2},\n  \"degraded_read_detail\": {{ \"healthy_mops_per_s\": {:.3}, \"degraded_mops_per_s\": {:.3}, \"degraded_tables\": {} }},\n  \"enospc_recovery\": {{ \"typed_error\": {}, \"leak_free_retries\": {}, \"recovery_ms\": {:.3} }}\n}}\n",
+        cfg.n_keys,
+        cfg.lsm_keys,
+        cfg.n_reads,
+        cfg.smoke,
+        tax.build_on,
+        tax.build_off,
+        pct_overhead(tax.build_on, tax.build_off),
+        tax.read_on,
+        tax.read_off,
+        pct_overhead(tax.read_on, tax.read_off),
+        tax.enc_on,
+        tax.enc_off,
+        pct_overhead(tax.enc_on, tax.enc_off),
+        tax.dec_on,
+        tax.dec_off,
+        pct_overhead(tax.dec_on, tax.dec_off),
+        tax.merge_mkeys,
+        scrub.gb_per_s,
+        scrub.blocks,
+        scrub.bytes,
+        scrub.ms,
+        degraded.tax_pct,
+        degraded.healthy_mops,
+        degraded.degraded_mops,
+        degraded.degraded_tables,
+        enospc.typed,
+        enospc.leak_free,
+        enospc.recovery_ms,
+    );
+    if let Some(dir) = std::path::Path::new(&cfg.out_path).parent() {
+        if !dir.as_os_str().is_empty() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+    }
+    if let Err(e) = std::fs::write(&cfg.out_path, &json) {
+        eprintln!("error: cannot write {}: {e}", cfg.out_path);
         std::process::exit(1);
     }
-    println!("wrote {out_path}");
+    // Schema self-check: every key the downstream tooling greps for.
+    let back = std::fs::read_to_string(&cfg.out_path).expect("read back BENCH_faults.json");
+    for required in [
+        "\"meta\"", "\"n_keys\"", "\"smoke\"", "\"merge_build\"", "\"uncached_point_get\"",
+        "\"codec_encode\"", "\"codec_decode\"", "\"hybrid_merge_end_to_end\"",
+        "\"scrub_gb_per_s\"", "\"scrub_detail\"", "\"blocks_scanned\"", "\"bytes_scanned\"",
+        "\"degraded_read_tax_pct\"", "\"degraded_read_detail\"", "\"degraded_tables\"",
+        "\"enospc_recovery\"", "\"typed_error\"", "\"leak_free_retries\"", "\"recovery_ms\"",
+    ] {
+        assert!(back.contains(required), "{} missing key {required}", cfg.out_path);
+    }
+    println!("wrote {} (schema check passed)", cfg.out_path);
+}
+
+fn main() {
+    let cfg = config();
+    let tax = bench_crc_tax(&cfg);
+    let scrub = bench_scrub(&cfg);
+    let degraded = bench_degraded_reads(&cfg);
+    let enospc = bench_enospc_recovery(&cfg);
+    write_json(&cfg, &tax, &scrub, &degraded, &enospc);
 }

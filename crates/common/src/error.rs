@@ -45,6 +45,21 @@ pub enum MemtreeError {
         /// The size of the request that failed, in bytes.
         bytes: usize,
     },
+    /// The storage device is out of space. The write was not applied (not
+    /// even partially); freeing space and retrying the same operation is
+    /// always safe.
+    Enospc {
+        /// Which write path hit the limit (e.g. `"block-write"`, `"wal"`).
+        context: &'static str,
+        /// Bytes the rejected write asked for.
+        requested: usize,
+    },
+    /// A transient I/O failure (bus glitch, dropped request): the stored
+    /// data is intact and a retry may succeed. Never quarantine on this.
+    TransientIo {
+        /// Which path observed the fault.
+        context: &'static str,
+    },
 }
 
 impl std::fmt::Display for MemtreeError {
@@ -64,6 +79,12 @@ impl std::fmt::Display for MemtreeError {
             }
             MemtreeError::Allocation { bytes } => {
                 write!(f, "allocation of {bytes} bytes failed")
+            }
+            MemtreeError::Enospc { context, requested } => {
+                write!(f, "no space left on device: {context} write of {requested} bytes")
+            }
+            MemtreeError::TransientIo { context } => {
+                write!(f, "transient I/O failure in {context} (retry may succeed)")
             }
         }
     }
@@ -88,6 +109,14 @@ impl MemtreeError {
             MemtreeError::Corruption { .. } | MemtreeError::Quarantined { .. }
         )
     }
+
+    /// True for failures an immediate retry may clear (the stored data is
+    /// intact). Drives the bounded-backoff retry loops: transient faults
+    /// are retried and must never quarantine a block; everything else
+    /// (corruption, ENOSPC, injected crashes) propagates typed.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, MemtreeError::TransientIo { .. })
+    }
 }
 
 #[cfg(test)]
@@ -104,5 +133,15 @@ mod tests {
         };
         assert!(!e.is_corruption());
         assert!(e.to_string().contains("hybrid.merge.build"));
+    }
+
+    #[test]
+    fn transient_and_enospc_classification() {
+        let t = MemtreeError::TransientIo { context: "sim-disk" };
+        assert!(t.is_transient() && !t.is_corruption());
+        let e = MemtreeError::Enospc { context: "block-write", requested: 4096 };
+        assert!(!e.is_transient() && !e.is_corruption());
+        assert!(e.to_string().contains("no space left"));
+        assert!(!MemtreeError::corruption("x", "y").is_transient());
     }
 }

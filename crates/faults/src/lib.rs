@@ -156,6 +156,54 @@ pub fn evaluations(point: &str) -> u64 {
     lock().points.get(point).map_or(0, |s| s.evals)
 }
 
+/// Bounded-backoff retry policy for transient faults.
+///
+/// The simulated disk has no asynchronous completion to wait on, so the
+/// backoff is a deterministic, exponentially growing busy-wait — enough to
+/// model "give the device a moment" without wall-clock nondeterminism.
+/// Only [`MemtreeError::is_transient`] failures are retried; corruption,
+/// ENOSPC, and injected crash faults propagate immediately so callers keep
+/// their typed abort semantics.
+#[derive(Debug)]
+pub struct Backoff {
+    attempts: u32,
+    max_attempts: u32,
+    spin: u32,
+}
+
+impl Backoff {
+    /// A policy allowing at most `max_attempts` total attempts (so at most
+    /// `max_attempts - 1` retries).
+    pub fn new(max_attempts: u32) -> Self {
+        Self {
+            attempts: 1,
+            max_attempts: max_attempts.max(1),
+            spin: 32,
+        }
+    }
+
+    /// Attempts recorded so far (starts at 1: the initial try).
+    pub fn attempts(&self) -> u32 {
+        self.attempts
+    }
+
+    /// Records a failed attempt. Returns true when the caller should try
+    /// again — the error is transient and budget remains — after a bounded
+    /// busy-wait. Returns false (no wait) for non-transient errors or an
+    /// exhausted budget.
+    pub fn retry(&mut self, err: &MemtreeError) -> bool {
+        if !err.is_transient() || self.attempts >= self.max_attempts {
+            return false;
+        }
+        self.attempts += 1;
+        for _ in 0..self.spin {
+            std::hint::spin_loop();
+        }
+        self.spin = self.spin.saturating_mul(2).min(1 << 14);
+        true
+    }
+}
+
 /// Serializes fault-injection tests within one test binary. The registry
 /// is process-global, so concurrently running `#[test]`s would otherwise
 /// see each other's armed points. Hold the guard for the whole test.
@@ -264,6 +312,23 @@ mod tests {
         }
         assert_eq!(op(), Ok(42));
         disable();
+    }
+
+    #[test]
+    fn backoff_retries_transient_only_within_budget() {
+        let mut b = Backoff::new(3);
+        let transient = MemtreeError::TransientIo { context: "t" };
+        assert!(b.retry(&transient), "first retry allowed");
+        assert!(b.retry(&transient), "second retry allowed");
+        assert!(!b.retry(&transient), "budget of 3 attempts exhausted");
+        assert_eq!(b.attempts(), 3);
+
+        let mut b = Backoff::new(4);
+        let hard = MemtreeError::corruption("t", "bad");
+        assert!(!b.retry(&hard), "corruption is never retried");
+        let enospc = MemtreeError::Enospc { context: "t", requested: 1 };
+        assert!(!b.retry(&enospc), "ENOSPC is never retried");
+        assert_eq!(b.attempts(), 1, "non-transient errors consume no budget");
     }
 
     #[test]

@@ -20,12 +20,12 @@
 //!   `fail_point!` below through crash + reopen across seeds.
 
 use crate::disk::{IoStats, SimDisk};
-use crate::manifest::{Edit, Manifest};
+use crate::manifest::{Edit, Manifest, Version};
 use crate::sstable::{DecodedBlock, SsTable};
 use crate::wal::{Wal, WalStats, WAL_FILE};
 use memtree_common::error::Result;
 use memtree_common::traits::OrderedIndex;
-use memtree_faults::fail_point;
+use memtree_faults::{fail_point, Backoff};
 use memtree_skiplist::SkipList;
 use std::cell::{Cell, RefCell};
 use std::collections::HashSet;
@@ -129,7 +129,7 @@ pub enum SeekResult {
 }
 
 #[derive(Default)]
-struct BlockCache {
+pub(crate) struct BlockCache {
     /// (table id, block idx, payload, referenced)
     slots: Vec<(u64, usize, Rc<DecodedBlock>, bool)>,
     capacity: usize,
@@ -139,7 +139,7 @@ struct BlockCache {
 }
 
 impl BlockCache {
-    fn get(&mut self, table: u64, block: usize) -> Option<Rc<DecodedBlock>> {
+    pub(crate) fn get(&mut self, table: u64, block: usize) -> Option<Rc<DecodedBlock>> {
         for slot in &mut self.slots {
             if slot.0 == table && slot.1 == block {
                 slot.3 = true;
@@ -175,26 +175,37 @@ impl BlockCache {
 
 /// The LSM key-value store.
 pub struct Db {
-    opts: DbOptions,
-    disk: Rc<SimDisk>,
+    pub(crate) opts: DbOptions,
+    pub(crate) disk: Rc<SimDisk>,
     /// MemTable: our paged skip list mapping keys to value-arena slots.
     mem: SkipList,
-    mem_values: Vec<Vec<u8>>,
+    /// Value arena; `None` slots are delete tombstones.
+    mem_values: Vec<Option<Vec<u8>>>,
     mem_bytes: usize,
+    /// Tombstones written into this MemTable generation (upper bound:
+    /// overwrites of a tombstone don't decrement it).
+    mem_tombstones: usize,
     /// `levels[0]` newest-last; levels ≥ 1 key-ordered and disjoint.
-    levels: Vec<Vec<SsTable>>,
-    cache: RefCell<BlockCache>,
-    next_table_id: u64,
+    pub(crate) levels: Vec<Vec<SsTable>>,
+    pub(crate) cache: RefCell<BlockCache>,
+    pub(crate) next_table_id: u64,
     filter_stats: Cell<FilterStats>,
     wal: Wal,
-    manifest: Manifest,
+    /// `RefCell` so the `&self` read path can persist quarantine edits.
+    pub(crate) manifest: RefCell<Manifest>,
     /// WAL records at or below this seq are covered by flushed tables.
-    flushed_seq: u64,
+    pub(crate) flushed_seq: u64,
     /// Block decodes that failed once and succeeded on re-read.
     read_repairs: Cell<u64>,
-    /// `(table id, block idx)` pairs that failed validation twice; their
-    /// entries are unreachable until the table is rewritten.
-    quarantined: RefCell<HashSet<(u64, usize)>>,
+    /// `(table id, block index)` pairs that failed validation persistently;
+    /// their entries are unreachable until scrub repairs or drops them.
+    /// Mirrored in the manifest so reopen skips known-bad blocks.
+    pub(crate) quarantined: RefCell<HashSet<(u64, u32)>>,
+    /// Reads that hit a transient fault and were retried.
+    pub(crate) transient_retries: Cell<u64>,
+    /// Tables left filterless at open because a block was unreadable or
+    /// quarantined (a partial filter would give false negatives).
+    degraded_tables: Cell<u64>,
 }
 
 impl Db {
@@ -210,7 +221,7 @@ impl Db {
     /// past the flushed high-water mark, and rotates the manifest to a
     /// fresh snapshot.
     pub fn open(disk: Rc<SimDisk>, opts: DbOptions) -> Result<Self> {
-        let (manifest, version, fresh) = Manifest::open(&disk)?;
+        let (manifest, mut version, fresh) = Manifest::open(&disk)?;
         let mut levels: Vec<Vec<SsTable>> = Vec::new();
         for metas in &version.levels {
             levels.push(metas.iter().map(|m| SsTable::from_meta(m.clone())).collect());
@@ -236,14 +247,50 @@ impl Db {
         }
         // Filters live only in memory: rebuild them from table keys
         // (counted block reads — the price recovery pays per table).
+        //
+        // Degraded open: a table with any unreadable or already-quarantined
+        // block runs filterless instead of failing the open. A filter built
+        // over only the readable keys would answer definite "absent" for
+        // keys in the bad block — a false negative — so it is whole-table
+        // filterless until scrub verifies the table clean again. Known-
+        // quarantined blocks are skipped *without* a read (that is the
+        // point of persisting the set); freshly discovered bad blocks are
+        // quarantined into the rotation snapshot below.
+        let mut degraded = 0u64;
         if !matches!(opts.filter, FilterKind::None) {
             for table in levels.iter_mut().flatten() {
-                let mut entries: Vec<(Vec<u8>, Vec<u8>)> = Vec::with_capacity(table.num_entries);
-                for &b in &table.blocks {
-                    entries.extend(SsTable::decode_block(&disk.read(b)?)?);
+                let mut entries: Vec<(Vec<u8>, Option<Vec<u8>>)> =
+                    Vec::with_capacity(table.num_entries);
+                let mut table_degraded = false;
+                for (bi, &b) in table.blocks.iter().enumerate() {
+                    if version.quarantined.contains(&(table.id, bi as u32)) {
+                        table_degraded = true;
+                        continue;
+                    }
+                    let mut backoff = Backoff::new(4);
+                    let blk = loop {
+                        match disk.read(b).and_then(|raw| SsTable::decode_block(&raw)) {
+                            Ok(blk) => break Some(blk),
+                            Err(e) if backoff.retry(&e) => continue,
+                            Err(e) => {
+                                if !e.is_transient() {
+                                    version.quarantined.insert((table.id, bi as u32));
+                                }
+                                break None;
+                            }
+                        }
+                    };
+                    match blk {
+                        Some(blk) => entries.extend(blk),
+                        None => table_degraded = true,
+                    }
                 }
-                let keys: Vec<&[u8]> = entries.iter().map(|(k, _)| k.as_slice()).collect();
-                table.attach_filter(&keys, &opts.filter);
+                if table_degraded {
+                    degraded += 1;
+                } else {
+                    let keys: Vec<&[u8]> = entries.iter().map(|(k, _)| k.as_slice()).collect();
+                    table.attach_filter(&keys, &opts.filter);
+                }
             }
         }
         let (wal, records) = Wal::replay(&disk, version.flushed_seq)?;
@@ -256,14 +303,17 @@ impl Db {
             mem: SkipList::new(),
             mem_values: Vec::new(),
             mem_bytes: 0,
+            mem_tombstones: 0,
             levels,
             next_table_id: version.next_table_id,
             filter_stats: Cell::new(FilterStats::default()),
             wal,
-            manifest,
+            manifest: RefCell::new(manifest),
             flushed_seq: version.flushed_seq,
             read_repairs: Cell::new(0),
-            quarantined: RefCell::new(HashSet::new()),
+            quarantined: RefCell::new(version.quarantined.iter().copied().collect()),
+            transient_retries: Cell::new(0),
+            degraded_tables: Cell::new(degraded),
             disk,
         };
         let mut last_applied = version.flushed_seq;
@@ -277,10 +327,10 @@ impl Db {
                 ));
             }
             last_applied = r.seq;
-            db.apply_put(&r.key, &r.value);
+            db.apply_write(&r.key, r.value.as_deref());
         }
         if !fresh {
-            db.manifest.rotate(&db.disk, &version)?;
+            db.manifest.borrow_mut().rotate(&db.disk, &version)?;
         }
         db.check_invariants()?;
         Ok(db)
@@ -300,28 +350,53 @@ impl Db {
         Rc::clone(&self.disk)
     }
 
-    /// MemTable insert without logging (shared by `put` and WAL replay).
-    fn apply_put(&mut self, key: &[u8], value: &[u8]) {
+    /// MemTable insert without logging (shared by `put`/`delete` and WAL
+    /// replay). `None` writes a delete tombstone.
+    fn apply_write(&mut self, key: &[u8], value: Option<&[u8]>) {
         let slot = self.mem_values.len() as u64;
-        self.mem_values.push(value.to_vec());
+        self.mem_values.push(value.map(<[u8]>::to_vec));
         if !self.mem.insert(key, slot) {
             self.mem.update(key, slot);
         }
-        self.mem_bytes += key.len() + value.len();
+        self.mem_tombstones += usize::from(value.is_none());
+        self.mem_bytes += key.len() + value.map_or(0, <[u8]>::len) + 1;
     }
 
     /// Inserts or overwrites `key`, returning the write's sequence number.
     /// The record is durable once [`Db::last_synced_seq`] reaches it.
     pub fn put(&mut self, key: &[u8], value: &[u8]) -> Result<u64> {
+        self.write(key, Some(value))
+    }
+
+    /// Deletes `key`: logs and buffers a tombstone that shadows every
+    /// older version until bottom-level compaction drops both. Deleting an
+    /// absent key is a (logged) no-op with the same durability guarantee.
+    pub fn delete(&mut self, key: &[u8]) -> Result<u64> {
+        self.write(key, None)
+    }
+
+    fn write(&mut self, key: &[u8], value: Option<&[u8]>) -> Result<u64> {
         let seq = if self.opts.wal {
             self.wal
                 .append(&self.disk, key, value, self.opts.wal_group_commit)?
         } else {
             self.wal.bump_seq()
         };
-        self.apply_put(key, value);
+        self.apply_write(key, value);
         if self.mem_bytes >= self.opts.memtable_bytes {
-            self.flush()?;
+            // The write itself is already applied and logged; the flush it
+            // triggers is best-effort here. Transient faults get a bounded
+            // retry; real failures (ENOSPC, injected aborts) propagate
+            // typed with the Db still fully serviceable — a later put or
+            // explicit `flush` retries the whole flush.
+            let mut backoff = Backoff::new(3);
+            loop {
+                match self.flush() {
+                    Ok(_) => break,
+                    Err(e) if backoff.retry(&e) => continue,
+                    Err(e) => return Err(e),
+                }
+            }
         }
         Ok(seq)
     }
@@ -361,16 +436,36 @@ impl Db {
             self.opts.block_size,
             &self.opts.filter,
         )?;
-        fail_point!("lsm.flush.sync");
-        self.disk.sync();
-        self.manifest.append(
-            &self.disk,
-            &[Edit::AddTable(table.meta(0)), Edit::FlushSeq { seq: flush_seq }],
-        )?;
-        // Commit point: the table is durable and referenced. Reclaim the
-        // WAL (atomically with the manifest edit above, not before it).
+        // Publish: sync the data blocks, then commit the manifest edit. A
+        // failure anywhere before the commit point (injected abort, ENOSPC
+        // in the manifest append) releases the built blocks — the Db keeps
+        // its previous shape, stays serviceable, and the flush is
+        // retryable.
+        let committed = (|| -> Result<()> {
+            fail_point!("lsm.flush.sync");
+            self.disk.sync();
+            self.manifest.borrow_mut().append(
+                &self.disk,
+                &[Edit::AddTable(table.meta(0)), Edit::FlushSeq { seq: flush_seq }],
+            )
+        })();
+        if let Err(e) = committed {
+            let _ = table.release(&self.disk);
+            return Err(e);
+        }
+        // Commit point: the table is durable and referenced. Install it
+        // in-memory *before* the WAL reset below — an error there must
+        // leave a Db whose levels match the manifest (the stale WAL tail
+        // merely replays records the table already shadows).
         self.flushed_seq = flush_seq;
         self.next_table_id += 1;
+        let flushed_entries = entries.len();
+        let blocks_written = table.blocks.len();
+        self.levels[0].push(table);
+        self.mem.clear();
+        self.mem_values.clear();
+        self.mem_bytes = 0;
+        self.mem_tombstones = 0;
         let mut wal_bytes = 0u64;
         if self.opts.wal {
             fail_point!("lsm.wal.reset");
@@ -380,14 +475,10 @@ impl Db {
             self.wal.note_reset(wal_bytes);
         }
         let stats = FlushStats {
-            entries: entries.len(),
+            entries: flushed_entries,
             wal_bytes_truncated: wal_bytes,
-            blocks_written: table.blocks.len(),
+            blocks_written,
         };
-        self.levels[0].push(table);
-        self.mem.clear();
-        self.mem_values.clear();
-        self.mem_bytes = 0;
         self.compact()?;
         Ok(Some(stats))
     }
@@ -438,7 +529,7 @@ impl Db {
                 .collect();
             // Merge newest-first: victims are newer than `overlapped`;
             // within L0, later flushes are newer.
-            let mut sources: Vec<Vec<(Vec<u8>, Vec<u8>)>> = Vec::new();
+            let mut sources: Vec<DecodedBlock> = Vec::new();
             for t in victims.iter().rev() {
                 sources.push(self.read_all(t)?);
             }
@@ -448,7 +539,7 @@ impl Db {
             {
                 sources.push(self.read_all(t)?);
             }
-            let mut merged: Vec<(usize, Vec<u8>, Vec<u8>)> = Vec::new();
+            let mut merged: Vec<(usize, Vec<u8>, Option<Vec<u8>>)> = Vec::new();
             for (prio, src) in sources.into_iter().enumerate() {
                 for (k, v) in src {
                     merged.push((prio, k, v));
@@ -456,35 +547,68 @@ impl Db {
             }
             merged.sort_by(|a, b| a.1.cmp(&b.1).then(a.0.cmp(&b.0)));
             merged.dedup_by(|b, a| a.1 == b.1); // keep lowest prio = newest
-            let entries: Vec<(Vec<u8>, Vec<u8>)> =
+            let mut entries: Vec<(Vec<u8>, Option<Vec<u8>>)> =
                 merged.into_iter().map(|(_, k, v)| (k, v)).collect();
-            // Re-split into tables of ~10 memtables each, built aside.
+            // Tombstones are dropped only once nothing deeper can hold an
+            // older version of a merged key — otherwise removing the
+            // tombstone would resurrect that older version.
+            if let (Some(first), Some(last)) = (entries.first(), entries.last()) {
+                let (min, max) = (first.0.clone(), last.0.clone());
+                let deeper = self
+                    .levels
+                    .get(level + 2..)
+                    .into_iter()
+                    .flatten()
+                    .flatten()
+                    .any(|t| t.overlaps(&min, &max));
+                if !deeper {
+                    entries.retain(|(_, v)| v.is_some());
+                }
+            }
+            // Re-split into tables of ~10 memtables each, built aside. If
+            // every entry was a dropped tombstone this degenerates to a
+            // removal-only transaction. A failure before the manifest
+            // commit releases every output built so far: the previous
+            // version stays live and the Db stays serviceable.
             let per_table = (self.opts.memtable_bytes * 4 / 64).max(64); // entries per output table
-            let mut new_tables = Vec::new();
+            let mut new_tables: Vec<SsTable> = Vec::new();
             let mut next_id = self.next_table_id;
-            for chunk in entries.chunks(per_table.max(1)) {
-                new_tables.push(SsTable::build(
-                    next_id,
-                    &self.disk,
-                    chunk,
-                    self.opts.block_size,
-                    &self.opts.filter,
-                )?);
-                next_id += 1;
+            let committed = (|| -> Result<()> {
+                for chunk in entries.chunks(per_table.max(1)) {
+                    new_tables.push(SsTable::build(
+                        next_id,
+                        &self.disk,
+                        chunk,
+                        self.opts.block_size,
+                        &self.opts.filter,
+                    )?);
+                    next_id += 1;
+                }
+                fail_point!("lsm.compact.sync");
+                self.disk.sync();
+                let mut edits: Vec<Edit> = victim_ids
+                    .iter()
+                    .chain(overlapped_ids.iter())
+                    .map(|&id| Edit::RemoveTable { id })
+                    .collect();
+                for t in &new_tables {
+                    edits.push(Edit::AddTable(t.meta(level + 1)));
+                }
+                self.manifest.borrow_mut().append(&self.disk, &edits)
+            })();
+            if let Err(e) = committed {
+                for t in &new_tables {
+                    let _ = t.release(&self.disk);
+                }
+                return Err(e);
             }
-            fail_point!("lsm.compact.sync");
-            self.disk.sync();
-            let mut edits: Vec<Edit> = victim_ids
-                .iter()
-                .chain(overlapped_ids.iter())
-                .map(|&id| Edit::RemoveTable { id })
-                .collect();
-            for t in &new_tables {
-                edits.push(Edit::AddTable(t.meta(level + 1)));
-            }
-            self.manifest.append(&self.disk, &edits)?;
             // Commit point: swap the in-memory version and free victims.
+            // Quarantine entries die with the tables that carried them
+            // (the manifest's RemoveTable does the same purge).
             self.next_table_id = next_id;
+            self.quarantined
+                .borrow_mut()
+                .retain(|&(t, _)| !victim_ids.contains(&t) && !overlapped_ids.contains(&t));
             let mut dropped: Vec<SsTable> = Vec::new();
             for lvl in [level, level + 1] {
                 let keep: Vec<SsTable> = std::mem::take(&mut self.levels[lvl])
@@ -511,13 +635,19 @@ impl Db {
         Ok(())
     }
 
-    fn read_all(&self, table: &SsTable) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+    fn read_all(&self, table: &SsTable) -> Result<DecodedBlock> {
         // Compaction I/O is counted as reads too (as in real systems).
-        // Unlike the query path, compaction must not quarantine-and-skip:
-        // a dropped block here would silently lose entries, so errors
-        // propagate.
+        // Quarantined blocks are skipped: their entries are already
+        // unreachable by queries (that loss was reported when the block
+        // was quarantined), and insisting on reading them would wedge
+        // every future flush behind the same error. Readable blocks still
+        // propagate errors — a *fresh* failure must not silently drop
+        // entries.
         let mut out = Vec::with_capacity(table.num_entries);
         for b in 0..table.blocks.len() {
+            if self.quarantined.borrow().contains(&(table.id, b as u32)) {
+                continue;
+            }
             out.extend(self.fetch_block_strict(table, b)?.iter().cloned());
         }
         Ok(out)
@@ -528,39 +658,87 @@ impl Db {
         Ok(Rc::new(SsTable::decode_block(&raw)?))
     }
 
-    /// Block fetch for the write/recovery paths: errors propagate.
+    /// One decoded-block read with bounded retry of *transient* faults
+    /// only; persistent errors (corruption, dead block) return on the
+    /// first attempt.
+    fn read_decoded_retrying(
+        &self,
+        table: &SsTable,
+        block: usize,
+        max_attempts: u32,
+    ) -> Result<Rc<DecodedBlock>> {
+        let mut backoff = Backoff::new(max_attempts);
+        loop {
+            match self.try_fetch(table, block) {
+                Ok(d) => return Ok(d),
+                Err(e) => {
+                    if backoff.retry(&e) {
+                        self.transient_retries.set(self.transient_retries.get() + 1);
+                        continue;
+                    }
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    /// Block fetch for the write/recovery paths: transients are retried,
+    /// everything else propagates.
     fn fetch_block_strict(&self, table: &SsTable, block: usize) -> Result<Rc<DecodedBlock>> {
         if let Some(hit) = self.cache.borrow_mut().get(table.id, block) {
             return Ok(hit);
         }
-        let decoded = self.try_fetch(table, block)?;
+        let decoded = self.read_decoded_retrying(table, block, 4)?;
         self.cache
             .borrow_mut()
             .insert(table.id, block, Rc::clone(&decoded));
         Ok(decoded)
     }
 
-    /// Block fetch for the query paths, through the block cache, with
-    /// quarantine-and-read-repair: a failed decode is retried once (the
-    /// repair), and a block that fails twice is quarantined — queries
-    /// treat it as empty and the counters in [`Db::io_stats`] record the
-    /// degradation instead of the process panicking.
+    /// Block fetch for the query paths, through the block cache, with the
+    /// three-way fault policy:
+    ///
+    /// * **transient** read errors are retried under [`Backoff`] until
+    ///   they heal — and are *never* quarantined (the on-disk data is
+    ///   intact); an exhausted retry budget serves the block as empty for
+    ///   this one query only.
+    /// * a **persistent** decode failure is retried once more (the read
+    ///   repair — media faults injected on the read copy can vanish on
+    ///   re-read), and
+    /// * a block that still fails is **quarantined**: queries treat it as
+    ///   empty, the quarantine is persisted through the manifest so
+    ///   reopen skips it, and only scrub can lift it. The counters in
+    ///   [`Db::io_stats`] record every step instead of the process
+    ///   panicking.
     fn fetch_block(&self, table: &SsTable, block: usize) -> Rc<DecodedBlock> {
         if let Some(hit) = self.cache.borrow_mut().get(table.id, block) {
             return hit;
         }
-        if self.quarantined.borrow().contains(&(table.id, block)) {
+        if self.quarantined.borrow().contains(&(table.id, block as u32)) {
             return Rc::new(Vec::new());
         }
-        let decoded = match self.try_fetch(table, block) {
+        let decoded = match self.read_decoded_retrying(table, block, 8) {
             Ok(d) => d,
-            Err(_) => match self.try_fetch(table, block) {
+            Err(e) if e.is_transient() => return Rc::new(Vec::new()),
+            Err(_) => match self.read_decoded_retrying(table, block, 8) {
                 Ok(d) => {
                     self.read_repairs.set(self.read_repairs.get() + 1);
                     d
                 }
                 Err(_) => {
-                    self.quarantined.borrow_mut().insert((table.id, block));
+                    self.quarantined
+                        .borrow_mut()
+                        .insert((table.id, block as u32));
+                    // Best-effort persistence: if the manifest append
+                    // itself fails the quarantine still holds in memory
+                    // and reopen rediscovers the bad block.
+                    let _ = self.manifest.borrow_mut().append(
+                        &self.disk,
+                        &[Edit::Quarantine {
+                            table: table.id,
+                            block: block as u32,
+                        }],
+                    );
                     return Rc::new(Vec::new());
                 }
             },
@@ -571,7 +749,9 @@ impl Db {
         decoded
     }
 
-    fn get_in_table(&self, table: &SsTable, key: &[u8]) -> Option<Vec<u8>> {
+    /// `None` = key absent from this table; `Some(None)` = tombstoned
+    /// here; `Some(Some(v))` = live value.
+    fn get_in_table(&self, table: &SsTable, key: &[u8]) -> Option<Option<Vec<u8>>> {
         let b = table.candidate_block(key);
         let blk = self.fetch_block(table, b);
         blk.binary_search_by(|(k, _)| k.as_slice().cmp(key))
@@ -592,16 +772,18 @@ impl Db {
         table.filter_may_contain(key)
     }
 
-    /// Point lookup (Figure 4.3, Get path).
+    /// Point lookup (Figure 4.3, Get path). The newest version wins: a
+    /// tombstone found at any level answers `None` without consulting
+    /// older levels.
     pub fn get(&self, key: &[u8]) -> Option<Vec<u8>> {
         if let Some(slot) = self.mem.get(key) {
-            return Some(self.mem_values[slot as usize].clone());
+            return self.mem_values[slot as usize].clone();
         }
         // Level 0: newest first, overlapping ranges.
         for table in self.levels[0].iter().rev() {
             if table.covers(key) && self.probe_filter(table, key) {
                 if let Some(v) = self.get_in_table(table, key) {
-                    return Some(v);
+                    return v;
                 }
             }
         }
@@ -610,7 +792,7 @@ impl Db {
             if let Some(table) = level.get(idx) {
                 if table.covers(key) && self.probe_filter(table, key) {
                     if let Some(v) = self.get_in_table(table, key) {
-                        return Some(v);
+                        return v;
                     }
                 }
             }
@@ -621,13 +803,15 @@ impl Db {
     /// Resolves the not-yet-answered candidate keys `cand` (indexes into
     /// `keys`) against one table: one batched filter probe over the whole
     /// candidate set, then block fetches shared across survivors that are
-    /// sorted into the same block. `out[i]` is written only on a hit.
+    /// sorted into the same block. `out[i]` is written only on a hit
+    /// (where a tombstone hit writes `Some(None)`, resolving the key as
+    /// deleted).
     fn multi_get_in_table(
         &self,
         table: &SsTable,
         keys: &[&[u8]],
         cand: &[u32],
-        out: &mut [Option<Vec<u8>>],
+        out: &mut [Option<Option<Vec<u8>>>],
     ) {
         let mut survivors: Vec<u32>;
         if table.has_filter() {
@@ -680,7 +864,9 @@ impl Db {
     /// batch before older tables are consulted (the short-circuit a per-key
     /// loop gets for free).
     pub fn multi_get(&self, keys: &[&[u8]]) -> Vec<Option<Vec<u8>>> {
-        let mut out: Vec<Option<Vec<u8>>> = vec![None; keys.len()];
+        // Inner `Option` is the resolution (`Some(None)` = tombstoned);
+        // flattened to the public shape at the end.
+        let mut out: Vec<Option<Option<Vec<u8>>>> = vec![None; keys.len()];
         let mut unresolved: Vec<u32> = Vec::new();
         for (i, &key) in keys.iter().enumerate() {
             if let Some(slot) = self.mem.get(key) {
@@ -736,7 +922,7 @@ impl Db {
             }
             unresolved.retain(|&i| out[i as usize].is_none());
         }
-        out
+        out.into_iter().map(|r| r.flatten()).collect()
     }
 
     /// Batched range read: for each `(low, n)` pair, the keys of the `n`
@@ -787,7 +973,41 @@ impl Db {
     }
 
     /// Seek (Figure 4.3): smallest key `>= lk`, bounded by `hk` when given.
+    ///
+    /// Tombstone-aware: the structural candidate (smallest stored entry,
+    /// live or deleted) is verified against the merged view and, when it
+    /// turns out to be a shadowed delete, the seek restarts past it. The
+    /// verification `get` is skipped entirely while the store holds no
+    /// tombstones, which keeps the delete-free fast path at its original
+    /// I/O cost.
     pub fn seek(&self, lk: &[u8], hk: Option<&[u8]>) -> SeekResult {
+        let mut low = lk.to_vec();
+        loop {
+            let cand = match self.seek_candidate(&low, hk) {
+                SeekResult::Found { key } => key,
+                SeekResult::NotFound => return SeekResult::NotFound,
+            };
+            if !self.any_tombstones() || self.get(&cand).is_some() {
+                return SeekResult::Found { key: cand };
+            }
+            low = memtree_common::key::successor(&cand);
+            if let Some(hk) = hk {
+                if low.as_slice() >= hk {
+                    return SeekResult::NotFound;
+                }
+            }
+        }
+    }
+
+    /// Cheap gate for the seek resolution loop: any tombstone anywhere?
+    fn any_tombstones(&self) -> bool {
+        self.mem_tombstones > 0
+            || self.levels.iter().flatten().any(|t| t.num_tombstones > 0)
+    }
+
+    /// The structural part of [`Db::seek`]: smallest *stored* key `>= lk`
+    /// across memtable and tables, tombstones included.
+    fn seek_candidate(&self, lk: &[u8], hk: Option<&[u8]>) -> SeekResult {
         // Memtable candidate is exact and free.
         let mut best_exact: Option<Vec<u8>> = None;
         self.mem.range_from(lk, &mut |k, _| {
@@ -889,9 +1109,9 @@ impl Db {
     /// blocks are scanned.
     pub fn count(&self, lk: &[u8], hk: &[u8]) -> usize {
         let mut total = 0usize;
-        self.mem.range_from(lk, &mut |k, _| {
+        self.mem.range_from(lk, &mut |k, slot| {
             if k < hk {
-                total += 1;
+                total += usize::from(self.mem_values[slot as usize].is_some());
                 true
             } else {
                 false
@@ -909,11 +1129,11 @@ impl Db {
                         'blocks: while b < table.blocks.len() {
                             let blk = self.fetch_block(table, b);
                             let start = blk.partition_point(|(k, _)| k.as_slice() < lk);
-                            for (k, _) in &blk[start..] {
+                            for (k, v) in &blk[start..] {
                                 if k.as_slice() >= hk {
                                     break 'blocks;
                                 }
-                                total += 1;
+                                total += usize::from(v.is_some());
                             }
                             b += 1;
                         }
@@ -930,6 +1150,7 @@ impl Db {
         IoStats {
             read_repairs: self.read_repairs.get(),
             quarantined_blocks: self.quarantined.borrow().len() as u64,
+            transient_retries: self.transient_retries.get(),
             ..self.disk.stats()
         }
     }
@@ -938,6 +1159,62 @@ impl Db {
     pub fn reset_io_stats(&self) {
         self.disk.reset_stats();
         self.read_repairs.set(0);
+        self.transient_retries.set(0);
+    }
+
+    /// Tables serving filterless because a block was unreadable or
+    /// quarantined when their filter was (re)built at open.
+    pub fn degraded_tables(&self) -> u64 {
+        self.degraded_tables.get()
+    }
+
+    /// The live version as the manifest would describe it (used by scrub
+    /// to rewrite the manifest after repairs).
+    pub(crate) fn current_version(&self) -> Version {
+        Version {
+            levels: self
+                .levels
+                .iter()
+                .enumerate()
+                .map(|(lvl, level)| level.iter().map(|t| t.meta(lvl)).collect())
+                .collect(),
+            flushed_seq: self.flushed_seq,
+            next_table_id: self.next_table_id,
+            quarantined: self.quarantined.borrow().iter().copied().collect(),
+        }
+    }
+
+    /// Cache lookup without any disk fallback (scrub repairs bad blocks
+    /// from still-cached copies when it can).
+    pub(crate) fn cached_block(&self, table: u64, block: usize) -> Option<Rc<DecodedBlock>> {
+        self.cache.borrow_mut().get(table, block)
+    }
+
+    pub(crate) fn memtable_is_empty(&self) -> bool {
+        self.mem.is_empty()
+    }
+
+    /// `[min, max]` of the keys currently buffered in the MemTable
+    /// (tombstones included — a buffered delete is newer data too).
+    pub(crate) fn memtable_range(&self) -> Option<(Vec<u8>, Vec<u8>)> {
+        let mut min: Option<Vec<u8>> = None;
+        let mut max: Option<Vec<u8>> = None;
+        self.mem.for_each_sorted(&mut |k, _| {
+            if min.is_none() {
+                min = Some(k.to_vec());
+            }
+            max = Some(k.to_vec());
+        });
+        min.zip(max)
+    }
+
+    /// Truncates the WAL to empty and resets its high-water bookkeeping
+    /// (scrub's repair for a damaged log that covers no unflushed data).
+    pub(crate) fn discard_wal(&mut self) {
+        let bytes = self.disk.file_len(WAL_FILE) as u64;
+        self.disk.truncate_file(WAL_FILE, 0);
+        self.disk.sync();
+        self.wal.note_reset(bytes);
     }
 
     /// WAL activity counters (appends, group commits, replay outcome).
@@ -1488,6 +1765,195 @@ mod tests {
         assert_eq!(s.quarantined_blocks, 1);
         // After disarming, *other* blocks still serve.
         assert_eq!(db.get(&encode_u64(1999)), Some(b"payload".to_vec()));
+    }
+
+    #[test]
+    fn delete_shadows_across_levels_and_reopen() {
+        let opts = DbOptions {
+            memtable_bytes: 2 << 10,
+            ..Default::default()
+        };
+        let mut db = Db::new(opts.clone());
+        for i in 0..1500u64 {
+            db.put(&encode_u64(i), b"live").unwrap();
+        }
+        for i in (0..1500u64).step_by(3) {
+            db.delete(&encode_u64(i)).unwrap();
+        }
+        let check = |db: &Db| {
+            for i in 0..150u64 {
+                let got = db.get(&encode_u64(i));
+                if i % 3 == 0 {
+                    assert_eq!(got, None, "deleted key {i} resurrected");
+                } else {
+                    assert_eq!(got, Some(b"live".to_vec()), "live key {i} lost");
+                }
+            }
+            // Batched gets and tombstone-aware seeks agree with `get`.
+            let keys: Vec<Vec<u8>> = (0..60u64).map(|i| encode_u64(i).to_vec()).collect();
+            let refs: Vec<&[u8]> = keys.iter().map(|k| k.as_slice()).collect();
+            let batch = db.multi_get(&refs);
+            for (i, got) in batch.iter().enumerate() {
+                assert_eq!(*got, db.get(refs[i]), "multi_get key {i}");
+            }
+            match db.seek(&encode_u64(0), None) {
+                SeekResult::Found { key } => {
+                    assert_eq!(memtree_common::key::decode_u64(&key), 1, "key 0 is deleted")
+                }
+                SeekResult::NotFound => panic!("seek found nothing"),
+            }
+            // A range holding only deleted keys (just key 141, = 3*47).
+            assert_eq!(
+                db.seek(&encode_u64(141), Some(&encode_u64(142))),
+                SeekResult::NotFound
+            );
+        };
+        check(&db);
+        let disk = db.close().unwrap();
+        let db = Db::open(disk, opts).unwrap();
+        check(&db);
+    }
+
+    #[test]
+    fn tombstones_are_dropped_at_the_bottom_level() {
+        let mut db = Db::new(DbOptions {
+            memtable_bytes: 1 << 20, // manual flushes
+            l0_tables: 0,            // every flush compacts L0 away
+            ..Default::default()
+        });
+        for i in 0..500u64 {
+            db.put(&encode_u64(i), b"v").unwrap();
+        }
+        db.flush().unwrap();
+        assert!(db.table_entries() > 0);
+        for i in 0..500u64 {
+            db.delete(&encode_u64(i)).unwrap();
+        }
+        // The tombstones merge straight into the bottom level: with
+        // nothing deeper to shadow, both the tombstones and the values
+        // they deleted must be gone afterwards — and stay gone.
+        db.flush().unwrap();
+        assert_eq!(db.table_entries(), 0, "bottom-level merge kept dead entries");
+        assert_eq!(db.get(&encode_u64(250)), None, "dropping a tombstone resurrected data");
+        assert_eq!(db.seek(&encode_u64(0), None), SeekResult::NotFound);
+        assert_eq!(db.count(&encode_u64(0), &encode_u64(10_000)), 0);
+    }
+
+    #[test]
+    fn enospc_flush_is_typed_clean_and_retryable() {
+        let mut db = Db::new(DbOptions {
+            memtable_bytes: 1 << 20, // manual flushes
+            ..Default::default()
+        });
+        for i in 0..2000u64 {
+            db.put(&encode_u64(i), &[0x5a; 64]).unwrap();
+        }
+        let used = db.disk.used_bytes();
+        db.disk.set_capacity_bytes(Some(used + 512));
+        let err = db.flush().unwrap_err();
+        assert!(
+            matches!(err, memtree_common::error::MemtreeError::Enospc { .. }),
+            "want Enospc, got {err}"
+        );
+        // The failed flush left no partial state: usage is back where it
+        // was and every write is still served (from the memtable).
+        assert_eq!(db.disk.used_bytes(), used, "failed flush leaked blocks");
+        assert_eq!(db.get(&encode_u64(7)), Some(vec![0x5a; 64]));
+        assert_eq!(db.table_entries(), 0);
+        // Space frees up: the retried flush succeeds and data lands.
+        db.disk.set_capacity_bytes(None);
+        db.flush().unwrap().expect("retried flush flushes");
+        assert!(db.table_entries() > 0);
+        assert_eq!(db.get(&encode_u64(1999)), Some(vec![0x5a; 64]));
+    }
+
+    #[test]
+    fn reopen_cycles_keep_manifest_file_count_bounded() {
+        let opts = DbOptions {
+            memtable_bytes: 4 << 10,
+            ..Default::default()
+        };
+        let mut disk = Db::new(opts.clone()).close().unwrap();
+        let mut next = 0u64;
+        for _cycle in 0..8 {
+            let mut db = Db::open(disk, opts.clone()).unwrap();
+            for _ in 0..200 {
+                db.put(&encode_u64(next), b"cycle-value").unwrap();
+                next += 1;
+            }
+            disk = db.close().unwrap();
+            let manifests = disk
+                .file_names()
+                .into_iter()
+                .filter(|f| f.starts_with("manifest-"))
+                .count();
+            assert!(manifests <= 2, "manifest generations piling up: {manifests}");
+        }
+        let db = Db::open(disk, opts).unwrap();
+        for i in (0..next).step_by(97) {
+            assert_eq!(db.get(&encode_u64(i)), Some(b"cycle-value".to_vec()));
+        }
+    }
+
+    #[test]
+    fn quarantine_persists_across_reopen_and_degrades_filters() {
+        let _g = memtree_faults::test_lock();
+        let opts = DbOptions {
+            memtable_bytes: 1 << 20,
+            cache_blocks: 0,
+            filter: FilterKind::Bloom(10.0),
+            ..Default::default()
+        };
+        let mut db = Db::new(opts.clone());
+        for i in 0..2000u64 {
+            db.put(&encode_u64(i), b"payload").unwrap();
+        }
+        db.flush().unwrap();
+        // Persistent corruption on key 0's block: the read path
+        // quarantines it and records the quarantine in the manifest.
+        memtree_faults::enable(11);
+        memtree_faults::arm("lsm.disk.read_corrupt", 1.0, None);
+        assert_eq!(db.get(&encode_u64(0)), None);
+        memtree_faults::disable();
+        assert_eq!(db.io_stats().quarantined_blocks, 1);
+        let disk = db.close().unwrap();
+        let db = Db::open(disk, opts).unwrap();
+        // Reopen trusted the persisted quarantine (no read of the bad
+        // block), runs the table filterless, and still serves the rest.
+        assert_eq!(db.io_stats().quarantined_blocks, 1);
+        assert_eq!(db.degraded_tables(), 1);
+        assert_eq!(db.get(&encode_u64(0)), None, "quarantined data stays absent");
+        assert_eq!(db.get(&encode_u64(1999)), Some(b"payload".to_vec()));
+    }
+
+    #[test]
+    fn transient_read_faults_heal_without_quarantine() {
+        let _g = memtree_faults::test_lock();
+        let db = {
+            let mut db = Db::new(DbOptions {
+                memtable_bytes: 1 << 20,
+                cache_blocks: 0,
+                ..Default::default()
+            });
+            for i in 0..2000u64 {
+                db.put(&encode_u64(i), b"payload").unwrap();
+            }
+            db.flush().unwrap();
+            db
+        };
+        memtree_faults::enable(23);
+        memtree_faults::arm("lsm.disk.read_transient", 0.25, None);
+        for i in (0..2000u64).step_by(37) {
+            assert_eq!(
+                db.get(&encode_u64(i)),
+                Some(b"payload".to_vec()),
+                "transient fault leaked to a query answer at key {i}"
+            );
+        }
+        memtree_faults::disable();
+        let s = db.io_stats();
+        assert!(s.transient_retries > 0, "no transient was ever injected");
+        assert_eq!(s.quarantined_blocks, 0, "transient faults must never quarantine");
     }
 }
 

@@ -1,4 +1,5 @@
-//! The simulated block device: I/O accounting plus a power-loss model.
+//! The simulated block device: I/O accounting plus a power-loss model and
+//! three seeded latent-fault classes.
 //!
 //! Two storage namespaces share one device, mirroring how an LSM engine
 //! splits its on-disk footprint:
@@ -6,8 +7,8 @@
 //! * a **block store** (`write`/`read`/`release`) holding SSTable data
 //!   blocks, addressed by id;
 //! * a small **file namespace** (`append`/`write_file_atomic`/
-//!   `truncate_file`/`read_file`) holding the WAL, MANIFEST files, and the
-//!   CURRENT pointer.
+//!   `truncate_file`/`remove_file`/`read_file`) holding the WAL, MANIFEST
+//!   files, and the CURRENT pointer.
 //!
 //! Every mutation first lands in a volatile **write buffer** and becomes
 //! durable only at [`SimDisk::sync`]. [`SimDisk::crash`] models power loss:
@@ -18,6 +19,21 @@
 //! (it applies fully or not at all), which is exactly the primitive the
 //! manifest's CURRENT swap needs.
 //!
+//! ## Fault classes beyond power loss
+//!
+//! * **Latent corruption** ([`SimDisk::bitrot_block`] /
+//!   [`SimDisk::bitrot_file`]): a seeded bit flip in *durable* content —
+//!   damage that lands after a successful `sync`, which CRC framing detects
+//!   only at the next read. `Db::scrub` exists to find it proactively.
+//! * **Transient read errors** (the `lsm.disk.read_transient` fail point):
+//!   the read fails with a typed [`MemtreeError::TransientIo`] but the
+//!   stored bytes are intact — a retry can succeed. Readers must heal these
+//!   via retry, never quarantine on them.
+//! * **Capacity** ([`SimDisk::set_capacity_bytes`]): block writes, appends,
+//!   and atomic replaces that would push total usage past the limit are
+//!   rejected with a typed [`MemtreeError::Enospc`] *before* buffering
+//!   anything, so a failed write never leaves partial state.
+//!
 //! Reads are served through the buffer (like the OS page cache), so a
 //! process that never crashes observes its own unsynced writes.
 
@@ -26,10 +42,10 @@ use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
 use std::time::Duration;
 
-/// Running I/O counters. `read_repairs` / `quarantined_blocks` are
-/// maintained by the [`Db`](crate::Db) read-repair path and merged into
-/// this struct by [`Db::io_stats`](crate::Db::io_stats); the raw device
-/// reports them as zero.
+/// Running I/O counters. `read_repairs` / `quarantined_blocks` /
+/// `transient_retries` are maintained by the [`Db`](crate::Db) read paths
+/// and merged into this struct by [`Db::io_stats`](crate::Db::io_stats);
+/// the raw device reports them as zero.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct IoStats {
     /// Block reads served by the device (block-cache misses).
@@ -46,6 +62,8 @@ pub struct IoStats {
     pub read_repairs: u64,
     /// Blocks quarantined after failing validation twice.
     pub quarantined_blocks: u64,
+    /// Reads retried after a transient I/O fault (healed, not quarantined).
+    pub transient_retries: u64,
 }
 
 /// A buffered, not-yet-durable mutation. Order within the buffer is the
@@ -59,6 +77,8 @@ enum PendingOp {
     Replace { file: String, data: Vec<u8> },
     /// Truncation to `len` bytes; atomic (metadata-only in a real FS).
     Truncate { file: String, len: usize },
+    /// File removal (`unlink(2)`); atomic at crash.
+    Remove { file: String },
 }
 
 /// An in-memory "disk" of fixed-size blocks and small log files with exact
@@ -76,6 +96,8 @@ pub struct SimDisk {
     files: RefCell<BTreeMap<String, Vec<u8>>>,
     /// The volatile write buffer, in issue order.
     pending: RefCell<Vec<PendingOp>>,
+    /// Optional capacity limit; `None` = unbounded.
+    capacity: Cell<Option<u64>>,
     reads: Cell<u64>,
     writes: Cell<u64>,
     appends: Cell<u64>,
@@ -93,6 +115,7 @@ impl SimDisk {
             free: RefCell::new(Vec::new()),
             files: RefCell::new(BTreeMap::new()),
             pending: RefCell::new(Vec::new()),
+            capacity: Cell::new(None),
             reads: Cell::new(0),
             writes: Cell::new(0),
             appends: Cell::new(0),
@@ -102,9 +125,51 @@ impl SimDisk {
         }
     }
 
+    /// Sets (or clears) the capacity limit in bytes. Mutations that would
+    /// push [`SimDisk::used_bytes`] past it fail with a typed
+    /// [`MemtreeError::Enospc`] before buffering anything.
+    pub fn set_capacity_bytes(&self, capacity: Option<u64>) {
+        self.capacity.set(capacity);
+    }
+
+    /// Bytes currently consumed: durable blocks + durable files + the
+    /// write buffer. Buffered replaces count in full alongside the content
+    /// they will supersede — a conservative model of the transient double
+    /// occupancy a real rename-based replace has.
+    pub fn used_bytes(&self) -> u64 {
+        let blocks: usize = self.blocks.borrow().iter().map(|b| b.len()).sum();
+        let files: usize = self.files.borrow().values().map(|f| f.len()).sum();
+        let pending: usize = self
+            .pending
+            .borrow()
+            .iter()
+            .map(|op| match op {
+                PendingOp::Block { data, .. } => data.len(),
+                PendingOp::Append { data, .. } | PendingOp::Replace { data, .. } => data.len(),
+                PendingOp::Truncate { .. } | PendingOp::Remove { .. } => 0,
+            })
+            .sum();
+        (blocks + files + pending) as u64
+    }
+
+    /// Rejects a prospective write of `requested` bytes when it would
+    /// exceed the capacity limit.
+    fn check_capacity(&self, context: &'static str, requested: usize) -> Result<()> {
+        if let Some(cap) = self.capacity.get() {
+            if self.used_bytes() + requested as u64 > cap {
+                return Err(MemtreeError::Enospc { context, requested });
+            }
+        }
+        Ok(())
+    }
+
     /// Writes a block into the buffer, returning its id. The content is
     /// readable immediately but durable only after [`SimDisk::sync`].
-    pub fn write(&self, data: Box<[u8]>) -> u32 {
+    /// Fails typed — and allocates nothing — on `Enospc` or an armed
+    /// `lsm.disk.write_fault`.
+    pub fn write(&self, data: Box<[u8]>) -> Result<u32> {
+        memtree_faults::fail_point!("lsm.disk.write_fault");
+        self.check_capacity("block-write", data.len())?;
         self.writes.set(self.writes.get() + 1);
         let id = if let Some(id) = self.free.borrow_mut().pop() {
             self.live.borrow_mut()[id as usize] = true;
@@ -116,7 +181,7 @@ impl SimDisk {
             (blocks.len() - 1) as u32
         };
         self.pending.borrow_mut().push(PendingOp::Block { id, data });
-        id
+        Ok(id)
     }
 
     /// Reads a block (counted, latency-charged) through the write buffer.
@@ -130,6 +195,12 @@ impl SimDisk {
             while start.elapsed() < self.read_latency {
                 std::hint::spin_loop();
             }
+        }
+        // Transient media fault: the stored bytes are intact; the caller
+        // may retry. Evaluated before the corrupting fault so the two
+        // classes exercise distinct read-path reactions.
+        if memtree_faults::should_fail("lsm.disk.read_transient") {
+            return Err(MemtreeError::TransientIo { context: "sim-disk" });
         }
         let live = self.live.borrow();
         match live.get(id as usize) {
@@ -201,34 +272,107 @@ impl SimDisk {
         Ok(())
     }
 
-    /// Appends bytes to a named file's buffered tail.
-    pub fn append(&self, file: &str, data: &[u8]) {
+    /// Flips one seeded bit of a block's **durable** content — latent
+    /// corruption that lands after a successful sync, invisible until the
+    /// next read CRC-checks the frame. Errors on dead or empty blocks.
+    /// Deterministic: the same `(id, seed)` flips the same bit, so a
+    /// second call with the same arguments restores the original bytes.
+    pub fn bitrot_block(&self, id: u32, seed: u64) -> Result<()> {
+        if !self.is_live(id) {
+            return Err(MemtreeError::corruption(
+                "sim-disk",
+                format!("bitrot of dead block {id}"),
+            ));
+        }
+        let mut blocks = self.blocks.borrow_mut();
+        let block = &mut blocks[id as usize];
+        if block.is_empty() {
+            return Err(MemtreeError::corruption(
+                "sim-disk",
+                format!("bitrot of empty (unsynced) block {id}"),
+            ));
+        }
+        let mut s = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let bit = memtree_common::hash::splitmix64(&mut s) as usize % (block.len() * 8);
+        block[bit / 8] ^= 1 << (bit % 8);
+        Ok(())
+    }
+
+    /// Flips one seeded bit of a named file's **durable** content; returns
+    /// false when the file is missing or empty (nothing to rot).
+    pub fn bitrot_file(&self, file: &str, seed: u64) -> bool {
+        let mut files = self.files.borrow_mut();
+        let Some(content) = files.get_mut(file) else { return false };
+        if content.is_empty() {
+            return false;
+        }
+        let mut s = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let bit = memtree_common::hash::splitmix64(&mut s) as usize % (content.len() * 8);
+        content[bit / 8] ^= 1 << (bit % 8);
+        true
+    }
+
+    /// Appends bytes to a named file's buffered tail. `Enospc` rejects the
+    /// whole append before buffering.
+    pub fn append(&self, file: &str, data: &[u8]) -> Result<()> {
+        self.check_capacity("file-append", data.len())?;
         self.appends.set(self.appends.get() + 1);
         self.append_bytes.set(self.append_bytes.get() + data.len() as u64);
         self.pending.borrow_mut().push(PendingOp::Append {
             file: file.to_string(),
             data: data.to_vec(),
         });
+        Ok(())
     }
 
     /// Replaces a file's entire content atomically (the `rename(2)`
     /// primitive): after a crash either the old or the new content is
-    /// visible, never a mix.
-    pub fn write_file_atomic(&self, file: &str, data: &[u8]) {
+    /// visible, never a mix. `Enospc` rejects it before buffering.
+    pub fn write_file_atomic(&self, file: &str, data: &[u8]) -> Result<()> {
+        self.check_capacity("file-replace", data.len())?;
         self.appends.set(self.appends.get() + 1);
         self.append_bytes.set(self.append_bytes.get() + data.len() as u64);
         self.pending.borrow_mut().push(PendingOp::Replace {
             file: file.to_string(),
             data: data.to_vec(),
         });
+        Ok(())
     }
 
     /// Truncates a file to `len` bytes (buffered; atomic at crash).
+    /// Truncation only frees space, so it cannot fail with `Enospc`.
     pub fn truncate_file(&self, file: &str, len: usize) {
         self.pending.borrow_mut().push(PendingOp::Truncate {
             file: file.to_string(),
             len,
         });
+    }
+
+    /// Removes a file (buffered `unlink(2)`; atomic at crash). Removing a
+    /// missing file is a no-op, like `rm -f`.
+    pub fn remove_file(&self, file: &str) {
+        self.pending.borrow_mut().push(PendingOp::Remove {
+            file: file.to_string(),
+        });
+    }
+
+    /// Names of all files visible through the write buffer (durable files
+    /// plus buffered creations, minus buffered removals).
+    pub fn file_names(&self) -> Vec<String> {
+        let mut names: std::collections::BTreeSet<String> =
+            self.files.borrow().keys().cloned().collect();
+        for op in self.pending.borrow().iter() {
+            match op {
+                PendingOp::Append { file, .. } | PendingOp::Replace { file, .. } => {
+                    names.insert(file.clone());
+                }
+                PendingOp::Remove { file } => {
+                    names.remove(file);
+                }
+                PendingOp::Block { .. } | PendingOp::Truncate { .. } => {}
+            }
+        }
+        names.into_iter().collect()
     }
 
     /// The file's current content as seen through the write buffer.
@@ -262,6 +406,7 @@ impl SimDisk {
             PendingOp::Truncate { file: f, len } if f == file => {
                 content.truncate(*len)
             }
+            PendingOp::Remove { file: f } if f == file => content.clear(),
             _ => {}
         }
     }
@@ -294,14 +439,17 @@ impl SimDisk {
                     f.truncate(len);
                 }
             }
+            PendingOp::Remove { file } => {
+                self.files.borrow_mut().remove(&file);
+            }
         }
     }
 
     /// Simulates power loss: every unsynced write is dropped. With
     /// `tear_seed`, the **last** in-flight write is torn instead of
     /// dropped — a seeded prefix of an append or block write reaches
-    /// durable storage (atomic replace/truncate ops apply fully or not at
-    /// all, `rename` semantics, decided by the seed's low bit).
+    /// durable storage (atomic replace/truncate/remove ops apply fully or
+    /// not at all, `rename` semantics, decided by the seed's low bit).
     ///
     /// Block ids allocated for unsynced writes stay allocated (their
     /// durable content is empty or torn); recovery garbage-collects ids no
@@ -325,7 +473,7 @@ impl SimDisk {
                     .or_default()
                     .extend_from_slice(&data[..keep]);
             }
-            op @ (PendingOp::Replace { .. } | PendingOp::Truncate { .. }) => {
+            op @ (PendingOp::Replace { .. } | PendingOp::Truncate { .. } | PendingOp::Remove { .. }) => {
                 if draw & 1 == 1 {
                     self.apply_durable(op);
                 }
@@ -348,6 +496,7 @@ impl SimDisk {
             syncs: self.syncs.get(),
             read_repairs: 0,
             quarantined_blocks: 0,
+            transient_retries: 0,
         }
     }
 
@@ -384,14 +533,14 @@ mod tests {
     #[test]
     fn write_read_release_roundtrip() {
         let d = SimDisk::new(Duration::ZERO);
-        let a = d.write(Box::from(&b"hello"[..]));
-        let b = d.write(Box::from(&b"world"[..]));
+        let a = d.write(Box::from(&b"hello"[..])).unwrap();
+        let b = d.write(Box::from(&b"world"[..])).unwrap();
         assert_eq!(&*d.read(a).unwrap(), b"hello");
         assert_eq!(&*d.read(b).unwrap(), b"world");
         assert_eq!(d.stats().block_reads, 2);
         assert_eq!(d.stats().block_writes, 2);
         d.release(a).unwrap();
-        let c = d.write(Box::from(&b"again"[..]));
+        let c = d.write(Box::from(&b"again"[..])).unwrap();
         assert_eq!(c, a, "freed slot reused");
         assert_eq!(d.live_blocks(), 2);
         d.reset_stats();
@@ -401,7 +550,7 @@ mod tests {
     #[test]
     fn typed_errors_for_bad_block_ids() {
         let d = SimDisk::new(Duration::ZERO);
-        let a = d.write(Box::from(&b"x"[..]));
+        let a = d.write(Box::from(&b"x"[..])).unwrap();
         assert!(d.read(99).is_err(), "out-of-range read");
         assert!(d.release(99).is_err(), "out-of-range release");
         d.release(a).unwrap();
@@ -412,9 +561,9 @@ mod tests {
     #[test]
     fn crash_drops_unsynced_block_writes() {
         let d = SimDisk::new(Duration::ZERO);
-        let a = d.write(Box::from(&b"durable"[..]));
+        let a = d.write(Box::from(&b"durable"[..])).unwrap();
         d.sync();
-        let b = d.write(Box::from(&b"volatile"[..]));
+        let b = d.write(Box::from(&b"volatile"[..])).unwrap();
         assert_eq!(&*d.read(b).unwrap(), b"volatile", "buffer readable pre-crash");
         d.crash(None);
         assert_eq!(&*d.read(a).unwrap(), b"durable");
@@ -425,9 +574,9 @@ mod tests {
     fn crash_tears_last_append_at_seeded_offset() {
         for seed in 0..64u64 {
             let d = SimDisk::new(Duration::ZERO);
-            d.append("wal", b"AAAA");
+            d.append("wal", b"AAAA").unwrap();
             d.sync();
-            d.append("wal", b"BBBBBBBB");
+            d.append("wal", b"BBBBBBBB").unwrap();
             d.crash(Some(seed));
             let f = d.read_file("wal");
             assert!(f.starts_with(b"AAAA"), "synced prefix intact");
@@ -440,9 +589,9 @@ mod tests {
     fn atomic_replace_never_tears() {
         for seed in 0..32u64 {
             let d = SimDisk::new(Duration::ZERO);
-            d.write_file_atomic("CURRENT", b"manifest-1");
+            d.write_file_atomic("CURRENT", b"manifest-1").unwrap();
             d.sync();
-            d.write_file_atomic("CURRENT", b"manifest-2");
+            d.write_file_atomic("CURRENT", b"manifest-2").unwrap();
             d.crash(Some(seed));
             let f = d.read_file("CURRENT");
             assert!(
@@ -455,8 +604,8 @@ mod tests {
     #[test]
     fn files_append_truncate_roundtrip() {
         let d = SimDisk::new(Duration::ZERO);
-        d.append("log", b"one");
-        d.append("log", b"two");
+        d.append("log", b"one").unwrap();
+        d.append("log", b"two").unwrap();
         assert_eq!(d.read_file("log"), b"onetwo", "buffered view");
         d.sync();
         d.truncate_file("log", 3);
@@ -464,5 +613,98 @@ mod tests {
         d.crash(None); // unsynced truncate dropped
         assert_eq!(d.read_file("log"), b"onetwo");
         assert_eq!(d.read_file("missing"), b"");
+    }
+
+    #[test]
+    fn remove_file_and_file_names_track_the_buffer() {
+        let d = SimDisk::new(Duration::ZERO);
+        d.append("a", b"1").unwrap();
+        d.append("b", b"2").unwrap();
+        d.sync();
+        d.remove_file("a");
+        assert_eq!(d.file_names(), vec!["b".to_string()], "buffered removal visible");
+        assert_eq!(d.read_file("a"), b"", "removed file reads as empty");
+        d.crash(None); // unsynced removal dropped
+        assert_eq!(d.file_names(), vec!["a".to_string(), "b".to_string()]);
+        d.remove_file("a");
+        d.sync();
+        assert_eq!(d.file_names(), vec!["b".to_string()], "durable removal");
+        d.remove_file("missing"); // no-op, like rm -f
+        d.sync();
+    }
+
+    #[test]
+    fn capacity_limit_yields_typed_enospc_without_partial_state() {
+        let d = SimDisk::new(Duration::ZERO);
+        d.set_capacity_bytes(Some(10));
+        let a = d.write(Box::from(&b"12345678"[..])).unwrap();
+        let before = d.used_bytes();
+        match d.write(Box::from(&b"xxx"[..])) {
+            Err(MemtreeError::Enospc { requested, .. }) => assert_eq!(requested, 3),
+            other => panic!("expected Enospc, got {other:?}"),
+        }
+        assert_eq!(d.used_bytes(), before, "failed write buffered nothing");
+        assert!(matches!(
+            d.append("wal", b"abc"),
+            Err(MemtreeError::Enospc { .. })
+        ));
+        assert!(matches!(
+            d.write_file_atomic("CURRENT", b"abc"),
+            Err(MemtreeError::Enospc { .. })
+        ));
+        // Freeing space makes the same writes succeed.
+        d.sync();
+        d.release(a).unwrap();
+        d.write(Box::from(&b"xxx"[..])).unwrap();
+        d.append("wal", b"abc").unwrap();
+        d.set_capacity_bytes(None);
+        d.write(Box::from(&vec![0u8; 1 << 16][..])).unwrap();
+    }
+
+    #[test]
+    fn bitrot_flips_exactly_one_durable_bit_and_is_self_inverse() {
+        let d = SimDisk::new(Duration::ZERO);
+        let a = d.write(Box::from(&[0u8; 64][..])).unwrap();
+        d.sync();
+        d.bitrot_block(a, 42).unwrap();
+        let rotten = d.read(a).unwrap();
+        assert_eq!(
+            rotten.iter().map(|b| b.count_ones()).sum::<u32>(),
+            1,
+            "exactly one bit flipped"
+        );
+        d.bitrot_block(a, 42).unwrap();
+        assert_eq!(&*d.read(a).unwrap(), &[0u8; 64][..], "same seed restores");
+        // Unsynced blocks have no durable content to rot.
+        let b = d.write(Box::from(&b"fresh"[..])).unwrap();
+        assert!(d.bitrot_block(b, 1).is_err());
+        d.release(a).unwrap();
+        assert!(d.bitrot_block(a, 1).is_err(), "dead block");
+
+        d.append("f", b"\0\0\0\0").unwrap();
+        assert!(!d.bitrot_file("f", 3), "unsynced file content is not durable");
+        d.sync();
+        assert!(d.bitrot_file("f", 3));
+        let rotten = d.read_file("f");
+        assert_eq!(rotten.iter().map(|b| b.count_ones()).sum::<u32>(), 1);
+        assert!(d.bitrot_file("f", 3), "self-inverse for files too");
+        assert_eq!(d.read_file("f"), b"\0\0\0\0");
+        assert!(!d.bitrot_file("missing", 1));
+    }
+
+    #[test]
+    fn transient_read_fault_is_typed_and_heals_on_retry() {
+        let _g = memtree_faults::test_lock();
+        let d = SimDisk::new(Duration::ZERO);
+        let a = d.write(Box::from(&b"payload"[..])).unwrap();
+        d.sync();
+        memtree_faults::enable(5);
+        memtree_faults::arm("lsm.disk.read_transient", 1.0, Some(1));
+        match d.read(a) {
+            Err(e) => assert!(e.is_transient(), "typed transient, got {e:?}"),
+            Ok(_) => panic!("armed transient fault must fire"),
+        }
+        assert_eq!(&*d.read(a).unwrap(), b"payload", "retry heals");
+        memtree_faults::disable();
     }
 }

@@ -27,10 +27,12 @@
 mod db;
 mod disk;
 mod manifest;
+mod scrub;
 mod sstable;
 mod wal;
 
 pub use db::{Db, DbOptions, FilterKind, FilterStats, FlushStats, SeekResult};
 pub use disk::{IoStats, SimDisk};
+pub use scrub::{FileScrubOutcome, LostRange, ScrubReport};
 pub use sstable::SsTable;
 pub use wal::WalStats;

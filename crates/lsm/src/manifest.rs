@@ -46,6 +46,9 @@ pub(crate) struct TableMeta {
     pub fences: Vec<Vec<u8>>,
     pub max_key: Vec<u8>,
     pub num_entries: usize,
+    /// Delete tombstones among `num_entries` (tombstone-free tables skip
+    /// tombstone resolution on reads).
+    pub num_tombstones: usize,
 }
 
 /// One version edit.
@@ -54,6 +57,11 @@ pub(crate) enum Edit {
     AddTable(TableMeta),
     RemoveTable { id: u64 },
     FlushSeq { seq: u64 },
+    /// Block `table.blocks[block]` failed validation persistently; readers
+    /// must not re-read it. Only `Db::scrub` emits the inverse edit.
+    Quarantine { table: u64, block: u32 },
+    /// The block validated clean again (bit rot healed / scrub verified).
+    Unquarantine { table: u64, block: u32 },
 }
 
 fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
@@ -109,6 +117,7 @@ impl Edit {
                 out.extend_from_slice(&(m.level as u32).to_le_bytes());
                 out.extend_from_slice(&m.id.to_le_bytes());
                 out.extend_from_slice(&(m.num_entries as u64).to_le_bytes());
+                out.extend_from_slice(&(m.num_tombstones as u64).to_le_bytes());
                 out.extend_from_slice(&(m.blocks.len() as u32).to_le_bytes());
                 for b in &m.blocks {
                     out.extend_from_slice(&b.to_le_bytes());
@@ -126,6 +135,16 @@ impl Edit {
                 out.push(3);
                 out.extend_from_slice(&seq.to_le_bytes());
             }
+            Edit::Quarantine { table, block } => {
+                out.push(4);
+                out.extend_from_slice(&table.to_le_bytes());
+                out.extend_from_slice(&block.to_le_bytes());
+            }
+            Edit::Unquarantine { table, block } => {
+                out.push(5);
+                out.extend_from_slice(&table.to_le_bytes());
+                out.extend_from_slice(&block.to_le_bytes());
+            }
         }
     }
 
@@ -135,6 +154,7 @@ impl Edit {
                 let level = r.u32()? as usize;
                 let id = r.u64()?;
                 let num_entries = r.u64()? as usize;
+                let num_tombstones = r.u64()? as usize;
                 let nblocks = r.u32()? as usize;
                 let mut blocks = Vec::with_capacity(nblocks);
                 for _ in 0..nblocks {
@@ -148,6 +168,12 @@ impl Edit {
                 if nblocks == 0 {
                     return Err(MemtreeError::corruption("manifest", "table with no blocks"));
                 }
+                if num_tombstones > num_entries {
+                    return Err(MemtreeError::corruption(
+                        "manifest",
+                        "tombstone count exceeds entry count",
+                    ));
+                }
                 Ok(Edit::AddTable(TableMeta {
                     level,
                     id,
@@ -155,10 +181,19 @@ impl Edit {
                     fences,
                     max_key,
                     num_entries,
+                    num_tombstones,
                 }))
             }
             2 => Ok(Edit::RemoveTable { id: r.u64()? }),
             3 => Ok(Edit::FlushSeq { seq: r.u64()? }),
+            4 => Ok(Edit::Quarantine {
+                table: r.u64()?,
+                block: r.u32()?,
+            }),
+            5 => Ok(Edit::Unquarantine {
+                table: r.u64()?,
+                block: r.u32()?,
+            }),
             tag => Err(MemtreeError::corruption(
                 "manifest",
                 format!("unknown edit tag {tag}"),
@@ -176,6 +211,9 @@ pub(crate) struct Version {
     pub flushed_seq: u64,
     /// One past the highest table id ever recorded.
     pub next_table_id: u64,
+    /// `(table id, block index)` pairs readers must not re-read; persisted
+    /// so a reopened Db skips known-bad blocks without probing them.
+    pub quarantined: std::collections::BTreeSet<(u64, u32)>,
 }
 
 impl Version {
@@ -201,8 +239,18 @@ impl Version {
                         format!("remove of unknown table {id}"),
                     ));
                 }
+                // Quarantine entries die with their table. A rewrite that
+                // reuses the id (Remove + Add in one txn) re-appends
+                // Quarantine edits for still-bad blocks in that same txn.
+                self.quarantined.retain(|&(t, _)| t != id);
             }
             Edit::FlushSeq { seq } => self.flushed_seq = self.flushed_seq.max(seq),
+            Edit::Quarantine { table, block } => {
+                self.quarantined.insert((table, block));
+            }
+            Edit::Unquarantine { table, block } => {
+                self.quarantined.remove(&(table, block));
+            }
         }
         Ok(())
     }
@@ -214,6 +262,9 @@ impl Version {
             for meta in level {
                 edits.push(Edit::AddTable(meta.clone()));
             }
+        }
+        for &(table, block) in &self.quarantined {
+            edits.push(Edit::Quarantine { table, block });
         }
         edits.push(Edit::FlushSeq {
             seq: self.flushed_seq,
@@ -246,7 +297,7 @@ impl Manifest {
                 appended_txns: 0,
             };
             fail_point!("lsm.current.swap");
-            disk.write_file_atomic(CURRENT_FILE, &encode_single(manifest.file.as_bytes()));
+            disk.write_file_atomic(CURRENT_FILE, &encode_single(manifest.file.as_bytes()))?;
             disk.sync();
             return Ok((manifest, Version::default(), true));
         }
@@ -299,7 +350,7 @@ impl Manifest {
         for e in edits {
             e.encode(&mut payload);
         }
-        disk.append(&self.file, &encode_frame(self.next_txn, &payload));
+        disk.append(&self.file, &encode_frame(self.next_txn, &payload))?;
         fail_point!("lsm.manifest.sync");
         disk.sync();
         self.next_txn += 1;
@@ -328,18 +379,29 @@ impl Manifest {
         // file (but before the CURRENT swap) left a frame here, and a
         // retried rotation reuses the same name — appending would stack
         // two txn-1 frames and poison the next open.
-        disk.write_file_atomic(&next_file, &encode_frame(1, &payload));
+        disk.write_file_atomic(&next_file, &encode_frame(1, &payload))?;
         disk.sync();
         fail_point!("lsm.current.swap");
-        disk.write_file_atomic(CURRENT_FILE, &encode_single(next_file.as_bytes()));
+        disk.write_file_atomic(CURRENT_FILE, &encode_single(next_file.as_bytes()))?;
         disk.sync();
         self.file = next_file;
         self.next_txn = 2;
+        // GC: once CURRENT durably points at generation n+1, every older
+        // manifest-K is dead — without this they accumulate forever. A
+        // crash between the swap and these removals only re-runs the GC at
+        // the next rotation (removal is idempotent).
+        for f in disk.file_names() {
+            if let Some(k) = f.strip_prefix("manifest-").and_then(|s| s.parse::<u64>().ok()) {
+                if k <= n {
+                    disk.remove_file(&f);
+                }
+            }
+        }
+        disk.sync();
         Ok(())
     }
 
     /// Active manifest file name.
-    #[cfg(test)]
     pub fn file(&self) -> &str {
         &self.file
     }
@@ -358,6 +420,7 @@ mod tests {
             fences: vec![vec![lo], vec![lo + 1]],
             max_key: vec![hi],
             num_entries: 7,
+            num_tombstones: 1,
         }
     }
 
@@ -396,7 +459,7 @@ mod tests {
         m.append(&disk, &[Edit::RemoveTable { id: 1 }, Edit::AddTable(meta(1, 2, 10, 20))])
             .unwrap_or(());
         // Rewind durability: simulate by re-appending unsynced.
-        disk.append(m.file(), b"partial-garbage-tail");
+        disk.append(m.file(), b"partial-garbage-tail").unwrap();
         disk.crash(Some(3));
         let (_, v, _) = Manifest::open(&disk).unwrap();
         // Whichever prefix survived, the version is one of the two
@@ -418,5 +481,63 @@ mod tests {
         assert_eq!(m2.file(), "manifest-2");
         assert_eq!(v2.flushed_seq, 3);
         assert_eq!(v2.levels[0], vec![meta(0, 1, 10, 20)]);
+    }
+
+    #[test]
+    fn rotation_gcs_dead_manifest_generations() {
+        let disk = SimDisk::new(Duration::ZERO);
+        let (mut m, _, _) = Manifest::open(&disk).unwrap();
+        m.append(&disk, &[Edit::AddTable(meta(0, 1, 10, 20))]).unwrap();
+        for _ in 0..6 {
+            let (_, v, _) = Manifest::open(&disk).unwrap();
+            m.rotate(&disk, &v).unwrap();
+        }
+        let manifests: Vec<String> = disk
+            .file_names()
+            .into_iter()
+            .filter(|f| f.starts_with("manifest-"))
+            .collect();
+        assert_eq!(manifests, vec![m.file().to_string()], "only the live generation survives");
+        // The surviving state still replays.
+        let (_, v, _) = Manifest::open(&disk).unwrap();
+        assert_eq!(v.levels[0], vec![meta(0, 1, 10, 20)]);
+    }
+
+    #[test]
+    fn quarantine_edits_roundtrip_and_die_with_their_table() {
+        let disk = SimDisk::new(Duration::ZERO);
+        let (mut m, _, _) = Manifest::open(&disk).unwrap();
+        m.append(
+            &disk,
+            &[
+                Edit::AddTable(meta(0, 1, 10, 20)),
+                Edit::AddTable(meta(1, 2, 10, 20)),
+                Edit::Quarantine { table: 1, block: 0 },
+                Edit::Quarantine { table: 2, block: 1 },
+            ],
+        )
+        .unwrap();
+        let (_, v, _) = Manifest::open(&disk).unwrap();
+        assert_eq!(
+            v.quarantined.iter().copied().collect::<Vec<_>>(),
+            vec![(1, 0), (2, 1)]
+        );
+        // Unquarantine removes one pair; RemoveTable purges the other.
+        m.append(
+            &disk,
+            &[
+                Edit::Unquarantine { table: 2, block: 1 },
+                Edit::RemoveTable { id: 1 },
+            ],
+        )
+        .unwrap();
+        let (_, v, _) = Manifest::open(&disk).unwrap();
+        assert!(v.quarantined.is_empty(), "got {:?}", v.quarantined);
+        // Snapshot rotation preserves quarantine state.
+        m.append(&disk, &[Edit::Quarantine { table: 2, block: 0 }]).unwrap();
+        let (_, v, _) = Manifest::open(&disk).unwrap();
+        m.rotate(&disk, &v).unwrap();
+        let (_, v, _) = Manifest::open(&disk).unwrap();
+        assert_eq!(v.quarantined.iter().copied().collect::<Vec<_>>(), vec![(2, 0)]);
     }
 }

@@ -21,8 +21,10 @@ use memtree_faults::fail_point;
 use memtree_filters::BloomFilter;
 use memtree_surf::{SuffixConfig, Surf};
 
-/// A decoded data block: sorted `(key, value)` pairs.
-pub(crate) type DecodedBlock = Vec<(Vec<u8>, Vec<u8>)>;
+/// A decoded data block: sorted `(key, value)` pairs. `None` values are
+/// delete tombstones — they shadow older versions of the key and are
+/// dropped only at bottom-level compaction.
+pub(crate) type DecodedBlock = Vec<(Vec<u8>, Option<Vec<u8>>)>;
 
 /// Per-table filter. One instance per SSTable, so the inline size gap
 /// between the variants is irrelevant.
@@ -45,16 +47,24 @@ pub struct SsTable {
     pub(crate) max_key: Vec<u8>,
     pub(crate) filter: Option<TableFilter>,
     pub(crate) num_entries: usize,
+    /// Entries that are delete tombstones (`num_tombstones <=
+    /// num_entries`). Persisted in the manifest so reopened databases know
+    /// whether tombstone resolution is needed without reading blocks.
+    pub(crate) num_tombstones: usize,
 }
 
 impl SsTable {
-    /// Serializes sorted `entries` into blocks of ~`block_size` bytes,
-    /// builds the configured filter, and writes everything to `disk`'s
-    /// write buffer (the caller syncs before publishing the table).
+    /// Serializes sorted `entries` (tombstones included) into blocks of
+    /// ~`block_size` bytes, builds the configured filter, and writes
+    /// everything to `disk`'s write buffer (the caller syncs before
+    /// publishing the table). On any error — injected block-write fault,
+    /// disk write fault, or `Enospc` — every block already allocated for
+    /// this table is released before the error propagates, so a failed
+    /// build leaves no orphaned allocations and is safely retryable.
     pub(crate) fn build(
         id: u64,
         disk: &SimDisk,
-        entries: &[(Vec<u8>, Vec<u8>)],
+        entries: &[(Vec<u8>, Option<Vec<u8>>)],
         block_size: usize,
         filter: &FilterKind,
     ) -> Result<Self> {
@@ -62,20 +72,34 @@ impl SsTable {
         let mut blocks = Vec::new();
         let mut fences = Vec::new();
         let mut start = 0usize;
-        while start < entries.len() {
-            let mut bytes = 0usize;
-            let mut end = start;
-            while end < entries.len()
-                && (end == start || bytes + entries[end].0.len() + entries[end].1.len() + 4 <= block_size)
-            {
-                bytes += entries[end].0.len() + entries[end].1.len() + 4;
-                end += 1;
+        let entry_bytes =
+            |e: &(Vec<u8>, Option<Vec<u8>>)| e.0.len() + e.1.as_deref().map_or(0, <[u8]>::len) + 5;
+        let mut write_blocks = || -> Result<()> {
+            while start < entries.len() {
+                let mut bytes = 0usize;
+                let mut end = start;
+                while end < entries.len()
+                    && (end == start || bytes + entry_bytes(&entries[end]) <= block_size)
+                {
+                    bytes += entry_bytes(&entries[end]);
+                    end += 1;
+                }
+                fail_point!("lsm.table.block_write");
+                let block = disk.write(Self::encode_block(&entries[start..end]))?;
+                fences.push(entries[start].0.clone());
+                blocks.push(block);
+                start = end;
             }
-            fail_point!("lsm.table.block_write");
-            fences.push(entries[start].0.clone());
-            blocks.push(disk.write(Self::encode_block(&entries[start..end])));
-            start = end;
+            Ok(())
+        };
+        if let Err(e) = write_blocks() {
+            for &b in &blocks {
+                let _ = disk.release(b);
+            }
+            return Err(e);
         }
+        // The filter indexes every key, tombstones included: a tombstone
+        // must be *found* by reads so it can shadow older versions below.
         let keys: Vec<&[u8]> = entries.iter().map(|(k, _)| k.as_slice()).collect();
         Ok(Self {
             id,
@@ -85,6 +109,7 @@ impl SsTable {
             max_key: entries[entries.len() - 1].0.clone(),
             filter: Self::build_filter(&keys, filter),
             num_entries: entries.len(),
+            num_tombstones: entries.iter().filter(|(_, v)| v.is_none()).count(),
         })
     }
 
@@ -116,6 +141,7 @@ impl SsTable {
             fences: meta.fences,
             filter: None,
             num_entries: meta.num_entries,
+            num_tombstones: meta.num_tombstones,
         }
     }
 
@@ -128,6 +154,7 @@ impl SsTable {
             fences: self.fences.clone(),
             max_key: self.max_key.clone(),
             num_entries: self.num_entries,
+            num_tombstones: self.num_tombstones,
         }
     }
 
@@ -137,24 +164,32 @@ impl SsTable {
         self.filter = Self::build_filter(keys, filter);
     }
 
-    fn encode_block(entries: &[(Vec<u8>, Vec<u8>)]) -> Box<[u8]> {
+    /// Block payload: `n u32 | per-entry (klen u16, vlen u16, flags u8) |
+    /// keys | values`, wrapped in a CRC frame. Flags bit 0 marks a delete
+    /// tombstone (which must carry an empty value). `pub(crate)` so the
+    /// scrub subsystem can re-encode repaired blocks.
+    pub(crate) fn encode_block(entries: &[(Vec<u8>, Option<Vec<u8>>)]) -> Box<[u8]> {
         let mut out = Vec::new();
         out.extend_from_slice(&(entries.len() as u32).to_le_bytes());
         for (k, v) in entries {
             out.extend_from_slice(&(k.len() as u16).to_le_bytes());
-            out.extend_from_slice(&(v.len() as u16).to_le_bytes());
+            out.extend_from_slice(&(v.as_deref().map_or(0, <[u8]>::len) as u16).to_le_bytes());
+            out.push(u8::from(v.is_none()));
         }
         for (k, _) in entries {
             out.extend_from_slice(k);
         }
         for (_, v) in entries {
-            out.extend_from_slice(v);
+            if let Some(v) = v {
+                out.extend_from_slice(v);
+            }
         }
         encode_single(&out).into_boxed_slice()
     }
 
     /// Validates the CRC frame and decodes the payload. Torn writes,
-    /// flipped bits, and inconsistent length tables are all typed
+    /// flipped bits, inconsistent length tables, unknown flags, and
+    /// tombstones carrying values are all typed
     /// [`MemtreeError::Corruption`] — never a panic, never a wrong pair.
     pub(crate) fn decode_block(raw: &[u8]) -> Result<DecodedBlock> {
         let raw = decode_single(raw, "sstable-block")?;
@@ -165,25 +200,33 @@ impl SsTable {
         let n = u32::from_le_bytes(raw[0..4].try_into().unwrap()) as usize;
         let mut lens = Vec::with_capacity(n);
         let mut pos = 4;
-        if pos + n * 4 > raw.len() {
+        if pos + n * 5 > raw.len() {
             return Err(short("length table exceeds payload"));
         }
         for _ in 0..n {
             let kl = u16::from_le_bytes(raw[pos..pos + 2].try_into().unwrap()) as usize;
             let vl = u16::from_le_bytes(raw[pos + 2..pos + 4].try_into().unwrap()) as usize;
-            lens.push((kl, vl));
-            pos += 4;
+            let flags = raw[pos + 4];
+            if flags > 1 {
+                return Err(short("unknown entry flags"));
+            }
+            if flags == 1 && vl != 0 {
+                return Err(short("tombstone entry carries a value"));
+            }
+            lens.push((kl, vl, flags == 1));
+            pos += 5;
         }
-        let ktotal: usize = lens.iter().map(|(k, _)| k).sum();
-        let vtotal: usize = lens.iter().map(|(_, v)| v).sum();
+        let ktotal: usize = lens.iter().map(|(k, _, _)| k).sum();
+        let vtotal: usize = lens.iter().map(|(_, v, _)| v).sum();
         if pos + ktotal + vtotal != raw.len() {
             return Err(short("entry lengths disagree with payload size"));
         }
         let mut out = Vec::with_capacity(n);
         let mut kpos = pos;
         let mut vpos = pos + ktotal;
-        for (kl, vl) in lens {
-            out.push((raw[kpos..kpos + kl].to_vec(), raw[vpos..vpos + vl].to_vec()));
+        for (kl, vl, tombstone) in lens {
+            let value = (!tombstone).then(|| raw[vpos..vpos + vl].to_vec());
+            out.push((raw[kpos..kpos + kl].to_vec(), value));
             kpos += kl;
             vpos += vl;
         }
@@ -274,12 +317,14 @@ mod tests {
     use super::*;
     use std::time::Duration;
 
-    fn entries(n: u64) -> Vec<(Vec<u8>, Vec<u8>)> {
+    fn entries(n: u64) -> Vec<(Vec<u8>, Option<Vec<u8>>)> {
         (0..n)
             .map(|i| {
                 (
                     memtree_common::key::encode_u64(i * 3).to_vec(),
-                    vec![i as u8; 32],
+                    // Every 11th entry is a tombstone, exercising the
+                    // flags byte in every block-spanning test.
+                    (i % 11 != 10).then(|| vec![i as u8; 32]),
                 )
             })
             .collect()
@@ -290,6 +335,61 @@ mod tests {
         let e = entries(100);
         let raw = SsTable::encode_block(&e);
         assert_eq!(SsTable::decode_block(&raw).unwrap(), e);
+    }
+
+    #[test]
+    fn tombstone_with_value_and_unknown_flags_are_typed() {
+        // Hand-craft payloads that the encoder would never emit.
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&1u32.to_le_bytes());
+        payload.extend_from_slice(&1u16.to_le_bytes()); // klen
+        payload.extend_from_slice(&2u16.to_le_bytes()); // vlen
+        payload.push(1); // tombstone flag, but vlen != 0
+        payload.push(b'k');
+        payload.extend_from_slice(b"vv");
+        let framed = encode_single(&payload);
+        assert!(SsTable::decode_block(&framed).is_err());
+
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&1u32.to_le_bytes());
+        payload.extend_from_slice(&1u16.to_le_bytes());
+        payload.extend_from_slice(&0u16.to_le_bytes());
+        payload.push(7); // unknown flags
+        payload.push(b'k');
+        let framed = encode_single(&payload);
+        assert!(SsTable::decode_block(&framed).is_err());
+    }
+
+    #[test]
+    fn failed_build_releases_partial_blocks() {
+        let _g = memtree_faults::test_lock();
+        let e = entries(1000);
+        // Injected write fault partway through the build (seeded schedules
+        // decide where; every seed must leave zero orphans on failure).
+        for seed in 0..16u64 {
+            let disk = SimDisk::new(Duration::ZERO);
+            memtree_faults::enable(seed);
+            memtree_faults::arm("lsm.disk.write_fault", 0.2, Some(1));
+            match SsTable::build(1, &disk, &e, 1024, &FilterKind::None) {
+                Err(_) => assert_eq!(
+                    disk.live_blocks(),
+                    0,
+                    "seed {seed}: failed build must release every allocated block"
+                ),
+                Ok(t) => t.release(&disk).unwrap(),
+            }
+            memtree_faults::disable();
+        }
+
+        // ENOSPC path: capacity admits some blocks but not all.
+        let disk = SimDisk::new(Duration::ZERO);
+        disk.set_capacity_bytes(Some(4096));
+        match SsTable::build(3, &disk, &e, 1024, &FilterKind::None) {
+            Err(MemtreeError::Enospc { .. }) => {}
+            other => panic!("expected Enospc, got {other:?}"),
+        }
+        assert_eq!(disk.live_blocks(), 0, "no orphaned blocks after ENOSPC");
+        assert_eq!(disk.used_bytes(), 0);
     }
 
     #[test]
@@ -350,6 +450,8 @@ mod tests {
         assert_eq!(r.min_key, t.min_key);
         assert_eq!(r.max_key, t.max_key);
         assert_eq!(r.num_entries, t.num_entries);
+        assert_eq!(r.num_tombstones, t.num_tombstones);
+        assert!(t.num_tombstones > 0, "test data should include tombstones");
         assert!(r.filter.is_none());
     }
 

@@ -181,12 +181,17 @@ pub struct WalStats {
     pub reset_bytes: u64,
 }
 
-/// A WAL record ready to re-apply at recovery.
+/// A WAL record ready to re-apply at recovery. `value: None` is a delete
+/// tombstone.
 pub(crate) struct WalRecord {
     pub seq: u64,
     pub key: Vec<u8>,
-    pub value: Vec<u8>,
+    pub value: Option<Vec<u8>>,
 }
+
+/// Record-kind tags inside a WAL payload (first byte).
+const KIND_PUT: u8 = 0;
+const KIND_DELETE: u8 = 1;
 
 /// The write-ahead log's in-memory state (the log itself lives on the
 /// [`SimDisk`] file namespace).
@@ -221,23 +226,31 @@ impl Wal {
         seq
     }
 
-    /// Appends a put record, group-committing once `group_commit` records
-    /// accumulate. Returns the record's sequence number.
+    /// Appends a put or delete record (`value: None` = tombstone),
+    /// group-committing once `group_commit` records accumulate. Returns
+    /// the record's sequence number. On error (injected fault, ENOSPC)
+    /// nothing was appended and the sequence counter is unchanged — the
+    /// caller can retry the same operation.
     pub fn append(
         &mut self,
         disk: &SimDisk,
         key: &[u8],
-        value: &[u8],
+        value: Option<&[u8]>,
         group_commit: usize,
     ) -> Result<u64> {
         fail_point!("lsm.wal.append");
         let seq = self.next_seq;
-        let mut payload = Vec::with_capacity(4 + key.len() + value.len());
+        let (kind, value) = match value {
+            Some(v) => (KIND_PUT, v),
+            None => (KIND_DELETE, &[][..]),
+        };
+        let mut payload = Vec::with_capacity(1 + 4 + key.len() + value.len());
+        payload.push(kind);
         payload.extend_from_slice(&(key.len() as u32).to_le_bytes());
         payload.extend_from_slice(key);
         payload.extend_from_slice(value);
         let frame = encode_frame(seq, &payload);
-        disk.append(WAL_FILE, &frame);
+        disk.append(WAL_FILE, &frame)?;
         self.next_seq += 1;
         self.appended_seq = seq;
         self.unsynced += 1;
@@ -308,14 +321,28 @@ impl Wal {
                 ));
             }
             last_seq = seq;
-            if payload.len() < 4 {
+            if payload.len() < 5 {
                 return Err(MemtreeError::corruption("wal", "record shorter than header"));
             }
-            let klen = u32::from_le_bytes(payload[0..4].try_into().unwrap()) as usize;
-            if 4 + klen > payload.len() {
+            let kind = payload[0];
+            if kind != KIND_PUT && kind != KIND_DELETE {
+                return Err(MemtreeError::corruption(
+                    "wal",
+                    format!("unknown record kind {kind}"),
+                ));
+            }
+            let klen = u32::from_le_bytes(payload[1..5].try_into().unwrap()) as usize;
+            if 5 + klen > payload.len() {
                 return Err(MemtreeError::corruption(
                     "wal",
                     format!("key length {klen} exceeds record"),
+                ));
+            }
+            let value = &payload[5 + klen..];
+            if kind == KIND_DELETE && !value.is_empty() {
+                return Err(MemtreeError::corruption(
+                    "wal",
+                    "delete record carries a value",
                 ));
             }
             if seq <= flushed_seq {
@@ -324,8 +351,8 @@ impl Wal {
             }
             records.push(WalRecord {
                 seq,
-                key: payload[4..4 + klen].to_vec(),
-                value: payload[4 + klen..].to_vec(),
+                key: payload[5..5 + klen].to_vec(),
+                value: (kind == KIND_PUT).then(|| value.to_vec()),
             });
         }
         let mut wal = Self::new(last_seq.max(flushed_seq));
@@ -387,7 +414,7 @@ mod tests {
         let disk = SimDisk::new(Duration::ZERO);
         let mut wal = Wal::new(0);
         for i in 0..7u64 {
-            let seq = wal.append(&disk, b"k", b"v", 4).unwrap();
+            let seq = wal.append(&disk, b"k", Some(b"v"), 4).unwrap();
             assert_eq!(seq, i + 1);
         }
         // Records 1..=4 were group-committed; 5..=7 are appended only.
@@ -404,12 +431,52 @@ mod tests {
         let disk = SimDisk::new(Duration::ZERO);
         let mut wal = Wal::new(0);
         for _ in 0..6 {
-            wal.append(&disk, b"key", b"val", 1).unwrap();
+            wal.append(&disk, b"key", Some(b"val"), 1).unwrap();
         }
         let (rwal, records) = Wal::replay(&disk, 4).unwrap();
         assert_eq!(records.len(), 2);
         assert_eq!(records[0].seq, 5);
         assert_eq!(rwal.stats().skipped_records, 4);
         assert_eq!(rwal.synced_seq(), 6);
+    }
+
+    #[test]
+    fn delete_records_roundtrip_as_tombstones() {
+        let disk = SimDisk::new(Duration::ZERO);
+        let mut wal = Wal::new(0);
+        wal.append(&disk, b"a", Some(b"v1"), 1).unwrap();
+        wal.append(&disk, b"a", None, 1).unwrap();
+        wal.append(&disk, b"b", None, 1).unwrap();
+        let (_, records) = Wal::replay(&disk, 0).unwrap();
+        assert_eq!(records.len(), 3);
+        assert_eq!(records[0].value.as_deref(), Some(&b"v1"[..]));
+        assert_eq!(records[1].value, None, "tombstone decodes as None");
+        assert_eq!(records[2].key, b"b");
+        assert_eq!(records[2].value, None);
+    }
+
+    #[test]
+    fn malformed_record_kinds_are_typed_corruption() {
+        // Unknown kind byte.
+        let disk = SimDisk::new(Duration::ZERO);
+        let mut payload = vec![2u8]; // kind 2 does not exist
+        payload.extend_from_slice(&1u32.to_le_bytes());
+        payload.push(b'k');
+        disk.append(WAL_FILE, &encode_frame(1, &payload)).unwrap();
+        assert!(matches!(
+            Wal::replay(&disk, 0),
+            Err(MemtreeError::Corruption { .. })
+        ));
+        // Delete record carrying a value.
+        let disk = SimDisk::new(Duration::ZERO);
+        let mut payload = vec![1u8];
+        payload.extend_from_slice(&1u32.to_le_bytes());
+        payload.push(b'k');
+        payload.extend_from_slice(b"stray-value");
+        disk.append(WAL_FILE, &encode_frame(1, &payload)).unwrap();
+        assert!(matches!(
+            Wal::replay(&disk, 0),
+            Err(MemtreeError::Corruption { .. })
+        ));
     }
 }

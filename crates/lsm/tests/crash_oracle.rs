@@ -29,9 +29,10 @@ use std::collections::BTreeMap;
 /// recovery-only points (`lsm.manifest.rotate`, `lsm.current.swap`) never
 /// evaluate during a workload; `crash_during_recovery_is_survivable`
 /// covers them.
-const CRASHPOINTS: [&str; 9] = [
+const CRASHPOINTS: [&str; 10] = [
     "lsm.wal.append",
     "lsm.wal.sync",
+    "lsm.disk.write_fault",
     "lsm.table.block_write",
     "lsm.flush.sync",
     "lsm.manifest.append",
@@ -79,6 +80,35 @@ fn value_of(i: u64) -> Vec<u8> {
     format!("v{i:06}").into_bytes()
 }
 
+/// Seeded op mix: ~1 in 5 operations is a delete, so tombstones ride
+/// through every flush, compaction, and crash the oracle provokes.
+fn op_is_delete(seed: u64, i: u64) -> bool {
+    let mut s = seed ^ i.wrapping_mul(0x517c_c1b7_2722_0a95);
+    memtree_common::hash::splitmix64(&mut s) % 5 == 0
+}
+
+/// The fold of operations `1..=p` (puts and deletes) into final state.
+fn fold_model(seed: u64, p: u64) -> BTreeMap<Vec<u8>, Vec<u8>> {
+    let mut model = BTreeMap::new();
+    for i in 1..=p {
+        if op_is_delete(seed, i) {
+            model.remove(&key_of(i));
+        } else {
+            model.insert(key_of(i), value_of(i));
+        }
+    }
+    model
+}
+
+/// Checks the whole 200-key space against the model: catches lost
+/// records, phantom suffix records, and resurrected deleted keys alike.
+fn assert_matches_model(db: &Db, model: &BTreeMap<Vec<u8>, Vec<u8>>, ctx: &str) {
+    for i in 0..200u64 {
+        let k = key_of(i);
+        assert_eq!(db.get(&k), model.get(&k).cloned(), "{ctx}: key {i}");
+    }
+}
+
 /// One crash-recover-verify cycle. Returns whether the armed point fired.
 fn run_case(point: &str, seed: u64) -> bool {
     let opts = opts_for(seed);
@@ -94,13 +124,18 @@ fn run_case(point: &str, seed: u64) -> bool {
     let total_puts = 2000 + (seed % 7) * 31;
     let mut issued = 0u64;
     for i in 1..=total_puts {
-        match db.put(&key_of(i), &value_of(i)) {
+        let result = if op_is_delete(seed, i) {
+            db.delete(&key_of(i))
+        } else {
+            db.put(&key_of(i), &value_of(i))
+        };
+        match result {
             Ok(seq) => {
-                assert_eq!(seq, i, "seqs are dense while puts succeed");
+                assert_eq!(seq, i, "seqs are dense while writes succeed");
                 issued = i;
             }
             Err(_) => {
-                issued = i; // the failed put may or may not have logged
+                issued = i; // the failed write may or may not have logged
                 break;
             }
         }
@@ -127,42 +162,29 @@ fn run_case(point: &str, seed: u64) -> bool {
         "{point}/{seed}: recovered prefix {p} outside [acked {acked}, issued {issued}]"
     );
 
-    // 2. The state is exactly the fold of puts 1..=p.
-    let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
-    for i in 1..=p {
-        model.insert(key_of(i), value_of(i));
-    }
-    for (k, v) in &model {
-        assert_eq!(
-            db.get(k).as_deref(),
-            Some(v.as_slice()),
-            "{point}/{seed}: lost record at or below recovered seq {p}"
-        );
-    }
-    // Keys whose *only* writes are in the lost suffix must be absent
-    // (phantom detection); keys overwritten after p must hold the
-    // prefix-time value (checked above via `model`).
-    for i in (p + 1)..=issued {
-        let k = key_of(i);
-        if !model.contains_key(&k) {
-            assert_eq!(db.get(&k), None, "{point}/{seed}: phantom record {i}");
-        }
-    }
+    // 2. The state is exactly the fold of operations 1..=p: no lost
+    // record, no phantom suffix record, no resurrected deleted key.
+    let mut model = fold_model(seed, p);
+    assert_matches_model(&db, &model, &format!("{point}/{seed} after recovery"));
 
-    // 3. The recovered database is live: absorb new writes, flush through
-    // a fresh manifest transaction, and survive a clean reopen.
+    // 3. The recovered database is live: absorb new writes (and deletes),
+    // flush through a fresh manifest transaction, and survive a clean
+    // reopen.
     let mut db = db;
     for i in (issued + 1)..=(issued + 40) {
-        db.put(&key_of(i), &value_of(i)).unwrap();
-        model.insert(key_of(i), value_of(i));
+        if op_is_delete(seed, i) {
+            db.delete(&key_of(i)).unwrap();
+            model.remove(&key_of(i));
+        } else {
+            db.put(&key_of(i), &value_of(i)).unwrap();
+            model.insert(key_of(i), value_of(i));
+        }
     }
     let disk = db.close().unwrap();
     let db = Db::open(disk, opts)
         .unwrap_or_else(|e| panic!("clean reopen after {point}/{seed} failed: {e:?}"));
     assert_eq!(db.wal_stats().replayed_records, 0, "clean shutdown replays nothing");
-    for (k, v) in &model {
-        assert_eq!(db.get(k).as_deref(), Some(v.as_slice()), "{point}/{seed}: post-recovery write lost");
-    }
+    assert_matches_model(&db, &model, &format!("{point}/{seed} after clean reopen"));
     fired
 }
 
@@ -198,7 +220,11 @@ fn crash_during_recovery_is_survivable() {
         let opts = opts_for(seed);
         let mut db = Db::new(opts.clone());
         for i in 1..=120u64 {
-            db.put(&key_of(i), &value_of(i)).unwrap();
+            if op_is_delete(seed, i) {
+                db.delete(&key_of(i)).unwrap();
+            } else {
+                db.put(&key_of(i), &value_of(i)).unwrap();
+            }
         }
         let acked = db.last_synced_seq();
         let disk = db.disk_handle();
@@ -221,15 +247,90 @@ fn crash_during_recovery_is_survivable() {
             .unwrap_or_else(|e| panic!("second recovery failed ({point}/{seed}): {e:?}"));
         let p = db.last_seq();
         assert!(p >= acked, "{point}/{seed}: double-fault lost acked records");
-        for i in 1..=p {
-            let mut want = None;
-            for j in (1..=p).rev() {
-                if key_of(j) == key_of(i) {
-                    want = Some(value_of(j));
-                    break;
-                }
-            }
-            assert_eq!(db.get(&key_of(i)), want, "{point}/{seed}: record {i}");
+        let model = fold_model(seed, p);
+        assert_matches_model(&db, &model, &format!("{point}/{seed} after double fault"));
+    }
+}
+
+/// Resurrection oracle: a deleted key must stay dead through a crash,
+/// recovery, and however many compactions it takes for its tombstone to
+/// reach the bottom level and be dropped. A tombstone dropped too early
+/// (while an older version still lives below) would resurface the old
+/// value here.
+#[test]
+fn deleted_keys_stay_dead_across_crash_and_compaction() {
+    let _guard = faults::test_lock();
+    for seed in seed_range() {
+        let opts = opts_for(seed);
+        let mut db = Db::new(opts.clone());
+        // Phase 1: seed every key with several overwritten generations so
+        // old versions pile up in deep levels.
+        for i in 1..=800u64 {
+            db.put(&key_of(i), &value_of(i)).unwrap();
         }
+        // Phase 2: deletes mixed with puts, then crash mid-history.
+        let mut issued = 800u64;
+        for i in 801..=1400u64 {
+            if op_is_delete(seed, i) {
+                db.delete(&key_of(i)).unwrap();
+            } else {
+                db.put(&key_of(i), &value_of(i)).unwrap();
+            }
+            issued = i;
+        }
+        let acked = db.last_synced_seq();
+        let disk = db.disk_handle();
+        drop(db);
+        disk.crash(if seed % 2 == 0 { Some(seed) } else { None });
+
+        let mut db = Db::open(disk, opts.clone())
+            .unwrap_or_else(|e| panic!("recovery failed (seed {seed}): {e:?}"));
+        let p = db.last_seq();
+        assert!(p >= acked && p <= issued, "seed {seed}: bad recovered prefix {p}");
+        let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+        for i in 1..=800.min(p) {
+            model.insert(key_of(i), value_of(i));
+        }
+        for i in 801..=p {
+            if op_is_delete(seed, i) {
+                model.remove(&key_of(i));
+            } else {
+                model.insert(key_of(i), value_of(i));
+            }
+        }
+        assert_matches_model(&db, &model, &format!("seed {seed} after recovery"));
+
+        // Phase 3: churn hard enough that the tombstones migrate down and
+        // are eventually dropped at the bottom — the deleted keys must
+        // stay dead the whole way, and seeks must not step onto them.
+        for i in (issued + 1)..=(issued + 1200) {
+            if op_is_delete(seed, i) {
+                db.delete(&key_of(i)).unwrap();
+                model.remove(&key_of(i));
+            } else {
+                db.put(&key_of(i), &value_of(i)).unwrap();
+                model.insert(key_of(i), value_of(i));
+            }
+        }
+        assert_matches_model(&db, &model, &format!("seed {seed} after churn"));
+        let disk = db.close().unwrap();
+        let db = Db::open(disk, opts)
+            .unwrap_or_else(|e| panic!("clean reopen failed (seed {seed}): {e:?}"));
+        assert_matches_model(&db, &model, &format!("seed {seed} after reopen"));
+        // Seek sweep: walking the whole key space must surface exactly the
+        // model's keys — a tombstone visible to `seek` is a live leak.
+        let mut at = Vec::new();
+        let mut seen = 0usize;
+        loop {
+            match db.next_after(&at, None) {
+                memtree_lsm::SeekResult::Found { key } => {
+                    assert!(model.contains_key(&key), "seed {seed}: seek surfaced dead key");
+                    seen += 1;
+                    at = key;
+                }
+                memtree_lsm::SeekResult::NotFound => break,
+            }
+        }
+        assert_eq!(seen, model.len(), "seed {seed}: seek missed live keys");
     }
 }

@@ -14,6 +14,7 @@ fn key(g: &mut Gen) -> Vec<u8> {
 #[derive(Debug, Clone)]
 enum Cmd {
     Put(Vec<u8>, u8),
+    Delete(Vec<u8>),
     Get(Vec<u8>),
     SeekOpen(Vec<u8>),
     SeekClosed(Vec<u8>, Vec<u8>),
@@ -22,13 +23,16 @@ enum Cmd {
 }
 
 fn cmd(g: &mut Gen) -> Cmd {
-    // Same weights as the original proptest strategy: 4/3/1/1/1/1.
-    match g.range(0..11) {
+    // Original weights 4/3/1/1/1/1, plus 2 for deletes. The small key
+    // space means deletes hit live keys often — and a miss writes a
+    // tombstone for a key that never existed, its own edge case.
+    match g.range(0..13) {
         0..=3 => Cmd::Put(key(g), g.u64() as u8),
-        4..=6 => Cmd::Get(key(g)),
-        7 => Cmd::SeekOpen(key(g)),
-        8 => Cmd::SeekClosed(key(g), key(g)),
-        9 => Cmd::Count(key(g), key(g)),
+        4..=5 => Cmd::Delete(key(g)),
+        6..=8 => Cmd::Get(key(g)),
+        9 => Cmd::SeekOpen(key(g)),
+        10 => Cmd::SeekClosed(key(g), key(g)),
+        11 => Cmd::Count(key(g), key(g)),
         _ => Cmd::Flush,
     }
 }
@@ -61,6 +65,10 @@ fn db_matches_model() {
                 Cmd::Put(k, v) => {
                     db.put(&k, &[v]).unwrap();
                     model.insert(k, v);
+                }
+                Cmd::Delete(k) => {
+                    db.delete(&k).unwrap();
+                    model.remove(&k);
                 }
                 Cmd::Get(k) => {
                     let expect = model.get(&k).map(|v| vec![*v]);

@@ -40,6 +40,18 @@ fn build(g: &mut Gen, filter: FilterKind) -> (Db, BTreeMap<Vec<u8>, Vec<u8>>) {
     for _ in 0..g.range(20..250) {
         if g.bool(0.04) {
             db.flush().unwrap();
+        } else if g.bool(0.15) {
+            // Delete a live key half the time (tombstone shadowing real
+            // data through flushes), a random key otherwise (tombstone
+            // for a key that may never have existed).
+            let k = if !model.is_empty() && g.bool(0.5) {
+                let stored: Vec<&Vec<u8>> = model.keys().collect();
+                (*g.pick(&stored)).clone()
+            } else {
+                key(g)
+            };
+            db.delete(&k).unwrap();
+            model.remove(&k);
         } else {
             let k = key(g);
             let v = vec![g.u64() as u8; g.range(1..4)];

@@ -38,10 +38,10 @@ fn build() -> (Rc<SimDisk>, usize) {
 }
 
 /// Frame layout mirror: header (len u32 | seq u64 | crc u32) + payload
-/// (key_len u32 | key | value). Used only to map a byte offset to the
-/// record it belongs to.
+/// (kind u8 | key_len u32 | key | value). Used only to map a byte offset
+/// to the record it belongs to.
 fn frame_len(i: usize) -> usize {
-    16 + 4 + KEYS[i].len() + VALS[i].len()
+    16 + 1 + 4 + KEYS[i].len() + VALS[i].len()
 }
 
 #[test]
@@ -62,7 +62,7 @@ fn every_single_bit_flip_truncates_or_errors_never_lies() {
             let (disk, _) = build();
             let mut wal = disk.read_file("wal");
             wal[byte] ^= 1 << bit;
-            disk.write_file_atomic("wal", &wal);
+            disk.write_file_atomic("wal", &wal).unwrap();
             disk.sync();
             let record = if byte < bounds[0] {
                 0
@@ -119,7 +119,7 @@ fn truncated_tails_of_every_length_recover_the_intact_prefix() {
         let (disk, _) = build();
         let mut wal = disk.read_file("wal");
         wal.truncate(cut);
-        disk.write_file_atomic("wal", &wal);
+        disk.write_file_atomic("wal", &wal).unwrap();
         disk.sync();
         let db = Db::open(disk, opts()).unwrap_or_else(|e| {
             panic!("truncation to {cut} bytes is a torn tail, not corruption: {e:?}")
@@ -136,6 +136,137 @@ fn truncated_tails_of_every_length_recover_the_intact_prefix() {
             } else {
                 assert_eq!(db.get(k), None, "cut {cut}: phantom record");
             }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Manifest-frame sweep: same exhaustive single-bit-flip discipline, applied
+// to the other CRC-framed files (`manifest-N` and `CURRENT`).
+// ---------------------------------------------------------------------------
+
+/// A database whose manifest holds two flush transactions (one L0 table
+/// each) and whose WAL is empty: all data lives behind the manifest.
+fn build_flushed() -> Rc<SimDisk> {
+    let mut db = Db::new(opts());
+    for group in 0..2 {
+        for i in 0..8u32 {
+            db.put(group_key(group, i).as_bytes(), b"v").unwrap();
+        }
+        db.flush().unwrap();
+    }
+    let disk = db.disk_handle();
+    drop(db);
+    disk
+}
+
+fn group_key(group: u32, i: u32) -> String {
+    format!("key-{group}-{i}")
+}
+
+/// Byte offsets where each manifest frame starts (frames are
+/// self-describing: `len u32 | seq u64 | crc u32 | payload`).
+fn frame_starts(buf: &[u8]) -> Vec<usize> {
+    let mut starts = Vec::new();
+    let mut at = 0;
+    while at < buf.len() {
+        starts.push(at);
+        let len = u32::from_le_bytes(buf[at..at + 4].try_into().unwrap()) as usize;
+        at += 16 + len;
+    }
+    assert_eq!(at, buf.len(), "manifest is not a whole number of frames");
+    starts
+}
+
+/// Every single-bit flip in the manifest maps to exactly one outcome:
+///
+/// * flip in the **final** transaction frame → torn-tail truncation. The
+///   database opens on the version one commit back (the second flush's
+///   table is gone, its blocks are garbage-collected), serves the first
+///   flush correctly, and passes invariants and a clean scrub. No wrong
+///   or phantom record ever surfaces.
+/// * flip in an **earlier** frame → typed `Corruption` from `Db::open`.
+#[test]
+fn manifest_bit_flips_truncate_or_error_never_lie() {
+    let disk0 = build_flushed();
+    let manifest = disk0.read_file("manifest-1");
+    let starts = frame_starts(&manifest);
+    assert!(starts.len() >= 2, "need at least two transactions to sweep");
+    let last_frame = *starts.last().unwrap();
+    drop(disk0);
+
+    let mut torn = 0usize;
+    let mut typed = 0usize;
+    for byte in 0..manifest.len() {
+        for bit in 0..8u8 {
+            let disk = build_flushed();
+            let mut m = disk.read_file("manifest-1");
+            m[byte] ^= 1 << bit;
+            disk.write_file_atomic("manifest-1", &m).unwrap();
+            disk.sync();
+            match Db::open(disk, opts()) {
+                Ok(mut db) => {
+                    assert!(
+                        byte >= last_frame,
+                        "flip at byte {byte} bit {bit} is mid-log and must not recover"
+                    );
+                    torn += 1;
+                    for i in 0..8 {
+                        assert_eq!(
+                            db.get(group_key(0, i).as_bytes()).as_deref(),
+                            Some(b"v".as_slice()),
+                            "byte {byte} bit {bit}: first flush must survive"
+                        );
+                        assert_eq!(
+                            db.get(group_key(1, i).as_bytes()),
+                            None,
+                            "byte {byte} bit {bit}: phantom record from the dropped commit"
+                        );
+                    }
+                    db.check_invariants().unwrap();
+                    let report = db.scrub().unwrap();
+                    assert!(report.lost_ranges.is_empty(), "byte {byte} bit {bit}");
+                }
+                Err(e) => {
+                    assert!(
+                        byte < last_frame,
+                        "flip in the tail frame should truncate, got {e:?} at byte {byte} bit {bit}"
+                    );
+                    typed += 1;
+                    assert!(
+                        matches!(e, memtree_common::error::MemtreeError::Corruption { .. }),
+                        "mid-log flip must be a typed corruption, got {e:?}"
+                    );
+                }
+            }
+        }
+    }
+    assert_eq!(torn, (manifest.len() - last_frame) * 8);
+    assert_eq!(typed, last_frame * 8);
+}
+
+/// `CURRENT` is one CRC frame naming the live manifest; any single-bit
+/// flip must be a typed corruption, never a misdirected open.
+#[test]
+fn current_pointer_bit_flips_are_typed_corruption() {
+    let disk0 = build_flushed();
+    let len = disk0.file_len("CURRENT");
+    drop(disk0);
+    for byte in 0..len {
+        for bit in 0..8u8 {
+            let disk = build_flushed();
+            let mut c = disk.read_file("CURRENT");
+            c[byte] ^= 1 << bit;
+            disk.write_file_atomic("CURRENT", &c).unwrap();
+            disk.sync();
+            let e = match Db::open(disk, opts()) {
+                Ok(_) => panic!("byte {byte} bit {bit}: corrupt CURRENT must not open"),
+                Err(e) => e,
+            };
+            assert!(
+                matches!(e, memtree_common::error::MemtreeError::Corruption { .. }),
+                "byte {byte} bit {bit}: expected typed corruption, got {e:?}"
+            );
         }
     }
 }

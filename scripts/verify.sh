@@ -21,8 +21,11 @@ cargo run -p memtree-bench --release --offline --bin bench_lsm -- --smoke
 echo "== bench_recovery --smoke (WAL overhead + clean-shutdown/torn-tail gates, offline) =="
 cargo run -p memtree-bench --release --offline --bin bench_recovery -- --smoke
 
-echo "== crash oracle (seeds ${MEMTREE_FAULT_SEEDS:-0..32}, offline) =="
-cargo test -q --offline -p memtree-lsm --test crash_oracle --test wal_frames
+echo "== bench_faults --smoke (CRC tax + scrub/degraded/enospc gates, offline) =="
+cargo run -p memtree-bench --release --offline --bin bench_faults -- --smoke
+
+echo "== crash + scrub oracles (seeds ${MEMTREE_FAULT_SEEDS:-0..32}, offline) =="
+cargo test -q --offline -p memtree-lsm --test crash_oracle --test wal_frames --test scrub_oracle
 
 echo "== cargo clippy --all-targets -D warnings (offline) =="
 cargo clippy --all-targets --offline -- -D warnings
