@@ -359,6 +359,33 @@ fn bench_enospc_recovery(cfg: &Config) -> EnospcLine {
     line
 }
 
+/// Perf budgets for the checksum tax, enforced only on full (non-smoke)
+/// runs with the hardware CRC kernel active: smoke sizes are noise-bound
+/// and the scalar lane intentionally pays the portable-kernel price.
+fn enforce_budgets(cfg: &Config, tax: &CrcTax) {
+    let dec_pct = pct_overhead(tax.dec_on, tax.dec_off);
+    let read_pct = pct_overhead(tax.read_on, tax.read_off);
+    if cfg.smoke || memtree_common::crc::active_kernel() != "sse4.2-3way" {
+        println!(
+            "budgets          skipped (smoke={} kernel={}); decode tax {dec_pct:.1}%, read tax {read_pct:.1}%",
+            cfg.smoke,
+            memtree_common::crc::active_kernel()
+        );
+        return;
+    }
+    assert!(
+        dec_pct <= 150.0,
+        "codec_decode.overhead_pct budget blown: {dec_pct:.1}% > 150% \
+         (fused verify+decode with the sse4.2-3way kernel should keep the \
+         checksum tax within 2.5x of the bare codec)"
+    );
+    assert!(
+        read_pct <= 40.0,
+        "uncached_point_get.overhead_pct budget blown: {read_pct:.1}% > 40%"
+    );
+    println!("budgets          decode tax {dec_pct:.1}% <= 150%, uncached read tax {read_pct:.1}% <= 40%");
+}
+
 fn write_json(
     cfg: &Config,
     tax: &CrcTax,
@@ -366,12 +393,17 @@ fn write_json(
     degraded: &DegradedLine,
     enospc: &EnospcLine,
 ) {
+    let kernel_mode = match memtree_common::kernel_mode() {
+        memtree_common::KernelMode::Auto => "auto",
+        memtree_common::KernelMode::Scalar => "scalar",
+    };
     let json = format!(
-        "{{\n  \"meta\": {{\n    \"n_keys\": {},\n    \"lsm_keys\": {},\n    \"n_reads\": {},\n    \"runs\": {RUNS},\n    \"smoke\": {},\n    \"note\": \"robustness costs: CRC32C framing tax, scrub throughput, degraded-read tax, Enospc recovery; overhead_pct = (off/on - 1) * 100\"\n  }},\n  \"merge_build\": {{ \"on_mkeys_per_s\": {:.3}, \"off_mkeys_per_s\": {:.3}, \"overhead_pct\": {:.2} }},\n  \"uncached_point_get\": {{ \"on_mops_per_s\": {:.3}, \"off_mops_per_s\": {:.3}, \"overhead_pct\": {:.2} }},\n  \"codec_encode\": {{ \"on_mb_per_s\": {:.1}, \"off_mb_per_s\": {:.1}, \"overhead_pct\": {:.2} }},\n  \"codec_decode\": {{ \"on_mb_per_s\": {:.1}, \"off_mb_per_s\": {:.1}, \"overhead_pct\": {:.2} }},\n  \"hybrid_merge_end_to_end\": {{ \"on_mkeys_per_s\": {:.3} }},\n  \"scrub_gb_per_s\": {:.4},\n  \"scrub_detail\": {{ \"blocks_scanned\": {}, \"bytes_scanned\": {}, \"elapsed_ms\": {:.3}, \"clean\": true }},\n  \"degraded_read_tax_pct\": {:.2},\n  \"degraded_read_detail\": {{ \"healthy_mops_per_s\": {:.3}, \"degraded_mops_per_s\": {:.3}, \"degraded_tables\": {} }},\n  \"enospc_recovery\": {{ \"typed_error\": {}, \"leak_free_retries\": {}, \"recovery_ms\": {:.3} }}\n}}\n",
+        "{{\n  \"meta\": {{\n    \"n_keys\": {},\n    \"lsm_keys\": {},\n    \"n_reads\": {},\n    \"runs\": {RUNS},\n    \"smoke\": {},\n    \"kernel_mode\": \"{kernel_mode}\",\n    \"crc_kernel\": \"{}\",\n    \"note\": \"robustness costs: CRC32C framing tax, scrub throughput, degraded-read tax, Enospc recovery; overhead_pct = (off/on - 1) * 100\"\n  }},\n  \"merge_build\": {{ \"on_mkeys_per_s\": {:.3}, \"off_mkeys_per_s\": {:.3}, \"overhead_pct\": {:.2} }},\n  \"uncached_point_get\": {{ \"on_mops_per_s\": {:.3}, \"off_mops_per_s\": {:.3}, \"overhead_pct\": {:.2} }},\n  \"codec_encode\": {{ \"on_mb_per_s\": {:.1}, \"off_mb_per_s\": {:.1}, \"overhead_pct\": {:.2} }},\n  \"codec_decode\": {{ \"on_mb_per_s\": {:.1}, \"off_mb_per_s\": {:.1}, \"overhead_pct\": {:.2} }},\n  \"hybrid_merge_end_to_end\": {{ \"on_mkeys_per_s\": {:.3} }},\n  \"scrub_gb_per_s\": {:.4},\n  \"scrub_detail\": {{ \"blocks_scanned\": {}, \"bytes_scanned\": {}, \"elapsed_ms\": {:.3}, \"clean\": true }},\n  \"degraded_read_tax_pct\": {:.2},\n  \"degraded_read_detail\": {{ \"healthy_mops_per_s\": {:.3}, \"degraded_mops_per_s\": {:.3}, \"degraded_tables\": {} }},\n  \"enospc_recovery\": {{ \"typed_error\": {}, \"leak_free_retries\": {}, \"recovery_ms\": {:.3} }}\n}}\n",
         cfg.n_keys,
         cfg.lsm_keys,
         cfg.n_reads,
         cfg.smoke,
+        memtree_common::crc::active_kernel(),
         tax.build_on,
         tax.build_off,
         pct_overhead(tax.build_on, tax.build_off),
@@ -409,7 +441,8 @@ fn write_json(
     // Schema self-check: every key the downstream tooling greps for.
     let back = std::fs::read_to_string(&cfg.out_path).expect("read back BENCH_faults.json");
     for required in [
-        "\"meta\"", "\"n_keys\"", "\"smoke\"", "\"merge_build\"", "\"uncached_point_get\"",
+        "\"meta\"", "\"n_keys\"", "\"smoke\"", "\"kernel_mode\"", "\"crc_kernel\"",
+        "\"merge_build\"", "\"uncached_point_get\"",
         "\"codec_encode\"", "\"codec_decode\"", "\"hybrid_merge_end_to_end\"",
         "\"scrub_gb_per_s\"", "\"scrub_detail\"", "\"blocks_scanned\"", "\"bytes_scanned\"",
         "\"degraded_read_tax_pct\"", "\"degraded_read_detail\"", "\"degraded_tables\"",
@@ -426,5 +459,6 @@ fn main() {
     let scrub = bench_scrub(&cfg);
     let degraded = bench_degraded_reads(&cfg);
     let enospc = bench_enospc_recovery(&cfg);
+    enforce_budgets(&cfg, &tax);
     write_json(&cfg, &tax, &scrub, &degraded, &enospc);
 }

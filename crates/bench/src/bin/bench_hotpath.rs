@@ -27,8 +27,9 @@ use memtree_common::traits::{BatchProbe, OrderedIndex, StaticIndex, Value};
 use memtree_fst::{Fst, TrieOpts};
 use memtree_hybrid::{HybridBTree, MergeTrigger};
 use memtree_succinct::{
-    find_byte, find_byte_scalar, find_byte_swar, select_in_word, select_in_word_scalar,
-    select_in_word_swar, BitVector, RankSupport,
+    find_byte, find_byte_scalar, find_byte_swar, popcount_words, popcount_words_scalar,
+    popcount_words_swar, select_in_word, select_in_word_scalar, select_in_word_swar, BitVector,
+    RankSupport, SelectSupport,
 };
 use memtree_workload::keys;
 use std::sync::Arc;
@@ -108,6 +109,12 @@ fn crosscheck_kernels(words: &[u64], haystacks: &[Vec<u8>]) {
             assert_eq!(find_byte(hay, needle), expect, "dispatch find len={}", hay.len());
         }
     }
+    for len in [0usize, 1, 2, 7, 8, 16, 31, 32, 64] {
+        let w = &words[..len.min(words.len())];
+        let expect = popcount_words_scalar(w);
+        assert_eq!(popcount_words_swar(w), expect, "swar popcount len={len}");
+        assert_eq!(popcount_words(w), expect, "dispatch popcount len={len}");
+    }
     println!("kernel cross-check passed ({} words, {} haystacks)", words.len(), haystacks.len());
 }
 
@@ -124,6 +131,9 @@ struct KernelNumbers {
     find_scalar: f64,
     find_swar: f64,
     find_dispatch: f64,
+    pop_scalar: f64,
+    pop_swar: f64,
+    pop_dispatch: f64,
 }
 
 fn bench_kernels(cfg: &Config) -> KernelNumbers {
@@ -193,9 +203,26 @@ fn bench_kernels(cfg: &Config) -> KernelNumbers {
     let find_swar = mops(iters, run_find(&find_byte_swar));
     let find_dispatch = mops(iters, run_find(&find_byte));
 
+    // popcount_words over rank-block-shaped slices (8 words = 512 bits).
+    let pop_iters = iters / 4;
+    let run_pop = |f: &dyn Fn(&[u64]) -> u32| {
+        best(cfg.runs, || {
+            let mut acc = 0u64;
+            for i in 0..pop_iters {
+                let j = (i * 8) % (n - 8);
+                acc = acc.wrapping_add(f(&words[j..j + 8]) as u64);
+            }
+            std::hint::black_box(acc);
+        })
+    };
+    let pop_scalar = mops(pop_iters, run_pop(&popcount_words_scalar));
+    let pop_swar = mops(pop_iters, run_pop(&popcount_words_swar));
+    let pop_dispatch = mops(pop_iters, run_pop(&popcount_words));
+
     println!("select_in_word   scalar {select_scalar:.0}  swar {select_swar:.0}  dispatch {select_dispatch:.0} Mops/s");
     println!("rank1            B=512  {rank_b512:.0}  B=64 {rank_b64:.0} Mops/s");
     println!("find_byte        scalar {find_scalar:.0}  swar {find_swar:.0}  dispatch {find_dispatch:.0} Mops/s");
+    println!("popcount_words8  scalar {pop_scalar:.0}  swar {pop_swar:.0}  dispatch {pop_dispatch:.0} Mops/s");
     KernelNumbers {
         select_scalar,
         select_swar,
@@ -205,7 +232,123 @@ fn bench_kernels(cfg: &Config) -> KernelNumbers {
         find_scalar,
         find_swar,
         find_dispatch,
+        pop_scalar,
+        pop_swar,
+        pop_dispatch,
     }
+}
+
+// ---------------------------------------------------------------------------
+// Rank/select configuration sweep — the space-time Pareto frontier
+// (basic-block size × select sampling rate) instead of two hardcoded
+// layouts. `bits_per_key` prices the support structures (rank LUT + select
+// LUT) per set bit; rates are measured on the same bit vector.
+// ---------------------------------------------------------------------------
+
+struct ParetoPoint {
+    block_bits: usize,
+    sample: usize,
+    bits_per_key: f64,
+    rank_mops: f64,
+    select_mops: f64,
+    mixed_mops: f64,
+}
+
+fn bench_rank_select_pareto(cfg: &Config) -> Vec<ParetoPoint> {
+    const BLOCK_BITS: [usize; 5] = [64, 128, 256, 512, 1024];
+    const SAMPLES: [usize; 3] = [16, 64, 256];
+    let nbits: usize = if cfg.smoke { 1 << 16 } else { 1 << 22 };
+    let mut state = 0xABCD_EF01_2345_6789u64;
+    // S-LOUDS-like density: roughly every other bit set.
+    let bv: BitVector = (0..nbits).map(|_| splitmix64(&mut state) & 1 == 1).collect();
+    // Naive reference: sorted positions of set bits — rank is a partition
+    // point, select is an array index.
+    let positions: Vec<usize> = (0..nbits).filter(|&i| bv.get(i)).collect();
+    let ones = positions.len();
+    let nq = 65_536usize;
+    let qpos: Vec<usize> = (0..nq).map(|_| (splitmix64(&mut state) % nbits as u64) as usize).collect();
+    let qsel: Vec<usize> = (0..nq).map(|_| 1 + (splitmix64(&mut state) % ones as u64) as usize).collect();
+    let iters = (cfg.kernel_iters / 4).max(nq);
+
+    let selects: Vec<SelectSupport> =
+        SAMPLES.iter().map(|&s| SelectSupport::new(&bv, s)).collect();
+    // Cross-check every support against the naive reference before timing.
+    for (si, sel) in selects.iter().enumerate() {
+        assert_eq!(sel.ones(), ones);
+        for &i in qsel.iter().take(512) {
+            assert_eq!(sel.select1(&bv, i), positions[i - 1], "select sample {}", SAMPLES[si]);
+        }
+    }
+    let select_mops: Vec<f64> = selects
+        .iter()
+        .map(|sel| {
+            mops(
+                iters,
+                best(cfg.runs, || {
+                    let mut acc = 0usize;
+                    for i in 0..iters {
+                        acc = acc.wrapping_add(sel.select1(&bv, qsel[i % nq]));
+                    }
+                    std::hint::black_box(acc);
+                }),
+            )
+        })
+        .collect();
+
+    let mut out = Vec::new();
+    for &block_bits in &BLOCK_BITS {
+        let rank = RankSupport::new(&bv, block_bits);
+        for &p in qpos.iter().take(512) {
+            assert_eq!(
+                rank.rank1(&bv, p),
+                positions.partition_point(|&q| q <= p),
+                "rank block {block_bits}"
+            );
+        }
+        let rank_mops = mops(
+            iters,
+            best(cfg.runs, || {
+                let mut acc = 0usize;
+                for i in 0..iters {
+                    acc = acc.wrapping_add(rank.rank1(&bv, qpos[i % nq]));
+                }
+                std::hint::black_box(acc);
+            }),
+        );
+        for (si, &sample) in SAMPLES.iter().enumerate() {
+            let sel = &selects[si];
+            let mixed_mops = mops(
+                iters,
+                best(cfg.runs, || {
+                    let mut acc = 0usize;
+                    for i in 0..iters {
+                        let j = i % nq;
+                        acc = acc.wrapping_add(if i & 1 == 0 {
+                            rank.rank1(&bv, qpos[j])
+                        } else {
+                            sel.select1(&bv, qsel[j])
+                        });
+                    }
+                    std::hint::black_box(acc);
+                }),
+            );
+            let bits_per_key =
+                ((rank.mem_usage() + sel.mem_usage()) as f64 * 8.0) / ones as f64;
+            println!(
+                "pareto B={block_bits:<4} S={sample:<3}  {bits_per_key:.3} bits/key  rank {rank_mops:.1}  select {:.1}  mixed {mixed_mops:.1} Mops/s",
+                select_mops[si]
+            );
+            out.push(ParetoPoint {
+                block_bits,
+                sample,
+                bits_per_key,
+                rank_mops,
+                select_mops: select_mops[si],
+                mixed_mops,
+            });
+        }
+    }
+    out
 }
 
 // ---------------------------------------------------------------------------
@@ -453,6 +596,7 @@ fn main() {
             .collect();
 
     let kn = bench_kernels(&cfg);
+    let pareto = bench_rank_select_pareto(&cfg);
     let (scalar_mops, vector_mops, speedup) = bench_point_lookup(&cfg, &entries);
 
     // Batched multi-get across the tree zoo, same probe set everywhere.
@@ -485,7 +629,28 @@ fn main() {
     let shared_probes = Arc::new(probes.clone());
     let threads = bench_threads(&cfg, &shared, &shared_probes);
 
-    // ---- acceptance gates (full runs only; smoke is correctness-only) ----
+    // ---- acceptance gates ----
+    // The Pareto sweep must cover the promised configuration grid with
+    // finite measurements (every run, including smoke — it's a schema
+    // guarantee, not a performance one).
+    assert!(
+        pareto.len() >= 6,
+        "rank_select_pareto needs >= 6 points, got {}",
+        pareto.len()
+    );
+    for p in &pareto {
+        assert!(
+            p.bits_per_key.is_finite()
+                && p.rank_mops.is_finite()
+                && p.select_mops.is_finite()
+                && p.mixed_mops.is_finite(),
+            "non-finite pareto point at B={} S={}",
+            p.block_bits,
+            p.sample
+        );
+    }
+
+    // Full runs only; smoke is correctness-only.
     if !cfg.smoke {
         assert!(
             speedup >= 1.3,
@@ -519,11 +684,19 @@ fn main() {
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str(&format!(
-        "  \"meta\": {{\n    \"n_keys\": {},\n    \"n_reads\": {},\n    \"runs\": {},\n    \"smoke\": {},\n    \"note\": \"hot-path kernel ablations + batched multi-get; all rates in Mops/s\"\n  }},\n",
-        cfg.n_keys, cfg.n_reads, cfg.runs, cfg.smoke
+        "  \"meta\": {{\n    \"n_keys\": {},\n    \"n_reads\": {},\n    \"runs\": {},\n    \"smoke\": {},\n    \"kernel_mode\": \"{}\",\n    \"crc_kernel\": \"{}\",\n    \"note\": \"hot-path kernel ablations + batched multi-get; all rates in Mops/s\"\n  }},\n",
+        cfg.n_keys,
+        cfg.n_reads,
+        cfg.runs,
+        cfg.smoke,
+        match memtree_common::kernel_mode() {
+            memtree_common::KernelMode::Auto => "auto",
+            memtree_common::KernelMode::Scalar => "scalar",
+        },
+        memtree_common::crc::active_kernel()
     ));
     json.push_str(&format!(
-        "  \"kernels\": {{\n    \"select_in_word\": {{ \"scalar\": {:.1}, \"swar\": {:.1}, \"dispatch\": {:.1} }},\n    \"rank1\": {{ \"b512\": {:.1}, \"b64_fast_path\": {:.1} }},\n    \"find_byte\": {{ \"scalar\": {:.1}, \"swar\": {:.1}, \"dispatch\": {:.1} }}\n  }},\n",
+        "  \"kernels\": {{\n    \"select_in_word\": {{ \"scalar\": {:.1}, \"swar\": {:.1}, \"dispatch\": {:.1} }},\n    \"rank1\": {{ \"b512\": {:.1}, \"b64_fast_path\": {:.1} }},\n    \"find_byte\": {{ \"scalar\": {:.1}, \"swar\": {:.1}, \"dispatch\": {:.1} }},\n    \"popcount_words8\": {{ \"scalar\": {:.1}, \"swar\": {:.1}, \"dispatch\": {:.1} }}\n  }},\n",
         kn.select_scalar,
         kn.select_swar,
         kn.select_dispatch,
@@ -531,8 +704,25 @@ fn main() {
         kn.rank_b64,
         kn.find_scalar,
         kn.find_swar,
-        kn.find_dispatch
+        kn.find_dispatch,
+        kn.pop_scalar,
+        kn.pop_swar,
+        kn.pop_dispatch
     ));
+    json.push_str("  \"rank_select_pareto\": [\n");
+    for (i, p) in pareto.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{ \"block_bits\": {}, \"sample\": {}, \"bits_per_key\": {:.4}, \"rank_mops\": {:.3}, \"select_mops\": {:.3}, \"mixed_mops\": {:.3} }}{}\n",
+            p.block_bits,
+            p.sample,
+            p.bits_per_key,
+            p.rank_mops,
+            p.select_mops,
+            p.mixed_mops,
+            if i + 1 < pareto.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
     json.push_str(&format!(
         "  \"fst_point_lookup\": {{ \"scalar_baseline\": {scalar_mops:.3}, \"vectorized\": {vector_mops:.3}, \"speedup\": {speedup:.3} }},\n"
     ));
@@ -572,6 +762,27 @@ fn main() {
         ));
     }
     json.push_str("  ]\n}\n");
+
+    // Schema self-check: every section a downstream reader depends on must
+    // be present in the emitted document.
+    for key in [
+        "\"meta\"",
+        "\"kernel_mode\"",
+        "\"crc_kernel\"",
+        "\"kernels\"",
+        "\"popcount_words8\"",
+        "\"rank_select_pareto\"",
+        "\"block_bits\"",
+        "\"sample\"",
+        "\"bits_per_key\"",
+        "\"mixed_mops\"",
+        "\"fst_point_lookup\"",
+        "\"multi_get\"",
+        "\"compact_art_cutover\"",
+        "\"thread_scaling\"",
+    ] {
+        assert!(json.contains(key), "BENCH_hotpath.json schema missing {key}");
+    }
 
     if let Some(dir) = std::path::Path::new(&cfg.out_path).parent() {
         if !dir.as_os_str().is_empty() {

@@ -9,6 +9,7 @@ use memtree_common::error::MemtreeError;
 use memtree_common::mem::{vec_bytes, vec_of_bytes};
 use memtree_common::traits::{BatchProbe, StaticIndex, Value};
 use std::cell::RefCell;
+use std::collections::HashMap;
 
 /// Entries per compressed leaf block.
 pub const BLOCK_ENTRIES: usize = 128;
@@ -81,6 +82,8 @@ struct ClockCache {
     capacity: usize,
     /// (block_id, decoded, referenced)
     slots: Vec<(usize, DecodedBlock, bool)>,
+    /// block_id → slot position — O(1) probes instead of a linear scan.
+    index: HashMap<usize, usize>,
     hand: usize,
     hits: u64,
     misses: u64,
@@ -91,6 +94,7 @@ impl ClockCache {
         Self {
             capacity,
             slots: Vec::new(),
+            index: HashMap::new(),
             hand: 0,
             hits: 0,
             misses: 0,
@@ -98,7 +102,7 @@ impl ClockCache {
     }
 
     fn find(&mut self, block_id: usize) -> Option<usize> {
-        let idx = self.slots.iter().position(|(id, _, _)| *id == block_id)?;
+        let &idx = self.index.get(&block_id)?;
         self.slots[idx].2 = true;
         self.hits += 1;
         Some(idx)
@@ -107,6 +111,7 @@ impl ClockCache {
     fn insert(&mut self, block_id: usize, block: DecodedBlock) -> usize {
         self.misses += 1;
         if self.slots.len() < self.capacity {
+            self.index.insert(block_id, self.slots.len());
             self.slots.push((block_id, block, true));
             return self.slots.len() - 1;
         }
@@ -118,9 +123,24 @@ impl ClockCache {
                 self.hand = (self.hand + 1) % self.slots.len();
             } else {
                 let victim = self.hand;
+                self.index.remove(&self.slots[victim].0);
+                self.index.insert(block_id, victim);
                 self.slots[victim] = (block_id, block, true);
                 self.hand = (self.hand + 1) % self.slots.len();
                 return victim;
+            }
+        }
+    }
+
+    /// Drops a cached decode (if any), keeping the slot index coherent.
+    fn invalidate(&mut self, block_id: usize) {
+        if let Some(i) = self.index.remove(&block_id) {
+            self.slots.swap_remove(i);
+            if i < self.slots.len() {
+                self.index.insert(self.slots[i].0, i);
+            }
+            if self.hand >= self.slots.len() {
+                self.hand = 0;
             }
         }
     }
@@ -271,7 +291,7 @@ impl CompressedBTree {
     #[doc(hidden)]
     pub fn corrupt_block_byte(&mut self, block_id: usize, offset: usize, mask: u8) -> bool {
         // Drop any cached decode of this block so reads hit the frame.
-        self.cache.borrow_mut().slots.retain(|(id, _, _)| *id != block_id);
+        self.cache.borrow_mut().invalidate(block_id);
         match self.blocks.get_mut(block_id).and_then(|b| b.get_mut(offset)) {
             Some(byte) => {
                 *byte ^= mask;

@@ -1,0 +1,42 @@
+//! Workspace-wide kernel dispatch policy.
+//!
+//! Every runtime-dispatched kernel in the workspace (hardware CRC32C in
+//! [`crate::crc`], the PDEP/SSE2/popcnt tiers in `memtree_succinct`)
+//! consults one policy knob before consulting the CPU: the
+//! `MEMTREE_KERNELS` environment variable. Setting it to `scalar` (or
+//! `portable`) pins every dispatch to its portable software tier, so the
+//! fallback paths that normally only run on feature-less hardware can be
+//! exercised — and CI does exercise them — on any machine. Any other
+//! value (or none) means "auto": use whatever the CPU offers.
+//!
+//! The variable is read once per process; flipping it after the first
+//! dispatch has no effect (dispatch results are cached in the kernels
+//! themselves for the same reason).
+
+use std::sync::OnceLock;
+
+/// How runtime kernel dispatch should behave for this process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelMode {
+    /// Use hardware tiers when CPU feature detection finds them.
+    Auto,
+    /// Pin every kernel to its portable (scalar/SWAR) tier.
+    Scalar,
+}
+
+/// The process-wide kernel mode, read once from `MEMTREE_KERNELS`.
+pub fn kernel_mode() -> KernelMode {
+    static MODE: OnceLock<KernelMode> = OnceLock::new();
+    *MODE.get_or_init(|| match std::env::var("MEMTREE_KERNELS") {
+        Ok(v) if v.eq_ignore_ascii_case("scalar") || v.eq_ignore_ascii_case("portable") => {
+            KernelMode::Scalar
+        }
+        _ => KernelMode::Auto,
+    })
+}
+
+/// True when hardware kernel tiers are allowed (mode is [`KernelMode::Auto`]).
+#[inline]
+pub fn hardware_allowed() -> bool {
+    kernel_mode() == KernelMode::Auto
+}

@@ -17,7 +17,10 @@
 //!   hardware counters of Table 2.2.
 //! * [`error`] — the typed error taxonomy ([`MemtreeError`]) returned by
 //!   fallible paths (block decode, merges, anti-cache fetches).
-//! * [`crc`] — from-scratch CRC32C used to frame compressed blocks.
+//! * [`crc`] — from-scratch, runtime-dispatched CRC32C (SSE4.2 hardware
+//!   tier + portable slicing-by-16) used to frame compressed blocks.
+//! * [`dispatch`] — the process-wide `MEMTREE_KERNELS` kernel-dispatch
+//!   policy consulted by every hardware-accelerated kernel.
 //! * [`check`] — a deterministic, dependency-free property-test harness
 //!   (seeded generator + `prop_check`), replacing the external `proptest`.
 
@@ -26,6 +29,7 @@
 pub mod bitset;
 pub mod check;
 pub mod crc;
+pub mod dispatch;
 pub mod error;
 pub mod hash;
 pub mod key;
@@ -34,7 +38,8 @@ pub mod probe;
 pub mod traits;
 
 pub use bitset::BitSet;
-pub use crc::{crc32c, crc32c_update};
+pub use crc::{crc32c, crc32c_update, crc32c_update_slicing16};
+pub use dispatch::{hardware_allowed, kernel_mode, KernelMode};
 pub use error::MemtreeError;
 pub use traits::{
     multi_scan_merged, BatchProbe, OrderedIndex, PointFilter, RangeFilter, StaticIndex, Value,

@@ -20,7 +20,7 @@
 //! * CRC bits → CRC mismatch;
 //! * and as defense in depth, the decompressed size must equal `raw_len`.
 
-use crate::{compress, decompress};
+use crate::{compress_into, decompress_fused};
 use memtree_common::crc::crc32c_update;
 use memtree_common::error::MemtreeError;
 
@@ -39,17 +39,20 @@ fn frame_crc(raw_len: u32, comp_len: u32, payload: &[u8]) -> u32 {
 }
 
 /// Compresses `input` and wraps it in a checksummed frame.
+///
+/// The token stream is compressed directly into the framed buffer (after a
+/// header placeholder) and the header is backfilled — no payload copy.
 pub fn encode_block(input: &[u8]) -> Vec<u8> {
-    let payload = compress(input);
+    let mut out = Vec::with_capacity(FRAME_HEADER_BYTES + input.len() / 2 + 16);
+    out.extend_from_slice(&[0u8; FRAME_HEADER_BYTES]);
+    compress_into(input, &mut out);
     let raw_len = input.len() as u32;
-    let comp_len = payload.len() as u32;
-    let crc = frame_crc(raw_len, comp_len, &payload);
-    let mut out = Vec::with_capacity(FRAME_HEADER_BYTES + payload.len());
-    out.extend_from_slice(&MAGIC.to_le_bytes());
-    out.extend_from_slice(&raw_len.to_le_bytes());
-    out.extend_from_slice(&comp_len.to_le_bytes());
-    out.extend_from_slice(&crc.to_le_bytes());
-    out.extend_from_slice(&payload);
+    let comp_len = (out.len() - FRAME_HEADER_BYTES) as u32;
+    let crc = frame_crc(raw_len, comp_len, &out[FRAME_HEADER_BYTES..]);
+    out[0..4].copy_from_slice(&MAGIC.to_le_bytes());
+    out[4..8].copy_from_slice(&raw_len.to_le_bytes());
+    out[8..12].copy_from_slice(&comp_len.to_le_bytes());
+    out[12..16].copy_from_slice(&crc.to_le_bytes());
     out
 }
 
@@ -83,12 +86,31 @@ pub fn decode_block(block: &[u8]) -> Result<Vec<u8>, MemtreeError> {
             format!("length mismatch: header {} vs actual {}", comp_len, payload.len()),
         ));
     }
-    if frame_crc(raw_len, comp_len, payload) != crc {
-        return Err(MemtreeError::corruption("block-frame", "crc mismatch"));
-    }
-    let raw = decompress(payload).map_err(|e| {
-        MemtreeError::corruption("block-frame", format!("payload undecodable: {e}"))
-    })?;
+    // Fused verify+decode: the CRC is folded forward inside the
+    // decompression pass (continuing the state seeded with the length
+    // fields), so the payload is swept once, not twice.
+    let mut state = crc32c_update(!0, &raw_len.to_le_bytes());
+    state = crc32c_update(state, &comp_len.to_le_bytes());
+    let raw = match decompress_fused(payload, state, raw_len as usize) {
+        Ok((raw, state)) => {
+            if !state != crc {
+                return Err(MemtreeError::corruption("block-frame", "crc mismatch"));
+            }
+            raw
+        }
+        Err(e) => {
+            // Decode failed before verification finished: re-sweep the CRC
+            // to attribute the failure — a checksum mismatch means payload
+            // corruption, a clean checksum means a genuinely bad stream.
+            if frame_crc(raw_len, comp_len, payload) != crc {
+                return Err(MemtreeError::corruption("block-frame", "crc mismatch"));
+            }
+            return Err(MemtreeError::corruption(
+                "block-frame",
+                format!("payload undecodable: {e}"),
+            ));
+        }
+    };
     if raw.len() != raw_len as usize {
         return Err(MemtreeError::corruption(
             "block-frame",

@@ -48,6 +48,13 @@ fn hash4(bytes: &[u8]) -> usize {
 /// Compresses `input` into a fresh buffer.
 pub fn compress(input: &[u8]) -> Vec<u8> {
     let mut out = Vec::with_capacity(input.len() / 2 + 16);
+    compress_into(input, &mut out);
+    out
+}
+
+/// Compresses `input`, appending the token stream to `out` — lets the
+/// framed encoder build header + payload in one buffer with no copy.
+pub(crate) fn compress_into(input: &[u8], out: &mut Vec<u8>) {
     let mut table = vec![usize::MAX; 1 << HASH_BITS];
     let mut i = 0usize;
     let mut lit_start = 0usize;
@@ -61,7 +68,7 @@ pub fn compress(input: &[u8]) -> Vec<u8> {
             && input[candidate..candidate + MIN_MATCH] == input[i..i + MIN_MATCH]
         {
             // Flush pending literals.
-            flush_literals(&mut out, &input[lit_start..i]);
+            flush_literals(out, &input[lit_start..i]);
             // Extend the match.
             let mut len = MIN_MATCH;
             while i + len < input.len() && input[candidate + len] == input[i + len] {
@@ -89,8 +96,7 @@ pub fn compress(input: &[u8]) -> Vec<u8> {
             i += 1;
         }
     }
-    flush_literals(&mut out, &input[lit_start..]);
-    out
+    flush_literals(out, &input[lit_start..]);
 }
 
 fn flush_literals(out: &mut Vec<u8>, mut lits: &[u8]) {
@@ -124,9 +130,45 @@ impl std::error::Error for DecodeError {}
 
 /// Decompresses a block produced by [`compress`].
 pub fn decompress(input: &[u8]) -> Result<Vec<u8>, DecodeError> {
-    let mut out = Vec::with_capacity(input.len() * 3);
+    decompress_impl::<false>(input, 0, input.len() * 3).map(|(out, _)| out)
+}
+
+/// Fused verify+decode: decompresses `input` while folding the scanned
+/// bytes into a running CRC32C continued from `crc_state`, so the framed
+/// decoder makes **one pass** over the payload instead of a CRC sweep
+/// followed by a decompression sweep. `cap_hint` sizes the output buffer
+/// exactly (the frame header knows `raw_len`), avoiding growth copies.
+///
+/// Returns the decompressed bytes and the final CRC state. On a decode
+/// error the CRC is unfinished — the caller re-sweeps to attribute the
+/// failure (corruption vs. genuinely bad stream).
+pub(crate) fn decompress_fused(
+    input: &[u8],
+    crc_state: u32,
+    cap_hint: usize,
+) -> Result<(Vec<u8>, u32), DecodeError> {
+    decompress_impl::<true>(input, crc_state, cap_hint)
+}
+
+/// Shared token loop. With `VERIFY`, the running CRC is folded forward in
+/// chunks as the decoder moves past them, so checksummed bytes are still
+/// cache-hot from the decode scan (a true single pass over memory).
+fn decompress_impl<const VERIFY: bool>(
+    input: &[u8],
+    mut crc: u32,
+    cap_hint: usize,
+) -> Result<(Vec<u8>, u32), DecodeError> {
+    /// Fold granularity: big enough to amortize kernel dispatch, small
+    /// enough that folded bytes are still in L1.
+    const CRC_CHUNK: usize = 512;
+    let mut out = Vec::with_capacity(cap_hint);
+    let mut crc_pos = 0usize;
     let mut i = 0usize;
     while i < input.len() {
+        if VERIFY && i - crc_pos >= CRC_CHUNK {
+            crc = memtree_common::crc32c_update(crc, &input[crc_pos..i]);
+            crc_pos = i;
+        }
         let token = input[i];
         i += 1;
         if token & 0x80 == 0 {
@@ -154,7 +196,10 @@ pub fn decompress(input: &[u8]) -> Result<Vec<u8>, DecodeError> {
             }
         }
     }
-    Ok(out)
+    if VERIFY {
+        crc = memtree_common::crc32c_update(crc, &input[crc_pos..]);
+    }
+    Ok((out, crc))
 }
 
 #[cfg(test)]

@@ -28,7 +28,7 @@ use memtree_common::traits::OrderedIndex;
 use memtree_faults::{fail_point, Backoff};
 use memtree_skiplist::SkipList;
 use std::cell::{Cell, RefCell};
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::rc::Rc;
 use std::time::Duration;
 
@@ -132,6 +132,9 @@ pub enum SeekResult {
 pub(crate) struct BlockCache {
     /// (table id, block idx, payload, referenced)
     slots: Vec<(u64, usize, Rc<DecodedBlock>, bool)>,
+    /// `(table id, block idx)` → slot position — O(1) probes instead of a
+    /// linear scan of every slot. Maintained by CLOCK replacement below.
+    index: HashMap<(u64, usize), usize>,
     capacity: usize,
     hand: usize,
     hits: u64,
@@ -140,14 +143,11 @@ pub(crate) struct BlockCache {
 
 impl BlockCache {
     pub(crate) fn get(&mut self, table: u64, block: usize) -> Option<Rc<DecodedBlock>> {
-        for slot in &mut self.slots {
-            if slot.0 == table && slot.1 == block {
-                slot.3 = true;
-                self.hits += 1;
-                return Some(Rc::clone(&slot.2));
-            }
-        }
-        None
+        let &i = self.index.get(&(table, block))?;
+        let slot = &mut self.slots[i];
+        slot.3 = true;
+        self.hits += 1;
+        Some(Rc::clone(&slot.2))
     }
 
     fn insert(&mut self, table: u64, block: usize, data: Rc<DecodedBlock>) {
@@ -156,6 +156,7 @@ impl BlockCache {
             return;
         }
         if self.slots.len() < self.capacity {
+            self.index.insert((table, block), self.slots.len());
             self.slots.push((table, block, data, true));
             return;
         }
@@ -165,6 +166,8 @@ impl BlockCache {
                 slot.3 = false;
                 self.hand = (self.hand + 1) % self.slots.len();
             } else {
+                self.index.remove(&(slot.0, slot.1));
+                self.index.insert((table, block), self.hand);
                 self.slots[self.hand] = (table, block, data, true);
                 self.hand = (self.hand + 1) % self.slots.len();
                 return;

@@ -305,7 +305,8 @@ impl Manifest {
         let file = String::from_utf8(name_bytes).map_err(|_| {
             MemtreeError::corruption("manifest-current", "non-utf8 manifest name")
         })?;
-        let log = decode_frames(&disk.read_file(&file), "manifest")?;
+        let log_buf = disk.read_file(&file);
+        let log = decode_frames(&log_buf, "manifest")?;
         if log.torn {
             // A torn last transaction is a crash mid-append: the version
             // before it is fully consistent. Drop the torn bytes so later
@@ -323,10 +324,7 @@ impl Manifest {
                 ));
             }
             last_txn = txn;
-            let mut r = Reader {
-                buf: &payload,
-                at: 0,
-            };
+            let mut r = Reader { buf: payload, at: 0 };
             while !r.done() {
                 version.apply(Edit::decode(&mut r)?)?;
             }

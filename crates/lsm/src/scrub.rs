@@ -179,9 +179,8 @@ impl Db {
             if name != self.manifest.borrow().file().as_bytes() {
                 return None;
             }
-            let log =
-                decode_frames(&self.disk.read_file(self.manifest.borrow().file()), "manifest")
-                    .ok()?;
+            let log_buf = self.disk.read_file(self.manifest.borrow().file());
+            let log = decode_frames(&log_buf, "manifest").ok()?;
             (!log.torn).then_some(())
         })()
         .is_some();

@@ -12,7 +12,7 @@
 use crate::db::FilterKind;
 use crate::disk::SimDisk;
 use crate::manifest::TableMeta;
-use crate::wal::{decode_single, encode_single};
+use crate::wal::{decode_single_ref, encode_single};
 use memtree_common::bitset::BitSet;
 use memtree_common::error::{MemtreeError, Result};
 use memtree_common::mem::{vec_bytes, vec_of_bytes};
@@ -192,7 +192,9 @@ impl SsTable {
     /// tombstones carrying values are all typed
     /// [`MemtreeError::Corruption`] — never a panic, never a wrong pair.
     pub(crate) fn decode_block(raw: &[u8]) -> Result<DecodedBlock> {
-        let raw = decode_single(raw, "sstable-block")?;
+        // Borrow the validated payload — entries are sliced straight out
+        // of the frame, so decode makes no intermediate payload copy.
+        let raw = decode_single_ref(raw, "sstable-block")?;
         let short = |what: &str| MemtreeError::corruption("sstable-block", what.to_string());
         if raw.len() < 4 {
             return Err(short("payload shorter than entry count"));

@@ -92,11 +92,13 @@ fn parse_frame_at(buf: &[u8], at: usize) -> Option<(u64, &[u8], usize)> {
     Some((seq, payload, at + FRAME_HEADER + len))
 }
 
-/// Outcome of decoding a frame log.
+/// Outcome of decoding a frame log. Payloads borrow from the log buffer —
+/// replay parses records straight out of the validated frames, with no
+/// per-record copy.
 #[derive(Debug)]
-pub(crate) struct DecodedLog {
+pub(crate) struct DecodedLog<'a> {
     /// `(seq, payload)` in log order.
-    pub records: Vec<(u64, Vec<u8>)>,
+    pub records: Vec<(u64, &'a [u8])>,
     /// Bytes up to the end of the last valid frame (the truncation point
     /// when `torn`).
     pub valid_bytes: usize,
@@ -108,13 +110,13 @@ pub(crate) struct DecodedLog {
 /// Decodes a whole frame log, truncating a torn tail and rejecting
 /// mid-log corruption with a typed error (see the module docs for the
 /// dichotomy).
-pub(crate) fn decode_frames(buf: &[u8], context: &'static str) -> Result<DecodedLog> {
+pub(crate) fn decode_frames<'a>(buf: &'a [u8], context: &'static str) -> Result<DecodedLog<'a>> {
     let mut records = Vec::new();
     let mut at = 0usize;
     while at < buf.len() {
         match parse_frame_at(buf, at) {
             Some((seq, payload, next)) => {
-                records.push((seq, payload.to_vec()));
+                records.push((seq, payload));
                 at = next;
             }
             None => {
@@ -150,13 +152,20 @@ pub(crate) fn encode_single(payload: &[u8]) -> Vec<u8> {
 
 /// Decodes a buffer that must contain exactly one valid frame spanning the
 /// whole buffer; anything else (short, torn, flipped, trailing bytes) is a
-/// typed corruption error.
-pub(crate) fn decode_single(buf: &[u8], context: &'static str) -> Result<Vec<u8>> {
+/// typed corruption error. Borrows the payload — consumers parse straight
+/// out of the validated frame.
+pub(crate) fn decode_single_ref<'a>(buf: &'a [u8], context: &'static str) -> Result<&'a [u8]> {
     match parse_frame_at(buf, 0) {
-        Some((_, payload, next)) if next == buf.len() => Ok(payload.to_vec()),
+        Some((_, payload, next)) if next == buf.len() => Ok(payload),
         Some(_) => Err(MemtreeError::corruption(context, "trailing bytes after frame")),
         None => Err(MemtreeError::corruption(context, "invalid frame")),
     }
+}
+
+/// Owned-copy form of [`decode_single_ref`], for callers that outlive the
+/// input buffer.
+pub(crate) fn decode_single(buf: &[u8], context: &'static str) -> Result<Vec<u8>> {
+    decode_single_ref(buf, context).map(<[u8]>::to_vec)
 }
 
 /// WAL activity counters, exposed through
@@ -374,7 +383,7 @@ mod tests {
             let f = encode_frame(42, payload);
             let log = decode_frames(&f, "t").unwrap();
             assert!(!log.torn);
-            assert_eq!(log.records, vec![(42, payload.to_vec())]);
+            assert_eq!(log.records, vec![(42, payload)]);
             assert_eq!(decode_single(&encode_single(payload), "t").unwrap(), payload);
         }
     }

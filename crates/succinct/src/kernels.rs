@@ -14,9 +14,14 @@
 //! * [`find_byte`] — SSE2 16-lane compare+movemask when available,
 //!   otherwise the 8-byte SWAR zero-in-word trick ([`find_byte_swar`]);
 //!   short slices fall through to the plain loop ([`find_byte_scalar`]).
+//! * [`popcount_words`] — the block-scan inner loop of `rank1`/`rank1_excl`
+//!   for basic blocks wider than 64 bits: `popcnt` instruction when
+//!   available, SSE2 `psadbw` next, batched SWAR otherwise.
 //!
 //! All variants are exported so `bench_hotpath` can ablate scalar vs SWAR
-//! vs SIMD and the differential test suite can cross-check them.
+//! vs SIMD and the differential test suite can cross-check them. Dispatch
+//! honors the process-wide `MEMTREE_KERNELS` policy
+//! ([`memtree_common::dispatch`]): `scalar` pins every kernel portable.
 
 /// `SELECT_IN_BYTE[(k << 8) | b]` = position of the `(k+1)`-th set bit of
 /// byte `b`, or 8 when `b` has at most `k` set bits.
@@ -48,7 +53,10 @@ const fn select_in_byte_table() -> [u8; 2048] {
 }
 
 /// Cached runtime CPU-feature detection. The first call per feature pays
-/// for `cpuid`; every later call is one relaxed atomic load.
+/// for `cpuid`; every later call is one relaxed atomic load. A feature
+/// only tests "present" when the process-wide `MEMTREE_KERNELS` policy
+/// ([`memtree_common::dispatch`]) allows hardware tiers, so `scalar` mode
+/// pins every dispatched kernel to its portable form.
 #[cfg(target_arch = "x86_64")]
 mod cpu {
     use std::sync::atomic::{AtomicU8, Ordering};
@@ -62,7 +70,8 @@ mod cpu {
             static $cache: AtomicU8 = AtomicU8::new(UNKNOWN);
             match $cache.load(Ordering::Relaxed) {
                 UNKNOWN => {
-                    let present = std::arch::is_x86_feature_detected!($feature);
+                    let present = memtree_common::dispatch::hardware_allowed()
+                        && std::arch::is_x86_feature_detected!($feature);
                     $cache.store(if present { PRESENT } else { ABSENT }, Ordering::Relaxed);
                     present
                 }
@@ -79,6 +88,11 @@ mod cpu {
     #[inline]
     pub(super) fn has_sse2() -> bool {
         cached!(SSE2, "sse2")
+    }
+
+    #[inline]
+    pub(super) fn has_popcnt() -> bool {
+        cached!(POPCNT, "popcnt")
     }
 }
 
@@ -173,6 +187,134 @@ pub fn select_in_word_scalar(word: u64, mut k: u32) -> u32 {
         }
         w >>= 8;
     }
+}
+
+// ---------------------------------------------------------------------------
+// Multi-word popcount (rank over blocks wider than 64 bits)
+// ---------------------------------------------------------------------------
+
+/// Popcount of a word slice — the inner loop of every `rank1`/`rank1_excl`
+/// over basic blocks wider than 64 bits, and of rank-LUT construction.
+///
+/// Dispatches (cached, policy-gated): `popcnt`-instruction tier when the
+/// CPU has it, SSE2 `psadbw` tier next, batched SWAR otherwise.
+#[inline]
+pub fn popcount_words(words: &[u64]) -> u32 {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if cpu::has_popcnt() {
+            // SAFETY: POPCNT presence was verified at runtime just above.
+            return unsafe { popcount_words_popcnt_impl(words) };
+        }
+        if cpu::has_sse2() {
+            // SAFETY: SSE2 presence was verified at runtime just above.
+            return unsafe { popcount_words_sse2_impl(words) };
+        }
+    }
+    popcount_words_swar(words)
+}
+
+/// One `count_ones` per word — the scalar baseline for the ablation.
+#[inline]
+pub fn popcount_words_scalar(words: &[u64]) -> u32 {
+    words.iter().map(|w| w.count_ones()).sum()
+}
+
+/// Batched SWAR tier: each word is reduced to per-byte counts, up to 31
+/// words of byte counts are accumulated lane-wise (8 · 31 = 248 < 256, so
+/// no lane overflows), and one widening pairwise fold sums the lanes —
+/// amortizing the horizontal sum that the per-word form pays every word.
+#[inline]
+pub fn popcount_words_swar(words: &[u64]) -> u32 {
+    let mut total = 0u32;
+    for group in words.chunks(31) {
+        let mut acc = 0u64;
+        for &w in group {
+            let mut s = w - ((w >> 1) & 0x5555_5555_5555_5555);
+            s = (s & 0x3333_3333_3333_3333) + ((s >> 2) & 0x3333_3333_3333_3333);
+            s = (s + (s >> 4)) & 0x0F0F_0F0F_0F0F_0F0F;
+            acc += s;
+        }
+        // Widening fold: byte lanes → u16 → u32 → u64 (group totals can
+        // exceed one byte, so the multiply-fold trick doesn't apply).
+        let s = (acc & 0x00FF_00FF_00FF_00FF) + ((acc >> 8) & 0x00FF_00FF_00FF_00FF);
+        let s = (s & 0x0000_FFFF_0000_FFFF) + ((s >> 16) & 0x0000_FFFF_0000_FFFF);
+        total += ((s + (s >> 32)) & 0xFFFF_FFFF) as u32;
+    }
+    total
+}
+
+/// SSE2 tier, when this CPU has it — `None` otherwise. Ignores the
+/// `MEMTREE_KERNELS` policy so differential tests and the ablation bench
+/// can cross-check tiers in any mode.
+#[cfg(target_arch = "x86_64")]
+pub fn popcount_words_sse2(words: &[u64]) -> Option<u32> {
+    if std::arch::is_x86_feature_detected!("sse2") {
+        // SAFETY: SSE2 presence was verified at runtime just above.
+        Some(unsafe { popcount_words_sse2_impl(words) })
+    } else {
+        None
+    }
+}
+
+/// `popcnt`-instruction tier, when this CPU has it — `None` otherwise.
+#[cfg(target_arch = "x86_64")]
+pub fn popcount_words_popcnt(words: &[u64]) -> Option<u32> {
+    if std::arch::is_x86_feature_detected!("popcnt") {
+        // SAFETY: POPCNT presence was verified at runtime just above.
+        Some(unsafe { popcount_words_popcnt_impl(words) })
+    } else {
+        None
+    }
+}
+
+/// SWAR byte-count reduction in 128-bit lanes, folded two words at a time
+/// by `psadbw` (sum of absolute differences against zero = horizontal byte
+/// sum per 64-bit half).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "sse2")]
+fn popcount_words_sse2_impl(words: &[u64]) -> u32 {
+    use core::arch::x86_64::*;
+    // SAFETY: every load reads 16 in-bounds bytes (`i + 2 <= len` words).
+    unsafe {
+        let m1 = _mm_set1_epi8(0x55);
+        let m2 = _mm_set1_epi8(0x33);
+        let m4 = _mm_set1_epi8(0x0F);
+        let zero = _mm_setzero_si128();
+        let mut total = zero;
+        let mut i = 0usize;
+        while i + 2 <= words.len() {
+            let v = _mm_loadu_si128(words.as_ptr().add(i) as *const __m128i);
+            let v = _mm_sub_epi8(v, _mm_and_si128(_mm_srli_epi64::<1>(v), m1));
+            let v = _mm_add_epi8(_mm_and_si128(v, m2), _mm_and_si128(_mm_srli_epi64::<2>(v), m2));
+            let v = _mm_and_si128(_mm_add_epi8(v, _mm_srli_epi64::<4>(v)), m4);
+            total = _mm_add_epi64(total, _mm_sad_epu8(v, zero));
+            i += 2;
+        }
+        let lanes = (_mm_cvtsi128_si64(total) as u64)
+            .wrapping_add(_mm_cvtsi128_si64(_mm_srli_si128::<8>(total)) as u64);
+        let mut out = lanes as u32;
+        if i < words.len() {
+            out += words[i].count_ones();
+        }
+        out
+    }
+}
+
+/// With `popcnt` enabled, `count_ones` compiles to the instruction; four
+/// independent accumulators overlap its latency.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "popcnt")]
+fn popcount_words_popcnt_impl(words: &[u64]) -> u32 {
+    let mut chunks = words.chunks_exact(4);
+    let (mut a, mut b, mut c, mut d) = (0u32, 0u32, 0u32, 0u32);
+    for q in &mut chunks {
+        a += q[0].count_ones();
+        b += q[1].count_ones();
+        c += q[2].count_ones();
+        d += q[3].count_ones();
+    }
+    a + b + c + d + chunks.remainder().iter().map(|w| w.count_ones()).sum::<u32>()
 }
 
 // ---------------------------------------------------------------------------
@@ -316,6 +458,33 @@ mod tests {
                 assert_eq!(find_byte(h, needle), expect, "dispatch len={len} n={needle}");
             }
         }
+    }
+
+    #[test]
+    fn popcount_variants_agree_across_lengths() {
+        let mut state = 7u64;
+        let words: Vec<u64> = (0..200)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state
+            })
+            .collect();
+        for len in [0usize, 1, 2, 3, 4, 7, 8, 15, 16, 30, 31, 32, 62, 63, 100, 200] {
+            let w = &words[..len];
+            let expect = popcount_words_scalar(w);
+            assert_eq!(popcount_words_swar(w), expect, "swar len {len}");
+            assert_eq!(popcount_words(w), expect, "dispatch len {len}");
+            #[cfg(target_arch = "x86_64")]
+            {
+                if let Some(got) = popcount_words_sse2(w) {
+                    assert_eq!(got, expect, "sse2 len {len}");
+                }
+                if let Some(got) = popcount_words_popcnt(w) {
+                    assert_eq!(got, expect, "popcnt len {len}");
+                }
+            }
+        }
+        assert_eq!(popcount_words_swar(&vec![u64::MAX; 100]), 6400);
     }
 
     #[test]

@@ -26,8 +26,9 @@ pub mod select;
 
 pub use bitvec::BitVector;
 pub use kernels::{
-    find_byte, find_byte_scalar, find_byte_swar, prefetch_read, select_in_word,
-    select_in_word_scalar, select_in_word_swar,
+    find_byte, find_byte_scalar, find_byte_swar, popcount_words, popcount_words_scalar,
+    popcount_words_swar, prefetch_read, select_in_word, select_in_word_scalar,
+    select_in_word_swar,
 };
 pub use rank::RankSupport;
 pub use select::SelectSupport;

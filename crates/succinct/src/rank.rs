@@ -44,9 +44,7 @@ impl RankSupport {
             lut.push(acc);
             let start = b * words_per_block;
             let end = ((b + 1) * words_per_block).min(words.len());
-            for w in &words[start..end.max(start)] {
-                acc += w.count_ones();
-            }
+            acc += crate::kernels::popcount_words(&words[start..end.max(start)]);
         }
         lut.push(acc); // sentinel: total set bits
         Self { lut, block_bits }
@@ -67,10 +65,9 @@ impl RankSupport {
                 + (words[last_word] & mask).count_ones() as usize;
         }
         let block = pos / self.block_bits;
-        let mut r = self.lut[block] as usize;
-        for w in &words[block * (self.block_bits / 64)..last_word] {
-            r += w.count_ones() as usize;
-        }
+        let r = self.lut[block] as usize
+            + crate::kernels::popcount_words(&words[block * (self.block_bits / 64)..last_word])
+                as usize;
         r + (words[last_word] & mask).count_ones() as usize
     }
 
@@ -94,10 +91,10 @@ impl RankSupport {
             return self.lut[wi] as usize + partial_word.count_ones() as usize;
         }
         let block = (pos / self.block_bits).min(self.lut.len() - 1);
-        let mut r = self.lut[block] as usize;
-        for w in &words[(block * (self.block_bits / 64)).min(words.len())..wi.min(words.len())] {
-            r += w.count_ones() as usize;
-        }
+        let r = self.lut[block] as usize
+            + crate::kernels::popcount_words(
+                &words[(block * (self.block_bits / 64)).min(words.len())..wi.min(words.len())],
+            ) as usize;
         r + partial_word.count_ones() as usize
     }
 

@@ -12,6 +12,9 @@ cargo test -q --offline
 echo "== cargo test --workspace (offline) =="
 cargo test -q --workspace --offline
 
+echo "== cargo test --workspace with MEMTREE_KERNELS=scalar (portable fallback lane, offline) =="
+MEMTREE_KERNELS=scalar cargo test -q --workspace --offline
+
 echo "== bench_hotpath --smoke (kernel cross-checks, offline) =="
 cargo run -p memtree-bench --release --offline --bin bench_hotpath -- --smoke
 
