@@ -81,7 +81,7 @@ fn entries(n: usize) -> Vec<(Vec<u8>, Value)> {
 
 /// Best-of-RUNS duration for `f` (min rejects scheduler noise).
 fn best<F: FnMut()>(mut f: F) -> Duration {
-    (0..RUNS).map(|_| time(|| f())).min().unwrap()
+    (0..RUNS).map(|_| time(&mut f)).min().unwrap()
 }
 
 fn pct_overhead(on: f64, off: f64) -> f64 {

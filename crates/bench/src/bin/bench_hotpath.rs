@@ -85,7 +85,7 @@ fn config() -> Config {
 
 /// Best-of-runs duration (min rejects scheduler noise).
 fn best<F: FnMut()>(runs: usize, mut f: F) -> Duration {
-    (0..runs).map(|_| time(|| f())).min().unwrap()
+    (0..runs).map(|_| time(&mut f)).min().unwrap()
 }
 
 // ---------------------------------------------------------------------------

@@ -77,7 +77,7 @@ fn kinds() -> [(FilterKind, &'static str); 5] {
 
 /// Best-of-runs duration (min rejects scheduler noise).
 fn best<F: FnMut()>(runs: usize, mut f: F) -> Duration {
-    (0..runs).map(|_| time(|| f())).min().unwrap()
+    (0..runs).map(|_| time(&mut f)).min().unwrap()
 }
 
 /// Stored keys are `i << 12`, so `(j << 12) | 777` is always a miss that

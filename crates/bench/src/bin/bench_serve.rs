@@ -1,0 +1,303 @@
+//! Multi-threaded serving benchmark over `ShardedDb`, written to
+//! `BENCH_serve.json`.
+//!
+//! A closed-loop YCSB driver runs 1/2/4/8 client threads against one
+//! sharded database: read-heavy (B) under uniform and Zipfian key
+//! choice, write-heavy (A), and scan/insert (E). Every operation is
+//! individually timed, so each line reports aggregate throughput *and*
+//! tail latency (p50/p99) — the serving numbers that matter, not just a
+//! mean.
+//!
+//! Correctness gates always run, smoke mode included: every client
+//! thread's acknowledged writes are re-read after a quiesce barrier, and
+//! reads during the storm must return plausible values (the loaded value
+//! or a client's overwrite, never garbage). The reader-scaling gate —
+//! uniform read-heavy throughput at 4 threads must reach 2.5x the
+//! 1-thread run — is enforced only when the host actually has 4 cores
+//! (`std::thread::available_parallelism`); the JSON records whether it
+//! was enforced so a single-core run is never mistaken for a passing
+//! scaling result.
+//!
+//! Run from the repo root:
+//! `cargo run -p memtree-bench --release --bin bench_serve`
+
+use memtree_lsm::DbOptions;
+use memtree_serve::{ServeOptions, ShardedDb};
+use memtree_workload::ycsb::{Dist, Mix, Op, OpGenerator};
+use std::sync::Arc;
+use std::time::Instant;
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+struct Config {
+    loaded: usize,
+    ops_per_thread: usize,
+    out_path: String,
+    smoke: bool,
+}
+
+fn config() -> Config {
+    let mut smoke = false;
+    let mut out: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => out = args.next(),
+            other => {
+                eprintln!("unknown argument: {other} (expected --smoke / --out PATH)");
+                std::process::exit(2);
+            }
+        }
+    }
+    Config {
+        loaded: if smoke { 2_000 } else { 20_000 },
+        ops_per_thread: if smoke { 1_500 } else { 15_000 },
+        out_path: out.unwrap_or_else(|| {
+            if smoke {
+                "target/BENCH_serve_smoke.json".into()
+            } else {
+                "BENCH_serve.json".into()
+            }
+        }),
+        smoke,
+    }
+}
+
+fn loaded_key(i: usize) -> Vec<u8> {
+    format!("user{i:08}").into_bytes()
+}
+
+fn reserve_key(i: usize) -> Vec<u8> {
+    format!("zres{i:08}").into_bytes()
+}
+
+fn loaded_value(i: usize) -> Vec<u8> {
+    format!("base-{i:08}-payload").into_bytes()
+}
+
+fn updated_value(thread: usize, i: usize) -> Vec<u8> {
+    format!("upd{thread}-{i:08}-payload").into_bytes()
+}
+
+/// A value for loaded key `i` is plausible iff it is the load-phase
+/// value or some client's overwrite of exactly that key.
+fn plausible(i: usize, v: &[u8]) -> bool {
+    let suffix = format!("-{i:08}-payload");
+    v.ends_with(suffix.as_bytes()) && (v.starts_with(b"base-") || v.starts_with(b"upd"))
+}
+
+struct Line {
+    threads: usize,
+    mops: f64,
+    p50_us: f64,
+    p99_us: f64,
+}
+
+struct ConfigReport {
+    name: &'static str,
+    lines: Vec<Line>,
+}
+
+fn fresh_db(cfg: &Config) -> Arc<ShardedDb> {
+    let sdb = ShardedDb::new(ServeOptions {
+        shards: 4,
+        db: DbOptions {
+            memtable_bytes: 256 << 10,
+            ..DbOptions::default()
+        },
+        ..ServeOptions::default()
+    });
+    for i in 0..cfg.loaded {
+        sdb.put(&loaded_key(i), &loaded_value(i)).unwrap();
+    }
+    sdb.barrier().unwrap();
+    Arc::new(sdb)
+}
+
+/// One (mix, dist, threads) cell: spawn the clients, drive `ops` each,
+/// time every operation, and gate the answers as we go.
+fn run_cell(
+    sdb: &Arc<ShardedDb>,
+    mix: Mix,
+    dist: Dist,
+    threads: usize,
+    ops: usize,
+    loaded: usize,
+) -> Line {
+    let started = Instant::now();
+    let workers: Vec<_> = (0..threads)
+        .map(|t| {
+            let sdb = Arc::clone(sdb);
+            std::thread::spawn(move || {
+                let mut gen = OpGenerator::with_dist(mix, loaded, 0x5eed + t as u64, dist);
+                let mut lat = Vec::with_capacity(ops);
+                let mut written: Vec<(usize, usize)> = Vec::new();
+                for _ in 0..ops {
+                    let op = gen.next();
+                    let op_start = Instant::now();
+                    match op {
+                        Op::Read(i) => {
+                            if let Some(v) = sdb.get(&loaded_key(i)) {
+                                assert!(plausible(i, &v), "implausible value for key {i}");
+                            } else {
+                                panic!("loaded key {i} missing during storm");
+                            }
+                        }
+                        Op::Update(i) => {
+                            sdb.put(&loaded_key(i), &updated_value(t, i)).unwrap();
+                            written.push((t, i));
+                        }
+                        Op::Insert(i) => {
+                            sdb.put(&reserve_key(i), &updated_value(t, i)).unwrap();
+                        }
+                        Op::Scan(i, len) => {
+                            let got = sdb.scan(&loaded_key(i), None, len);
+                            assert!(got.len() <= len, "scan overshot its limit");
+                        }
+                    }
+                    lat.push(op_start.elapsed().as_nanos() as u64);
+                }
+                (lat, written)
+            })
+        })
+        .collect();
+    let mut lat = Vec::with_capacity(threads * ops);
+    let mut written = Vec::new();
+    for w in workers {
+        let (l, wr) = w.join().unwrap();
+        lat.extend(l);
+        written.extend(wr);
+    }
+    let elapsed = started.elapsed();
+
+    // Gate: after a quiesce barrier, each client's last overwrite per key
+    // is *a* plausible overwrite of that key (clients race, so exact
+    // last-writer is undefined across threads — plausibility is not).
+    sdb.barrier().unwrap();
+    for &(_, i) in written.iter().rev().take(64) {
+        let v = sdb.get(&loaded_key(i)).unwrap_or_else(|| panic!("acked update to {i} lost"));
+        assert!(plausible(i, &v), "post-quiesce value for key {i} implausible");
+    }
+
+    lat.sort_unstable();
+    let pct = |p: f64| lat[((lat.len() - 1) as f64 * p) as usize] as f64 / 1e3;
+    Line {
+        threads,
+        mops: (threads * ops) as f64 / elapsed.as_secs_f64() / 1e6,
+        p50_us: pct(0.50),
+        p99_us: pct(0.99),
+    }
+}
+
+fn run_config(
+    cfg: &Config,
+    name: &'static str,
+    mix: Mix,
+    dist: Dist,
+) -> ConfigReport {
+    // Scans merge 50-100 entries per op; keep their op count proportionate.
+    let ops = if mix == Mix::E { cfg.ops_per_thread / 10 } else { cfg.ops_per_thread };
+    let mut lines = Vec::new();
+    for &threads in &THREADS {
+        let sdb = fresh_db(cfg);
+        let line = run_cell(&sdb, mix, dist, threads, ops, cfg.loaded);
+        println!(
+            "{name:<20} {threads} thread{} {:>8.3} Mops/s   p50 {:>7.1} us   p99 {:>7.1} us",
+            if threads == 1 { " " } else { "s" },
+            line.mops,
+            line.p50_us,
+            line.p99_us
+        );
+        lines.push(line);
+        Arc::try_unwrap(sdb).ok().expect("clients joined").close().unwrap();
+    }
+    ConfigReport { name, lines }
+}
+
+/// The reader-scaling gate only means something with real cores under
+/// it; on a 1-core host every extra thread is pure context switching.
+fn scaling_gate(reports: &[ConfigReport], enforced: bool) {
+    let uniform = reports
+        .iter()
+        .find(|r| r.name == "read_heavy_uniform")
+        .expect("uniform read-heavy config missing");
+    let at = |t: usize| {
+        uniform
+            .lines
+            .iter()
+            .find(|l| l.threads == t)
+            .expect("thread count missing")
+            .mops
+    };
+    let ratio = at(4) / at(1);
+    if enforced {
+        assert!(
+            ratio >= 2.5,
+            "reader scaling gate: uniform read-heavy 1->4 threads must reach \
+             2.5x, got {ratio:.2}x ({:.3} -> {:.3} Mops/s)",
+            at(1),
+            at(4)
+        );
+        println!("scaling gate       1->4 threads {ratio:.2}x >= 2.5x (enforced)");
+    } else {
+        println!("scaling gate       1->4 threads {ratio:.2}x (not enforced: <4 cores)");
+    }
+}
+
+fn write_json(cfg: &Config, reports: &[ConfigReport], parallelism: usize, enforced: bool) {
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!(
+        "  \"meta\": {{\n    \"loaded\": {},\n    \"ops_per_thread\": {},\n    \"smoke\": {},\n    \"shards\": 4,\n    \"parallelism\": {},\n    \"scaling_gate_enforced\": {},\n    \"note\": \"closed-loop YCSB clients over ShardedDb; every op timed for p50/p99; scaling gate (1->4 threads >= 2.5x on uniform read-heavy) enforced only with >= 4 cores\"\n  }},\n",
+        cfg.loaded, cfg.ops_per_thread, cfg.smoke, parallelism, enforced
+    ));
+    json.push_str("  \"configs\": [\n");
+    for (i, r) in reports.iter().enumerate() {
+        json.push_str(&format!("    {{\n      \"config\": \"{}\",\n      \"lines\": [\n", r.name));
+        for (j, l) in r.lines.iter().enumerate() {
+            json.push_str(&format!(
+                "        {{ \"threads\": {}, \"mops\": {:.4}, \"p50_us\": {:.2}, \"p99_us\": {:.2} }}{}\n",
+                l.threads, l.mops, l.p50_us, l.p99_us,
+                if j + 1 < r.lines.len() { "," } else { "" }
+            ));
+        }
+        json.push_str(&format!("      ]\n    }}{}\n", if i + 1 < reports.len() { "," } else { "" }));
+    }
+    json.push_str("  ]\n}\n");
+
+    if let Some(dir) = std::path::Path::new(&cfg.out_path).parent() {
+        if !dir.as_os_str().is_empty() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+    }
+    if let Err(e) = std::fs::write(&cfg.out_path, json) {
+        eprintln!("error: cannot write {}: {e}", cfg.out_path);
+        std::process::exit(1);
+    }
+    // Schema self-check: read the artifact back and require every key the
+    // downstream tooling greps for.
+    let back = std::fs::read_to_string(&cfg.out_path).expect("read back BENCH_serve.json");
+    for required in [
+        "\"meta\"", "\"loaded\"", "\"ops_per_thread\"", "\"smoke\"", "\"shards\"",
+        "\"parallelism\"", "\"scaling_gate_enforced\"", "\"configs\"", "\"config\"",
+        "\"lines\"", "\"threads\"", "\"mops\"", "\"p50_us\"", "\"p99_us\"",
+    ] {
+        assert!(back.contains(required), "{} missing key {required}", cfg.out_path);
+    }
+    println!("wrote {} (schema check passed)", cfg.out_path);
+}
+
+fn main() {
+    let cfg = config();
+    let parallelism = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let enforced = parallelism >= 4 && !cfg.smoke;
+    let reports = vec![
+        run_config(&cfg, "read_heavy_uniform", Mix::B, Dist::Uniform),
+        run_config(&cfg, "read_heavy_zipfian", Mix::B, Dist::Zipfian),
+        run_config(&cfg, "write_heavy_zipfian", Mix::A, Dist::Zipfian),
+        run_config(&cfg, "scan_insert_zipfian", Mix::E, Dist::Zipfian),
+    ];
+    scaling_gate(&reports, enforced);
+    write_json(&cfg, &reports, parallelism, enforced);
+}

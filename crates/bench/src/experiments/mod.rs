@@ -8,8 +8,11 @@ pub mod ch6;
 
 use crate::Scale;
 
-/// The full experiment registry: `(id, description, runner)`.
-pub fn registry() -> Vec<(&'static str, &'static str, fn(Scale))> {
+/// One registry row: `(id, description, runner)`.
+pub type Experiment = (&'static str, &'static str, fn(Scale));
+
+/// The full experiment registry.
+pub fn registry() -> Vec<Experiment> {
     vec![
         ("table1_1", "index memory share in H-Store (TPC-C/Voter/Articles)", ch2::table1_1 as fn(Scale)),
         ("table2_2", "point-query software profiling of the four trees", ch2::table2_2),

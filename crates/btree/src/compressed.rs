@@ -108,12 +108,27 @@ impl ClockCache {
         Some(idx)
     }
 
-    fn insert(&mut self, block_id: usize, block: DecodedBlock) -> usize {
+    /// Caches a decode, returning its slot — or gives the block back
+    /// (`Err`) when the cache holds nothing (capacity 0). The former code
+    /// relied on every caller guarding capacity 0 externally: an unguarded
+    /// insert ran the CLOCK sweep over zero slots and indexed out of
+    /// bounds. A re-insert of an already-cached id refreshes the existing
+    /// slot in place instead of indexing a duplicate that would orphan the
+    /// old slot in the ring.
+    fn insert(&mut self, block_id: usize, block: DecodedBlock) -> Result<usize, DecodedBlock> {
         self.misses += 1;
+        if self.capacity == 0 {
+            return Err(block);
+        }
+        if let Some(&i) = self.index.get(&block_id) {
+            self.slots[i].1 = block;
+            self.slots[i].2 = true;
+            return Ok(i);
+        }
         if self.slots.len() < self.capacity {
             self.index.insert(block_id, self.slots.len());
             self.slots.push((block_id, block, true));
-            return self.slots.len() - 1;
+            return Ok(self.slots.len() - 1);
         }
         // CLOCK sweep: clear reference bits until an unreferenced victim.
         loop {
@@ -127,7 +142,7 @@ impl ClockCache {
                 self.index.insert(block_id, victim);
                 self.slots[victim] = (block_id, block, true);
                 self.hand = (self.hand + 1) % self.slots.len();
-                return victim;
+                return Ok(victim);
             }
         }
     }
@@ -143,6 +158,18 @@ impl ClockCache {
                 self.hand = 0;
             }
         }
+    }
+
+    /// Index ↔ slots bijection plus hand range, asserted by the
+    /// differential cache test after every operation.
+    #[cfg(test)]
+    fn assert_coherent(&self) {
+        assert_eq!(self.index.len(), self.slots.len(), "index/slot count desync");
+        assert!(self.slots.len() <= self.capacity);
+        for (pos, slot) in self.slots.iter().enumerate() {
+            assert_eq!(self.index.get(&slot.0), Some(&pos), "slot {pos} not indexed");
+        }
+        assert!(self.hand == 0 || self.hand < self.slots.len(), "hand out of range");
     }
 }
 
@@ -205,12 +232,11 @@ impl CompressedBTree {
             })?
         };
         let decoded = DecodedBlock::from_bytes(&raw);
-        if cache.capacity == 0 {
-            cache.misses += 1;
-            return Ok(f(&decoded));
+        match cache.insert(block_id, decoded) {
+            Ok(idx) => Ok(f(&cache.slots[idx].1)),
+            // Capacity 0: the cache handed the decode back.
+            Err(decoded) => Ok(f(&decoded)),
         }
-        let idx = cache.insert(block_id, decoded);
-        Ok(f(&cache.slots[idx].1))
     }
 
     fn with_block<R>(&self, block_id: usize, f: impl FnOnce(&DecodedBlock) -> R) -> R {
@@ -555,6 +581,57 @@ mod tests {
         }
         // The frame costs exactly its header per block.
         assert!(framed.mem_usage() > unframed.mem_usage());
+    }
+
+    /// Differential test of the CLOCK cache against a map model:
+    /// randomized insert / find / invalidate schedules, with the index ↔
+    /// slot bijection asserted after every operation. Capacity 0 must
+    /// reject inserts (`Err`) instead of sweeping an empty ring — the old
+    /// code indexed out of bounds when called unguarded — and a re-insert
+    /// of a cached id must refresh in place, not orphan a duplicate.
+    #[test]
+    fn randomized_clock_cache_vs_model() {
+        fn decoded(tag: u64) -> DecodedBlock {
+            DecodedBlock::from_bytes(&DecodedBlock::to_bytes(&[(b"k".to_vec(), tag)]))
+        }
+        for capacity in [0usize, 1, 2, 3, 7] {
+            for seed in 0..12u64 {
+                let mut cache = ClockCache::new(capacity);
+                let mut newest: HashMap<usize, u64> = HashMap::new();
+                let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15) | 1;
+                for step in 0..300u64 {
+                    let r = memtree_common::hash::splitmix64(&mut state);
+                    let id = (r % 9) as usize;
+                    match (r >> 8) % 8 {
+                        0..=3 => {
+                            match cache.insert(id, decoded(step)) {
+                                Err(_) => {
+                                    assert_eq!(capacity, 0, "only capacity 0 hands back")
+                                }
+                                Ok(idx) => {
+                                    assert_ne!(capacity, 0, "capacity-0 insert must hand back");
+                                    assert_eq!(cache.slots[idx].0, id);
+                                    assert_eq!(cache.slots[idx].1.vals[0], step);
+                                }
+                            }
+                            newest.insert(id, step);
+                        }
+                        4..=6 => {
+                            if let Some(idx) = cache.find(id) {
+                                assert_eq!(cache.slots[idx].0, id);
+                                assert_eq!(
+                                    cache.slots[idx].1.vals[0],
+                                    newest[&id],
+                                    "cap {capacity} seed {seed}: stale decode served"
+                                );
+                            }
+                        }
+                        _ => cache.invalidate(id),
+                    }
+                    cache.assert_coherent();
+                }
+            }
+        }
     }
 
     #[test]

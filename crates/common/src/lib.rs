@@ -23,6 +23,8 @@
 //!   policy consulted by every hardware-accelerated kernel.
 //! * [`check`] — a deterministic, dependency-free property-test harness
 //!   (seeded generator + `prop_check`), replacing the external `proptest`.
+//! * [`snapshot`] — [`SnapshotCell`], epoch-stamped `Arc`-swap snapshot
+//!   publication (readers never block behind writers).
 
 #![warn(missing_docs)]
 
@@ -35,12 +37,14 @@ pub mod hash;
 pub mod key;
 pub mod mem;
 pub mod probe;
+pub mod snapshot;
 pub mod traits;
 
 pub use bitset::BitSet;
 pub use crc::{crc32c, crc32c_update, crc32c_update_slicing16};
 pub use dispatch::{hardware_allowed, kernel_mode, KernelMode};
 pub use error::MemtreeError;
+pub use snapshot::SnapshotCell;
 pub use traits::{
     multi_scan_merged, BatchProbe, OrderedIndex, PointFilter, RangeFilter, StaticIndex, Value,
 };

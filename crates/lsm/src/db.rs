@@ -22,14 +22,15 @@
 use crate::disk::{IoStats, SimDisk};
 use crate::manifest::{Edit, Manifest, Version};
 use crate::sstable::{DecodedBlock, SsTable};
-use crate::wal::{Wal, WalStats, WAL_FILE};
+use crate::wal::{wal_file_name, Wal, WalStats};
 use memtree_common::error::Result;
+use memtree_common::hash::fmix64;
 use memtree_common::traits::OrderedIndex;
 use memtree_faults::{fail_point, Backoff};
 use memtree_skiplist::SkipList;
 use std::cell::{Cell, RefCell};
 use std::collections::{HashMap, HashSet};
-use std::rc::Rc;
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Duration;
 
 /// Which filter each SSTable carries.
@@ -73,6 +74,16 @@ pub struct DbOptions {
     /// put is acknowledged immediately; larger values amortize the sync
     /// barrier and risk only the unsynced suffix).
     pub wal_group_commit: usize,
+    /// File-name namespace prefix for this database's WAL, CURRENT, and
+    /// manifest files (`""` = the classic standalone names). Lets several
+    /// databases — e.g. the shards of a sharded serving layer — share one
+    /// [`SimDisk`] without clobbering each other's metadata.
+    pub namespace: String,
+    /// Garbage-collect unreferenced disk blocks at open. `true` for a
+    /// standalone database; a sharded open sets `false` (one shard must
+    /// not free blocks its siblings reference) and runs the cross-shard
+    /// [`gc_orphans`](crate::gc_orphans) after every shard is open.
+    pub gc_orphans: bool,
 }
 
 impl Default for DbOptions {
@@ -87,6 +98,8 @@ impl Default for DbOptions {
             io_read_latency: Duration::ZERO,
             wal: true,
             wal_group_commit: 1,
+            namespace: String::new(),
+            gc_orphans: true,
         }
     }
 }
@@ -128,10 +141,11 @@ pub enum SeekResult {
     NotFound,
 }
 
+/// One CLOCK ring of the striped [`BlockCache`].
 #[derive(Default)]
-pub(crate) struct BlockCache {
+struct CacheStripe {
     /// (table id, block idx, payload, referenced)
-    slots: Vec<(u64, usize, Rc<DecodedBlock>, bool)>,
+    slots: Vec<(u64, usize, Arc<DecodedBlock>, bool)>,
     /// `(table id, block idx)` → slot position — O(1) probes instead of a
     /// linear scan of every slot. Maintained by CLOCK replacement below.
     index: HashMap<(u64, usize), usize>,
@@ -141,18 +155,27 @@ pub(crate) struct BlockCache {
     misses: u64,
 }
 
-impl BlockCache {
-    pub(crate) fn get(&mut self, table: u64, block: usize) -> Option<Rc<DecodedBlock>> {
+impl CacheStripe {
+    fn get(&mut self, table: u64, block: usize) -> Option<Arc<DecodedBlock>> {
         let &i = self.index.get(&(table, block))?;
         let slot = &mut self.slots[i];
         slot.3 = true;
         self.hits += 1;
-        Some(Rc::clone(&slot.2))
+        Some(Arc::clone(&slot.2))
     }
 
-    fn insert(&mut self, table: u64, block: usize, data: Rc<DecodedBlock>) {
+    fn insert(&mut self, table: u64, block: usize, data: Arc<DecodedBlock>) {
         self.misses += 1;
         if self.capacity == 0 {
+            return;
+        }
+        // Refresh an already-cached `(table, block)` in place. Blindly
+        // indexing a second slot would leave the old slot in the CLOCK
+        // ring but out of the index — a stale duplicate that wastes
+        // capacity and is invisible to `invalidate`.
+        if let Some(&i) = self.index.get(&(table, block)) {
+            self.slots[i].2 = data;
+            self.slots[i].3 = true;
             return;
         }
         if self.slots.len() < self.capacity {
@@ -174,12 +197,129 @@ impl BlockCache {
             }
         }
     }
+
+    /// Drops one cached block. The swap-removed slot's new occupant is
+    /// re-indexed and the hand is clamped back into range.
+    fn invalidate(&mut self, table: u64, block: usize) {
+        let Some(i) = self.index.remove(&(table, block)) else {
+            return;
+        };
+        self.slots.swap_remove(i);
+        if i < self.slots.len() {
+            self.index.insert((self.slots[i].0, self.slots[i].1), i);
+        }
+        if self.hand >= self.slots.len() {
+            self.hand = 0;
+        }
+    }
+
+    /// Index ↔ slots bijection plus hand range, asserted by the
+    /// differential cache tests after every operation.
+    #[cfg(test)]
+    fn assert_coherent(&self) {
+        assert_eq!(self.index.len(), self.slots.len(), "index/slot count desync");
+        assert!(self.slots.len() <= self.capacity);
+        for (pos, slot) in self.slots.iter().enumerate() {
+            assert_eq!(
+                self.index.get(&(slot.0, slot.1)),
+                Some(&pos),
+                "slot {pos} not indexed at its position"
+            );
+        }
+        assert!(self.hand == 0 || self.hand < self.slots.len(), "hand out of range");
+    }
+}
+
+/// The decoded-block cache: CLOCK replacement behind a HashMap index,
+/// striped across several independently locked rings so concurrent
+/// snapshot readers on different blocks never serialize on one lock.
+/// Stripe choice is a hash of `(table, block)`, so a given block always
+/// lives in exactly one stripe.
+pub(crate) struct BlockCache {
+    stripes: Vec<Mutex<CacheStripe>>,
+}
+
+impl BlockCache {
+    /// At most 8 stripes, never more than `capacity` (a tiny cache gains
+    /// nothing from extra locks), and a single stripe for capacity 0 so
+    /// the miss counters still have a home.
+    pub(crate) fn new(capacity: usize) -> Self {
+        let n = if capacity == 0 { 1 } else { capacity.min(8) };
+        let per = capacity.div_ceil(n);
+        Self {
+            stripes: (0..n)
+                .map(|_| {
+                    Mutex::new(CacheStripe {
+                        capacity: per,
+                        ..Default::default()
+                    })
+                })
+                .collect(),
+        }
+    }
+
+    fn stripe(&self, table: u64, block: usize) -> MutexGuard<'_, CacheStripe> {
+        let h = fmix64(table ^ (block as u64).rotate_left(32)) as usize;
+        self.stripes[h % self.stripes.len()]
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+    }
+
+    pub(crate) fn get(&self, table: u64, block: usize) -> Option<Arc<DecodedBlock>> {
+        self.stripe(table, block).get(table, block)
+    }
+
+    pub(crate) fn insert(&self, table: u64, block: usize, data: Arc<DecodedBlock>) {
+        self.stripe(table, block).insert(table, block, data);
+    }
+
+    /// Drops one cached block (scrub repairs re-encode blocks in place).
+    /// Drops one cached block. Production code retires whole tables via
+    /// [`BlockCache::invalidate_table`]; the per-block form is kept for the
+    /// cache coherence tests.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn invalidate(&self, table: u64, block: usize) {
+        self.stripe(table, block).invalidate(table, block);
+    }
+
+    /// Drops every cached block of `table` (table retirement).
+    pub(crate) fn invalidate_table(&self, table: u64) {
+        for stripe in &self.stripes {
+            let mut s = stripe.lock().unwrap_or_else(|e| e.into_inner());
+            let blocks: Vec<usize> =
+                s.slots.iter().filter(|sl| sl.0 == table).map(|sl| sl.1).collect();
+            for b in blocks {
+                s.invalidate(table, b);
+            }
+        }
+    }
+
+    /// (hits, misses) summed across stripes.
+    pub(crate) fn stats(&self) -> (u64, u64) {
+        self.stripes
+            .iter()
+            .map(|s| s.lock().unwrap_or_else(|e| e.into_inner()))
+            .fold((0, 0), |(h, m), s| (h + s.hits, m + s.misses))
+    }
+
+    #[cfg(test)]
+    fn slot_count(&self) -> usize {
+        self.stripes
+            .iter()
+            .map(|s| s.lock().unwrap_or_else(|e| e.into_inner()).slots.len())
+            .sum()
+    }
 }
 
 /// The LSM key-value store.
+///
+/// `Db` is `Send` (a shard worker thread can own one) but not `Sync` —
+/// its hot-path bookkeeping stays in `Cell`/`RefCell`. Concurrent readers
+/// go through [`Db::snapshot`]: an immutable, `Send + Sync` view backed by
+/// `Arc`-shared tables, disk, and block cache.
 pub struct Db {
     pub(crate) opts: DbOptions,
-    pub(crate) disk: Rc<SimDisk>,
+    pub(crate) disk: Arc<SimDisk>,
     /// MemTable: our paged skip list mapping keys to value-arena slots.
     mem: SkipList,
     /// Value arena; `None` slots are delete tombstones.
@@ -189,8 +329,14 @@ pub struct Db {
     /// overwrites of a tombstone don't decrement it).
     mem_tombstones: usize,
     /// `levels[0]` newest-last; levels ≥ 1 key-ordered and disjoint.
-    pub(crate) levels: Vec<Vec<SsTable>>,
-    pub(crate) cache: RefCell<BlockCache>,
+    /// Tables are `Arc`-shared with snapshots, which keep reading a
+    /// retired table until they drop it.
+    pub(crate) levels: Vec<Vec<Arc<SsTable>>>,
+    pub(crate) cache: Arc<BlockCache>,
+    /// Retired tables still held by outstanding snapshots: their blocks
+    /// are released only once the last snapshot drops the `Arc` (reaped at
+    /// the next flush / close).
+    graveyard: Vec<Arc<SsTable>>,
     pub(crate) next_table_id: u64,
     filter_stats: Cell<FilterStats>,
     wal: Wal,
@@ -214,7 +360,7 @@ pub struct Db {
 impl Db {
     /// Opens an empty database on a fresh simulated disk.
     pub fn new(opts: DbOptions) -> Self {
-        let disk = Rc::new(SimDisk::new(opts.io_read_latency));
+        let disk = Arc::new(SimDisk::new(opts.io_read_latency));
         Self::open(disk, opts).expect("fresh database open cannot fail")
     }
 
@@ -223,8 +369,8 @@ impl Db {
     /// collects unreferenced blocks, rebuilds filters, replays the WAL
     /// past the flushed high-water mark, and rotates the manifest to a
     /// fresh snapshot.
-    pub fn open(disk: Rc<SimDisk>, opts: DbOptions) -> Result<Self> {
-        let (manifest, mut version, fresh) = Manifest::open(&disk)?;
+    pub fn open(disk: Arc<SimDisk>, opts: DbOptions) -> Result<Self> {
+        let (manifest, mut version, fresh) = Manifest::open(&disk, &opts.namespace)?;
         let mut levels: Vec<Vec<SsTable>> = Vec::new();
         for metas in &version.levels {
             levels.push(metas.iter().map(|m| SsTable::from_meta(m.clone())).collect());
@@ -237,15 +383,19 @@ impl Db {
         }
         // Garbage-collect blocks no table references: torn table builds
         // and compactions that crashed before their manifest transaction
-        // leave allocated-but-unpublished blocks behind.
-        let referenced: HashSet<u32> = levels
-            .iter()
-            .flatten()
-            .flat_map(|t| t.blocks.iter().copied())
-            .collect();
-        for id in 0..disk.block_slots() as u32 {
-            if disk.is_live(id) && !referenced.contains(&id) {
-                disk.release(id)?;
+        // leave allocated-but-unpublished blocks behind. A sharded open
+        // skips this (another shard's tables also reference this disk) and
+        // runs the cross-shard [`gc_orphans`] once every shard is open.
+        if opts.gc_orphans {
+            let referenced: HashSet<u32> = levels
+                .iter()
+                .flatten()
+                .flat_map(|t| t.blocks.iter().copied())
+                .collect();
+            for id in 0..disk.block_slots() as u32 {
+                if disk.is_live(id) && !referenced.contains(&id) {
+                    disk.release(id)?;
+                }
             }
         }
         // Filters live only in memory: rebuild them from table keys
@@ -296,18 +446,21 @@ impl Db {
                 }
             }
         }
-        let (wal, records) = Wal::replay(&disk, version.flushed_seq)?;
+        let (wal, records) = Wal::replay(&disk, version.flushed_seq, &wal_file_name(&opts.namespace))?;
         let mut db = Self {
-            cache: RefCell::new(BlockCache {
-                capacity: opts.cache_blocks,
-                ..Default::default()
-            }),
+            cache: Arc::new(BlockCache::new(opts.cache_blocks)),
             opts,
             mem: SkipList::new(),
             mem_values: Vec::new(),
             mem_bytes: 0,
             mem_tombstones: 0,
-            levels,
+            // Filters were attached above, while the tables were still
+            // uniquely owned; from here on they are immutable and shared.
+            levels: levels
+                .into_iter()
+                .map(|lvl| lvl.into_iter().map(Arc::new).collect())
+                .collect(),
+            graveyard: Vec::new(),
             next_table_id: version.next_table_id,
             filter_stats: Cell::new(FilterStats::default()),
             wal,
@@ -341,16 +494,50 @@ impl Db {
 
     /// Flushes, syncs, and hands back the disk — the clean-shutdown path.
     /// Reopening after `close` replays zero WAL records.
-    pub fn close(mut self) -> Result<Rc<SimDisk>> {
+    pub fn close(mut self) -> Result<Arc<SimDisk>> {
         self.flush()?;
+        self.reap_graveyard()?;
+        // Any table still pinned by an outstanding snapshot keeps its
+        // blocks; reopen's orphan GC reclaims them once nothing durable
+        // references them.
         self.disk.sync();
-        Ok(Rc::clone(&self.disk))
+        Ok(Arc::clone(&self.disk))
     }
 
     /// A handle to the underlying disk (for crash simulation and
     /// reopening; the disk outlives the `Db`).
-    pub fn disk_handle(&self) -> Rc<SimDisk> {
-        Rc::clone(&self.disk)
+    pub fn disk_handle(&self) -> Arc<SimDisk> {
+        Arc::clone(&self.disk)
+    }
+
+    /// Retires a table that left the live version: evicts its cached
+    /// blocks, then releases its disk blocks — unless a snapshot still
+    /// holds the table, in which case the release is parked in the
+    /// graveyard until the last reader drops the `Arc`.
+    fn retire_table(&mut self, table: Arc<SsTable>) -> Result<()> {
+        self.cache.invalidate_table(table.id);
+        if Arc::strong_count(&table) == 1 {
+            table.release(&self.disk)?;
+        } else {
+            self.graveyard.push(table);
+        }
+        Ok(())
+    }
+
+    /// Releases the blocks of graveyard tables no snapshot holds anymore.
+    /// Graveyard blocks are never reused while parked (they stay
+    /// allocated), so a late release can never free another table's block.
+    fn reap_graveyard(&mut self) -> Result<()> {
+        let mut keep = Vec::new();
+        for t in std::mem::take(&mut self.graveyard) {
+            if Arc::strong_count(&t) == 1 {
+                t.release(&self.disk)?;
+            } else {
+                keep.push(t);
+            }
+        }
+        self.graveyard = keep;
+        Ok(())
     }
 
     /// MemTable insert without logging (shared by `put`/`delete` and WAL
@@ -422,6 +609,7 @@ impl Db {
     /// `AddTable + FlushSeq` manifest transaction commits, and only then
     /// is the WAL's high-water mark reset — never before.
     pub fn flush(&mut self) -> Result<Option<FlushStats>> {
+        self.reap_graveyard()?;
         if self.mem.is_empty() {
             return Ok(None);
         }
@@ -464,7 +652,7 @@ impl Db {
         self.next_table_id += 1;
         let flushed_entries = entries.len();
         let blocks_written = table.blocks.len();
-        self.levels[0].push(table);
+        self.levels[0].push(Arc::new(table));
         self.mem.clear();
         self.mem_values.clear();
         self.mem_bytes = 0;
@@ -472,8 +660,8 @@ impl Db {
         let mut wal_bytes = 0u64;
         if self.opts.wal {
             fail_point!("lsm.wal.reset");
-            wal_bytes = self.disk.file_len(WAL_FILE) as u64;
-            self.disk.truncate_file(WAL_FILE, 0);
+            wal_bytes = self.disk.file_len(self.wal.file()) as u64;
+            self.disk.truncate_file(self.wal.file(), 0);
             self.disk.sync();
             self.wal.note_reset(wal_bytes);
         }
@@ -522,6 +710,7 @@ impl Db {
             let victims: Vec<&SsTable> = self.levels[level]
                 .iter()
                 .filter(|t| victim_ids.contains(&t.id))
+                .map(|t| t.as_ref())
                 .collect();
             let lo = victims.iter().map(|t| t.min_key.clone()).min().unwrap();
             let hi = victims.iter().map(|t| t.max_key.clone()).max().unwrap();
@@ -612,9 +801,9 @@ impl Db {
             self.quarantined
                 .borrow_mut()
                 .retain(|&(t, _)| !victim_ids.contains(&t) && !overlapped_ids.contains(&t));
-            let mut dropped: Vec<SsTable> = Vec::new();
+            let mut dropped: Vec<Arc<SsTable>> = Vec::new();
             for lvl in [level, level + 1] {
-                let keep: Vec<SsTable> = std::mem::take(&mut self.levels[lvl])
+                let keep: Vec<Arc<SsTable>> = std::mem::take(&mut self.levels[lvl])
                     .into_iter()
                     .filter_map(|t| {
                         if victim_ids.contains(&t.id) || overlapped_ids.contains(&t.id) {
@@ -627,11 +816,11 @@ impl Db {
                     .collect();
                 self.levels[lvl] = keep;
             }
-            for t in &dropped {
-                t.release(&self.disk)?;
+            for t in dropped {
+                self.retire_table(t)?;
             }
             let next = &mut self.levels[level + 1];
-            next.extend(new_tables);
+            next.extend(new_tables.into_iter().map(Arc::new));
             next.sort_by(|a, b| a.min_key.cmp(&b.min_key));
             level += 1;
         }
@@ -656,9 +845,9 @@ impl Db {
         Ok(out)
     }
 
-    fn try_fetch(&self, table: &SsTable, block: usize) -> Result<Rc<DecodedBlock>> {
+    fn try_fetch(&self, table: &SsTable, block: usize) -> Result<Arc<DecodedBlock>> {
         let raw = self.disk.read(table.blocks[block])?;
-        Ok(Rc::new(SsTable::decode_block(&raw)?))
+        Ok(Arc::new(SsTable::decode_block(&raw)?))
     }
 
     /// One decoded-block read with bounded retry of *transient* faults
@@ -669,7 +858,7 @@ impl Db {
         table: &SsTable,
         block: usize,
         max_attempts: u32,
-    ) -> Result<Rc<DecodedBlock>> {
+    ) -> Result<Arc<DecodedBlock>> {
         let mut backoff = Backoff::new(max_attempts);
         loop {
             match self.try_fetch(table, block) {
@@ -687,14 +876,12 @@ impl Db {
 
     /// Block fetch for the write/recovery paths: transients are retried,
     /// everything else propagates.
-    fn fetch_block_strict(&self, table: &SsTable, block: usize) -> Result<Rc<DecodedBlock>> {
-        if let Some(hit) = self.cache.borrow_mut().get(table.id, block) {
+    fn fetch_block_strict(&self, table: &SsTable, block: usize) -> Result<Arc<DecodedBlock>> {
+        if let Some(hit) = self.cache.get(table.id, block) {
             return Ok(hit);
         }
         let decoded = self.read_decoded_retrying(table, block, 4)?;
-        self.cache
-            .borrow_mut()
-            .insert(table.id, block, Rc::clone(&decoded));
+        self.cache.insert(table.id, block, Arc::clone(&decoded));
         Ok(decoded)
     }
 
@@ -713,16 +900,16 @@ impl Db {
     ///   reopen skips it, and only scrub can lift it. The counters in
     ///   [`Db::io_stats`] record every step instead of the process
     ///   panicking.
-    fn fetch_block(&self, table: &SsTable, block: usize) -> Rc<DecodedBlock> {
-        if let Some(hit) = self.cache.borrow_mut().get(table.id, block) {
+    fn fetch_block(&self, table: &SsTable, block: usize) -> Arc<DecodedBlock> {
+        if let Some(hit) = self.cache.get(table.id, block) {
             return hit;
         }
         if self.quarantined.borrow().contains(&(table.id, block as u32)) {
-            return Rc::new(Vec::new());
+            return Arc::new(Vec::new());
         }
         let decoded = match self.read_decoded_retrying(table, block, 8) {
             Ok(d) => d,
-            Err(e) if e.is_transient() => return Rc::new(Vec::new()),
+            Err(e) if e.is_transient() => return Arc::new(Vec::new()),
             Err(_) => match self.read_decoded_retrying(table, block, 8) {
                 Ok(d) => {
                     self.read_repairs.set(self.read_repairs.get() + 1);
@@ -742,13 +929,11 @@ impl Db {
                             block: block as u32,
                         }],
                     );
-                    return Rc::new(Vec::new());
+                    return Arc::new(Vec::new());
                 }
             },
         };
-        self.cache
-            .borrow_mut()
-            .insert(table.id, block, Rc::clone(&decoded));
+        self.cache.insert(table.id, block, Arc::clone(&decoded));
         decoded
     }
 
@@ -839,15 +1024,15 @@ impl Db {
         // Key order clusters probes of the same data block behind a single
         // fetch — the block-level analogue of the sorted-batch descent.
         survivors.sort_unstable_by(|&a, &b| keys[a as usize].cmp(keys[b as usize]));
-        let mut cur: Option<(usize, Rc<DecodedBlock>)> = None;
+        let mut cur: Option<(usize, Arc<DecodedBlock>)> = None;
         for &i in &survivors {
             let key = keys[i as usize];
             let b = table.candidate_block(key);
             let blk = match &cur {
-                Some((cb, blk)) if *cb == b => Rc::clone(blk),
+                Some((cb, blk)) if *cb == b => Arc::clone(blk),
                 _ => {
                     let blk = self.fetch_block(table, b);
-                    cur = Some((b, Rc::clone(&blk)));
+                    cur = Some((b, Arc::clone(&blk)));
                     blk
                 }
             };
@@ -1189,12 +1374,21 @@ impl Db {
 
     /// Cache lookup without any disk fallback (scrub repairs bad blocks
     /// from still-cached copies when it can).
-    pub(crate) fn cached_block(&self, table: u64, block: usize) -> Option<Rc<DecodedBlock>> {
-        self.cache.borrow_mut().get(table, block)
+    pub(crate) fn cached_block(&self, table: u64, block: usize) -> Option<Arc<DecodedBlock>> {
+        self.cache.get(table, block)
     }
 
     pub(crate) fn memtable_is_empty(&self) -> bool {
         self.mem.is_empty()
+    }
+
+    /// Appends the MemTable's entries to `out` in key order, tombstones
+    /// included (the snapshot path's freeze step).
+    pub(crate) fn memtable_entries(&self, out: &mut Vec<(Vec<u8>, Option<Vec<u8>>)>) {
+        out.reserve(self.mem.len());
+        self.mem.for_each_sorted(&mut |k, slot| {
+            out.push((k.to_vec(), self.mem_values[slot as usize].clone()));
+        });
     }
 
     /// `[min, max]` of the keys currently buffered in the MemTable
@@ -1214,10 +1408,25 @@ impl Db {
     /// Truncates the WAL to empty and resets its high-water bookkeeping
     /// (scrub's repair for a damaged log that covers no unflushed data).
     pub(crate) fn discard_wal(&mut self) {
-        let bytes = self.disk.file_len(WAL_FILE) as u64;
-        self.disk.truncate_file(WAL_FILE, 0);
+        let bytes = self.disk.file_len(self.wal.file()) as u64;
+        self.disk.truncate_file(self.wal.file(), 0);
         self.disk.sync();
         self.wal.note_reset(bytes);
+    }
+
+    /// This database's WAL file name in the disk namespace.
+    pub(crate) fn wal_file(&self) -> String {
+        self.wal.file().to_string()
+    }
+
+    /// Marks WAL records up to `seq` acknowledged without issuing a sync
+    /// barrier of its own — for a caller that proved durability with one
+    /// `disk.sync()` covering several databases' appends (the cross-shard
+    /// group commit). Clamped and monotone; a no-op with the WAL off.
+    pub fn mark_synced_through(&mut self, seq: u64) {
+        if self.opts.wal {
+            self.wal.mark_synced(seq);
+        }
     }
 
     /// WAL activity counters (appends, group commits, replay outcome).
@@ -1250,8 +1459,7 @@ impl Db {
 
     /// (cache hits, cache misses).
     pub fn cache_stats(&self) -> (u64, u64) {
-        let c = self.cache.borrow();
-        (c.hits, c.misses)
+        self.cache.stats()
     }
 
     /// Total SSTables per level (diagnostics).
@@ -1310,6 +1518,152 @@ impl Db {
     /// Total entries across all tables (duplicates across levels counted).
     pub fn table_entries(&self) -> usize {
         self.levels.iter().flatten().map(|t| t.len()).sum()
+    }
+}
+
+/// Cross-database orphan-block GC: releases every live disk block that no
+/// table of any of `dbs` references. The sharded serving layer opens every
+/// shard with [`DbOptions::gc_orphans`] `= false` (a single shard must not
+/// free its siblings' blocks) and runs this once, afterwards. Returns the
+/// number of blocks freed.
+pub fn gc_orphans(disk: &SimDisk, dbs: &[&Db]) -> Result<u64> {
+    let referenced: HashSet<u32> = dbs
+        .iter()
+        .flat_map(|db| db.levels.iter().flatten())
+        .flat_map(|t| t.blocks.iter().copied())
+        .collect();
+    let mut freed = 0u64;
+    for id in 0..disk.block_slots() as u32 {
+        if disk.is_live(id) && !referenced.contains(&id) {
+            disk.release(id)?;
+            freed += 1;
+        }
+    }
+    Ok(freed)
+}
+
+#[cfg(test)]
+mod cache_tests {
+    use super::*;
+
+    fn blk(tag: u8) -> Arc<DecodedBlock> {
+        Arc::new(vec![(vec![tag], Some(vec![tag; 4]))])
+    }
+
+    /// Regression for the duplicate-slot bug: re-inserting an already-
+    /// cached `(table, block)` must refresh the existing slot in place —
+    /// the old `insert` blindly indexed a new slot, leaving the previous
+    /// one in the CLOCK ring unindexed (capacity silently lost, and
+    /// `invalidate` could never find it).
+    #[test]
+    fn reinsert_refreshes_in_place_without_duplicate_slots() {
+        let cache = BlockCache::new(4);
+        cache.insert(1, 0, blk(1));
+        assert_eq!(cache.slot_count(), 1);
+        assert!(cache.get(1, 0).is_some());
+        // Re-insert the same block (a racing fill after a concurrent
+        // invalidate-miss does exactly this).
+        cache.insert(1, 0, blk(2));
+        assert_eq!(cache.slot_count(), 1, "duplicate slot for re-inserted block");
+        let got = cache.get(1, 0).expect("still cached");
+        assert_eq!(got[0].0, vec![2u8], "refresh must install the new payload");
+        let (hits, misses) = cache.stats();
+        assert_eq!((hits, misses), (2, 2), "both inserts count as misses, both gets as hits");
+        for s in &cache.stripes {
+            s.lock().unwrap().assert_coherent();
+        }
+        // And invalidate actually removes it — with the duplicate bug the
+        // stale twin survived invisibly.
+        cache.invalidate(1, 0);
+        assert_eq!(cache.slot_count(), 0);
+        assert!(cache.get(1, 0).is_none());
+    }
+
+    /// Randomized differential test: drive insert/get/invalidate/
+    /// invalidate-table schedules against a map model and assert the
+    /// index ↔ slot bijection after every operation, across capacities
+    /// (0, 1, and the hand-wraparound-prone small sizes).
+    #[test]
+    fn randomized_cache_vs_model() {
+        for capacity in [0usize, 1, 2, 3, 8, 17] {
+            for seed in 0..16u64 {
+                let cache = BlockCache::new(capacity);
+                // Model: what the newest inserted payload for a key is.
+                let mut model: HashMap<(u64, usize), u8> = HashMap::new();
+                let mut gone: HashSet<(u64, usize)> = HashSet::new();
+                let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15) + 1;
+                for step in 0..400u64 {
+                    let r = memtree_common::hash::splitmix64(&mut state);
+                    let table = r % 3;
+                    let block = (r >> 8) as usize % 5;
+                    let tag = (step % 251) as u8;
+                    match (r >> 16) % 10 {
+                        0..=4 => {
+                            cache.insert(table, block, blk(tag));
+                            model.insert((table, block), tag);
+                            gone.remove(&(table, block));
+                        }
+                        5..=7 => {
+                            if let Some(hit) = cache.get(table, block) {
+                                assert!(
+                                    !gone.contains(&(table, block)),
+                                    "cap {capacity} seed {seed}: invalidated key served"
+                                );
+                                assert_eq!(
+                                    hit[0].0[0], model[&(table, block)],
+                                    "cap {capacity} seed {seed}: stale payload"
+                                );
+                            }
+                        }
+                        8 => {
+                            cache.invalidate(table, block);
+                            gone.insert((table, block));
+                        }
+                        _ => {
+                            cache.invalidate_table(table);
+                            for b in 0..5 {
+                                gone.insert((table, b));
+                            }
+                        }
+                    }
+                    for s in &cache.stripes {
+                        s.lock().unwrap().assert_coherent();
+                    }
+                    // Invalidated keys must miss until re-inserted.
+                    for &(t, b) in &gone {
+                        assert!(
+                            cache.get(t, b).is_none(),
+                            "cap {capacity} seed {seed}: ghost entry ({t},{b})"
+                        );
+                    }
+                }
+                assert!(cache.slot_count() <= capacity.max(1) * 8);
+            }
+        }
+    }
+
+    /// Evict-then-reinsert the same key under a full ring: the CLOCK hand
+    /// and index must stay coherent through wraparound after removals.
+    #[test]
+    fn evict_reinsert_and_hand_wraparound_stay_coherent() {
+        let cache = BlockCache::new(1); // one stripe, one slot: maximal churn
+        for round in 0..20u64 {
+            cache.insert(round % 2, 0, blk(round as u8));
+            assert_eq!(cache.slot_count(), 1);
+            if round % 3 == 0 {
+                cache.invalidate(round % 2, 0);
+                assert_eq!(cache.slot_count(), 0);
+            }
+            for s in &cache.stripes {
+                s.lock().unwrap().assert_coherent();
+            }
+        }
+        // Capacity-0 cache: inserts are counted misses, nothing sticks.
+        let zero = BlockCache::new(0);
+        zero.insert(1, 1, blk(9));
+        assert!(zero.get(1, 1).is_none());
+        assert_eq!(zero.slot_count(), 0);
+        assert_eq!(zero.stats(), (0, 1), "the insert after the miss is what counts it");
     }
 }
 

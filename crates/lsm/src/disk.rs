@@ -19,6 +19,16 @@
 //! (it applies fully or not at all), which is exactly the primitive the
 //! manifest's CURRENT swap needs.
 //!
+//! ## Concurrency
+//!
+//! The device is `Send + Sync`: all namespace state lives behind one
+//! mutex (each call is one atomic step, like a single-queue-depth NVMe
+//! simulator), counters are lock-free atomics. Multiple `Db` shards can
+//! therefore share one disk — which is what makes cross-shard group
+//! commit meaningful: one `sync()` barrier persists every shard's
+//! buffered WAL appends at once, and one `crash()` loses power for all of
+//! them atomically.
+//!
 //! ## Fault classes beyond power loss
 //!
 //! * **Latent corruption** ([`SimDisk::bitrot_block`] /
@@ -38,8 +48,9 @@
 //! process that never crashes observes its own unsynced writes.
 
 use memtree_common::error::{MemtreeError, Result};
-use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
 use std::time::Duration;
 
 /// Running I/O counters. `read_repairs` / `quarantined_blocks` /
@@ -81,67 +92,31 @@ enum PendingOp {
     Remove { file: String },
 }
 
-/// An in-memory "disk" of fixed-size blocks and small log files with exact
-/// read accounting, an optional per-read latency charge (busy-wait, so
-/// short latencies are accurate), and crash/tear semantics for recovery
-/// testing.
+/// All namespace state, held under one mutex so each device call is a
+/// single atomic step even with many shard threads issuing I/O.
 #[derive(Debug)]
-pub struct SimDisk {
+struct DiskState {
     /// Durable block contents (what survives a crash).
-    blocks: RefCell<Vec<Box<[u8]>>>,
+    blocks: Vec<Box<[u8]>>,
     /// Allocation state per block slot.
-    live: RefCell<Vec<bool>>,
-    free: RefCell<Vec<u32>>,
+    live: Vec<bool>,
+    free: Vec<u32>,
     /// Durable file contents.
-    files: RefCell<BTreeMap<String, Vec<u8>>>,
+    files: BTreeMap<String, Vec<u8>>,
     /// The volatile write buffer, in issue order.
-    pending: RefCell<Vec<PendingOp>>,
+    pending: Vec<PendingOp>,
     /// Optional capacity limit; `None` = unbounded.
-    capacity: Cell<Option<u64>>,
-    reads: Cell<u64>,
-    writes: Cell<u64>,
-    appends: Cell<u64>,
-    append_bytes: Cell<u64>,
-    syncs: Cell<u64>,
-    read_latency: Duration,
+    capacity: Option<u64>,
 }
 
-impl SimDisk {
-    /// Creates a disk charging `read_latency` per block read.
-    pub fn new(read_latency: Duration) -> Self {
-        Self {
-            blocks: RefCell::new(Vec::new()),
-            live: RefCell::new(Vec::new()),
-            free: RefCell::new(Vec::new()),
-            files: RefCell::new(BTreeMap::new()),
-            pending: RefCell::new(Vec::new()),
-            capacity: Cell::new(None),
-            reads: Cell::new(0),
-            writes: Cell::new(0),
-            appends: Cell::new(0),
-            append_bytes: Cell::new(0),
-            syncs: Cell::new(0),
-            read_latency,
-        }
-    }
-
-    /// Sets (or clears) the capacity limit in bytes. Mutations that would
-    /// push [`SimDisk::used_bytes`] past it fail with a typed
-    /// [`MemtreeError::Enospc`] before buffering anything.
-    pub fn set_capacity_bytes(&self, capacity: Option<u64>) {
-        self.capacity.set(capacity);
-    }
-
+impl DiskState {
     /// Bytes currently consumed: durable blocks + durable files + the
-    /// write buffer. Buffered replaces count in full alongside the content
-    /// they will supersede — a conservative model of the transient double
-    /// occupancy a real rename-based replace has.
-    pub fn used_bytes(&self) -> u64 {
-        let blocks: usize = self.blocks.borrow().iter().map(|b| b.len()).sum();
-        let files: usize = self.files.borrow().values().map(|f| f.len()).sum();
+    /// write buffer.
+    fn used_bytes(&self) -> u64 {
+        let blocks: usize = self.blocks.iter().map(|b| b.len()).sum();
+        let files: usize = self.files.values().map(|f| f.len()).sum();
         let pending: usize = self
             .pending
-            .borrow()
             .iter()
             .map(|op| match op {
                 PendingOp::Block { data, .. } => data.len(),
@@ -155,12 +130,105 @@ impl SimDisk {
     /// Rejects a prospective write of `requested` bytes when it would
     /// exceed the capacity limit.
     fn check_capacity(&self, context: &'static str, requested: usize) -> Result<()> {
-        if let Some(cap) = self.capacity.get() {
+        if let Some(cap) = self.capacity {
             if self.used_bytes() + requested as u64 > cap {
                 return Err(MemtreeError::Enospc { context, requested });
             }
         }
         Ok(())
+    }
+
+    fn apply_durable(&mut self, op: PendingOp) {
+        match op {
+            PendingOp::Block { id, data } => {
+                // The slot may have been released after the write was
+                // buffered; releases drop matching ops, so reaching here
+                // means the slot is still owned by the writer.
+                self.blocks[id as usize] = data;
+            }
+            PendingOp::Append { file, data } => {
+                self.files.entry(file).or_default().extend_from_slice(&data);
+            }
+            PendingOp::Replace { file, data } => {
+                self.files.insert(file, data);
+            }
+            PendingOp::Truncate { file, len } => {
+                if let Some(f) = self.files.get_mut(&file) {
+                    f.truncate(len);
+                }
+            }
+            PendingOp::Remove { file } => {
+                self.files.remove(&file);
+            }
+        }
+    }
+
+    fn apply_to(content: &mut Vec<u8>, file: &str, op: &PendingOp) {
+        match op {
+            PendingOp::Append { file: f, data } if f == file => content.extend_from_slice(data),
+            PendingOp::Replace { file: f, data } if f == file => *content = data.clone(),
+            PendingOp::Truncate { file: f, len } if f == file => content.truncate(*len),
+            PendingOp::Remove { file: f } if f == file => content.clear(),
+            _ => {}
+        }
+    }
+}
+
+/// An in-memory "disk" of fixed-size blocks and small log files with exact
+/// read accounting, an optional per-read latency charge (busy-wait, so
+/// short latencies are accurate), and crash/tear semantics for recovery
+/// testing. `Send + Sync`: shard workers share one device.
+#[derive(Debug)]
+pub struct SimDisk {
+    state: Mutex<DiskState>,
+    reads: AtomicU64,
+    writes: AtomicU64,
+    appends: AtomicU64,
+    append_bytes: AtomicU64,
+    syncs: AtomicU64,
+    read_latency: Duration,
+}
+
+impl SimDisk {
+    /// Creates a disk charging `read_latency` per block read.
+    pub fn new(read_latency: Duration) -> Self {
+        Self {
+            state: Mutex::new(DiskState {
+                blocks: Vec::new(),
+                live: Vec::new(),
+                free: Vec::new(),
+                files: BTreeMap::new(),
+                pending: Vec::new(),
+                capacity: None,
+            }),
+            reads: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+            appends: AtomicU64::new(0),
+            append_bytes: AtomicU64::new(0),
+            syncs: AtomicU64::new(0),
+            read_latency,
+        }
+    }
+
+    /// The state mutex, poison-tolerant: a panicking test thread must not
+    /// cascade into every other test sharing the disk.
+    fn st(&self) -> MutexGuard<'_, DiskState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Sets (or clears) the capacity limit in bytes. Mutations that would
+    /// push [`SimDisk::used_bytes`] past it fail with a typed
+    /// [`MemtreeError::Enospc`] before buffering anything.
+    pub fn set_capacity_bytes(&self, capacity: Option<u64>) {
+        self.st().capacity = capacity;
+    }
+
+    /// Bytes currently consumed: durable blocks + durable files + the
+    /// write buffer. Buffered replaces count in full alongside the content
+    /// they will supersede — a conservative model of the transient double
+    /// occupancy a real rename-based replace has.
+    pub fn used_bytes(&self) -> u64 {
+        self.st().used_bytes()
     }
 
     /// Writes a block into the buffer, returning its id. The content is
@@ -169,18 +237,18 @@ impl SimDisk {
     /// `lsm.disk.write_fault`.
     pub fn write(&self, data: Box<[u8]>) -> Result<u32> {
         memtree_faults::fail_point!("lsm.disk.write_fault");
-        self.check_capacity("block-write", data.len())?;
-        self.writes.set(self.writes.get() + 1);
-        let id = if let Some(id) = self.free.borrow_mut().pop() {
-            self.live.borrow_mut()[id as usize] = true;
+        let mut st = self.st();
+        st.check_capacity("block-write", data.len())?;
+        self.writes.fetch_add(1, Ordering::Relaxed);
+        let id = if let Some(id) = st.free.pop() {
+            st.live[id as usize] = true;
             id
         } else {
-            let mut blocks = self.blocks.borrow_mut();
-            blocks.push(Box::from(&[][..]));
-            self.live.borrow_mut().push(true);
-            (blocks.len() - 1) as u32
+            st.blocks.push(Box::from(&[][..]));
+            st.live.push(true);
+            (st.blocks.len() - 1) as u32
         };
-        self.pending.borrow_mut().push(PendingOp::Block { id, data });
+        st.pending.push(PendingOp::Block { id, data });
         Ok(id)
     }
 
@@ -189,7 +257,7 @@ impl SimDisk {
     /// panicking — a stale manifest or a buggy caller must degrade one
     /// read, not the process.
     pub fn read(&self, id: u32) -> Result<Box<[u8]>> {
-        self.reads.set(self.reads.get() + 1);
+        self.reads.fetch_add(1, Ordering::Relaxed);
         if !self.read_latency.is_zero() {
             let start = std::time::Instant::now();
             while start.elapsed() < self.read_latency {
@@ -202,8 +270,8 @@ impl SimDisk {
         if memtree_faults::should_fail("lsm.disk.read_transient") {
             return Err(MemtreeError::TransientIo { context: "sim-disk" });
         }
-        let live = self.live.borrow();
-        match live.get(id as usize) {
+        let st = self.st();
+        match st.live.get(id as usize) {
             None => {
                 return Err(MemtreeError::corruption(
                     "sim-disk",
@@ -220,15 +288,16 @@ impl SimDisk {
         }
         // Newest buffered write wins (page-cache semantics).
         let mut data = 'found: {
-            for op in self.pending.borrow().iter().rev() {
+            for op in st.pending.iter().rev() {
                 if let PendingOp::Block { id: bid, data } = op {
                     if *bid == id {
                         break 'found data.clone();
                     }
                 }
             }
-            self.blocks.borrow()[id as usize].clone()
+            st.blocks[id as usize].clone()
         };
+        drop(st);
         // Injection point for media errors: corrupts this read's returned
         // bytes only (the stored block is untouched), so a retry can
         // succeed — exercises the Db quarantine-and-read-repair path.
@@ -244,31 +313,28 @@ impl SimDisk {
     /// Frees a block (after compaction drops an SSTable). Double release
     /// and out-of-range ids are typed errors.
     pub fn release(&self, id: u32) -> Result<()> {
-        {
-            let mut live = self.live.borrow_mut();
-            match live.get(id as usize) {
-                None => {
-                    return Err(MemtreeError::corruption(
-                        "sim-disk",
-                        format!("release of out-of-range block {id}"),
-                    ))
-                }
-                Some(false) => {
-                    return Err(MemtreeError::corruption(
-                        "sim-disk",
-                        format!("double release of block {id}"),
-                    ))
-                }
-                Some(true) => live[id as usize] = false,
+        let mut st = self.st();
+        match st.live.get(id as usize) {
+            None => {
+                return Err(MemtreeError::corruption(
+                    "sim-disk",
+                    format!("release of out-of-range block {id}"),
+                ))
             }
+            Some(false) => {
+                return Err(MemtreeError::corruption(
+                    "sim-disk",
+                    format!("double release of block {id}"),
+                ))
+            }
+            Some(true) => st.live[id as usize] = false,
         }
-        self.blocks.borrow_mut()[id as usize] = Box::from(&[][..]);
+        st.blocks[id as usize] = Box::from(&[][..]);
         // Drop buffered writes to the freed slot so a later sync cannot
         // resurrect them under a new owner of the id.
-        self.pending
-            .borrow_mut()
+        st.pending
             .retain(|op| !matches!(op, PendingOp::Block { id: bid, .. } if *bid == id));
-        self.free.borrow_mut().push(id);
+        st.free.push(id);
         Ok(())
     }
 
@@ -278,14 +344,14 @@ impl SimDisk {
     /// Deterministic: the same `(id, seed)` flips the same bit, so a
     /// second call with the same arguments restores the original bytes.
     pub fn bitrot_block(&self, id: u32, seed: u64) -> Result<()> {
-        if !self.is_live(id) {
+        let mut st = self.st();
+        if !st.live.get(id as usize).copied().unwrap_or(false) {
             return Err(MemtreeError::corruption(
                 "sim-disk",
                 format!("bitrot of dead block {id}"),
             ));
         }
-        let mut blocks = self.blocks.borrow_mut();
-        let block = &mut blocks[id as usize];
+        let block = &mut st.blocks[id as usize];
         if block.is_empty() {
             return Err(MemtreeError::corruption(
                 "sim-disk",
@@ -301,8 +367,8 @@ impl SimDisk {
     /// Flips one seeded bit of a named file's **durable** content; returns
     /// false when the file is missing or empty (nothing to rot).
     pub fn bitrot_file(&self, file: &str, seed: u64) -> bool {
-        let mut files = self.files.borrow_mut();
-        let Some(content) = files.get_mut(file) else { return false };
+        let mut st = self.st();
+        let Some(content) = st.files.get_mut(file) else { return false };
         if content.is_empty() {
             return false;
         }
@@ -315,10 +381,11 @@ impl SimDisk {
     /// Appends bytes to a named file's buffered tail. `Enospc` rejects the
     /// whole append before buffering.
     pub fn append(&self, file: &str, data: &[u8]) -> Result<()> {
-        self.check_capacity("file-append", data.len())?;
-        self.appends.set(self.appends.get() + 1);
-        self.append_bytes.set(self.append_bytes.get() + data.len() as u64);
-        self.pending.borrow_mut().push(PendingOp::Append {
+        let mut st = self.st();
+        st.check_capacity("file-append", data.len())?;
+        self.appends.fetch_add(1, Ordering::Relaxed);
+        self.append_bytes.fetch_add(data.len() as u64, Ordering::Relaxed);
+        st.pending.push(PendingOp::Append {
             file: file.to_string(),
             data: data.to_vec(),
         });
@@ -329,10 +396,11 @@ impl SimDisk {
     /// primitive): after a crash either the old or the new content is
     /// visible, never a mix. `Enospc` rejects it before buffering.
     pub fn write_file_atomic(&self, file: &str, data: &[u8]) -> Result<()> {
-        self.check_capacity("file-replace", data.len())?;
-        self.appends.set(self.appends.get() + 1);
-        self.append_bytes.set(self.append_bytes.get() + data.len() as u64);
-        self.pending.borrow_mut().push(PendingOp::Replace {
+        let mut st = self.st();
+        st.check_capacity("file-replace", data.len())?;
+        self.appends.fetch_add(1, Ordering::Relaxed);
+        self.append_bytes.fetch_add(data.len() as u64, Ordering::Relaxed);
+        st.pending.push(PendingOp::Replace {
             file: file.to_string(),
             data: data.to_vec(),
         });
@@ -342,7 +410,7 @@ impl SimDisk {
     /// Truncates a file to `len` bytes (buffered; atomic at crash).
     /// Truncation only frees space, so it cannot fail with `Enospc`.
     pub fn truncate_file(&self, file: &str, len: usize) {
-        self.pending.borrow_mut().push(PendingOp::Truncate {
+        self.st().pending.push(PendingOp::Truncate {
             file: file.to_string(),
             len,
         });
@@ -351,7 +419,7 @@ impl SimDisk {
     /// Removes a file (buffered `unlink(2)`; atomic at crash). Removing a
     /// missing file is a no-op, like `rm -f`.
     pub fn remove_file(&self, file: &str) {
-        self.pending.borrow_mut().push(PendingOp::Remove {
+        self.st().pending.push(PendingOp::Remove {
             file: file.to_string(),
         });
     }
@@ -359,9 +427,9 @@ impl SimDisk {
     /// Names of all files visible through the write buffer (durable files
     /// plus buffered creations, minus buffered removals).
     pub fn file_names(&self) -> Vec<String> {
-        let mut names: std::collections::BTreeSet<String> =
-            self.files.borrow().keys().cloned().collect();
-        for op in self.pending.borrow().iter() {
+        let st = self.st();
+        let mut names: std::collections::BTreeSet<String> = st.files.keys().cloned().collect();
+        for op in st.pending.iter() {
             match op {
                 PendingOp::Append { file, .. } | PendingOp::Replace { file, .. } => {
                     names.insert(file.clone());
@@ -378,14 +446,10 @@ impl SimDisk {
     /// The file's current content as seen through the write buffer.
     /// Missing files read as empty.
     pub fn read_file(&self, file: &str) -> Vec<u8> {
-        let mut content = self
-            .files
-            .borrow()
-            .get(file)
-            .cloned()
-            .unwrap_or_default();
-        for op in self.pending.borrow().iter() {
-            Self::apply_to(&mut content, file, op);
+        let st = self.st();
+        let mut content = st.files.get(file).cloned().unwrap_or_default();
+        for op in st.pending.iter() {
+            DiskState::apply_to(&mut content, file, op);
         }
         content
     }
@@ -395,53 +459,13 @@ impl SimDisk {
         self.read_file(file).len()
     }
 
-    fn apply_to(content: &mut Vec<u8>, file: &str, op: &PendingOp) {
-        match op {
-            PendingOp::Append { file: f, data } if f == file => {
-                content.extend_from_slice(data)
-            }
-            PendingOp::Replace { file: f, data } if f == file => {
-                *content = data.clone()
-            }
-            PendingOp::Truncate { file: f, len } if f == file => {
-                content.truncate(*len)
-            }
-            PendingOp::Remove { file: f } if f == file => content.clear(),
-            _ => {}
-        }
-    }
-
     /// Makes every buffered write durable (the `fsync` barrier).
     pub fn sync(&self) {
-        self.syncs.set(self.syncs.get() + 1);
-        let ops = std::mem::take(&mut *self.pending.borrow_mut());
+        self.syncs.fetch_add(1, Ordering::Relaxed);
+        let mut st = self.st();
+        let ops = std::mem::take(&mut st.pending);
         for op in ops {
-            self.apply_durable(op);
-        }
-    }
-
-    fn apply_durable(&self, op: PendingOp) {
-        match op {
-            PendingOp::Block { id, data } => {
-                // The slot may have been released after the write was
-                // buffered; releases drop matching ops, so reaching here
-                // means the slot is still owned by the writer.
-                self.blocks.borrow_mut()[id as usize] = data;
-            }
-            PendingOp::Append { file, data } => {
-                self.files.borrow_mut().entry(file).or_default().extend_from_slice(&data);
-            }
-            PendingOp::Replace { file, data } => {
-                self.files.borrow_mut().insert(file, data);
-            }
-            PendingOp::Truncate { file, len } => {
-                if let Some(f) = self.files.borrow_mut().get_mut(&file) {
-                    f.truncate(len);
-                }
-            }
-            PendingOp::Remove { file } => {
-                self.files.borrow_mut().remove(&file);
-            }
+            st.apply_durable(op);
         }
     }
 
@@ -455,7 +479,8 @@ impl SimDisk {
     /// durable content is empty or torn); recovery garbage-collects ids no
     /// manifest references.
     pub fn crash(&self, tear_seed: Option<u64>) {
-        let mut ops = std::mem::take(&mut *self.pending.borrow_mut());
+        let mut st = self.st();
+        let mut ops = std::mem::take(&mut st.pending);
         let Some(seed) = tear_seed else { return };
         let Some(last) = ops.pop() else { return };
         let mut s = seed;
@@ -463,19 +488,15 @@ impl SimDisk {
         match last {
             PendingOp::Block { id, data } => {
                 let keep = if data.is_empty() { 0 } else { draw as usize % data.len() };
-                self.blocks.borrow_mut()[id as usize] = Box::from(&data[..keep]);
+                st.blocks[id as usize] = Box::from(&data[..keep]);
             }
             PendingOp::Append { file, data } => {
                 let keep = if data.is_empty() { 0 } else { draw as usize % data.len() };
-                self.files
-                    .borrow_mut()
-                    .entry(file)
-                    .or_default()
-                    .extend_from_slice(&data[..keep]);
+                st.files.entry(file).or_default().extend_from_slice(&data[..keep]);
             }
             op @ (PendingOp::Replace { .. } | PendingOp::Truncate { .. } | PendingOp::Remove { .. }) => {
                 if draw & 1 == 1 {
-                    self.apply_durable(op);
+                    st.apply_durable(op);
                 }
             }
         }
@@ -483,17 +504,17 @@ impl SimDisk {
 
     /// True while any write is buffered but not yet durable.
     pub fn has_unsynced_writes(&self) -> bool {
-        !self.pending.borrow().is_empty()
+        !self.st().pending.is_empty()
     }
 
     /// Current counters.
     pub fn stats(&self) -> IoStats {
         IoStats {
-            block_reads: self.reads.get(),
-            block_writes: self.writes.get(),
-            file_appends: self.appends.get(),
-            file_bytes_written: self.append_bytes.get(),
-            syncs: self.syncs.get(),
+            block_reads: self.reads.load(Ordering::Relaxed),
+            block_writes: self.writes.load(Ordering::Relaxed),
+            file_appends: self.appends.load(Ordering::Relaxed),
+            file_bytes_written: self.append_bytes.load(Ordering::Relaxed),
+            syncs: self.syncs.load(Ordering::Relaxed),
             read_repairs: 0,
             quarantined_blocks: 0,
             transient_retries: 0,
@@ -502,27 +523,27 @@ impl SimDisk {
 
     /// Zeroes the counters (between benchmark phases).
     pub fn reset_stats(&self) {
-        self.reads.set(0);
-        self.writes.set(0);
-        self.appends.set(0);
-        self.append_bytes.set(0);
-        self.syncs.set(0);
+        self.reads.store(0, Ordering::Relaxed);
+        self.writes.store(0, Ordering::Relaxed);
+        self.appends.store(0, Ordering::Relaxed);
+        self.append_bytes.store(0, Ordering::Relaxed);
+        self.syncs.store(0, Ordering::Relaxed);
     }
 
     /// Live (allocated) block count.
     pub fn live_blocks(&self) -> usize {
-        self.live.borrow().iter().filter(|&&l| l).count()
+        self.st().live.iter().filter(|&&l| l).count()
     }
 
     /// Number of block slots ever allocated (live or freed); recovery
     /// iterates `0..block_slots()` to garbage-collect orphans.
     pub fn block_slots(&self) -> usize {
-        self.blocks.borrow().len()
+        self.st().blocks.len()
     }
 
     /// True when `id` is currently allocated.
     pub fn is_live(&self, id: u32) -> bool {
-        self.live.borrow().get(id as usize).copied().unwrap_or(false)
+        self.st().live.get(id as usize).copied().unwrap_or(false)
     }
 }
 
@@ -706,5 +727,37 @@ mod tests {
         }
         assert_eq!(&*d.read(a).unwrap(), b"payload", "retry heals");
         memtree_faults::disable();
+    }
+
+    #[test]
+    fn shared_disk_is_send_sync_across_threads() {
+        use std::sync::Arc;
+        let d = Arc::new(SimDisk::new(Duration::ZERO));
+        let ids: Vec<_> = (0..4)
+            .map(|t| {
+                let d = d.clone();
+                std::thread::spawn(move || {
+                    let mut ids = Vec::new();
+                    for i in 0..32u8 {
+                        ids.push((d.write(Box::from(&[t as u8, i][..])).unwrap(), [t as u8, i]));
+                        d.append(&format!("wal-{t}"), &[t as u8, i]).unwrap();
+                    }
+                    d.sync();
+                    ids
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        // Every thread's blocks survived with its own bytes: allocation
+        // under the state mutex never handed two writers one slot.
+        for (id, want) in ids {
+            assert_eq!(&*d.read(id).unwrap(), &want[..]);
+        }
+        assert_eq!(d.live_blocks(), 128);
+        for t in 0..4 {
+            assert_eq!(d.read_file(&format!("wal-{t}")).len(), 64);
+        }
     }
 }

@@ -28,11 +28,13 @@ mod db;
 mod disk;
 mod manifest;
 mod scrub;
+mod snapshot;
 mod sstable;
 mod wal;
 
-pub use db::{Db, DbOptions, FilterKind, FilterStats, FlushStats, SeekResult};
+pub use db::{gc_orphans, Db, DbOptions, FilterKind, FilterStats, FlushStats, SeekResult};
 pub use disk::{IoStats, SimDisk};
 pub use scrub::{FileScrubOutcome, LostRange, ScrubReport};
+pub use snapshot::DbSnapshot;
 pub use sstable::SsTable;
 pub use wal::WalStats;

@@ -32,8 +32,16 @@ use crate::wal::{decode_frames, decode_single, encode_frame, encode_single};
 use memtree_common::error::{MemtreeError, Result};
 use memtree_faults::fail_point;
 
-/// File-namespace name of the CURRENT pointer.
+/// File-namespace name of the CURRENT pointer (default, un-namespaced).
 pub(crate) const CURRENT_FILE: &str = "CURRENT";
+
+/// CURRENT file name for a database namespace (`""` = the default
+/// `CURRENT`). Namespaces let several databases — e.g. the shards of a
+/// sharded serving layer — share one [`SimDisk`] file namespace, each with
+/// its own CURRENT/manifest chain.
+pub(crate) fn current_file_name(namespace: &str) -> String {
+    format!("{namespace}{CURRENT_FILE}")
+}
 
 /// Reconstructable SSTable metadata, as recorded in `AddTable` edits.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -275,7 +283,9 @@ impl Version {
 
 /// The active manifest file and its append state.
 pub(crate) struct Manifest {
-    /// Active manifest file name (`manifest-N`).
+    /// File-name namespace prefix (`""` for a standalone database).
+    namespace: String,
+    /// Active manifest file name (`{ns}manifest-N`).
     file: String,
     /// Next transaction frame sequence number.
     next_txn: u64,
@@ -284,20 +294,22 @@ pub(crate) struct Manifest {
 }
 
 impl Manifest {
-    /// Opens the manifest pointed to by CURRENT, replaying its edits into
-    /// a [`Version`]. A missing/empty CURRENT initializes a fresh
-    /// database (manifest-1 + CURRENT, synced). The returned bool is true
-    /// for that fresh-initialization case.
-    pub fn open(disk: &SimDisk) -> Result<(Manifest, Version, bool)> {
-        let current = disk.read_file(CURRENT_FILE);
+    /// Opens the manifest pointed to by `{namespace}CURRENT`, replaying
+    /// its edits into a [`Version`]. A missing/empty CURRENT initializes a
+    /// fresh database (`{ns}manifest-1` + CURRENT, synced). The returned
+    /// bool is true for that fresh-initialization case.
+    pub fn open(disk: &SimDisk, namespace: &str) -> Result<(Manifest, Version, bool)> {
+        let current_name = current_file_name(namespace);
+        let current = disk.read_file(&current_name);
         if current.is_empty() {
             let manifest = Manifest {
-                file: "manifest-1".to_string(),
+                namespace: namespace.to_string(),
+                file: format!("{namespace}manifest-1"),
                 next_txn: 1,
                 appended_txns: 0,
             };
             fail_point!("lsm.current.swap");
-            disk.write_file_atomic(CURRENT_FILE, &encode_single(manifest.file.as_bytes()))?;
+            disk.write_file_atomic(&current_name, &encode_single(manifest.file.as_bytes()))?;
             disk.sync();
             return Ok((manifest, Version::default(), true));
         }
@@ -331,6 +343,7 @@ impl Manifest {
         }
         Ok((
             Manifest {
+                namespace: namespace.to_string(),
                 file,
                 next_txn: last_txn + 1,
                 appended_txns: 0,
@@ -360,14 +373,15 @@ impl Manifest {
     /// of `version`, then swaps CURRENT to it. Crashing anywhere in here
     /// leaves CURRENT on the old, still-valid manifest.
     pub fn rotate(&mut self, disk: &SimDisk, version: &Version) -> Result<()> {
+        let prefix = format!("{}manifest-", self.namespace);
         let n: u64 = self
             .file
-            .strip_prefix("manifest-")
+            .strip_prefix(&prefix)
             .and_then(|s| s.parse().ok())
             .ok_or_else(|| {
                 MemtreeError::corruption("manifest", format!("bad manifest name {}", self.file))
             })?;
-        let next_file = format!("manifest-{}", n + 1);
+        let next_file = format!("{prefix}{}", n + 1);
         fail_point!("lsm.manifest.rotate");
         let mut payload = Vec::new();
         for e in version.snapshot_edits() {
@@ -380,16 +394,20 @@ impl Manifest {
         disk.write_file_atomic(&next_file, &encode_frame(1, &payload))?;
         disk.sync();
         fail_point!("lsm.current.swap");
-        disk.write_file_atomic(CURRENT_FILE, &encode_single(next_file.as_bytes()))?;
+        disk.write_file_atomic(
+            &current_file_name(&self.namespace),
+            &encode_single(next_file.as_bytes()),
+        )?;
         disk.sync();
         self.file = next_file;
         self.next_txn = 2;
         // GC: once CURRENT durably points at generation n+1, every older
-        // manifest-K is dead — without this they accumulate forever. A
-        // crash between the swap and these removals only re-runs the GC at
-        // the next rotation (removal is idempotent).
+        // same-namespace manifest-K is dead — without this they accumulate
+        // forever. Other namespaces' chains (sibling shards on a shared
+        // disk) are untouched. A crash between the swap and these removals
+        // only re-runs the GC at the next rotation (removal is idempotent).
         for f in disk.file_names() {
-            if let Some(k) = f.strip_prefix("manifest-").and_then(|s| s.parse::<u64>().ok()) {
+            if let Some(k) = f.strip_prefix(&prefix).and_then(|s| s.parse::<u64>().ok()) {
                 if k <= n {
                     disk.remove_file(&f);
                 }
@@ -402,6 +420,11 @@ impl Manifest {
     /// Active manifest file name.
     pub fn file(&self) -> &str {
         &self.file
+    }
+
+    /// This manifest chain's CURRENT pointer file name.
+    pub fn current_file(&self) -> String {
+        current_file_name(&self.namespace)
     }
 }
 
@@ -425,7 +448,7 @@ mod tests {
     #[test]
     fn edits_roundtrip_through_reopen() {
         let disk = SimDisk::new(Duration::ZERO);
-        let (mut m, v, fresh) = Manifest::open(&disk).unwrap();
+        let (mut m, v, fresh) = Manifest::open(&disk, "").unwrap();
         assert!(fresh && v.levels.is_empty());
         m.append(&disk, &[Edit::AddTable(meta(0, 1, 10, 20)), Edit::FlushSeq { seq: 5 }])
             .unwrap();
@@ -440,7 +463,7 @@ mod tests {
             ],
         )
         .unwrap();
-        let (_, v, fresh) = Manifest::open(&disk).unwrap();
+        let (_, v, fresh) = Manifest::open(&disk, "").unwrap();
         assert!(!fresh);
         assert_eq!(v.flushed_seq, 9);
         assert_eq!(v.next_table_id, 4);
@@ -451,7 +474,7 @@ mod tests {
     #[test]
     fn torn_compaction_txn_drops_whole_batch() {
         let disk = SimDisk::new(Duration::ZERO);
-        let (mut m, _, _) = Manifest::open(&disk).unwrap();
+        let (mut m, _, _) = Manifest::open(&disk, "").unwrap();
         m.append(&disk, &[Edit::AddTable(meta(0, 1, 10, 20))]).unwrap();
         // A compaction transaction that never syncs, torn by the crash.
         m.append(&disk, &[Edit::RemoveTable { id: 1 }, Edit::AddTable(meta(1, 2, 10, 20))])
@@ -459,7 +482,7 @@ mod tests {
         // Rewind durability: simulate by re-appending unsynced.
         disk.append(m.file(), b"partial-garbage-tail").unwrap();
         disk.crash(Some(3));
-        let (_, v, _) = Manifest::open(&disk).unwrap();
+        let (_, v, _) = Manifest::open(&disk, "").unwrap();
         // Whichever prefix survived, the version is one of the two
         // transaction boundaries — never a half-applied swap.
         let ids: Vec<u64> = v.levels.iter().flatten().map(|t| t.id).collect();
@@ -469,13 +492,13 @@ mod tests {
     #[test]
     fn rotation_swaps_current_atomically() {
         let disk = SimDisk::new(Duration::ZERO);
-        let (mut m, _, _) = Manifest::open(&disk).unwrap();
+        let (mut m, _, _) = Manifest::open(&disk, "").unwrap();
         m.append(&disk, &[Edit::AddTable(meta(0, 1, 10, 20)), Edit::FlushSeq { seq: 3 }])
             .unwrap();
-        let (_, v, _) = Manifest::open(&disk).unwrap();
+        let (_, v, _) = Manifest::open(&disk, "").unwrap();
         m.rotate(&disk, &v).unwrap();
         assert_eq!(m.file(), "manifest-2");
-        let (m2, v2, _) = Manifest::open(&disk).unwrap();
+        let (m2, v2, _) = Manifest::open(&disk, "").unwrap();
         assert_eq!(m2.file(), "manifest-2");
         assert_eq!(v2.flushed_seq, 3);
         assert_eq!(v2.levels[0], vec![meta(0, 1, 10, 20)]);
@@ -484,10 +507,10 @@ mod tests {
     #[test]
     fn rotation_gcs_dead_manifest_generations() {
         let disk = SimDisk::new(Duration::ZERO);
-        let (mut m, _, _) = Manifest::open(&disk).unwrap();
+        let (mut m, _, _) = Manifest::open(&disk, "").unwrap();
         m.append(&disk, &[Edit::AddTable(meta(0, 1, 10, 20))]).unwrap();
         for _ in 0..6 {
-            let (_, v, _) = Manifest::open(&disk).unwrap();
+            let (_, v, _) = Manifest::open(&disk, "").unwrap();
             m.rotate(&disk, &v).unwrap();
         }
         let manifests: Vec<String> = disk
@@ -497,14 +520,39 @@ mod tests {
             .collect();
         assert_eq!(manifests, vec![m.file().to_string()], "only the live generation survives");
         // The surviving state still replays.
-        let (_, v, _) = Manifest::open(&disk).unwrap();
+        let (_, v, _) = Manifest::open(&disk, "").unwrap();
         assert_eq!(v.levels[0], vec![meta(0, 1, 10, 20)]);
+    }
+
+    #[test]
+    fn namespaced_chains_coexist_and_gc_only_their_own_generations() {
+        let disk = SimDisk::new(Duration::ZERO);
+        let (mut m0, _, fresh0) = Manifest::open(&disk, "s0-").unwrap();
+        let (mut m1, _, fresh1) = Manifest::open(&disk, "s1-").unwrap();
+        assert!(fresh0 && fresh1);
+        assert_eq!(m0.file(), "s0-manifest-1");
+        assert_eq!(m0.current_file(), "s0-CURRENT");
+        m0.append(&disk, &[Edit::AddTable(meta(0, 1, 10, 20))]).unwrap();
+        m1.append(&disk, &[Edit::AddTable(meta(0, 7, 30, 40))]).unwrap();
+        // Rotate shard 0 several times; shard 1's chain must survive.
+        for _ in 0..4 {
+            let (_, v, _) = Manifest::open(&disk, "s0-").unwrap();
+            m0.rotate(&disk, &v).unwrap();
+        }
+        let files = disk.file_names();
+        assert!(files.contains(&m0.file().to_string()));
+        assert!(files.contains(&"s1-manifest-1".to_string()), "sibling GC'd: {files:?}");
+        assert_eq!(files.iter().filter(|f| f.starts_with("s0-manifest-")).count(), 1);
+        let (_, v0, _) = Manifest::open(&disk, "s0-").unwrap();
+        let (_, v1, _) = Manifest::open(&disk, "s1-").unwrap();
+        assert_eq!(v0.levels[0][0].id, 1);
+        assert_eq!(v1.levels[0][0].id, 7);
     }
 
     #[test]
     fn quarantine_edits_roundtrip_and_die_with_their_table() {
         let disk = SimDisk::new(Duration::ZERO);
-        let (mut m, _, _) = Manifest::open(&disk).unwrap();
+        let (mut m, _, _) = Manifest::open(&disk, "").unwrap();
         m.append(
             &disk,
             &[
@@ -515,7 +563,7 @@ mod tests {
             ],
         )
         .unwrap();
-        let (_, v, _) = Manifest::open(&disk).unwrap();
+        let (_, v, _) = Manifest::open(&disk, "").unwrap();
         assert_eq!(
             v.quarantined.iter().copied().collect::<Vec<_>>(),
             vec![(1, 0), (2, 1)]
@@ -529,13 +577,13 @@ mod tests {
             ],
         )
         .unwrap();
-        let (_, v, _) = Manifest::open(&disk).unwrap();
+        let (_, v, _) = Manifest::open(&disk, "").unwrap();
         assert!(v.quarantined.is_empty(), "got {:?}", v.quarantined);
         // Snapshot rotation preserves quarantine state.
         m.append(&disk, &[Edit::Quarantine { table: 2, block: 0 }]).unwrap();
-        let (_, v, _) = Manifest::open(&disk).unwrap();
+        let (_, v, _) = Manifest::open(&disk, "").unwrap();
         m.rotate(&disk, &v).unwrap();
-        let (_, v, _) = Manifest::open(&disk).unwrap();
+        let (_, v, _) = Manifest::open(&disk, "").unwrap();
         assert_eq!(v.quarantined.iter().copied().collect::<Vec<_>>(), vec![(2, 0)]);
     }
 }

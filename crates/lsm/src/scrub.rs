@@ -46,12 +46,13 @@
 //! it was lost to a degraded open.
 
 use crate::db::Db;
-use crate::manifest::{Edit, CURRENT_FILE};
+use crate::manifest::Edit;
 use crate::sstable::{DecodedBlock, SsTable};
-use crate::wal::{decode_frames, decode_single, WAL_FILE};
+use crate::wal::{decode_frames, decode_single};
 use memtree_common::error::Result;
 use memtree_common::key::successor;
 use memtree_faults::Backoff;
+use std::sync::Arc;
 
 /// Health verdict for one of the engine's framed files (WAL, manifest).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -174,8 +175,9 @@ impl Db {
     }
 
     fn scrub_manifest(&mut self) -> Result<FileScrubOutcome> {
+        let current = self.manifest.borrow().current_file();
         let healthy = (|| {
-            let name = decode_single(&self.disk.read_file(CURRENT_FILE), "manifest-current").ok()?;
+            let name = decode_single(&self.disk.read_file(&current), "manifest-current").ok()?;
             if name != self.manifest.borrow().file().as_bytes() {
                 return None;
             }
@@ -193,7 +195,7 @@ impl Db {
     }
 
     fn scrub_wal(&mut self) -> Result<FileScrubOutcome> {
-        let raw = self.disk.read_file(WAL_FILE);
+        let raw = self.disk.read_file(&self.wal_file());
         if raw.is_empty() || decode_frames(&raw, "wal").map(|log| !log.torn).unwrap_or(false) {
             return Ok(FileScrubOutcome::Clean);
         }
@@ -316,8 +318,13 @@ impl Db {
                     .map(|(k, _)| k.as_slice())
                     .collect();
                 let filter = self.opts.filter;
-                self.levels[lvl][pos].attach_filter(&keys, &filter);
-                report.filters_rebuilt += 1;
+                // A snapshot may still hold this table's `Arc`; mutating a
+                // shared table is unsound, so skip the rebuild in that case
+                // (filter absence is always safe — only a perf loss).
+                if let Some(t) = Arc::get_mut(&mut self.levels[lvl][pos]) {
+                    t.attach_filter(&keys, &filter);
+                    report.filters_rebuilt += 1;
+                }
             }
             return Ok(false);
         }
@@ -397,7 +404,10 @@ impl Db {
                 // Still-degraded: inherit the old filter when one exists.
                 // It indexes dropped/unreachable keys too, which can only
                 // cause safe false positives — never a false negative.
-                table.filter = self.levels[lvl][pos].filter.take();
+                // Skipped when a snapshot still shares the old table (its
+                // filter stays with it); `None` only costs filter probes.
+                table.filter =
+                    Arc::get_mut(&mut self.levels[lvl][pos]).and_then(|t| t.filter.take());
             }
             let mut edits = vec![Edit::RemoveTable { id: old_id }, Edit::AddTable(table.meta(lvl))];
             for &bi in &quarantined_bi {
@@ -420,8 +430,10 @@ impl Db {
                 return Err(e);
             }
         };
-        // Commit point. Re-map quarantine bookkeeping to the new id and
-        // free every device block the new shape no longer references.
+        // Commit point. Drop stale cache entries keyed by the retired id,
+        // re-map quarantine bookkeeping to the new id, and free every
+        // device block the new shape no longer references.
+        self.cache.invalidate_table(old_id);
         self.quarantined.borrow_mut().retain(|&(t, _)| t != old_id);
         let removed = new_table.is_none();
         if let Some(t) = new_table {
@@ -431,7 +443,7 @@ impl Db {
                 q.insert((t.id, bi));
             }
             drop(q);
-            let old = std::mem::replace(&mut self.levels[lvl][pos], t);
+            let old = std::mem::replace(&mut self.levels[lvl][pos], Arc::new(t));
             for (bi, s) in states.iter().enumerate() {
                 match s {
                     BlockState::Dropped { block } => self.disk.release(*block)?,
@@ -461,9 +473,9 @@ impl Db {
             spans.push(r);
         }
         let newer_tables: Vec<&SsTable> = if lvl == 0 {
-            self.levels[0][pos + 1..].iter().collect()
+            self.levels[0][pos + 1..].iter().map(|t| t.as_ref()).collect()
         } else {
-            self.levels[..lvl].iter().flatten().collect()
+            self.levels[..lvl].iter().flatten().map(|t| t.as_ref()).collect()
         };
         for t in newer_tables {
             spans.push((t.min_key.clone(), t.max_key.clone()));

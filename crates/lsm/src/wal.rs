@@ -45,8 +45,16 @@ use memtree_common::crc::crc32c_update;
 use memtree_common::error::{MemtreeError, Result};
 use memtree_faults::fail_point;
 
-/// File-namespace name of the write-ahead log.
+/// File-namespace name of the write-ahead log (default, un-namespaced).
 pub(crate) const WAL_FILE: &str = "wal";
+
+/// WAL file name for a database namespace (`""` = the default `wal`).
+/// Namespaces let several databases — e.g. the shards of a sharded
+/// serving layer — share one [`SimDisk`] file namespace without
+/// clobbering each other's logs.
+pub(crate) fn wal_file_name(namespace: &str) -> String {
+    format!("{namespace}{WAL_FILE}")
+}
 
 /// Bytes before a frame's payload.
 pub(crate) const FRAME_HEADER: usize = 16;
@@ -205,6 +213,7 @@ const KIND_DELETE: u8 = 1;
 /// The write-ahead log's in-memory state (the log itself lives on the
 /// [`SimDisk`] file namespace).
 pub(crate) struct Wal {
+    file: String,
     next_seq: u64,
     appended_seq: u64,
     synced_seq: u64,
@@ -213,16 +222,23 @@ pub(crate) struct Wal {
 }
 
 impl Wal {
-    /// A WAL resuming after `last_durable_seq` (0 on a fresh database).
-    /// Everything at or below that seq is already durable.
-    pub fn new(last_durable_seq: u64) -> Self {
+    /// A WAL resuming after `last_durable_seq` (0 on a fresh database),
+    /// logging to `file` in the disk's file namespace. Everything at or
+    /// below that seq is already durable.
+    pub fn new(last_durable_seq: u64, file: String) -> Self {
         Self {
+            file,
             next_seq: last_durable_seq + 1,
             appended_seq: last_durable_seq,
             synced_seq: last_durable_seq,
             unsynced: 0,
             stats: WalStats::default(),
         }
+    }
+
+    /// The log's file name in the disk namespace.
+    pub fn file(&self) -> &str {
+        &self.file
     }
 
     /// Allocates the next sequence number without logging (WAL-disabled
@@ -259,7 +275,7 @@ impl Wal {
         payload.extend_from_slice(key);
         payload.extend_from_slice(value);
         let frame = encode_frame(seq, &payload);
-        disk.append(WAL_FILE, &frame)?;
+        disk.append(&self.file, &frame)?;
         self.next_seq += 1;
         self.appended_seq = seq;
         self.unsynced += 1;
@@ -291,6 +307,19 @@ impl Wal {
         self.synced_seq
     }
 
+    /// Marks every record up to `seq` acknowledged without issuing a sync
+    /// barrier of its own — the caller proved durability externally (a
+    /// cross-shard group commit whose one `disk.sync()` barrier covered
+    /// this log's appends). Clamped to the appended high-water mark and
+    /// monotone: a stale or over-eager mark can never un-acknowledge.
+    pub fn mark_synced(&mut self, seq: u64) {
+        let capped = seq.min(self.appended_seq);
+        if capped > self.synced_seq {
+            self.synced_seq = capped;
+            self.unsynced = 0;
+        }
+    }
+
     /// Counters.
     pub fn stats(&self) -> WalStats {
         self.stats
@@ -312,11 +341,11 @@ impl Wal {
     /// Mid-log corruption and non-monotonic sequence numbers are typed
     /// errors — a log that replays must be an exact prefix of the put
     /// history.
-    pub fn replay(disk: &SimDisk, flushed_seq: u64) -> Result<(Self, Vec<WalRecord>)> {
-        let buf = disk.read_file(WAL_FILE);
+    pub fn replay(disk: &SimDisk, flushed_seq: u64, file: &str) -> Result<(Self, Vec<WalRecord>)> {
+        let buf = disk.read_file(file);
         let decoded = decode_frames(&buf, "wal")?;
         if decoded.torn {
-            disk.truncate_file(WAL_FILE, decoded.valid_bytes);
+            disk.truncate_file(file, decoded.valid_bytes);
             disk.sync();
         }
         let mut records = Vec::new();
@@ -364,7 +393,7 @@ impl Wal {
                 value: (kind == KIND_PUT).then(|| value.to_vec()),
             });
         }
-        let mut wal = Self::new(last_seq.max(flushed_seq));
+        let mut wal = Self::new(last_seq.max(flushed_seq), file.to_string());
         wal.stats.replayed_records = records.len() as u64;
         wal.stats.skipped_records = skipped;
         wal.stats.torn_tail_truncated = u64::from(decoded.torn);
@@ -421,7 +450,7 @@ mod tests {
     #[test]
     fn group_commit_ack_lag() {
         let disk = SimDisk::new(Duration::ZERO);
-        let mut wal = Wal::new(0);
+        let mut wal = Wal::new(0, WAL_FILE.to_string());
         for i in 0..7u64 {
             let seq = wal.append(&disk, b"k", Some(b"v"), 4).unwrap();
             assert_eq!(seq, i + 1);
@@ -430,19 +459,51 @@ mod tests {
         assert_eq!(wal.synced_seq(), 4);
         assert_eq!(wal.appended_seq(), 7);
         disk.crash(None);
-        let (rwal, records) = Wal::replay(&disk, 0).unwrap();
+        let (rwal, records) = Wal::replay(&disk, 0, WAL_FILE).unwrap();
         assert_eq!(records.len(), 4, "unsynced suffix lost");
         assert_eq!(rwal.synced_seq(), 4);
     }
 
     #[test]
+    fn mark_synced_is_clamped_and_monotone() {
+        let disk = SimDisk::new(Duration::ZERO);
+        let mut wal = Wal::new(0, WAL_FILE.to_string());
+        for _ in 0..5 {
+            wal.append(&disk, b"k", Some(b"v"), usize::MAX).unwrap();
+        }
+        assert_eq!(wal.synced_seq(), 0);
+        wal.mark_synced(3);
+        assert_eq!(wal.synced_seq(), 3);
+        wal.mark_synced(2); // stale mark: no un-acknowledge
+        assert_eq!(wal.synced_seq(), 3);
+        wal.mark_synced(99); // clamped to the appended high-water mark
+        assert_eq!(wal.synced_seq(), 5);
+    }
+
+    #[test]
+    fn namespaced_wals_share_a_disk_without_clobbering() {
+        let disk = SimDisk::new(Duration::ZERO);
+        let mut a = Wal::new(0, wal_file_name("s0-"));
+        let mut b = Wal::new(0, wal_file_name("s1-"));
+        a.append(&disk, b"a", Some(b"va"), 1).unwrap();
+        b.append(&disk, b"b", Some(b"vb"), 1).unwrap();
+        b.append(&disk, b"b2", Some(b"vb2"), 1).unwrap();
+        let (_, ra) = Wal::replay(&disk, 0, "s0-wal").unwrap();
+        let (_, rb) = Wal::replay(&disk, 0, "s1-wal").unwrap();
+        assert_eq!(ra.len(), 1);
+        assert_eq!(ra[0].key, b"a");
+        assert_eq!(rb.len(), 2);
+        assert_eq!(rb[1].key, b"b2");
+    }
+
+    #[test]
     fn replay_skips_flushed_prefix() {
         let disk = SimDisk::new(Duration::ZERO);
-        let mut wal = Wal::new(0);
+        let mut wal = Wal::new(0, WAL_FILE.to_string());
         for _ in 0..6 {
             wal.append(&disk, b"key", Some(b"val"), 1).unwrap();
         }
-        let (rwal, records) = Wal::replay(&disk, 4).unwrap();
+        let (rwal, records) = Wal::replay(&disk, 4, WAL_FILE).unwrap();
         assert_eq!(records.len(), 2);
         assert_eq!(records[0].seq, 5);
         assert_eq!(rwal.stats().skipped_records, 4);
@@ -452,11 +513,11 @@ mod tests {
     #[test]
     fn delete_records_roundtrip_as_tombstones() {
         let disk = SimDisk::new(Duration::ZERO);
-        let mut wal = Wal::new(0);
+        let mut wal = Wal::new(0, WAL_FILE.to_string());
         wal.append(&disk, b"a", Some(b"v1"), 1).unwrap();
         wal.append(&disk, b"a", None, 1).unwrap();
         wal.append(&disk, b"b", None, 1).unwrap();
-        let (_, records) = Wal::replay(&disk, 0).unwrap();
+        let (_, records) = Wal::replay(&disk, 0, WAL_FILE).unwrap();
         assert_eq!(records.len(), 3);
         assert_eq!(records[0].value.as_deref(), Some(&b"v1"[..]));
         assert_eq!(records[1].value, None, "tombstone decodes as None");
@@ -473,7 +534,7 @@ mod tests {
         payload.push(b'k');
         disk.append(WAL_FILE, &encode_frame(1, &payload)).unwrap();
         assert!(matches!(
-            Wal::replay(&disk, 0),
+            Wal::replay(&disk, 0, WAL_FILE),
             Err(MemtreeError::Corruption { .. })
         ));
         // Delete record carrying a value.
@@ -484,7 +545,7 @@ mod tests {
         payload.extend_from_slice(b"stray-value");
         disk.append(WAL_FILE, &encode_frame(1, &payload)).unwrap();
         assert!(matches!(
-            Wal::replay(&disk, 0),
+            Wal::replay(&disk, 0, WAL_FILE),
             Err(MemtreeError::Corruption { .. })
         ));
     }

@@ -14,7 +14,7 @@ use memtree_common::key::encode_u64;
 use memtree_faults as faults;
 use memtree_lsm::{Db, DbOptions, FileScrubOutcome, FilterKind, ScrubReport};
 use std::collections::BTreeMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 const KEYSPACE: u64 = 150;
 
@@ -107,7 +107,7 @@ fn assert_no_silent_loss(
     }
 }
 
-fn live_blocks(disk: &Rc<memtree_lsm::SimDisk>) -> Vec<u32> {
+fn live_blocks(disk: &Arc<memtree_lsm::SimDisk>) -> Vec<u32> {
     (0..disk.block_slots() as u32).filter(|&id| disk.is_live(id)).collect()
 }
 

@@ -13,7 +13,7 @@
 //! In no case may recovery surface a wrong or phantom record.
 
 use memtree_lsm::{Db, DbOptions, SimDisk};
-use std::rc::Rc;
+use std::sync::Arc;
 
 const KEYS: [&[u8]; 3] = [b"alpha-key", b"bravo-key", b"charlie-key"];
 const VALS: [&[u8]; 3] = [b"value-one", b"value-two", b"value-three"];
@@ -26,7 +26,7 @@ fn opts() -> DbOptions {
 }
 
 /// A fresh database whose WAL holds exactly the three records, synced.
-fn build() -> (Rc<SimDisk>, usize) {
+fn build() -> (Arc<SimDisk>, usize) {
     let mut db = Db::new(opts());
     for (k, v) in KEYS.iter().zip(VALS) {
         db.put(k, v).unwrap(); // group commit 1: synced per put
@@ -147,7 +147,7 @@ fn truncated_tails_of_every_length_recover_the_intact_prefix() {
 
 /// A database whose manifest holds two flush transactions (one L0 table
 /// each) and whose WAL is empty: all data lives behind the manifest.
-fn build_flushed() -> Rc<SimDisk> {
+fn build_flushed() -> Arc<SimDisk> {
     let mut db = Db::new(opts());
     for group in 0..2 {
         for i in 0..8u32 {

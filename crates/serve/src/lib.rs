@@ -1,0 +1,686 @@
+//! Concurrent sharded serving layer (`Shard<N>`) over the LSM engine.
+//!
+//! [`ShardedDb`] hash-partitions the key space across `N` independent
+//! [`Db`] instances that share one [`SimDisk`]. Each shard is owned by a
+//! dedicated **worker thread** fed over a bounded channel — the `Db`
+//! itself stays single-writer (`Send` but not `Sync`, its hot-path
+//! bookkeeping is `Cell`/`RefCell`), and all cross-thread coordination
+//! happens at the edges:
+//!
+//! * **Reads never block behind writers.** Every worker republishes an
+//!   immutable [`DbSnapshot`] into a [`SnapshotCell`] whenever its queue
+//!   drains (and at the latest every [`ServeOptions::publish_every`]
+//!   writes). [`ShardedDb::get`] and [`ShardedDb::scan`] run entirely on
+//!   these snapshots from the caller's thread; the only shared mutable
+//!   state they touch is the striped block cache.
+//! * **Cross-shard group commit.** Workers append WAL frames without
+//!   syncing; a single **committer thread** batches the append
+//!   notifications from every shard, issues *one* `disk.sync()` for the
+//!   whole batch, acknowledges every write in it, and tells each worker
+//!   the sequence number its WAL is durable through
+//!   ([`Db::mark_synced_through`]). One sync barrier is amortized over
+//!   all shards — the multi-shard generalization of single-`Db` group
+//!   commit.
+//! * **Fault isolation.** A typed error on one shard (`Enospc`, a failed
+//!   flush) fails *that request's* acknowledgement and nothing else: the
+//!   worker keeps serving, sibling shards never see the error, and the
+//!   committer keeps batching whatever still succeeds.
+//!
+//! Shards share the disk through per-shard file namespaces (`s0-wal`,
+//! `s1-manifest-3`, …); block-level orphan GC is disabled per shard (one
+//! shard must not free its siblings' blocks) and the cross-shard
+//! [`gc_orphans`] runs once after every shard is open. The shard count is
+//! persisted in a small meta file so a reopen re-partitions identically.
+
+#![warn(missing_docs)]
+
+use memtree_common::error::{MemtreeError, Result};
+use memtree_common::hash::hash64;
+use memtree_common::SnapshotCell;
+use memtree_lsm::{gc_orphans, Db, DbOptions, DbSnapshot, SimDisk};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TryRecvError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// File on the shared disk recording the shard count (decimal ASCII), so
+/// a reopen partitions keys exactly as the writer did.
+const META_FILE: &str = "serve-meta";
+
+/// Configuration for a [`ShardedDb`].
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Number of shards (worker threads). A reopen of an existing disk
+    /// uses the persisted count and ignores this field.
+    pub shards: usize,
+    /// Per-shard engine options. `namespace`, `gc_orphans`, and
+    /// `wal_group_commit` are overridden by the serving layer (namespaced
+    /// files, cross-shard GC, committer-owned syncing).
+    pub db: DbOptions,
+    /// Bounded depth of each shard's request queue.
+    pub queue_depth: usize,
+    /// A worker republishes its read snapshot at the latest after this
+    /// many writes (sooner whenever its queue drains).
+    pub publish_every: usize,
+    /// The committer syncs after collecting at most this many pending
+    /// write acknowledgements (it never waits for the batch to fill — a
+    /// drained queue syncs immediately).
+    pub commit_batch: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        Self {
+            shards: 4,
+            db: DbOptions::default(),
+            queue_depth: 256,
+            publish_every: 256,
+            commit_batch: 256,
+        }
+    }
+}
+
+/// A request to one shard worker. Acks are one-shot rendezvous channels.
+enum Request {
+    /// Insert/overwrite; acked with the write's WAL seq once durable.
+    Put {
+        key: Vec<u8>,
+        value: Vec<u8>,
+        ack: SyncSender<Result<u64>>,
+    },
+    /// Tombstone write; acked like `Put`.
+    Delete {
+        key: Vec<u8>,
+        ack: SyncSender<Result<u64>>,
+    },
+    /// Read-your-writes point read through the owning worker.
+    Get {
+        key: Vec<u8>,
+        ack: SyncSender<Option<Vec<u8>>>,
+    },
+    /// Force a MemTable flush on this shard.
+    Flush { ack: SyncSender<Result<()>> },
+    /// Publish a fresh snapshot, then ack (read-visibility barrier).
+    Barrier { ack: SyncSender<u64> },
+    /// Committer notification: the WAL is durable through `seq`.
+    MarkSynced { seq: u64 },
+    /// Drop the database without closing it (simulated power loss).
+    Die,
+}
+
+/// Append notification from a worker to the committer.
+struct Appended {
+    shard: usize,
+    seq: u64,
+    ack: SyncSender<Result<u64>>,
+}
+
+/// What flows into the committer. `Stop` exists so shutdown never relies
+/// on sender-count disconnection: workers hold committer-channel clones
+/// and the committer holds worker-channel clones, so waiting for either
+/// side's channel to disconnect first would deadlock the pair.
+enum CommitMsg {
+    Write(Appended),
+    Stop,
+}
+
+struct ShardHandle {
+    tx: SyncSender<Request>,
+    snap: Arc<SnapshotCell<DbSnapshot>>,
+    worker: Option<JoinHandle<Result<()>>>,
+}
+
+/// A hash-partitioned, multi-threaded serving layer over `N` LSM shards.
+///
+/// Writes route to the owning shard's worker and block until the
+/// cross-shard group commit makes them durable. Reads are served from
+/// per-shard immutable snapshots without ever blocking behind writers.
+/// See the module docs for the full architecture.
+pub struct ShardedDb {
+    shards: Vec<ShardHandle>,
+    committer_tx: Option<SyncSender<CommitMsg>>,
+    committer: Option<JoinHandle<()>>,
+    disk: Arc<SimDisk>,
+}
+
+impl ShardedDb {
+    /// Opens a sharded database on a fresh simulated disk.
+    pub fn new(opts: ServeOptions) -> Self {
+        let disk = Arc::new(SimDisk::new(opts.db.io_read_latency));
+        Self::open(disk, opts).expect("fresh sharded open cannot fail")
+    }
+
+    /// Opens (or recovers) every shard from `disk`, runs the cross-shard
+    /// orphan GC, and starts the worker and committer threads. On a disk
+    /// that already holds a sharded database the persisted shard count
+    /// wins over `opts.shards`.
+    pub fn open(disk: Arc<SimDisk>, opts: ServeOptions) -> Result<Self> {
+        let n = match Self::read_meta(&disk) {
+            Some(n) => n,
+            None => {
+                let n = opts.shards.max(1);
+                disk.write_file_atomic(META_FILE, n.to_string().as_bytes())?;
+                disk.sync();
+                n
+            }
+        };
+        let mut dbs = Vec::with_capacity(n);
+        for i in 0..n {
+            let shard_opts = DbOptions {
+                namespace: format!("s{i}-"),
+                gc_orphans: false,
+                // The committer owns syncing; appends must never sync.
+                wal_group_commit: usize::MAX,
+                ..opts.db.clone()
+            };
+            dbs.push(Db::open(Arc::clone(&disk), shard_opts)?);
+        }
+        gc_orphans(&disk, &dbs.iter().collect::<Vec<_>>())?;
+
+        let (commit_tx, commit_rx) = sync_channel::<CommitMsg>(n * opts.queue_depth + 1);
+        let mut shards = Vec::with_capacity(n);
+        let mut worker_txs = Vec::with_capacity(n);
+        for (i, db) in dbs.into_iter().enumerate() {
+            let (tx, rx) = sync_channel::<Request>(opts.queue_depth);
+            let snap = Arc::new(SnapshotCell::new(db.snapshot()));
+            let worker = {
+                let snap = Arc::clone(&snap);
+                let commit_tx = commit_tx.clone();
+                let publish_every = opts.publish_every.max(1);
+                std::thread::Builder::new()
+                    .name(format!("memtree-shard-{i}"))
+                    .spawn(move || shard_worker(db, i, rx, commit_tx, snap, publish_every))
+                    .expect("spawn shard worker")
+            };
+            worker_txs.push(tx.clone());
+            shards.push(ShardHandle { tx, snap, worker: Some(worker) });
+        }
+        let committer = {
+            let disk = Arc::clone(&disk);
+            let batch = opts.commit_batch.max(1);
+            std::thread::Builder::new()
+                .name("memtree-committer".into())
+                .spawn(move || committer(commit_rx, disk, worker_txs, batch))
+                .expect("spawn committer")
+        };
+        Ok(Self {
+            shards,
+            committer_tx: Some(commit_tx),
+            committer: Some(committer),
+            disk,
+        })
+    }
+
+    fn read_meta(disk: &SimDisk) -> Option<usize> {
+        let raw = disk.read_file(META_FILE);
+        std::str::from_utf8(&raw).ok()?.trim().parse().ok().filter(|&n| n > 0)
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shared simulated disk.
+    pub fn disk_handle(&self) -> Arc<SimDisk> {
+        Arc::clone(&self.disk)
+    }
+
+    /// Which shard owns `key`.
+    pub fn shard_of(&self, key: &[u8]) -> usize {
+        (hash64(key) % self.shards.len() as u64) as usize
+    }
+
+    /// Inserts or overwrites `key`, returning its WAL sequence number on
+    /// the owning shard. Blocks until the cross-shard group commit has
+    /// made the write durable.
+    pub fn put(&self, key: &[u8], value: &[u8]) -> Result<u64> {
+        let (ack, rx) = sync_channel(1);
+        let req = Request::Put { key: key.to_vec(), value: value.to_vec(), ack };
+        self.send(self.shard_of(key), req, rx)?
+    }
+
+    /// Deletes `key` (durable tombstone), with `put`'s ack semantics.
+    pub fn delete(&self, key: &[u8]) -> Result<u64> {
+        let (ack, rx) = sync_channel(1);
+        let req = Request::Delete { key: key.to_vec(), ack };
+        self.send(self.shard_of(key), req, rx)?
+    }
+
+    /// Snapshot point read: never blocks behind writers; sees every write
+    /// up to the owning shard's last published snapshot.
+    pub fn get(&self, key: &[u8]) -> Option<Vec<u8>> {
+        self.shards[self.shard_of(key)].snap.load().get(key)
+    }
+
+    /// Read-your-writes point read routed through the owning worker: sees
+    /// every write that worker has applied, published or not.
+    pub fn get_fresh(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        let (ack, rx) = sync_channel(1);
+        self.send(self.shard_of(key), Request::Get { key: key.to_vec(), ack }, rx)
+    }
+
+    /// Merged cross-shard range scan over the current snapshots: up to
+    /// `limit` live entries with `lk <= key` (`< hk` when bounded), in
+    /// global key order.
+    pub fn scan(&self, lk: &[u8], hk: Option<&[u8]>, limit: usize) -> Vec<(Vec<u8>, Vec<u8>)> {
+        let per_shard: Vec<Vec<(Vec<u8>, Vec<u8>)>> = self
+            .shards
+            .iter()
+            .map(|s| s.snap.load().scan_from(lk, hk, limit))
+            .collect();
+        // Shards partition the key space, so the streams are disjoint:
+        // a plain k-way merge by key suffices.
+        let mut idx = vec![0usize; per_shard.len()];
+        let mut out = Vec::new();
+        while out.len() < limit {
+            let mut best: Option<usize> = None;
+            for (s, stream) in per_shard.iter().enumerate() {
+                if let Some((k, _)) = stream.get(idx[s]) {
+                    if best.is_none_or(|b| k < &per_shard[b][idx[b]].0) {
+                        best = Some(s);
+                    }
+                }
+            }
+            let Some(s) = best else { break };
+            out.push(per_shard[s][idx[s]].clone());
+            idx[s] += 1;
+        }
+        out
+    }
+
+    /// The current published snapshot of each shard (index = shard id).
+    pub fn shard_snapshots(&self) -> Vec<Arc<DbSnapshot>> {
+        self.shards.iter().map(|s| s.snap.load()).collect()
+    }
+
+    /// Read-visibility barrier: every write acknowledged before this call
+    /// is visible to subsequent [`ShardedDb::get`]/[`ShardedDb::scan`].
+    /// Returns each shard's snapshot epoch after the republish.
+    pub fn barrier(&self) -> Result<Vec<u64>> {
+        let mut rxs = Vec::with_capacity(self.shards.len());
+        for shard in &self.shards {
+            let (ack, rx) = sync_channel(1);
+            shard
+                .tx
+                .send(Request::Barrier { ack })
+                .map_err(|_| MemtreeError::corruption("serve", "worker gone"))?;
+            rxs.push(rx);
+        }
+        rxs.into_iter()
+            .map(|rx| {
+                rx.recv()
+                    .map_err(|_| MemtreeError::corruption("serve", "worker gone"))
+            })
+            .collect()
+    }
+
+    /// Forces a MemTable flush on every shard. The first shard error is
+    /// returned, but every shard is asked to flush regardless.
+    pub fn flush_all(&self) -> Result<()> {
+        let mut rxs = Vec::with_capacity(self.shards.len());
+        for shard in &self.shards {
+            let (ack, rx) = sync_channel(1);
+            shard
+                .tx
+                .send(Request::Flush { ack })
+                .map_err(|_| MemtreeError::corruption("serve", "worker gone"))?;
+            rxs.push(rx);
+        }
+        let mut first_err = None;
+        for rx in rxs {
+            match rx.recv() {
+                Ok(Ok(())) => {}
+                Ok(Err(e)) => first_err = first_err.or(Some(e)),
+                Err(_) => {
+                    first_err = first_err
+                        .or_else(|| Some(MemtreeError::corruption("serve", "worker gone")))
+                }
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Graceful shutdown: flushes and closes every shard, returning the
+    /// shared disk for reopening.
+    pub fn close(mut self) -> Result<Arc<SimDisk>> {
+        self.shutdown(false);
+        let disk = Arc::clone(&self.disk);
+        let mut first_err = None;
+        for shard in &mut self.shards {
+            if let Some(w) = shard.worker.take() {
+                match w.join() {
+                    Ok(Ok(())) => {}
+                    Ok(Err(e)) => first_err = first_err.or(Some(e)),
+                    Err(_) => {
+                        first_err = first_err.or_else(|| {
+                            Some(MemtreeError::corruption("serve", "worker panicked"))
+                        })
+                    }
+                }
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(disk),
+        }
+    }
+
+    /// Simulated power loss: every worker abandons its database without
+    /// closing (no final flush, no sync), then the disk drops all
+    /// unsynced state. Returns the disk for crash-recovery reopening.
+    pub fn crash(mut self, tear_seed: Option<u64>) -> Arc<SimDisk> {
+        self.shutdown(true);
+        for shard in &mut self.shards {
+            if let Some(w) = shard.worker.take() {
+                let _ = w.join();
+            }
+        }
+        let disk = Arc::clone(&self.disk);
+        disk.crash(tear_seed);
+        disk
+    }
+
+    /// Stops the committer and tells every worker to exit (`die` skips
+    /// the graceful close).
+    fn shutdown(&mut self, die: bool) {
+        // Committer first, via an explicit `Stop`: it cannot exit on
+        // channel disconnection because every live worker still holds a
+        // committer-sender clone (and the committer holds worker-sender
+        // clones — waiting out either disconnection first would deadlock
+        // the pair). After the committer returns, its worker-sender
+        // clones are gone, so dropping ours below disconnects the
+        // workers. Writes a worker drains after this point fall back to
+        // self-sync in `finish_write`, so their acks still mean durable.
+        if let Some(tx) = self.committer_tx.take() {
+            let _ = tx.send(CommitMsg::Stop);
+        }
+        if let Some(c) = self.committer.take() {
+            let _ = c.join();
+        }
+        if die {
+            for shard in &self.shards {
+                let _ = shard.tx.send(Request::Die);
+            }
+        }
+        // Workers exit when every sender is gone; `close` relies on the
+        // drop of `self.shards[..].tx` by the caller holding &mut self —
+        // senders are dropped by replacing them with a closed channel.
+        for shard in &mut self.shards {
+            let (closed_tx, _) = sync_channel(1);
+            shard.tx = closed_tx;
+        }
+    }
+
+    fn send<T>(&self, shard: usize, req: Request, rx: Receiver<T>) -> Result<T> {
+        let wedged =
+            || MemtreeError::corruption("serve", format!("shard {shard} worker is gone"));
+        self.shards[shard].tx.send(req).map_err(|_| wedged())?;
+        rx.recv().map_err(|_| wedged())
+    }
+}
+
+/// One shard's event loop: apply writes, forward durability acks to the
+/// committer, republish snapshots when idle or due, and never let one
+/// request's typed error take the worker down.
+fn shard_worker(
+    mut db: Db,
+    shard: usize,
+    rx: Receiver<Request>,
+    commit_tx: SyncSender<CommitMsg>,
+    snap: Arc<SnapshotCell<DbSnapshot>>,
+    publish_every: usize,
+) -> Result<()> {
+    let mut dirty = 0usize;
+    let mut die = false;
+    loop {
+        // Drain eagerly; republish the snapshot on a momentarily-empty
+        // queue so readers see a fresh view whenever the shard is idle.
+        let msg = match rx.try_recv() {
+            Ok(m) => m,
+            Err(TryRecvError::Empty) => {
+                if dirty > 0 {
+                    snap.swap(Arc::new(db.snapshot()));
+                    dirty = 0;
+                }
+                match rx.recv() {
+                    Ok(m) => m,
+                    Err(_) => break,
+                }
+            }
+            Err(TryRecvError::Disconnected) => break,
+        };
+        match msg {
+            Request::Put { key, value, ack } => {
+                let applied = db.put(&key, &value);
+                finish_write(&mut db, shard, applied, ack, &commit_tx);
+                dirty += 1;
+            }
+            Request::Delete { key, ack } => {
+                let applied = db.delete(&key);
+                finish_write(&mut db, shard, applied, ack, &commit_tx);
+                dirty += 1;
+            }
+            Request::Get { key, ack } => {
+                let _ = ack.send(db.get(&key));
+            }
+            Request::Flush { ack } => {
+                let _ = ack.send(db.flush().map(|_| ()));
+                dirty += 1;
+            }
+            Request::Barrier { ack } => {
+                let epoch = snap.swap(Arc::new(db.snapshot()));
+                dirty = 0;
+                let _ = ack.send(epoch);
+            }
+            Request::MarkSynced { seq } => {
+                db.mark_synced_through(seq);
+            }
+            Request::Die => {
+                die = true;
+                break;
+            }
+        }
+        if dirty >= publish_every {
+            snap.swap(Arc::new(db.snapshot()));
+            dirty = 0;
+        }
+    }
+    if die {
+        // Simulated power loss: drop the Db as-is — no flush, no sync.
+        drop(db);
+        return Ok(());
+    }
+    snap.swap(Arc::new(db.snapshot()));
+    db.close().map(|_| ())
+}
+
+/// A write's worker-side second half: hand the durability ack to the
+/// committer. A typed error acks the originating request and nothing
+/// else; if the committer is already gone (shutdown), the worker syncs
+/// its own appends so the last acks still mean durable.
+fn finish_write(
+    db: &mut Db,
+    shard: usize,
+    applied: Result<u64>,
+    ack: SyncSender<Result<u64>>,
+    commit_tx: &SyncSender<CommitMsg>,
+) {
+    match applied {
+        Ok(seq) => {
+            if commit_tx
+                .send(CommitMsg::Write(Appended { shard, seq, ack: ack.clone() }))
+                .is_err()
+            {
+                let synced = db.sync().map(|()| {
+                    db.mark_synced_through(seq);
+                    seq
+                });
+                let _ = ack.send(synced);
+            }
+        }
+        Err(e) => {
+            let _ = ack.send(Err(e));
+        }
+    }
+}
+
+/// The cross-shard group committer: collect a batch of append
+/// notifications from any mix of shards, make them all durable with one
+/// `disk.sync()`, acknowledge every caller, and tell each shard its new
+/// durable high-water mark.
+fn committer(
+    rx: Receiver<CommitMsg>,
+    disk: Arc<SimDisk>,
+    worker_txs: Vec<SyncSender<Request>>,
+    max_batch: usize,
+) {
+    while let Ok(first) = rx.recv() {
+        let mut stop = false;
+        let mut batch = match first {
+            CommitMsg::Write(a) => vec![a],
+            CommitMsg::Stop => break,
+        };
+        while batch.len() < max_batch {
+            match rx.try_recv() {
+                Ok(CommitMsg::Write(a)) => batch.push(a),
+                Ok(CommitMsg::Stop) => {
+                    stop = true;
+                    break;
+                }
+                Err(_) => break,
+            }
+        }
+        // One sync covers every WAL frame appended (on any shard) before
+        // the notifications we just collected.
+        disk.sync();
+        let mut high = vec![0u64; worker_txs.len()];
+        for m in &batch {
+            high[m.shard] = high[m.shard].max(m.seq);
+        }
+        // Bookkeeping first, acks second: `try_send` because a full
+        // worker queue must not deadlock the committer (the mark is
+        // monotone — a later batch re-delivers a higher one).
+        for (i, &seq) in high.iter().enumerate() {
+            if seq > 0 {
+                let _ = worker_txs[i].try_send(Request::MarkSynced { seq });
+            }
+        }
+        for m in batch {
+            let _ = m.ack.send(Ok(m.seq));
+        }
+        if stop {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sharded_db_is_send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<ShardedDb>();
+    }
+
+    #[test]
+    fn writes_route_and_reads_see_them_after_barrier() {
+        let sdb = ShardedDb::new(ServeOptions { shards: 3, ..ServeOptions::default() });
+        for i in 0..500u32 {
+            let k = format!("key-{i:05}");
+            sdb.put(k.as_bytes(), format!("val-{i}").as_bytes()).unwrap();
+        }
+        sdb.barrier().unwrap();
+        for i in 0..500u32 {
+            let k = format!("key-{i:05}");
+            assert_eq!(
+                sdb.get(k.as_bytes()).as_deref(),
+                Some(format!("val-{i}").as_bytes()),
+                "{k}"
+            );
+        }
+        // Fresh reads bypass snapshot lag entirely.
+        sdb.put(b"late", b"v").unwrap();
+        assert_eq!(sdb.get_fresh(b"late").unwrap().as_deref(), Some(&b"v"[..]));
+        // Cross-shard scan comes back in global key order.
+        let all = sdb.scan(b"key-", Some(b"key-~"), usize::MAX);
+        assert_eq!(all.len(), 500);
+        assert!(all.windows(2).all(|w| w[0].0 < w[1].0), "scan out of order");
+        let disk = sdb.close().unwrap();
+        // Reopen recovers everything, with the persisted shard count.
+        let reopened =
+            ShardedDb::open(disk, ServeOptions { shards: 9, ..ServeOptions::default() })
+                .unwrap();
+        assert_eq!(reopened.shards(), 3, "persisted shard count must win");
+        for i in (0..500u32).step_by(11) {
+            let k = format!("key-{i:05}");
+            assert_eq!(
+                reopened.get(k.as_bytes()).as_deref(),
+                Some(format!("val-{i}").as_bytes())
+            );
+        }
+        reopened.close().unwrap();
+    }
+
+    #[test]
+    fn deletes_are_visible_and_durable() {
+        let sdb = ShardedDb::new(ServeOptions { shards: 2, ..ServeOptions::default() });
+        for i in 0..100u32 {
+            sdb.put(format!("k{i}").as_bytes(), b"v").unwrap();
+        }
+        for i in (0..100u32).step_by(2) {
+            sdb.delete(format!("k{i}").as_bytes()).unwrap();
+        }
+        sdb.barrier().unwrap();
+        for i in 0..100u32 {
+            let got = sdb.get(format!("k{i}").as_bytes());
+            if i % 2 == 0 {
+                assert_eq!(got, None, "k{i} should be deleted");
+            } else {
+                assert_eq!(got.as_deref(), Some(&b"v"[..]));
+            }
+        }
+        let disk = sdb.close().unwrap();
+        let reopened = ShardedDb::open(disk, ServeOptions::default()).unwrap();
+        for i in 0..100u32 {
+            let got = reopened.get(format!("k{i}").as_bytes());
+            if i % 2 == 0 {
+                assert_eq!(got, None, "k{i} deleted state must survive reopen");
+            } else {
+                assert_eq!(got.as_deref(), Some(&b"v"[..]));
+            }
+        }
+        reopened.close().unwrap();
+    }
+
+    #[test]
+    fn group_commit_batches_syncs_across_shards() {
+        let sdb = ShardedDb::new(ServeOptions { shards: 4, ..ServeOptions::default() });
+        let sdb = Arc::new(sdb);
+        let writers: Vec<_> = (0..4)
+            .map(|t| {
+                let sdb = Arc::clone(&sdb);
+                std::thread::spawn(move || {
+                    for i in 0..250u32 {
+                        sdb.put(format!("t{t}-k{i}").as_bytes(), b"v").unwrap();
+                    }
+                })
+            })
+            .collect();
+        for w in writers {
+            w.join().unwrap();
+        }
+        let stats = sdb.disk_handle().stats();
+        assert!(
+            stats.syncs < 1000,
+            "1000 concurrent durable writes should group-commit well below \
+             one sync each, saw {} syncs",
+            stats.syncs
+        );
+        Arc::try_unwrap(sdb).ok().expect("sole owner").close().unwrap();
+    }
+}

@@ -1,5 +1,7 @@
-//! YCSB core workloads (§2.5, §5.3.1): A (50/50 read/update), C
-//! (read-only), E (95/5 scan/insert), plus the insert-only load phase.
+//! YCSB core workloads (§2.5, §5.3.1): A (50/50 read/update), B (95/5
+//! read/update), C (read-only), E (95/5 scan/insert), plus the
+//! insert-only load phase. Key selection is Zipfian (the YCSB default) or
+//! uniform, per [`Dist`].
 
 use crate::zipf::Zipfian;
 use memtree_common::hash::splitmix64;
@@ -11,6 +13,8 @@ pub enum Mix {
     InsertOnly,
     /// Workload A: 50 % reads, 50 % updates.
     A,
+    /// Workload B: 95 % reads, 5 % updates (the read-heavy serving mix).
+    B,
     /// Workload C: 100 % reads.
     C,
     /// Workload E: 95 % short scans, 5 % inserts.
@@ -18,7 +22,8 @@ pub enum Mix {
 }
 
 impl Mix {
-    /// Thesis-order list.
+    /// Thesis-order list of the mixes the thesis experiments run (B is
+    /// serving-bench only and deliberately not included).
     pub fn all() -> [Mix; 4] {
         [Mix::InsertOnly, Mix::C, Mix::A, Mix::E]
     }
@@ -28,10 +33,21 @@ impl Mix {
         match self {
             Mix::InsertOnly => "insert-only",
             Mix::A => "read/write",
+            Mix::B => "read-heavy",
             Mix::C => "read-only",
             Mix::E => "scan/insert",
         }
     }
+}
+
+/// Key-selection distribution for a generated stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Dist {
+    /// YCSB-default Zipfian skew (s ≈ 0.99) over the loaded key set.
+    #[default]
+    Zipfian,
+    /// Uniform over the loaded key set.
+    Uniform,
 }
 
 /// One generated operation. Key indexes refer to the loaded key set;
@@ -49,23 +65,39 @@ pub enum Op {
 }
 
 /// Generates the operation stream for a mix over `loaded` keys with
-/// Zipfian access skew (YCSB default).
+/// Zipfian access skew (YCSB default) or uniform selection.
 #[derive(Debug)]
 pub struct OpGenerator {
     mix: Mix,
+    dist: Dist,
+    loaded: usize,
     zipf: Zipfian,
     state: u64,
     inserted: usize,
 }
 
 impl OpGenerator {
-    /// Creates a generator over `loaded` keys.
+    /// Creates a generator over `loaded` keys (Zipfian-skewed).
     pub fn new(mix: Mix, loaded: usize, seed: u64) -> Self {
+        Self::with_dist(mix, loaded, seed, Dist::Zipfian)
+    }
+
+    /// Creates a generator with an explicit key-selection distribution.
+    pub fn with_dist(mix: Mix, loaded: usize, seed: u64, dist: Dist) -> Self {
         Self {
             mix,
+            dist,
+            loaded: loaded.max(1),
             zipf: Zipfian::new(loaded.max(1), seed),
             state: seed ^ 0xdead_beef,
             inserted: 0,
+        }
+    }
+
+    fn pick(&mut self) -> usize {
+        match self.dist {
+            Dist::Zipfian => self.zipf.next_scrambled(),
+            Dist::Uniform => (splitmix64(&mut self.state) % self.loaded as u64) as usize,
         }
     }
 
@@ -73,7 +105,7 @@ impl OpGenerator {
     /// infinite and callers drive it by count.)
     #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> Op {
-        let pick = self.zipf.next_scrambled();
+        let pick = self.pick();
         match self.mix {
             Mix::InsertOnly => {
                 let i = self.inserted;
@@ -81,11 +113,12 @@ impl OpGenerator {
                 Op::Insert(i)
             }
             Mix::C => Op::Read(pick),
-            Mix::A => {
-                if splitmix64(&mut self.state).is_multiple_of(2) {
-                    Op::Read(pick)
-                } else {
+            Mix::A | Mix::B => {
+                let update_pct = if self.mix == Mix::A { 50 } else { 5 };
+                if splitmix64(&mut self.state) % 100 < update_pct {
                     Op::Update(pick)
+                } else {
+                    Op::Read(pick)
                 }
             }
             Mix::E => {
@@ -129,6 +162,10 @@ mod tests {
         assert_eq!((r, u, i, s), (10_000, 0, 0, 0));
         let (r, u, _, _) = count(Mix::A);
         assert!((4000..6000).contains(&r) && (4000..6000).contains(&u));
+        let (r, u, i, s) = count(Mix::B);
+        assert!((9200..9800).contains(&r), "B reads {r}");
+        assert!((200..800).contains(&u), "B updates {u}");
+        assert_eq!((i, s), (0, 0));
         let (_, _, i, s) = count(Mix::E);
         assert!((300..800).contains(&i), "inserts {i}");
         assert!(s > 9000);
