@@ -275,6 +275,7 @@ fn bench_degraded_reads(cfg: &Config) -> DegradedLine {
 
     let db = Db::open(disk.clone(), lsm_opts(FilterKind::Bloom(14.0))).expect("healthy reopen");
     assert_eq!(db.degraded_tables(), 0, "healthy database opened degraded");
+    let filter_images = db.filter_block_ids();
     let healthy = best(|| {
         let mut hits = 0usize;
         for &i in &picks {
@@ -284,11 +285,17 @@ fn bench_degraded_reads(cfg: &Config) -> DegradedLine {
     });
     drop(db);
 
-    // Latent corruption in one block: the reopen quarantines it and runs
-    // its whole table filterless (a partial filter would lie).
+    // Latent corruption that defeats the whole filter-recovery ladder:
+    // rot every persisted filter image (so reopen must fall back to
+    // rebuilding from data blocks) plus one data block (so at least one
+    // rebuild fails). That table is quarantined and runs filterless —
+    // a partial filter would lie.
+    for &img in &filter_images {
+        disk.bitrot_block(img, 42).expect("bitrot filter image");
+    }
     let victim = (0..disk.block_slots() as u32)
-        .find(|&id| disk.is_live(id))
-        .expect("no live blocks");
+        .find(|&id| disk.is_live(id) && !filter_images.contains(&id))
+        .expect("no live data blocks");
     disk.bitrot_block(victim, 42).expect("bitrot");
     let db = Db::open(disk, lsm_opts(FilterKind::Bloom(14.0))).expect("degraded reopen");
     assert!(db.degraded_tables() > 0, "corruption did not degrade any table");

@@ -10,9 +10,10 @@
 //!    length add a fixed overhead per record).
 //! 2. **What does recovery cost?** For each filter kind the same database
 //!    is closed cleanly and reopened; recovery time and the block reads
-//!    paid to rebuild filters are reported (filters live only in memory,
-//!    so SuRF/Bloom recovery re-reads every data block; `none` reads
-//!    nothing).
+//!    paid to restore filters are reported. Filters persist as one image
+//!    block per table, so a clean reopen loads every filter in **O(tables)
+//!    meta-sized reads** instead of re-scanning every data block — gated
+//!    at `block_reads ≤ 2 × tables`, with every image accounted for.
 //! 3. **What survives a crash?** Deterministic gates, enforced in smoke
 //!    mode too: a clean shutdown replays **zero** WAL records, and a torn
 //!    power-loss recovery loses **only the unsynced suffix** (< one group
@@ -128,9 +129,15 @@ struct RecoveryLine {
     open_ms: f64,
     replayed: u64,
     block_reads: u64,
+    tables: u64,
+    filters_loaded: u64,
 }
 
-/// Clean-shutdown recovery cost per filter kind.
+/// Clean-shutdown recovery cost per filter kind. Persistent filter
+/// images make this O(tables): the gate holds reopen to at most two
+/// block reads per table (the filter image, plus slack for an index
+/// probe) and requires every filter to come from its image, none from a
+/// data-block rebuild.
 fn bench_recovery_time(cfg: &Config) -> Vec<RecoveryLine> {
     let kinds: [(FilterKind, &'static str); 3] = [
         (FilterKind::None, "none"),
@@ -156,15 +163,31 @@ fn bench_recovery_time(cfg: &Config) -> Vec<RecoveryLine> {
             w.replayed_records, 0,
             "{kind}: clean shutdown must replay zero WAL records"
         );
+        let tables: usize = db.level_sizes().iter().sum();
+        let block_reads = db.io_stats().block_reads;
+        assert!(
+            block_reads <= 2 * tables as u64,
+            "{kind}: reopen read {block_reads} blocks for {tables} tables — \
+             persistent filter images should make recovery O(tables)"
+        );
+        if !matches!(filter, FilterKind::None) {
+            assert_eq!(
+                db.filters_loaded() as usize, tables,
+                "{kind}: every filter should load from its persisted image"
+            );
+            assert_eq!(db.filters_rebuilt(), 0, "{kind}: no filter should need a data-block rebuild");
+        }
         let line = RecoveryLine {
             kind,
             open_ms: elapsed.as_secs_f64() * 1e3,
             replayed: w.replayed_records,
-            block_reads: db.io_stats().block_reads,
+            block_reads,
+            tables: tables as u64,
+            filters_loaded: db.filters_loaded(),
         };
         println!(
-            "recover {kind:<11} {:>8.2} ms  {:>3} replayed  {:>7} block reads",
-            line.open_ms, line.replayed, line.block_reads
+            "recover {kind:<11} {:>8.2} ms  {:>3} replayed  {:>7} block reads  ({} tables, {} filters from images)",
+            line.open_ms, line.replayed, line.block_reads, line.tables, line.filters_loaded
         );
         lines.push(line);
     }
@@ -282,8 +305,8 @@ fn write_json(cfg: &Config, wal: &[WalLine], rec: &[RecoveryLine], torn: &TornRe
     json.push_str("  ],\n  \"recovery\": [\n");
     for (i, l) in rec.iter().enumerate() {
         json.push_str(&format!(
-            "    {{ \"kind\": \"{}\", \"open_ms\": {:.3}, \"replayed_records\": {}, \"block_reads\": {} }}{}\n",
-            l.kind, l.open_ms, l.replayed, l.block_reads,
+            "    {{ \"kind\": \"{}\", \"open_ms\": {:.3}, \"replayed_records\": {}, \"block_reads\": {}, \"tables\": {}, \"filters_loaded\": {} }}{}\n",
+            l.kind, l.open_ms, l.replayed, l.block_reads, l.tables, l.filters_loaded,
             if i + 1 < rec.len() { "," } else { "" }
         ));
     }
@@ -311,6 +334,7 @@ fn write_json(cfg: &Config, wal: &[WalLine], rec: &[RecoveryLine], torn: &TornRe
         "\"meta\"", "\"n_keys\"", "\"smoke\"", "\"wal_overhead\"", "\"config\"",
         "\"group_commit\"", "\"mops\"", "\"syncs\"", "\"wal_bytes\"", "\"write_amp\"",
         "\"recovery\"", "\"kind\"", "\"open_ms\"", "\"replayed_records\"", "\"block_reads\"",
+        "\"tables\"", "\"filters_loaded\"",
         "\"torn_tail\"", "\"issued\"", "\"acked\"", "\"recovered\"", "\"lost\"",
         "\"torn_tail_truncated\"",
     ] {

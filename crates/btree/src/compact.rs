@@ -7,6 +7,7 @@
 //! (`node * F + slot`) instead of following a stored pointer — the dashed
 //! arrows of Figure 2.3.
 
+use crate::sepsearch;
 use memtree_common::mem::vec_bytes;
 use memtree_common::traits::{BatchProbe, StaticIndex, Value};
 
@@ -25,6 +26,10 @@ pub struct CompactBTree {
     /// entries (all ultimately leaf key ids). The topmost level has at most
     /// `NODE_FANOUT` entries.
     levels: Vec<Vec<u32>>,
+    /// `prefixes[l][i]` is the 8-byte big-endian prefix of the key
+    /// `levels[l][i]` points at — the SIMD-searchable side of each
+    /// separator array ([`sepsearch`]).
+    prefixes: Vec<Vec<u64>>,
 }
 
 impl CompactBTree {
@@ -33,12 +38,32 @@ impl CompactBTree {
         &self.key_bytes[self.key_offsets[i] as usize..self.key_offsets[i + 1] as usize]
     }
 
+    /// First slot of `levels[depth][s..e]` whose separator key is
+    /// `> target` — the `partition_point` of `key <= target`, resolved as
+    /// one SIMD prefix count over the whole node plus a scalar walk of the
+    /// (usually empty) run of 8-byte-prefix ties, the only separators
+    /// whose full keys must be fetched.
+    #[inline]
+    fn separator_slot(&self, depth: usize, s: usize, e: usize, target: &[u8], tp: u64) -> usize {
+        let (lt, le) = sepsearch::count_lt_le(&self.prefixes[depth][s..e], tp);
+        let mut slot = lt;
+        for &ki in &self.levels[depth][s + lt..s + le] {
+            if self.key(ki as usize) <= target {
+                slot += 1;
+            } else {
+                break; // separators are sorted; the first miss ends the run
+            }
+        }
+        slot
+    }
+
     /// Index of the first key `>= target` (i.e. lower bound), or `len()`.
     pub fn lower_bound(&self, target: &[u8]) -> usize {
         let n = self.len();
         if n == 0 {
             return 0;
         }
+        let tp = sepsearch::key_prefix8(target);
         // Descend the computed levels to narrow to one logical node.
         let (mut lo, mut hi) = (0usize, n); // leaf-entry range
         if let Some(top) = self.levels.last() {
@@ -46,8 +71,8 @@ impl CompactBTree {
             let mut node_range = (0usize, top.len());
             for (depth, level) in self.levels.iter().enumerate().rev() {
                 let (s, e) = node_range;
-                // partition_point over level[s..e]: first separator > target.
-                let slot = level[s..e].partition_point(|&ki| self.key(ki as usize) <= target);
+                // First separator > target, prefix-count + tie walk.
+                let slot = self.separator_slot(depth, s, e, target, tp);
                 // Child covered by separator slot-1 (or the leftmost child).
                 let child = s + slot.saturating_sub(1);
                 if depth == 0 {
@@ -103,7 +128,8 @@ impl CompactBTree {
         let mut i = 0usize;
         while i < group.len() {
             let target = keys[group[i] as usize];
-            let slot = level[s..e].partition_point(|&ki| self.key(ki as usize) <= target);
+            let tp = sepsearch::key_prefix8(target);
+            let slot = self.separator_slot(depth, s, e, target, tp);
             let child = s + slot.saturating_sub(1);
             // Grow the run: every following key that still falls under the
             // same separator shares this child.
@@ -153,7 +179,8 @@ impl CompactBTree {
         let mut i = 0usize;
         while i < group.len() {
             let target = targets[group[i] as usize];
-            let slot = level[s..e].partition_point(|&ki| self.key(ki as usize) <= target);
+            let tp = sepsearch::key_prefix8(target);
+            let slot = self.separator_slot(depth, s, e, target, tp);
             let child = s + slot.saturating_sub(1);
             let mut j = i + 1;
             while j < group.len()
@@ -223,12 +250,24 @@ impl StaticIndex for CompactBTree {
             levels.push(cur);
         }
 
-        Self {
+        let mut tree = Self {
             key_bytes,
             key_offsets,
             vals,
             levels,
-        }
+            prefixes: Vec::new(),
+        };
+        // Side arrays of 8-byte key prefixes, one per separator, so the
+        // descent can count most of a node's separators with one SIMD
+        // sweep instead of a pointer-chasing binary search.
+        tree.prefixes = tree
+            .levels
+            .iter()
+            .map(|level| {
+                level.iter().map(|&ki| sepsearch::key_prefix8(tree.key(ki as usize))).collect()
+            })
+            .collect();
+        tree
     }
 
     fn get(&self, key: &[u8]) -> Option<Value> {
@@ -256,6 +295,7 @@ impl StaticIndex for CompactBTree {
             + vec_bytes(&self.key_offsets)
             + vec_bytes(&self.vals)
             + self.levels.iter().map(vec_bytes).sum::<usize>()
+            + self.prefixes.iter().map(vec_bytes).sum::<usize>()
     }
 
     fn for_each_sorted(&self, f: &mut dyn FnMut(&[u8], Value)) {
@@ -406,6 +446,41 @@ mod tests {
             let expect = keys.partition_point(|k| k.as_slice() < p.as_slice());
             assert_eq!(t.lower_bound(&p), expect);
         }
+    }
+
+    /// Keys sharing a long (> 8 byte) common prefix make every separator
+    /// prefix tie, forcing the SIMD count to resolve nothing and the
+    /// scalar tie-walk to do all the work — the worst case for the
+    /// prefix-count separator search, and the one a botched tie bound
+    /// would answer wrongly.
+    #[test]
+    fn lower_bound_survives_all_prefix_ties() {
+        let stem = b"shared-prefix-longer-than-eight-bytes-";
+        let keys: Vec<Vec<u8>> = (0..4000u64)
+            .map(|i| {
+                let mut k = stem.to_vec();
+                k.extend_from_slice(&encode_u64(i * 3));
+                k
+            })
+            .collect();
+        let entries: Vec<(Vec<u8>, Value)> = keys
+            .iter()
+            .enumerate()
+            .map(|(i, k)| (k.clone(), i as Value))
+            .collect();
+        let t = CompactBTree::build(&entries);
+        for probe in 0..4000u64 {
+            let mut p = stem.to_vec();
+            p.extend_from_slice(&encode_u64(probe * 3 + probe % 2));
+            let expect = keys.partition_point(|k| k.as_slice() < p.as_slice());
+            assert_eq!(t.lower_bound(&p), expect, "probe {probe}");
+        }
+        // The batched paths run the same separator search per run head.
+        let refs: Vec<&[u8]> = keys.iter().rev().map(|k| k.as_slice()).collect();
+        let mut got = Vec::new();
+        t.multi_get(&refs, &mut got);
+        let expect: Vec<Option<Value>> = refs.iter().map(|k| t.get(k)).collect();
+        assert_eq!(got, expect);
     }
 
     #[test]

@@ -18,6 +18,7 @@ pub mod compact;
 pub mod compressed;
 pub mod dynamic;
 pub mod prefix;
+pub mod sepsearch;
 
 pub use compact::CompactBTree;
 pub use compressed::CompressedBTree;

@@ -13,6 +13,7 @@
 
 #![warn(missing_docs)]
 
+use memtree_common::error::{MemtreeError, Result};
 use memtree_common::hash::hash64_seed;
 use memtree_common::mem::vec_bytes;
 use memtree_common::traits::{PointFilter, RangeFilter};
@@ -63,6 +64,48 @@ impl BloomFilter {
     /// Bits of filter per stored key.
     pub fn bits_per_key(&self) -> f64 {
         self.bits.len() as f64 / self.num_keys.max(1) as f64
+    }
+
+    /// Appends this filter's raw image to `out`: bit-array length, probe
+    /// count, key count, then the raw words. No framing or checksum — the
+    /// storage layer wraps images in its own CRC frame.
+    pub fn serialize(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(self.bits.len() as u64).to_le_bytes());
+        out.extend_from_slice(&self.k.to_le_bytes());
+        out.extend_from_slice(&(self.num_keys as u64).to_le_bytes());
+        for &w in self.bits.words() {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+    }
+
+    /// Rebuilds a filter from a [`BloomFilter::serialize`] image. A body
+    /// whose length disagrees with the stored bit count (semantic
+    /// truncation inside a valid frame) is a typed `Corruption` error.
+    pub fn deserialize(buf: &[u8]) -> Result<Self> {
+        let bad = |what: String| MemtreeError::corruption("bloom-image", what);
+        if buf.len() < 20 {
+            return Err(bad(format!("header needs 20 bytes, image has {}", buf.len())));
+        }
+        let m = u64::from_le_bytes(buf[0..8].try_into().unwrap()) as usize;
+        let k = u32::from_le_bytes(buf[8..12].try_into().unwrap());
+        let num_keys = u64::from_le_bytes(buf[12..20].try_into().unwrap()) as usize;
+        if m < 64 || !(1..=30).contains(&k) {
+            return Err(bad(format!("implausible geometry m={m} k={k}")));
+        }
+        let body = &buf[20..];
+        if body.len() != m.div_ceil(64) * 8 {
+            return Err(bad(format!(
+                "bit array length {m} disagrees with body of {} bytes",
+                body.len()
+            )));
+        }
+        let words: Vec<u64> = body
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        let bits = BitVector::from_words(words, m)
+            .ok_or_else(|| bad("padding bits set past the bit array".to_string()))?;
+        Ok(Self { bits, k, num_keys })
     }
 }
 
@@ -303,6 +346,44 @@ mod tests {
         };
         let (lo, hi) = (fpr(4.0), fpr(12.0));
         assert!(hi < lo, "12bpk {hi} should beat 4bpk {lo}");
+    }
+
+    #[test]
+    fn bloom_serialize_roundtrip_is_bit_identical() {
+        for (n, bpk) in [(0usize, 14.0), (1, 10.0), (10_000, 14.0), (5000, 4.0)] {
+            let keys: Vec<Vec<u8>> = (0..n as u64).map(|i| encode_u64(i * 3).to_vec()).collect();
+            let f = BloomFilter::from_keys(&keys, bpk);
+            let mut img = Vec::new();
+            f.serialize(&mut img);
+            let d = BloomFilter::deserialize(&img).unwrap();
+            assert_eq!(d.probes(), f.probes());
+            assert_eq!(d.bits_per_key(), f.bits_per_key());
+            assert_eq!(d.size_bytes(), f.size_bytes());
+            for i in 0..(2 * n.max(64)) as u64 {
+                let q = encode_u64(i);
+                assert_eq!(d.may_contain(&q), f.may_contain(&q), "n={n} key {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn bloom_damaged_images_are_typed_errors() {
+        let keys: Vec<Vec<u8>> = (0..1000u64).map(|i| encode_u64(i).to_vec()).collect();
+        let f = BloomFilter::from_keys(&keys, 10.0);
+        let mut img = Vec::new();
+        f.serialize(&mut img);
+        for cut in 0..img.len() {
+            assert!(
+                BloomFilter::deserialize(&img[..cut]).is_err(),
+                "truncation to {cut} must fail"
+            );
+        }
+        let mut padded = img.clone();
+        padded.push(0);
+        assert!(BloomFilter::deserialize(&padded).is_err(), "trailing byte");
+        let mut zero_k = img.clone();
+        zero_k[8..12].copy_from_slice(&0u32.to_le_bytes());
+        assert!(BloomFilter::deserialize(&zero_k).is_err(), "k=0 geometry");
     }
 
     #[test]

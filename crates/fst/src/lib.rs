@@ -231,6 +231,71 @@ mod tests {
     }
 
     #[test]
+    fn trie_image_roundtrip_across_opts_and_shapes() {
+        let mut state = 17u64;
+        let mut keys: Vec<Vec<u8>> = (0..4000)
+            .map(|_| {
+                let len = 1 + (memtree_common::hash::splitmix64(&mut state) % 10) as usize;
+                (0..len)
+                    .map(|_| (memtree_common::hash::splitmix64(&mut state) % 6) as u8 + b'a')
+                    .collect()
+            })
+            .collect();
+        keys.push(Vec::new()); // empty key exercises the slot-0 path
+        keys.sort();
+        keys.dedup();
+        let refs: Vec<&[u8]> = keys.iter().map(|k| k.as_slice()).collect();
+        for opts in [TrieOpts::default(), TrieOpts::baseline(), TrieOpts::surf()] {
+            let t = LoudsTrie::build(&refs, opts);
+            let mut img = Vec::new();
+            t.serialize(&mut img);
+            let d = LoudsTrie::deserialize(&img).unwrap();
+            assert_eq!(d.num_nodes(), t.num_nodes());
+            assert_eq!(d.num_values(), t.num_values());
+            assert_eq!(d.height(), t.height());
+            assert_eq!(d.leaf_key_order(), t.leaf_key_order());
+            // Heap usage tracks Vec capacities, which differ by allocator
+            // slack between push-built and exact-sized vectors; the stored
+            // data is identical, so sizes agree within that slack.
+            let (dm, tm) = (d.mem_usage() as f64, t.mem_usage() as f64);
+            assert!((dm - tm).abs() <= tm * 0.01 + 64.0, "mem {dm} vs {tm}");
+            let mut probes: Vec<Vec<u8>> = keys.clone();
+            for k in keys.iter().step_by(3) {
+                let mut q = k.clone();
+                q.push(b'z');
+                probes.push(q);
+            }
+            let probe_refs: Vec<&[u8]> = probes.iter().map(|k| k.as_slice()).collect();
+            for k in &probe_refs {
+                assert_eq!(d.lookup(k), t.lookup(k), "lookup {k:?}");
+            }
+            let (mut a, mut b) = (Vec::new(), Vec::new());
+            t.lookup_batch(&probe_refs, &mut a);
+            d.lookup_batch(&probe_refs, &mut b);
+            assert_eq!(a, b, "batch lookup diverged after round-trip");
+            // Iterator machinery (lower_bound + count_before) survives.
+            for k in keys.iter().step_by(41) {
+                let ti = t.lower_bound(k);
+                let di = d.lower_bound(k);
+                assert_eq!(t.count_before(&ti), d.count_before(&di), "count at {k:?}");
+            }
+            // Every truncation of the image is a typed error, never a panic.
+            for cut in (0..img.len()).step_by(13) {
+                assert!(LoudsTrie::deserialize(&img[..cut]).is_err(), "cut {cut}");
+            }
+        }
+        // Degenerate images: empty key set and empty-key-only.
+        for keyset in [&[][..], &[&b""[..]][..]] {
+            let t = LoudsTrie::build(keyset, TrieOpts::surf());
+            let mut img = Vec::new();
+            t.serialize(&mut img);
+            let d = LoudsTrie::deserialize(&img).unwrap();
+            assert_eq!(d.lookup(b""), t.lookup(b""));
+            assert_eq!(d.lookup(b"x"), t.lookup(b"x"));
+        }
+    }
+
+    #[test]
     fn scan_matches_sorted_reference() {
         let entries = entries_from(&[
             b"aaa", b"aab", b"ab", b"abc", b"b", b"ba", b"bb", b"bba", b"bbb", b"c",

@@ -1,6 +1,7 @@
 //! The LOUDS-DS encoding engine: builder, point lookup, and the navigation
 //! primitives shared by the iterator and SuRF.
 
+use memtree_common::error::{MemtreeError, Result};
 use memtree_common::mem::vec_bytes;
 use memtree_succinct::kernels::{find_byte, prefetch_read};
 use memtree_succinct::{BitVector, RankSupport, SelectSupport};
@@ -714,6 +715,283 @@ impl LoudsTrie {
     /// Iterator positioned at the smallest key `>= low`.
     pub fn lower_bound(&self, low: &[u8]) -> crate::iter::TrieIter<'_> {
         crate::iter::TrieIter::lower_bound(self, low)
+    }
+
+    // ------------------------------------------------------------------
+    // Serialized image
+    // ------------------------------------------------------------------
+
+    /// Appends this trie's raw image to `out`: opts flags, the counts, the
+    /// five LOUDS-DS bit vectors as `(len, words)`, the sparse labels, the
+    /// per-level node boundaries, and the leaf→key mapping. Rank/select
+    /// support structures are *not* stored — [`LoudsTrie::deserialize`]
+    /// rebuilds them exactly as the builder does, so an image holds only
+    /// the data that cannot be recomputed from itself.
+    pub fn serialize(&self, out: &mut Vec<u8>) {
+        let mut flags = 0u8;
+        for (bit, on) in [
+            self.opts.truncate,
+            self.opts.rank_opt,
+            self.opts.select_opt,
+            self.opts.simd_labels,
+            self.opts.prefetch,
+            self.opts.r_ratio.is_some(),
+            self.empty_key,
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            if on {
+                flags |= 1 << bit;
+            }
+        }
+        out.push(flags);
+        if let Some(r) = self.opts.r_ratio {
+            put_u64(out, r as u64);
+        }
+        for v in [
+            self.dense_levels,
+            self.dense_node_count,
+            self.dense_child_count,
+            self.dense_value_count,
+            self.height,
+            self.num_nodes,
+            self.num_values,
+        ] {
+            put_u64(out, v as u64);
+        }
+        for bv in [
+            &self.d_labels,
+            &self.d_has_child,
+            &self.d_is_prefix,
+            &self.s_has_child,
+            &self.s_louds,
+        ] {
+            put_bitvec(out, bv);
+        }
+        put_u64(out, self.s_labels.len() as u64);
+        out.extend_from_slice(&self.s_labels);
+        put_u64(out, self.level_node_starts.len() as u64);
+        for &v in &self.level_node_starts {
+            put_u64(out, v as u64);
+        }
+        put_u64(out, self.leaf_key_order.len() as u64);
+        for &v in &self.leaf_key_order {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    /// Rebuilds a trie from a [`LoudsTrie::serialize`] image, recomputing
+    /// the rank/select supports with the same parameters the builder uses.
+    /// Every structural invariant the builder guarantees is re-validated;
+    /// any mismatch (truncated body, inconsistent counts, bit vectors that
+    /// disagree with each other) is a typed `Corruption` error — callers
+    /// fall back to rebuilding from keys, they never get a trie that could
+    /// answer wrongly or index out of bounds.
+    pub fn deserialize(buf: &[u8]) -> Result<Self> {
+        const CTX: &str = "louds-image";
+        let bad = |what: &str| MemtreeError::corruption(CTX, what.to_string());
+        let mut r = ImgReader { buf, at: 0 };
+        let flags = r.u8()?;
+        if flags >> 7 != 0 {
+            return Err(bad("unknown flag bits"));
+        }
+        let opts = TrieOpts {
+            truncate: flags & 1 != 0,
+            rank_opt: flags & 2 != 0,
+            select_opt: flags & 4 != 0,
+            simd_labels: flags & 8 != 0,
+            prefetch: flags & 16 != 0,
+            r_ratio: if flags & 32 != 0 { Some(r.u64()? as usize) } else { None },
+        };
+        let empty_key = flags & 64 != 0;
+        let dense_levels = r.u64()? as usize;
+        let dense_node_count = r.u64()? as usize;
+        let dense_child_count = r.u64()? as usize;
+        let dense_value_count = r.u64()? as usize;
+        let height = r.u64()? as usize;
+        let num_nodes = r.u64()? as usize;
+        let num_values = r.u64()? as usize;
+        let d_labels = r.bitvec()?;
+        let d_has_child = r.bitvec()?;
+        let d_is_prefix = r.bitvec()?;
+        let s_has_child = r.bitvec()?;
+        let s_louds = r.bitvec()?;
+        let s_labels = r.bytes()?;
+        let starts_len = r.u64()? as usize;
+        if starts_len != height + 1 {
+            return Err(bad("level boundary count disagrees with height"));
+        }
+        let mut level_node_starts = Vec::with_capacity(starts_len);
+        for _ in 0..starts_len {
+            level_node_starts.push(r.u64()? as usize);
+        }
+        let leaf_len = r.u64()? as usize;
+        if leaf_len != num_values {
+            return Err(bad("leaf order length disagrees with value count"));
+        }
+        let mut leaf_key_order = Vec::with_capacity(leaf_len);
+        for _ in 0..leaf_len {
+            leaf_key_order.push(r.u32()?);
+        }
+        r.done()?;
+
+        // Structural cross-checks: everything `finish()` guarantees and the
+        // navigation code relies on for in-bounds indexing.
+        let padded = |n: usize| n.max(1); // `ensure` pads empties to one bit
+        if d_labels.len() != padded(dense_node_count * 256)
+            || d_has_child.len() != d_labels.len()
+            || d_is_prefix.len() != padded(dense_node_count)
+            || s_has_child.len() != padded(s_labels.len())
+            || s_louds.len() != s_has_child.len()
+        {
+            return Err(bad("bit vector lengths disagree with node counts"));
+        }
+        if dense_child_count != d_has_child.count_ones()
+            || num_nodes < dense_node_count
+            || dense_levels > height
+            || dense_value_count > num_values
+        {
+            return Err(bad("counts disagree with bit vector contents"));
+        }
+        // A padded-empty vector holds one false bit, so `count_ones` is
+        // exact in all of these regardless of padding.
+        let sparse_nodes = num_nodes - dense_node_count;
+        if s_louds.count_ones() != sparse_nodes {
+            return Err(bad("LOUDS bits disagree with sparse node count"));
+        }
+        if level_node_starts.last() != Some(&num_nodes)
+            || !level_node_starts.windows(2).all(|w| w[0] <= w[1])
+        {
+            return Err(bad("level boundaries out of order"));
+        }
+        if d_labels.count_ones() < dense_child_count || s_has_child.count_ones() > s_labels.len() {
+            return Err(bad("child bits exceed label bits"));
+        }
+        let stored_values = usize::from(empty_key)
+            + (d_labels.count_ones() - dense_child_count)
+            + d_is_prefix.count_ones()
+            + (s_labels.len() - s_has_child.count_ones());
+        if num_values != stored_values {
+            return Err(bad("value count disagrees with terminal bits"));
+        }
+
+        let dense_rank_block = if opts.rank_opt { 64 } else { 512 };
+        let d_labels_rank = RankSupport::new(&d_labels, dense_rank_block);
+        let d_has_child_rank = RankSupport::new(&d_has_child, dense_rank_block);
+        let d_is_prefix_rank = RankSupport::new(&d_is_prefix, dense_rank_block);
+        let s_has_child_rank = RankSupport::new(&s_has_child, 512);
+        let s_louds_rank = RankSupport::new(&s_louds, 512);
+        let s_louds_select = SelectSupport::new(&s_louds, 64);
+        Ok(LoudsTrie {
+            opts,
+            d_labels,
+            d_has_child,
+            d_is_prefix,
+            d_labels_rank,
+            d_has_child_rank,
+            d_is_prefix_rank,
+            dense_levels,
+            dense_node_count,
+            dense_child_count,
+            dense_value_count,
+            s_labels,
+            s_has_child,
+            s_louds,
+            s_has_child_rank,
+            s_louds_rank,
+            s_louds_select,
+            empty_key,
+            level_node_starts,
+            height,
+            num_nodes,
+            num_values,
+            leaf_key_order,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Image codec helpers
+// ---------------------------------------------------------------------------
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_bitvec(out: &mut Vec<u8>, bv: &BitVector) {
+    put_u64(out, bv.len() as u64);
+    for &w in bv.words() {
+        put_u64(out, w);
+    }
+}
+
+/// Bounds-checked little-endian cursor over an image body. Every read past
+/// the end is a typed error, so a semantically truncated body (valid CRC
+/// frame, short payload) surfaces as `Corruption` — never a panic.
+struct ImgReader<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl ImgReader<'_> {
+    fn take(&mut self, n: usize) -> Result<&[u8]> {
+        if self.buf.len() - self.at < n {
+            return Err(MemtreeError::corruption(
+                "louds-image",
+                format!("truncated body: need {n} bytes at {}", self.at),
+            ));
+        }
+        let s = &self.buf[self.at..self.at + n];
+        self.at += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// A length-prefixed run of words reassembled via
+    /// [`BitVector::from_words`], which re-validates word count and
+    /// padding bits.
+    fn bitvec(&mut self) -> Result<BitVector> {
+        let len = self.u64()? as usize;
+        if len > self.buf.len().saturating_sub(self.at) * 64 {
+            return Err(MemtreeError::corruption(
+                "louds-image",
+                format!("bit vector length {len} exceeds remaining body"),
+            ));
+        }
+        let mut words = Vec::with_capacity(len.div_ceil(64));
+        for _ in 0..len.div_ceil(64) {
+            words.push(self.u64()?);
+        }
+        BitVector::from_words(words, len).ok_or_else(|| {
+            MemtreeError::corruption("louds-image", "bit vector padding bits set".to_string())
+        })
+    }
+
+    fn bytes(&mut self) -> Result<Vec<u8>> {
+        let len = self.u64()? as usize;
+        Ok(self.take(len)?.to_vec())
+    }
+
+    fn done(&mut self) -> Result<()> {
+        if self.at != self.buf.len() {
+            return Err(MemtreeError::corruption(
+                "louds-image",
+                format!("{} trailing bytes after image body", self.buf.len() - self.at),
+            ));
+        }
+        Ok(())
     }
 }
 

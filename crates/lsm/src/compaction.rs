@@ -1,0 +1,251 @@
+//! Pluggable compaction policies: leveled (read-optimized) and tiered
+//! (write-optimized) shape strategies behind one trait.
+//!
+//! The policy decides three things the engine used to hard-code:
+//!
+//! * **when** a level must compact ([`CompactionPolicy::level_limit`]),
+//! * **what** to merge ([`CompactionPolicy::pick`] — victims at the
+//!   triggering level plus any overlapped tables one level down), and
+//! * **how** the output is shaped ([`CompactionPolicy::single_output`] and
+//!   [`CompactionPolicy::overlapping_levels`]).
+//!
+//! **Leveled** keeps the classic invariant: levels ≥ 1 are key-sorted and
+//! disjoint, every merge rewrites the overlap below, reads touch at most
+//! one table per deep level. **Tiered** trades read amplification for
+//! write amplification: a full level merges into a *single* new run
+//! appended to the level below, nothing below is rewritten, and deep
+//! levels hold overlapping age-ordered runs that reads scan newest-first
+//! exactly like L0.
+//!
+//! The chosen policy is recorded in the manifest (an `Edit::Policy`
+//! transaction) so a database reopens under the policy that shaped its
+//! levels — opening tiered levels with leveled read paths would violate
+//! the disjointness the leveled paths assume.
+
+use crate::sstable::SsTable;
+use memtree_common::error::{MemtreeError, Result};
+use std::sync::Arc;
+
+/// Which compaction strategy shapes the LSM levels. Chosen in
+/// [`DbOptions`](crate::DbOptions), persisted in the manifest; on reopen
+/// the persisted policy wins over the options (the on-disk shape was built
+/// by it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompactionConfig {
+    /// Key-sorted disjoint levels; level `L ≥ 1` holds `l1_tables ×
+    /// fanout^(L-1)` tables. `fanout: 10` reproduces the engine's
+    /// original hard-coded behaviour exactly.
+    Leveled {
+        /// Per-level size multiplier.
+        fanout: usize,
+    },
+    /// Age-ordered overlapping runs; each level holds at most
+    /// `tiers_per_level` runs and a full level merges into one new run
+    /// appended below (no rewrite of existing runs).
+    Tiered {
+        /// Max runs a level accumulates before merging down.
+        tiers_per_level: usize,
+    },
+}
+
+impl Default for CompactionConfig {
+    fn default() -> Self {
+        CompactionConfig::Leveled { fanout: 10 }
+    }
+}
+
+/// Manifest wire tags for [`CompactionConfig`].
+const POLICY_LEVELED: u8 = 0;
+const POLICY_TIERED: u8 = 1;
+
+impl CompactionConfig {
+    /// `(kind, param)` pair for the manifest's `Policy` edit.
+    pub(crate) fn encode(&self) -> (u8, u32) {
+        match *self {
+            CompactionConfig::Leveled { fanout } => (POLICY_LEVELED, fanout as u32),
+            CompactionConfig::Tiered { tiers_per_level } => {
+                (POLICY_TIERED, tiers_per_level as u32)
+            }
+        }
+    }
+
+    /// Decodes a manifest `Policy` edit; unknown kinds and degenerate
+    /// parameters are typed corruption (a future policy this build cannot
+    /// honor must fail the open, not silently misread the levels).
+    pub(crate) fn decode(kind: u8, param: u32) -> Result<Self> {
+        if param == 0 {
+            return Err(MemtreeError::corruption(
+                "manifest",
+                "compaction policy with zero parameter",
+            ));
+        }
+        match kind {
+            POLICY_LEVELED => Ok(CompactionConfig::Leveled {
+                fanout: param as usize,
+            }),
+            POLICY_TIERED => Ok(CompactionConfig::Tiered {
+                tiers_per_level: param as usize,
+            }),
+            k => Err(MemtreeError::corruption(
+                "manifest",
+                format!("unknown compaction policy kind {k}"),
+            )),
+        }
+    }
+
+    /// The policy object implementing this configuration.
+    pub(crate) fn policy(&self) -> Box<dyn CompactionPolicy> {
+        match *self {
+            CompactionConfig::Leveled { fanout } => Box::new(Leveled { fanout }),
+            CompactionConfig::Tiered { tiers_per_level } => Box::new(Tiered { tiers_per_level }),
+        }
+    }
+}
+
+/// What one compaction step merges: victims leave `level`, overlapped
+/// tables leave `level + 1`, and the merged output lands at `level + 1`.
+pub(crate) struct CompactionJob {
+    /// Table ids leaving the triggering level.
+    pub victim_ids: Vec<u64>,
+    /// Table ids at `level + 1` rewritten into the merge (always empty
+    /// under tiered — nothing below is touched).
+    pub overlapped_ids: Vec<u64>,
+}
+
+/// A compaction strategy. See the module docs for the two shipped shapes.
+pub(crate) trait CompactionPolicy: Send + Sync {
+    /// Max tables `level` may hold before it must compact.
+    fn level_limit(&self, level: usize, l0_tables: usize, l1_tables: usize) -> usize;
+
+    /// True when levels ≥ 1 hold overlapping age-ordered runs (read paths
+    /// must scan them newest-first like L0; the disjointness invariant and
+    /// the `partition_point` routing do not apply).
+    fn overlapping_levels(&self) -> bool;
+
+    /// True when a merge emits one output run instead of re-chunking into
+    /// fixed-size tables (tiered: the run count *is* the level size).
+    fn single_output(&self) -> bool;
+
+    /// Chooses what to merge at `level`. `levels[level]` is over its
+    /// limit; `levels[level + 1]` exists (possibly empty).
+    fn pick(&self, levels: &[Vec<Arc<SsTable>>], level: usize) -> CompactionJob;
+}
+
+/// The classic leveled strategy (RocksDB-style), exactly as the engine
+/// hard-coded it before policies existed.
+pub(crate) struct Leveled {
+    pub fanout: usize,
+}
+
+impl CompactionPolicy for Leveled {
+    fn level_limit(&self, level: usize, l0_tables: usize, l1_tables: usize) -> usize {
+        if level == 0 {
+            l0_tables
+        } else {
+            l1_tables * self.fanout.max(1).pow(level as u32 - 1)
+        }
+    }
+
+    fn overlapping_levels(&self) -> bool {
+        false
+    }
+
+    fn single_output(&self) -> bool {
+        false
+    }
+
+    fn pick(&self, levels: &[Vec<Arc<SsTable>>], level: usize) -> CompactionJob {
+        // Victims: all of L0 (overlapping flushes merge wholesale), or the
+        // oldest single table deeper down. The overlap below is rewritten.
+        let victim_ids: Vec<u64> = if level == 0 {
+            levels[0].iter().map(|t| t.id).collect()
+        } else {
+            vec![levels[level][0].id]
+        };
+        let victims: Vec<&Arc<SsTable>> = levels[level]
+            .iter()
+            .filter(|t| victim_ids.contains(&t.id))
+            .collect();
+        let lo = victims.iter().map(|t| t.min_key.clone()).min().unwrap();
+        let hi = victims.iter().map(|t| t.max_key.clone()).max().unwrap();
+        let overlapped_ids = levels[level + 1]
+            .iter()
+            .filter(|t| t.overlaps(&lo, &hi))
+            .map(|t| t.id)
+            .collect();
+        CompactionJob {
+            victim_ids,
+            overlapped_ids,
+        }
+    }
+}
+
+/// The tiered strategy: merge a full level into one new run below, never
+/// rewriting existing runs.
+pub(crate) struct Tiered {
+    pub tiers_per_level: usize,
+}
+
+impl CompactionPolicy for Tiered {
+    fn level_limit(&self, level: usize, l0_tables: usize, _l1_tables: usize) -> usize {
+        if level == 0 {
+            l0_tables
+        } else {
+            self.tiers_per_level.max(1)
+        }
+    }
+
+    fn overlapping_levels(&self) -> bool {
+        true
+    }
+
+    fn single_output(&self) -> bool {
+        true
+    }
+
+    fn pick(&self, levels: &[Vec<Arc<SsTable>>], level: usize) -> CompactionJob {
+        CompactionJob {
+            victim_ids: levels[level].iter().map(|t| t.id).collect(),
+            overlapped_ids: Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_wire_roundtrip_and_bad_tags() {
+        for cfg in [
+            CompactionConfig::Leveled { fanout: 10 },
+            CompactionConfig::Leveled { fanout: 3 },
+            CompactionConfig::Tiered { tiers_per_level: 4 },
+        ] {
+            let (k, p) = cfg.encode();
+            assert_eq!(CompactionConfig::decode(k, p).unwrap(), cfg);
+        }
+        assert!(CompactionConfig::decode(9, 4).is_err(), "unknown kind");
+        assert!(CompactionConfig::decode(0, 0).is_err(), "zero parameter");
+    }
+
+    #[test]
+    fn leveled_limits_match_the_original_hardcoded_geometry() {
+        let p = Leveled { fanout: 10 };
+        assert_eq!(p.level_limit(0, 4, 4), 4);
+        assert_eq!(p.level_limit(1, 4, 4), 4);
+        assert_eq!(p.level_limit(2, 4, 4), 40);
+        assert_eq!(p.level_limit(3, 4, 4), 400);
+        assert!(!p.overlapping_levels());
+    }
+
+    #[test]
+    fn tiered_limits_are_flat_runs_per_level() {
+        let p = Tiered { tiers_per_level: 3 };
+        assert_eq!(p.level_limit(0, 4, 4), 4);
+        assert_eq!(p.level_limit(1, 4, 4), 3);
+        assert_eq!(p.level_limit(5, 4, 4), 3);
+        assert!(p.overlapping_levels());
+        assert!(p.single_output());
+    }
+}

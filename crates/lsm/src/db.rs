@@ -19,6 +19,7 @@
 //!   invariants. The crash oracle (`tests/crash_oracle.rs`) drives every
 //!   `fail_point!` below through crash + reopen across seeds.
 
+use crate::compaction::{CompactionConfig, CompactionPolicy};
 use crate::disk::{IoStats, SimDisk};
 use crate::manifest::{Edit, Manifest, Version};
 use crate::sstable::{DecodedBlock, SsTable};
@@ -84,6 +85,10 @@ pub struct DbOptions {
     /// not free blocks its siblings reference) and runs the cross-shard
     /// [`gc_orphans`](crate::gc_orphans) after every shard is open.
     pub gc_orphans: bool,
+    /// Compaction policy shaping the levels. Persisted in the manifest at
+    /// creation; on reopen the *persisted* policy wins (the on-disk level
+    /// shape was built by it), and this field is updated to match.
+    pub compaction: CompactionConfig,
 }
 
 impl Default for DbOptions {
@@ -100,6 +105,7 @@ impl Default for DbOptions {
             wal_group_commit: 1,
             namespace: String::new(),
             gc_orphans: true,
+            compaction: CompactionConfig::default(),
         }
     }
 }
@@ -355,6 +361,20 @@ pub struct Db {
     /// Tables left filterless at open because a block was unreadable or
     /// quarantined (a partial filter would give false negatives).
     degraded_tables: Cell<u64>,
+    /// The active compaction policy (instantiated from
+    /// [`DbOptions::compaction`] / the manifest's persisted policy).
+    policy: Box<dyn CompactionPolicy>,
+    /// Cached `policy.overlapping_levels()`: true when levels ≥ 1 hold
+    /// overlapping age-ordered runs that reads must scan newest-first.
+    pub(crate) overlapping: bool,
+    /// Filters restored from persisted images at open (one block read
+    /// each — the O(tables) recovery fast path).
+    filters_loaded: Cell<u64>,
+    /// Filters rebuilt from data blocks at open (the O(data) fallback).
+    filters_rebuilt: Cell<u64>,
+    /// Persisted filter images that failed validation at open (fell back
+    /// to rebuild — never to a wrong filter).
+    filter_images_corrupt: Cell<u64>,
 }
 
 impl Db {
@@ -370,7 +390,21 @@ impl Db {
     /// past the flushed high-water mark, and rotates the manifest to a
     /// fresh snapshot.
     pub fn open(disk: Arc<SimDisk>, opts: DbOptions) -> Result<Self> {
-        let (manifest, mut version, fresh) = Manifest::open(&disk, &opts.namespace)?;
+        let mut opts = opts;
+        let (mut manifest, mut version, fresh) = Manifest::open(&disk, &opts.namespace)?;
+        // Policy resolution: the manifest's persisted policy wins — the
+        // on-disk level shape was built by it, and opening tiered levels
+        // with leveled read paths would assume a disjointness that does
+        // not hold. A fresh database records its options' policy now, so
+        // every later open agrees.
+        let config = version.policy.unwrap_or(opts.compaction);
+        opts.compaction = config;
+        let policy = config.policy();
+        let overlapping = policy.overlapping_levels();
+        if fresh {
+            manifest.append(&disk, &[Edit::Policy(config)])?;
+        }
+        version.policy = Some(config);
         let mut levels: Vec<Vec<SsTable>> = Vec::new();
         for metas in &version.levels {
             levels.push(metas.iter().map(|m| SsTable::from_meta(m.clone())).collect());
@@ -378,19 +412,24 @@ impl Db {
         if levels.is_empty() {
             levels.push(Vec::new());
         }
-        for level in levels.iter_mut().skip(1) {
-            level.sort_by(|a, b| a.min_key.cmp(&b.min_key));
+        if !overlapping {
+            // Leveled levels ≥ 1 are key-ordered; tiered runs stay in the
+            // manifest's age order (newest last) for newest-first reads.
+            for level in levels.iter_mut().skip(1) {
+                level.sort_by(|a, b| a.min_key.cmp(&b.min_key));
+            }
         }
         // Garbage-collect blocks no table references: torn table builds
         // and compactions that crashed before their manifest transaction
-        // leave allocated-but-unpublished blocks behind. A sharded open
-        // skips this (another shard's tables also reference this disk) and
-        // runs the cross-shard [`gc_orphans`] once every shard is open.
+        // leave allocated-but-unpublished blocks behind (data and filter-
+        // image blocks alike). A sharded open skips this (another shard's
+        // tables also reference this disk) and runs the cross-shard
+        // [`gc_orphans`] once every shard is open.
         if opts.gc_orphans {
             let referenced: HashSet<u32> = levels
                 .iter()
                 .flatten()
-                .flat_map(|t| t.blocks.iter().copied())
+                .flat_map(|t| t.blocks.iter().copied().chain(t.filter_block))
                 .collect();
             for id in 0..disk.block_slots() as u32 {
                 if disk.is_live(id) && !referenced.contains(&id) {
@@ -398,20 +437,37 @@ impl Db {
                 }
             }
         }
-        // Filters live only in memory: rebuild them from table keys
-        // (counted block reads — the price recovery pays per table).
+        // Filter recovery, fastest path first:
         //
-        // Degraded open: a table with any unreadable or already-quarantined
-        // block runs filterless instead of failing the open. A filter built
-        // over only the readable keys would answer definite "absent" for
-        // keys in the bad block — a false negative — so it is whole-table
-        // filterless until scrub verifies the table clean again. Known-
-        // quarantined blocks are skipped *without* a read (that is the
-        // point of persisting the set); freshly discovered bad blocks are
-        // quarantined into the rotation snapshot below.
+        // 1. **Persisted image** — one block read per table restores the
+        //    filter in O(tables) total I/O. A table with quarantined data
+        //    blocks may still load its image: the image indexes *every*
+        //    key (the quarantined ones included), so it is over-complete —
+        //    worst case a false positive on a lost key, never a false
+        //    negative.
+        // 2. **Rebuild from keys** — tables without an image (written
+        //    before the format, or built filterless under a different
+        //    configuration) or with a corrupt image re-read their data
+        //    blocks, the old O(data) path.
+        // 3. **Degrade to filterless** — a rebuild that hits unreadable or
+        //    quarantined blocks leaves the table whole-table filterless (a
+        //    partial filter would answer false negatives). Freshly
+        //    discovered bad blocks are quarantined into the rotation
+        //    snapshot below. Wrong answers are impossible in every case.
         let mut degraded = 0u64;
+        let mut loaded = 0u64;
+        let mut rebuilt = 0u64;
+        let mut images_corrupt = 0u64;
         if !matches!(opts.filter, FilterKind::None) {
             for table in levels.iter_mut().flatten() {
+                match table.load_persisted_filter(&disk, &opts.filter) {
+                    Ok(true) => {
+                        loaded += 1;
+                        continue;
+                    }
+                    Ok(false) => {}
+                    Err(_) => images_corrupt += 1,
+                }
                 let mut entries: Vec<(Vec<u8>, Option<Vec<u8>>)> =
                     Vec::with_capacity(table.num_entries);
                 let mut table_degraded = false;
@@ -443,6 +499,7 @@ impl Db {
                 } else {
                     let keys: Vec<&[u8]> = entries.iter().map(|(k, _)| k.as_slice()).collect();
                     table.attach_filter(&keys, &opts.filter);
+                    rebuilt += 1;
                 }
             }
         }
@@ -470,6 +527,11 @@ impl Db {
             quarantined: RefCell::new(version.quarantined.iter().copied().collect()),
             transient_retries: Cell::new(0),
             degraded_tables: Cell::new(degraded),
+            policy,
+            overlapping,
+            filters_loaded: Cell::new(loaded),
+            filters_rebuilt: Cell::new(rebuilt),
+            filter_images_corrupt: Cell::new(images_corrupt),
             disk,
         };
         let mut last_applied = version.flushed_seq;
@@ -633,6 +695,11 @@ impl Db {
         // its previous shape, stays serviceable, and the flush is
         // retryable.
         let committed = (|| -> Result<()> {
+            // At this point the data blocks *and* the filter-image block
+            // are written but unreferenced — a crash here leaves orphans
+            // for recovery's GC, the exact scenario the crash oracle's
+            // `lsm.flush.filter_block` point exercises.
+            fail_point!("lsm.flush.filter_block");
             fail_point!("lsm.flush.sync");
             self.disk.sync();
             self.manifest.borrow_mut().append(
@@ -675,15 +742,14 @@ impl Db {
     }
 
     fn level_limit(&self, level: usize) -> usize {
-        if level == 0 {
-            self.opts.l0_tables
-        } else {
-            self.opts.l1_tables * 10usize.pow(level as u32 - 1)
-        }
+        self.policy
+            .level_limit(level, self.opts.l0_tables, self.opts.l1_tables)
     }
 
-    /// Leveled compaction: L0 merges wholesale into L1; deeper levels move
-    /// one table at a time into the overlap below.
+    /// Policy-driven compaction. Leveled: L0 merges wholesale into L1,
+    /// deeper levels move one table at a time into the overlap below.
+    /// Tiered: a full level merges into one new run appended below,
+    /// rewriting nothing.
     ///
     /// The in-memory level structure is only mutated — and old blocks only
     /// released — after the swap's manifest transaction is durable, so an
@@ -701,26 +767,16 @@ impl Db {
             if self.levels.len() == level + 1 {
                 self.levels.push(Vec::new());
             }
-            // Victims: all of L0, or the oldest single table deeper down.
-            let victim_ids: Vec<u64> = if level == 0 {
-                self.levels[0].iter().map(|t| t.id).collect()
-            } else {
-                vec![self.levels[level][0].id]
-            };
+            let job = self.policy.pick(&self.levels, level);
+            let (victim_ids, overlapped_ids) = (job.victim_ids, job.overlapped_ids);
             let victims: Vec<&SsTable> = self.levels[level]
                 .iter()
                 .filter(|t| victim_ids.contains(&t.id))
                 .map(|t| t.as_ref())
                 .collect();
-            let lo = victims.iter().map(|t| t.min_key.clone()).min().unwrap();
-            let hi = victims.iter().map(|t| t.max_key.clone()).max().unwrap();
-            let overlapped_ids: Vec<u64> = self.levels[level + 1]
-                .iter()
-                .filter(|t| t.overlaps(&lo, &hi))
-                .map(|t| t.id)
-                .collect();
             // Merge newest-first: victims are newer than `overlapped`;
-            // within L0, later flushes are newer.
+            // within a level, later tables are newer (L0 flush order /
+            // tiered run order).
             let mut sources: Vec<DecodedBlock> = Vec::new();
             for t in victims.iter().rev() {
                 sources.push(self.read_all(t)?);
@@ -743,26 +799,35 @@ impl Db {
                 merged.into_iter().map(|(_, k, v)| (k, v)).collect();
             // Tombstones are dropped only once nothing deeper can hold an
             // older version of a merged key — otherwise removing the
-            // tombstone would resurrect that older version.
+            // tombstone would resurrect that older version. "Deeper" is
+            // everything at the output level and below that is *not*
+            // consumed by this merge: under leveled that reduces to the
+            // old `level + 2..` check (unconsumed level+1 tables cannot
+            // overlap the merge by disjointness), and under tiered it
+            // keeps tombstones alive over the older runs they shadow at
+            // the output level.
             if let (Some(first), Some(last)) = (entries.first(), entries.last()) {
                 let (min, max) = (first.0.clone(), last.0.clone());
-                let deeper = self
-                    .levels
-                    .get(level + 2..)
-                    .into_iter()
+                let deeper = self.levels[level + 1..]
+                    .iter()
                     .flatten()
-                    .flatten()
-                    .any(|t| t.overlaps(&min, &max));
+                    .any(|t| !overlapped_ids.contains(&t.id) && t.overlaps(&min, &max));
                 if !deeper {
                     entries.retain(|(_, v)| v.is_some());
                 }
             }
-            // Re-split into tables of ~10 memtables each, built aside. If
-            // every entry was a dropped tombstone this degenerates to a
-            // removal-only transaction. A failure before the manifest
-            // commit releases every output built so far: the previous
-            // version stays live and the Db stays serviceable.
-            let per_table = (self.opts.memtable_bytes * 4 / 64).max(64); // entries per output table
+            // Build the outputs aside: one run under a single-output
+            // policy (the run count is what tiered's level limit bounds),
+            // tables of ~10 memtables each otherwise. If every entry was
+            // a dropped tombstone this degenerates to a removal-only
+            // transaction. A failure before the manifest commit releases
+            // every output built so far: the previous version stays live
+            // and the Db stays serviceable.
+            let per_table = if self.policy.single_output() {
+                entries.len()
+            } else {
+                (self.opts.memtable_bytes * 4 / 64).max(64) // entries per output table
+            };
             let mut new_tables: Vec<SsTable> = Vec::new();
             let mut next_id = self.next_table_id;
             let committed = (|| -> Result<()> {
@@ -821,7 +886,9 @@ impl Db {
             }
             let next = &mut self.levels[level + 1];
             next.extend(new_tables.into_iter().map(Arc::new));
-            next.sort_by(|a, b| a.min_key.cmp(&b.min_key));
+            if !self.overlapping {
+                next.sort_by(|a, b| a.min_key.cmp(&b.min_key));
+            }
             level += 1;
         }
         Ok(())
@@ -976,11 +1043,22 @@ impl Db {
             }
         }
         for level in &self.levels[1..] {
-            let idx = level.partition_point(|t| t.max_key.as_slice() < key);
-            if let Some(table) = level.get(idx) {
-                if table.covers(key) && self.probe_filter(table, key) {
-                    if let Some(v) = self.get_in_table(table, key) {
-                        return v;
+            if self.overlapping {
+                // Tiered runs overlap: newest-first scan, like L0.
+                for table in level.iter().rev() {
+                    if table.covers(key) && self.probe_filter(table, key) {
+                        if let Some(v) = self.get_in_table(table, key) {
+                            return v;
+                        }
+                    }
+                }
+            } else {
+                let idx = level.partition_point(|t| t.max_key.as_slice() < key);
+                if let Some(table) = level.get(idx) {
+                    if table.covers(key) && self.probe_filter(table, key) {
+                        if let Some(v) = self.get_in_table(table, key) {
+                            return v;
+                        }
                     }
                 }
             }
@@ -1080,11 +1158,30 @@ impl Db {
             self.multi_get_in_table(table, keys, &cand, &mut out);
             unresolved.retain(|&i| out[i as usize].is_none());
         }
-        // Levels >= 1 are disjoint: group unresolved keys by the one table
-        // whose range can hold them, then batch once per table.
+        // Levels >= 1. Leveled levels are disjoint: group unresolved keys
+        // by the one table whose range can hold them, then batch once per
+        // table. Tiered runs overlap: newest-first table walk, like L0.
         for level in &self.levels[1..] {
             if unresolved.is_empty() {
                 break;
+            }
+            if self.overlapping {
+                for table in level.iter().rev() {
+                    if unresolved.is_empty() {
+                        break;
+                    }
+                    let cand: Vec<u32> = unresolved
+                        .iter()
+                        .copied()
+                        .filter(|&i| table.covers(keys[i as usize]))
+                        .collect();
+                    if cand.is_empty() {
+                        continue;
+                    }
+                    self.multi_get_in_table(table, keys, &cand, &mut out);
+                    unresolved.retain(|&i| out[i as usize].is_none());
+                }
+                continue;
             }
             let mut grouped: Vec<(u32, u32)> = Vec::new(); // (table idx, key idx)
             for &i in &unresolved {
@@ -1246,9 +1343,16 @@ impl Db {
             visit(0, idx, table, &mut pending, &mut best_exact);
         }
         for (lvl, level) in self.levels.iter().enumerate().skip(1) {
-            let idx = level.partition_point(|t| t.max_key.as_slice() < lk);
-            if let Some(table) = level.get(idx) {
-                visit(lvl, idx, table, &mut pending, &mut best_exact);
+            if self.overlapping {
+                // Tiered runs overlap: any run may hold the lower bound.
+                for (idx, table) in level.iter().enumerate() {
+                    visit(lvl, idx, table, &mut pending, &mut best_exact);
+                }
+            } else {
+                let idx = level.partition_point(|t| t.max_key.as_slice() < lk);
+                if let Some(table) = level.get(idx) {
+                    visit(lvl, idx, table, &mut pending, &mut best_exact);
+                }
             }
         }
         // Resolve SuRF candidates smallest-prefix-first until the best
@@ -1356,6 +1460,30 @@ impl Db {
         self.degraded_tables.get()
     }
 
+    /// The compaction configuration actually in force (after manifest
+    /// resolution — may differ from the options passed to [`Db::open`]).
+    pub fn compaction_config(&self) -> CompactionConfig {
+        self.opts.compaction
+    }
+
+    /// Filters attached straight from their persisted image at open — the
+    /// O(tables) fast path (one meta-block read, no data-block scan).
+    pub fn filters_loaded(&self) -> u64 {
+        self.filters_loaded.get()
+    }
+
+    /// Filters rebuilt from data blocks at open because no usable image
+    /// existed (legacy table, kind mismatch, or corrupt image).
+    pub fn filters_rebuilt(&self) -> u64 {
+        self.filters_rebuilt.get()
+    }
+
+    /// Persisted filter images that failed to decode at open (the table
+    /// fell back to a rebuild — slower, never wrong).
+    pub fn filter_images_corrupt(&self) -> u64 {
+        self.filter_images_corrupt.get()
+    }
+
     /// The live version as the manifest would describe it (used by scrub
     /// to rewrite the manifest after repairs).
     pub(crate) fn current_version(&self) -> Version {
@@ -1369,6 +1497,7 @@ impl Db {
             flushed_seq: self.flushed_seq,
             next_table_id: self.next_table_id,
             quarantined: self.quarantined.borrow().iter().copied().collect(),
+            policy: Some(self.opts.compaction),
         }
     }
 
@@ -1467,6 +1596,12 @@ impl Db {
         self.levels.iter().map(|l| l.len()).collect()
     }
 
+    /// Device ids of every live persisted filter-image block (diagnostics;
+    /// the corruption oracles bit-rot these to prove safe degradation).
+    pub fn filter_block_ids(&self) -> Vec<u32> {
+        self.levels.iter().flatten().filter_map(|t| t.filter_block).collect()
+    }
+
     /// Structural invariants the recovery oracle re-checks after every
     /// crash + reopen: per-table geometry is coherent, every referenced
     /// block is allocated, and levels ≥ 1 are sorted and disjoint.
@@ -1492,7 +1627,7 @@ impl Db {
                     return broken(format!("table {}: references freed block", t.id));
                 }
             }
-            if lvl >= 1 {
+            if lvl >= 1 && !self.overlapping {
                 for w in level.windows(2) {
                     if w[0].max_key >= w[1].min_key {
                         return broken(format!(
@@ -1530,7 +1665,7 @@ pub fn gc_orphans(disk: &SimDisk, dbs: &[&Db]) -> Result<u64> {
     let referenced: HashSet<u32> = dbs
         .iter()
         .flat_map(|db| db.levels.iter().flatten())
-        .flat_map(|t| t.blocks.iter().copied())
+        .flat_map(|t| t.blocks.iter().copied().chain(t.filter_block))
         .collect();
     let mut freed = 0u64;
     for id in 0..disk.block_slots() as u32 {
@@ -2276,9 +2411,13 @@ mod tests {
         let disk = db.close().unwrap();
         let db = Db::open(disk, opts).unwrap();
         // Reopen trusted the persisted quarantine (no read of the bad
-        // block), runs the table filterless, and still serves the rest.
+        // block) and attached the persisted filter image anyway: the image
+        // covers the quarantined keys too, which only means safe false
+        // positives — never a wrong miss. No degraded, no rebuild.
         assert_eq!(db.io_stats().quarantined_blocks, 1);
-        assert_eq!(db.degraded_tables(), 1);
+        assert_eq!(db.degraded_tables(), 0);
+        assert_eq!(db.filters_loaded(), 1);
+        assert_eq!(db.filters_rebuilt(), 0);
         assert_eq!(db.get(&encode_u64(0)), None, "quarantined data stays absent");
         assert_eq!(db.get(&encode_u64(1999)), Some(b"payload".to_vec()));
     }
@@ -2311,6 +2450,181 @@ mod tests {
         let s = db.io_stats();
         assert!(s.transient_retries > 0, "no transient was ever injected");
         assert_eq!(s.quarantined_blocks, 0, "transient faults must never quarantine");
+    }
+}
+
+#[cfg(test)]
+mod policy_tests {
+    use super::*;
+    use memtree_common::key::encode_u64;
+    use std::collections::BTreeMap;
+
+    fn tiered_opts() -> DbOptions {
+        DbOptions {
+            memtable_bytes: 2 << 10,
+            block_size: 256,
+            cache_blocks: 8,
+            filter: FilterKind::Bloom(10.0),
+            compaction: CompactionConfig::Tiered { tiers_per_level: 3 },
+            ..Default::default()
+        }
+    }
+
+    /// Random puts/overwrites/deletes against an in-memory model, under
+    /// tiered compaction, checked through get, seek-walk, snapshot scan,
+    /// and a full close/reopen cycle.
+    #[test]
+    fn tiered_matches_model_across_reopen() {
+        let mut db = Db::new(tiered_opts());
+        let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+        let mut state = 7u64;
+        for _ in 0..4000 {
+            let r = memtree_common::hash::splitmix64(&mut state);
+            let k = encode_u64(r % 600);
+            if r % 7 == 0 {
+                db.delete(&k).unwrap();
+                model.remove(&k[..]);
+            } else {
+                db.put(&k, &r.to_le_bytes()).unwrap();
+                model.insert(k.to_vec(), r.to_le_bytes().to_vec());
+            }
+        }
+        db.flush().unwrap();
+        assert!(db.overlapping, "tiered config must set overlapping reads");
+        assert!(
+            db.level_sizes().iter().skip(1).any(|&s| s > 1),
+            "workload never produced multiple runs per level: {:?}",
+            db.level_sizes()
+        );
+        let check = |db: &Db| {
+            for i in 0..600u64 {
+                let k = encode_u64(i);
+                assert_eq!(db.get(&k), model.get(&k[..]).cloned(), "key {i}");
+            }
+            // Seek-walk recovers exactly the model's key sequence.
+            let mut low: Vec<u8> = Vec::new();
+            let mut walked = Vec::new();
+            while let SeekResult::Found { key } = db.seek(&low, None) {
+                walked.push(key.clone());
+                low = memtree_common::key::successor(&key);
+            }
+            let want: Vec<Vec<u8>> = model.keys().cloned().collect();
+            assert_eq!(walked, want, "seek walk diverged from model");
+            let scanned = db.snapshot().scan_from(&[], None, usize::MAX);
+            let want: Vec<(Vec<u8>, Vec<u8>)> =
+                model.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+            assert_eq!(scanned, want, "snapshot scan diverged from model");
+        };
+        check(&db);
+        db.check_invariants().unwrap();
+        let disk = db.close().unwrap();
+        let db = Db::open(disk, tiered_opts()).unwrap();
+        check(&db);
+        db.check_invariants().unwrap();
+    }
+
+    /// The manifest's persisted policy wins over mismatched reopen
+    /// options: tiered levels opened with leveled options keep running
+    /// tiered (and stay correct).
+    #[test]
+    fn persisted_policy_wins_over_reopen_options() {
+        let mut db = Db::new(tiered_opts());
+        for i in 0..3000u64 {
+            db.put(&encode_u64(i), &i.to_le_bytes()).unwrap();
+        }
+        db.flush().unwrap();
+        let disk = db.close().unwrap();
+        let leveled_opts = DbOptions {
+            compaction: CompactionConfig::Leveled { fanout: 10 },
+            ..tiered_opts()
+        };
+        let mut db = Db::open(disk, leveled_opts).unwrap();
+        assert_eq!(
+            db.compaction_config(),
+            CompactionConfig::Tiered { tiers_per_level: 3 },
+            "manifest policy must override the options"
+        );
+        assert!(db.overlapping);
+        for i in 0..2000u64 {
+            db.put(&encode_u64(i), b"round-2").unwrap();
+        }
+        db.flush().unwrap();
+        db.check_invariants().unwrap();
+        for i in (0..3000u64).step_by(97) {
+            let want = if i < 2000 { b"round-2".to_vec() } else { i.to_le_bytes().to_vec() };
+            assert_eq!(db.get(&encode_u64(i)), Some(want), "key {i}");
+        }
+    }
+
+    /// A bit-rotted filter image is detected by its CRC frame and the
+    /// open falls back to rebuilding from data blocks: slower, counted,
+    /// never wrong, never filterless.
+    #[test]
+    fn corrupt_filter_image_falls_back_to_rebuild() {
+        let opts = DbOptions {
+            memtable_bytes: 1 << 20,
+            cache_blocks: 0,
+            filter: FilterKind::Bloom(10.0),
+            ..Default::default()
+        };
+        let mut db = Db::new(opts.clone());
+        for i in 0..2000u64 {
+            db.put(&encode_u64(i), b"payload").unwrap();
+        }
+        db.flush().unwrap();
+        let fb = db.levels[0][0].filter_block.expect("flushed table has a filter image");
+        let disk = db.close().unwrap();
+        let _ = disk.bitrot_block(fb, 99);
+        let db = Db::open(disk, opts).unwrap();
+        assert_eq!(db.filter_images_corrupt(), 1);
+        assert_eq!(db.filters_loaded(), 0);
+        assert_eq!(db.filters_rebuilt(), 1);
+        assert_eq!(db.degraded_tables(), 0, "rebuild succeeded, no degrade");
+        for i in (0..2000u64).step_by(61) {
+            assert_eq!(db.get(&encode_u64(i)), Some(b"payload".to_vec()));
+            assert_eq!(db.get(&encode_u64(i + 100_000)), None);
+        }
+        // The rebuilt filter actually prunes negative lookups.
+        db.reset_io_stats();
+        for i in 0..200u64 {
+            assert_eq!(db.get(&encode_u64(i + 200_000)), None);
+        }
+        assert!(
+            db.io_stats().block_reads < 20,
+            "rebuilt filter is not pruning: {} reads",
+            db.io_stats().block_reads
+        );
+    }
+
+    /// Reopen of a persistent-filter database touches O(tables) blocks,
+    /// not O(data): one meta read per table plus fixed file overhead.
+    #[test]
+    fn reopen_with_images_reads_o_tables_blocks() {
+        let opts = DbOptions {
+            memtable_bytes: 4 << 10,
+            block_size: 512,
+            cache_blocks: 0,
+            filter: FilterKind::Bloom(10.0),
+            ..Default::default()
+        };
+        let mut db = Db::new(opts.clone());
+        for i in 0..20_000u64 {
+            db.put(&encode_u64(i), &[0x77; 40]).unwrap();
+        }
+        db.flush().unwrap();
+        let tables: u64 = db.level_sizes().iter().map(|&s| s as u64).sum();
+        let data_blocks: u64 = db.levels.iter().flatten().map(|t| t.blocks.len() as u64).sum();
+        assert!(data_blocks > 4 * tables, "workload too small to distinguish");
+        let disk = db.close().unwrap();
+        disk.reset_stats();
+        let db = Db::open(disk, opts).unwrap();
+        assert_eq!(db.filters_loaded(), tables);
+        assert_eq!(db.filters_rebuilt(), 0);
+        let reads = db.io_stats().block_reads;
+        assert!(
+            reads <= 2 * tables,
+            "open read {reads} blocks for {tables} tables (data blocks: {data_blocks})"
+        );
     }
 }
 

@@ -24,6 +24,7 @@
 
 #![warn(missing_docs)]
 
+mod compaction;
 mod db;
 mod disk;
 mod manifest;
@@ -32,6 +33,7 @@ mod snapshot;
 mod sstable;
 mod wal;
 
+pub use compaction::CompactionConfig;
 pub use db::{gc_orphans, Db, DbOptions, FilterKind, FilterStats, FlushStats, SeekResult};
 pub use disk::{IoStats, SimDisk};
 pub use scrub::{FileScrubOutcome, LostRange, ScrubReport};

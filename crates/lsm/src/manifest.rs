@@ -27,6 +27,7 @@
 //!   `AddTable`, so the mark moves atomically with the table becoming
 //!   durable (never before).
 
+use crate::compaction::CompactionConfig;
 use crate::disk::SimDisk;
 use crate::wal::{decode_frames, decode_single, encode_frame, encode_single};
 use memtree_common::error::{MemtreeError, Result};
@@ -53,6 +54,10 @@ pub(crate) struct TableMeta {
     /// First key of each block; `fences[0]` is the table's min key.
     pub fences: Vec<Vec<u8>>,
     pub max_key: Vec<u8>,
+    /// Disk block holding the table's persisted filter image, when one
+    /// was written (`None` for filterless tables and for records written
+    /// by builds that predate the image format).
+    pub filter_block: Option<u32>,
     pub num_entries: usize,
     /// Delete tombstones among `num_entries` (tombstone-free tables skip
     /// tombstone resolution on reads).
@@ -70,6 +75,10 @@ pub(crate) enum Edit {
     Quarantine { table: u64, block: u32 },
     /// The block validated clean again (bit rot healed / scrub verified).
     Unquarantine { table: u64, block: u32 },
+    /// The compaction policy that shapes this database's levels. Appended
+    /// once at creation and carried forward by every rotation snapshot;
+    /// on reopen it wins over the options' policy.
+    Policy(CompactionConfig),
 }
 
 fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
@@ -121,7 +130,10 @@ impl Edit {
     fn encode(&self, out: &mut Vec<u8>) {
         match self {
             Edit::AddTable(m) => {
-                out.push(1);
+                // Tag 6 is tag 1 plus the filter-block pointer; tag 1 is
+                // still decoded for manifests written before filter
+                // images existed.
+                out.push(6);
                 out.extend_from_slice(&(m.level as u32).to_le_bytes());
                 out.extend_from_slice(&m.id.to_le_bytes());
                 out.extend_from_slice(&(m.num_entries as u64).to_le_bytes());
@@ -134,6 +146,13 @@ impl Edit {
                     put_bytes(out, f);
                 }
                 put_bytes(out, &m.max_key);
+                match m.filter_block {
+                    Some(fb) => {
+                        out.push(1);
+                        out.extend_from_slice(&fb.to_le_bytes());
+                    }
+                    None => out.push(0),
+                }
             }
             Edit::RemoveTable { id } => {
                 out.push(2);
@@ -153,12 +172,19 @@ impl Edit {
                 out.extend_from_slice(&table.to_le_bytes());
                 out.extend_from_slice(&block.to_le_bytes());
             }
+            Edit::Policy(cfg) => {
+                let (kind, param) = cfg.encode();
+                out.push(7);
+                out.push(kind);
+                out.extend_from_slice(&param.to_le_bytes());
+            }
         }
     }
 
     fn decode(r: &mut Reader<'_>) -> Result<Edit> {
-        match r.u8()? {
-            1 => {
+        let tag = r.u8()?;
+        match tag {
+            1 | 6 => {
                 let level = r.u32()? as usize;
                 let id = r.u64()?;
                 let num_entries = r.u64()? as usize;
@@ -173,6 +199,21 @@ impl Edit {
                     fences.push(r.bytes()?);
                 }
                 let max_key = r.bytes()?;
+                // Tag 1 predates persisted filter images: no pointer.
+                let filter_block = if tag == 6 {
+                    match r.u8()? {
+                        0 => None,
+                        1 => Some(r.u32()?),
+                        f => {
+                            return Err(MemtreeError::corruption(
+                                "manifest",
+                                format!("bad filter-block presence flag {f}"),
+                            ))
+                        }
+                    }
+                } else {
+                    None
+                };
                 if nblocks == 0 {
                     return Err(MemtreeError::corruption("manifest", "table with no blocks"));
                 }
@@ -188,6 +229,7 @@ impl Edit {
                     blocks,
                     fences,
                     max_key,
+                    filter_block,
                     num_entries,
                     num_tombstones,
                 }))
@@ -202,6 +244,11 @@ impl Edit {
                 table: r.u64()?,
                 block: r.u32()?,
             }),
+            7 => {
+                let kind = r.u8()?;
+                let param = r.u32()?;
+                Ok(Edit::Policy(CompactionConfig::decode(kind, param)?))
+            }
             tag => Err(MemtreeError::corruption(
                 "manifest",
                 format!("unknown edit tag {tag}"),
@@ -222,6 +269,10 @@ pub(crate) struct Version {
     /// `(table id, block index)` pairs readers must not re-read; persisted
     /// so a reopened Db skips known-bad blocks without probing them.
     pub quarantined: std::collections::BTreeSet<(u64, u32)>,
+    /// The compaction policy recorded for this database (`None` for
+    /// manifests written before policies were persisted — the opener
+    /// adopts its options' policy and persists it at rotation).
+    pub policy: Option<CompactionConfig>,
 }
 
 impl Version {
@@ -259,6 +310,7 @@ impl Version {
             Edit::Unquarantine { table, block } => {
                 self.quarantined.remove(&(table, block));
             }
+            Edit::Policy(cfg) => self.policy = Some(cfg),
         }
         Ok(())
     }
@@ -266,6 +318,9 @@ impl Version {
     /// Edits that recreate this version verbatim (the rotation snapshot).
     fn snapshot_edits(&self) -> Vec<Edit> {
         let mut edits = Vec::new();
+        if let Some(cfg) = self.policy {
+            edits.push(Edit::Policy(cfg));
+        }
         for level in &self.levels {
             for meta in level {
                 edits.push(Edit::AddTable(meta.clone()));
@@ -440,9 +495,63 @@ mod tests {
             blocks: vec![id as u32 * 10, id as u32 * 10 + 1],
             fences: vec![vec![lo], vec![lo + 1]],
             max_key: vec![hi],
+            filter_block: Some(id as u32 * 10 + 9),
             num_entries: 7,
             num_tombstones: 1,
         }
+    }
+
+    #[test]
+    fn legacy_tag1_add_table_decodes_without_filter_block() {
+        // A pre-image-format AddTable frame: tag 1, no filter pointer.
+        let m = meta(0, 3, 10, 20);
+        let mut legacy = vec![1u8];
+        legacy.extend_from_slice(&(m.level as u32).to_le_bytes());
+        legacy.extend_from_slice(&m.id.to_le_bytes());
+        legacy.extend_from_slice(&(m.num_entries as u64).to_le_bytes());
+        legacy.extend_from_slice(&(m.num_tombstones as u64).to_le_bytes());
+        legacy.extend_from_slice(&(m.blocks.len() as u32).to_le_bytes());
+        for b in &m.blocks {
+            legacy.extend_from_slice(&b.to_le_bytes());
+        }
+        for f in &m.fences {
+            put_bytes(&mut legacy, f);
+        }
+        put_bytes(&mut legacy, &m.max_key);
+        let mut r = Reader { buf: &legacy, at: 0 };
+        match Edit::decode(&mut r).unwrap() {
+            Edit::AddTable(got) => {
+                assert!(r.done());
+                assert_eq!(got.filter_block, None, "legacy records carry no image");
+                assert_eq!(got.blocks, m.blocks);
+                assert_eq!(got.fences, m.fences);
+            }
+            other => panic!("expected AddTable, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn policy_edit_roundtrips_and_survives_rotation() {
+        let disk = SimDisk::new(Duration::ZERO);
+        let (mut m, _, _) = Manifest::open(&disk, "").unwrap();
+        m.append(
+            &disk,
+            &[
+                Edit::Policy(CompactionConfig::Tiered { tiers_per_level: 3 }),
+                Edit::AddTable(meta(0, 1, 10, 20)),
+            ],
+        )
+        .unwrap();
+        let (_, v, _) = Manifest::open(&disk, "").unwrap();
+        assert_eq!(v.policy, Some(CompactionConfig::Tiered { tiers_per_level: 3 }));
+        m.rotate(&disk, &v).unwrap();
+        let (_, v, _) = Manifest::open(&disk, "").unwrap();
+        assert_eq!(
+            v.policy,
+            Some(CompactionConfig::Tiered { tiers_per_level: 3 }),
+            "rotation snapshot must carry the policy forward"
+        );
+        assert_eq!(v.levels[0][0].filter_block, meta(0, 1, 10, 20).filter_block);
     }
 
     #[test]

@@ -165,7 +165,7 @@ impl Db {
                     pos += 1;
                 }
             }
-            if lvl >= 1 {
+            if lvl >= 1 && !self.overlapping {
                 self.levels[lvl].sort_by(|a, b| a.min_key.cmp(&b.min_key));
             }
         }
@@ -340,11 +340,12 @@ impl Db {
         pos: usize,
         old_id: u64,
         states: Vec<BlockState>,
-        fresh_blocks: Vec<u32>,
+        mut fresh_blocks: Vec<u32>,
         report: &mut ScrubReport,
     ) -> Result<bool> {
         let old_fences = self.levels[lvl][pos].fences.clone();
         let old_max_key = self.levels[lvl][pos].max_key.clone();
+        let old_filter_block = self.levels[lvl][pos].filter_block;
         let mut kept_blocks: Vec<u32> = Vec::new();
         let mut kept_fences: Vec<Vec<u8>> = Vec::new();
         let mut kept_data: Vec<Option<&DecodedBlock>> = Vec::new();
@@ -387,18 +388,34 @@ impl Db {
                 blocks: kept_blocks,
                 fences: kept_fences,
                 filter: None,
+                filter_block: None,
                 num_entries,
                 num_tombstones,
             };
             if quarantined_bi.is_empty() {
                 // Fully clean: build the configured filter from the
-                // verified keys.
+                // verified keys and persist a fresh image so the next open
+                // keeps its O(tables) fast path.
                 if !matches!(self.opts.filter, crate::db::FilterKind::None) {
                     let keys: Vec<&[u8]> =
                         kept_data.iter().flatten().flat_map(|d| d.iter()).map(|(k, _)| k.as_slice()).collect();
                     let filter = self.opts.filter;
                     table.attach_filter(&keys, &filter);
                     report.filters_rebuilt += 1;
+                    if let Some(f) = &table.filter {
+                        match self.disk.write(SsTable::encode_filter_image(f)) {
+                            Ok(b) => {
+                                fresh_blocks.push(b);
+                                table.filter_block = Some(b);
+                            }
+                            Err(e) => {
+                                for &b in &fresh_blocks {
+                                    let _ = self.disk.release(b);
+                                }
+                                return Err(e);
+                            }
+                        }
+                    }
                 }
             } else {
                 // Still-degraded: inherit the old filter when one exists.
@@ -406,8 +423,11 @@ impl Db {
                 // cause safe false positives — never a false negative.
                 // Skipped when a snapshot still shares the old table (its
                 // filter stays with it); `None` only costs filter probes.
+                // The persisted image block transfers to the new id either
+                // way — the next open can still load it in one read.
                 table.filter =
                     Arc::get_mut(&mut self.levels[lvl][pos]).and_then(|t| t.filter.take());
+                table.filter_block = old_filter_block;
             }
             let mut edits = vec![Edit::RemoveTable { id: old_id }, Edit::AddTable(table.meta(lvl))];
             for &bi in &quarantined_bi {
@@ -443,6 +463,7 @@ impl Db {
                 q.insert((t.id, bi));
             }
             drop(q);
+            let carried_filter_block = t.filter_block;
             let old = std::mem::replace(&mut self.levels[lvl][pos], Arc::new(t));
             for (bi, s) in states.iter().enumerate() {
                 match s {
@@ -452,6 +473,12 @@ impl Db {
                         self.disk.release(old.blocks[bi])?;
                     }
                     _ => {}
+                }
+            }
+            // The old filter image dies unless the new table inherited it.
+            if let Some(fb) = old_filter_block {
+                if carried_filter_block != Some(fb) {
+                    self.disk.release(fb)?;
                 }
             }
         } else {
@@ -472,11 +499,16 @@ impl Db {
         if let Some(r) = self.memtable_range() {
             spans.push(r);
         }
-        let newer_tables: Vec<&SsTable> = if lvl == 0 {
+        let mut newer_tables: Vec<&SsTable> = if lvl == 0 {
             self.levels[0][pos + 1..].iter().map(|t| t.as_ref()).collect()
         } else {
             self.levels[..lvl].iter().flatten().map(|t| t.as_ref()).collect()
         };
+        if lvl >= 1 && self.overlapping {
+            // Tiered runs at the same level are age-ordered newest-last:
+            // later runs are strictly newer data too.
+            newer_tables.extend(self.levels[lvl][pos + 1..].iter().map(|t| t.as_ref()));
+        }
         for t in newer_tables {
             spans.push((t.min_key.clone(), t.max_key.clone()));
         }

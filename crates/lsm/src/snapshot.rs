@@ -36,8 +36,12 @@ use std::sync::Arc;
 pub struct DbSnapshot {
     /// The MemTable at snapshot time, sorted; `None` = tombstone.
     pub(crate) mem: Vec<(Vec<u8>, Option<Vec<u8>>)>,
-    /// `levels[0]` newest-last; levels ≥ 1 key-ordered and disjoint.
+    /// `levels[0]` newest-last; levels ≥ 1 key-ordered and disjoint under
+    /// leveled compaction, age-ordered newest-last runs under tiered.
     pub(crate) levels: Vec<Vec<Arc<SsTable>>>,
+    /// True when levels ≥ 1 hold overlapping runs (tiered compaction):
+    /// deep levels are read newest-first like L0.
+    pub(crate) overlapping: bool,
     /// Blocks known-bad at snapshot time; served as empty without a read.
     pub(crate) quarantined: HashSet<(u64, u32)>,
     pub(crate) disk: Arc<SimDisk>,
@@ -56,6 +60,7 @@ impl Db {
         DbSnapshot {
             mem,
             levels: self.levels.clone(),
+            overlapping: self.overlapping,
             quarantined: self.quarantined.borrow().clone(),
             disk: self.disk_handle(),
             cache: Arc::clone(&self.cache),
@@ -139,10 +144,19 @@ impl DbSnapshot {
             }
         }
         for level in self.levels.iter().skip(1) {
-            let idx = level.partition_point(|t| t.max_key.as_slice() < key);
-            if let Some(table) = level.get(idx) {
-                if let Some(v) = probe(table) {
-                    return v;
+            if self.overlapping {
+                // Tiered runs overlap: scan newest-first like L0.
+                for table in level.iter().rev() {
+                    if let Some(v) = probe(table) {
+                        return v;
+                    }
+                }
+            } else {
+                let idx = level.partition_point(|t| t.max_key.as_slice() < key);
+                if let Some(table) = level.get(idx) {
+                    if let Some(v) = probe(table) {
+                        return v;
+                    }
                 }
             }
         }
@@ -177,8 +191,16 @@ impl DbSnapshot {
             }
         }
         for level in self.levels.iter().skip(1) {
-            for table in level.iter().filter(|t| in_range(t)) {
-                sources.push(Source::Table(self.open_cursor(table, lk)));
+            if self.overlapping {
+                // Tiered runs are age-ordered newest-last; reverse so the
+                // earlier source wins key ties, exactly like L0.
+                for table in level.iter().rev().filter(|t| in_range(t)) {
+                    sources.push(Source::Table(self.open_cursor(table, lk)));
+                }
+            } else {
+                for table in level.iter().filter(|t| in_range(t)) {
+                    sources.push(Source::Table(self.open_cursor(table, lk)));
+                }
             }
         }
         loop {

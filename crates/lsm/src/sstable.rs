@@ -17,9 +17,15 @@ use memtree_common::bitset::BitSet;
 use memtree_common::error::{MemtreeError, Result};
 use memtree_common::mem::{vec_bytes, vec_of_bytes};
 use memtree_common::traits::PointFilter;
-use memtree_faults::fail_point;
+use memtree_faults::{fail_point, Backoff};
 use memtree_filters::BloomFilter;
 use memtree_surf::{SuffixConfig, Surf};
+
+/// Filter-image format version (first payload byte inside the CRC frame).
+const FILTER_IMAGE_VERSION: u8 = 1;
+/// Filter-image kind tags (second payload byte).
+const FILTER_KIND_BLOOM: u8 = 0;
+const FILTER_KIND_SURF: u8 = 1;
 
 /// A decoded data block: sorted `(key, value)` pairs. `None` values are
 /// delete tombstones — they shadow older versions of the key and are
@@ -46,6 +52,12 @@ pub struct SsTable {
     pub(crate) min_key: Vec<u8>,
     pub(crate) max_key: Vec<u8>,
     pub(crate) filter: Option<TableFilter>,
+    /// Disk block holding the serialized filter image, when one was
+    /// written at build time. Persisted in the manifest so recovery can
+    /// load the filter with one block read instead of re-reading every
+    /// data block; `None` for filterless tables and tables written before
+    /// the image format existed.
+    pub(crate) filter_block: Option<u32>,
     pub(crate) num_entries: usize,
     /// Entries that are delete tombstones (`num_tombstones <=
     /// num_entries`). Persisted in the manifest so reopened databases know
@@ -101,13 +113,30 @@ impl SsTable {
         // The filter indexes every key, tombstones included: a tombstone
         // must be *found* by reads so it can shadow older versions below.
         let keys: Vec<&[u8]> = entries.iter().map(|(k, _)| k.as_slice()).collect();
+        let built = Self::build_filter(&keys, filter);
+        // Persist the filter as its own block so reopen can load it with
+        // one read. A failed image write unwinds the whole build — same
+        // retryability contract as a failed data-block write.
+        let filter_block = match &built {
+            Some(f) => match disk.write(Self::encode_filter_image(f)) {
+                Ok(b) => Some(b),
+                Err(e) => {
+                    for &b in &blocks {
+                        let _ = disk.release(b);
+                    }
+                    return Err(e);
+                }
+            },
+            None => None,
+        };
         Ok(Self {
             id,
             blocks,
             fences,
             min_key: entries[0].0.clone(),
             max_key: entries[entries.len() - 1].0.clone(),
-            filter: Self::build_filter(&keys, filter),
+            filter: built,
+            filter_block,
             num_entries: entries.len(),
             num_tombstones: entries.iter().filter(|(_, v)| v.is_none()).count(),
         })
@@ -129,9 +158,90 @@ impl SsTable {
         }
     }
 
+    /// Serializes a filter into its persistent image: `version u8 | kind
+    /// u8 | body`, wrapped in a CRC frame so a torn or bit-flipped image
+    /// fails validation instead of decoding into a wrong filter.
+    pub(crate) fn encode_filter_image(filter: &TableFilter) -> Box<[u8]> {
+        let mut payload = Vec::new();
+        payload.push(FILTER_IMAGE_VERSION);
+        match filter {
+            TableFilter::Bloom(b) => {
+                payload.push(FILTER_KIND_BLOOM);
+                b.serialize(&mut payload);
+            }
+            TableFilter::Surf(s) => {
+                payload.push(FILTER_KIND_SURF);
+                s.serialize(&mut payload);
+            }
+        }
+        encode_single(&payload).into_boxed_slice()
+    }
+
+    /// Validates and decodes a persistent filter image. Every failure —
+    /// bad frame, unknown version or kind, or a body the filter codec
+    /// rejects — is a typed [`MemtreeError::Corruption`]; the caller falls
+    /// back to rebuilding (or degrading to filterless), never to a wrong
+    /// filter.
+    pub(crate) fn decode_filter_image(raw: &[u8]) -> Result<TableFilter> {
+        let payload = decode_single_ref(raw, "filter-image")?;
+        let bad = |what: &str| MemtreeError::corruption("filter-image", what.to_string());
+        if payload.len() < 2 {
+            return Err(bad("image shorter than header"));
+        }
+        if payload[0] != FILTER_IMAGE_VERSION {
+            return Err(bad("unknown image version"));
+        }
+        match payload[1] {
+            FILTER_KIND_BLOOM => Ok(TableFilter::Bloom(BloomFilter::deserialize(&payload[2..])?)),
+            FILTER_KIND_SURF => Ok(TableFilter::Surf(Surf::deserialize(&payload[2..])?)),
+            _ => Err(bad("unknown filter kind")),
+        }
+    }
+
+    /// Loads the persisted filter image, if this table has one and it
+    /// matches the configured `want` kind. Returns `Ok(true)` when a
+    /// filter was attached, `Ok(false)` when there is nothing suitable to
+    /// load (no image, filterless configuration, or a kind mismatch — the
+    /// caller rebuilds from keys instead). Transient read faults are
+    /// retried; a persistent read failure or a corrupt image is a typed
+    /// error so the caller can choose rebuild vs degrade.
+    pub(crate) fn load_persisted_filter(
+        &mut self,
+        disk: &SimDisk,
+        want: &FilterKind,
+    ) -> Result<bool> {
+        let Some(block) = self.filter_block else {
+            return Ok(false);
+        };
+        let want_tag = match want {
+            FilterKind::None => return Ok(false),
+            FilterKind::Bloom(_) => FILTER_KIND_BLOOM,
+            FilterKind::SurfHash(_) | FilterKind::SurfReal(_) | FilterKind::SurfMixed(_, _) => {
+                FILTER_KIND_SURF
+            }
+        };
+        let mut backoff = Backoff::new(8);
+        let decoded = loop {
+            match disk.read(block).and_then(|raw| Self::decode_filter_image(&raw)) {
+                Ok(f) => break f,
+                Err(e) if backoff.retry(&e) => continue,
+                Err(e) => return Err(e),
+            }
+        };
+        let got_tag = match &decoded {
+            TableFilter::Bloom(_) => FILTER_KIND_BLOOM,
+            TableFilter::Surf(_) => FILTER_KIND_SURF,
+        };
+        if got_tag != want_tag {
+            return Ok(false);
+        }
+        self.filter = Some(decoded);
+        Ok(true)
+    }
+
     /// Reconstructs the table from a manifest record (no data I/O; the
-    /// filter starts absent and is re-attached by recovery when the
-    /// configuration asks for one).
+    /// filter starts absent and is re-attached by recovery, preferably
+    /// from the persisted image block the record points at).
     pub(crate) fn from_meta(meta: TableMeta) -> Self {
         Self {
             id: meta.id,
@@ -140,6 +250,7 @@ impl SsTable {
             blocks: meta.blocks,
             fences: meta.fences,
             filter: None,
+            filter_block: meta.filter_block,
             num_entries: meta.num_entries,
             num_tombstones: meta.num_tombstones,
         }
@@ -153,6 +264,7 @@ impl SsTable {
             blocks: self.blocks.clone(),
             fences: self.fences.clone(),
             max_key: self.max_key.clone(),
+            filter_block: self.filter_block,
             num_entries: self.num_entries,
             num_tombstones: self.num_tombstones,
         }
@@ -305,10 +417,13 @@ impl SsTable {
         vec_bytes(&self.blocks) + vec_of_bytes(&self.fences) + filter
     }
 
-    /// Releases the table's disk blocks.
+    /// Releases the table's disk blocks (filter image included).
     pub(crate) fn release(&self, disk: &SimDisk) -> Result<()> {
         for &b in &self.blocks {
             disk.release(b)?;
+        }
+        if let Some(fb) = self.filter_block {
+            disk.release(fb)?;
         }
         Ok(())
     }
@@ -455,6 +570,76 @@ mod tests {
         assert_eq!(r.num_tombstones, t.num_tombstones);
         assert!(t.num_tombstones > 0, "test data should include tombstones");
         assert!(r.filter.is_none());
+    }
+
+    #[test]
+    fn filter_image_roundtrips_for_every_kind() {
+        let disk = SimDisk::new(Duration::ZERO);
+        let e = entries(400);
+        for kind in [
+            FilterKind::Bloom(12.0),
+            FilterKind::SurfHash(8),
+            FilterKind::SurfReal(4),
+            FilterKind::SurfMixed(4, 4),
+        ] {
+            let t = SsTable::build(1, &disk, &e, 2048, &kind).unwrap();
+            let fb = t.filter_block.expect("filtered build writes an image block");
+            let raw = disk.read(fb).unwrap();
+            let decoded = SsTable::decode_filter_image(&raw).unwrap();
+            // The decoded filter answers membership identically.
+            let mut clone = SsTable::from_meta(t.meta(1));
+            clone.filter = Some(decoded);
+            for i in 0..1300u64 {
+                let key = memtree_common::key::encode_u64(i);
+                assert_eq!(
+                    clone.filter_may_contain(&key),
+                    t.filter_may_contain(&key),
+                    "kind {kind:?} key {i}"
+                );
+            }
+            assert!(clone.load_persisted_filter(&disk, &kind).unwrap());
+            t.release(&disk).unwrap();
+        }
+        assert_eq!(disk.live_blocks(), 0, "release frees the image block too");
+    }
+
+    #[test]
+    fn semantically_truncated_image_is_typed_not_panic() {
+        let disk = SimDisk::new(Duration::ZERO);
+        let e = entries(400);
+        for kind in [FilterKind::Bloom(12.0), FilterKind::SurfReal(4)] {
+            let t = SsTable::build(1, &disk, &e, 2048, &kind).unwrap();
+            let raw = disk.read(t.filter_block.unwrap()).unwrap();
+            let payload = decode_single_ref(&raw, "t").unwrap();
+            // Re-frame progressively shorter payload prefixes: the CRC
+            // frame validates, but the body is semantically truncated.
+            // Every prefix must decode to a typed error — never a panic,
+            // never a wrong filter.
+            for cut in 0..payload.len() {
+                let reframed = encode_single(&payload[..cut]);
+                match SsTable::decode_filter_image(&reframed) {
+                    Err(MemtreeError::Corruption { .. }) => {}
+                    other => panic!("kind {kind:?} cut {cut}: expected corruption, got {other:?}"),
+                }
+            }
+            t.release(&disk).unwrap();
+        }
+    }
+
+    #[test]
+    fn persisted_filter_kind_mismatch_falls_back_to_rebuild() {
+        let disk = SimDisk::new(Duration::ZERO);
+        let e = entries(300);
+        let t = SsTable::build(1, &disk, &e, 2048, &FilterKind::Bloom(10.0)).unwrap();
+        let mut r = SsTable::from_meta(t.meta(1));
+        // A Surf configuration must not adopt the persisted Bloom image.
+        assert!(!r.load_persisted_filter(&disk, &FilterKind::SurfReal(4)).unwrap());
+        assert!(r.filter.is_none());
+        // A filterless configuration loads nothing.
+        assert!(!r.load_persisted_filter(&disk, &FilterKind::None).unwrap());
+        // The matching kind loads.
+        assert!(r.load_persisted_filter(&disk, &FilterKind::Bloom(10.0)).unwrap());
+        assert!(r.has_filter());
     }
 
     #[test]

@@ -22,18 +22,19 @@
 //! so CI can shard the matrix across jobs.
 
 use memtree_faults as faults;
-use memtree_lsm::{Db, DbOptions, FilterKind};
+use memtree_lsm::{CompactionConfig, Db, DbOptions, FilterKind};
 use std::collections::BTreeMap;
 
 /// Every fail point on the write/flush/compact paths. The two
 /// recovery-only points (`lsm.manifest.rotate`, `lsm.current.swap`) never
 /// evaluate during a workload; `crash_during_recovery_is_survivable`
 /// covers them.
-const CRASHPOINTS: [&str; 10] = [
+const CRASHPOINTS: [&str; 11] = [
     "lsm.wal.append",
     "lsm.wal.sync",
     "lsm.disk.write_fault",
     "lsm.table.block_write",
+    "lsm.flush.filter_block",
     "lsm.flush.sync",
     "lsm.manifest.append",
     "lsm.manifest.sync",
@@ -65,6 +66,13 @@ fn opts_for(seed: u64) -> DbOptions {
         filter: [FilterKind::None, FilterKind::Bloom(10.0), FilterKind::SurfReal(6)]
             [(seed % 3) as usize],
         wal_group_commit: [1usize, 4, 16][(seed / 3 % 3) as usize],
+        // Half the matrix runs each compaction policy: crash consistency
+        // must hold under both level shapes.
+        compaction: if seed % 2 == 0 {
+            CompactionConfig::Leveled { fanout: 10 }
+        } else {
+            CompactionConfig::Tiered { tiers_per_level: 3 }
+        },
         ..Default::default()
     }
 }
@@ -249,6 +257,55 @@ fn crash_during_recovery_is_survivable() {
         assert!(p >= acked, "{point}/{seed}: double-fault lost acked records");
         let model = fold_model(seed, p);
         assert_matches_model(&db, &model, &format!("{point}/{seed} after double fault"));
+    }
+}
+
+/// Filter-image corruption oracle: flip one seeded bit in **every**
+/// persisted filter-image block, reopen, and demand zero wrong answers.
+/// The CRC frame must catch each flip, the open must fall back to
+/// rebuilding each filter from its (intact) data blocks, and the rebuilt
+/// filters must still serve the full key space exactly — under both
+/// compaction policies.
+#[test]
+fn filter_image_bitrot_rebuilds_with_zero_wrong_answers() {
+    let _guard = faults::test_lock();
+    for seed in seed_range() {
+        let opts = DbOptions {
+            // Force a filter (a filterless config has no image to rot).
+            filter: [FilterKind::Bloom(10.0), FilterKind::SurfReal(6)][(seed % 2) as usize],
+            ..opts_for(seed)
+        };
+        let mut db = Db::new(opts.clone());
+        let total = 1200u64;
+        for i in 1..=total {
+            if op_is_delete(seed, i) {
+                db.delete(&key_of(i)).unwrap();
+            } else {
+                db.put(&key_of(i), &value_of(i)).unwrap();
+            }
+        }
+        let disk = db.close().unwrap();
+        let clean = Db::open(disk, opts.clone()).unwrap();
+        let images = clean.filter_block_ids();
+        assert!(!images.is_empty(), "seed {seed}: no filter images to corrupt");
+        let tables: u64 = clean.level_sizes().iter().map(|&s| s as u64).sum();
+        assert_eq!(clean.filters_loaded(), tables, "seed {seed}: clean open loads all");
+        let disk = clean.close().unwrap();
+        for &b in &images {
+            disk.bitrot_block(b, seed).unwrap();
+        }
+        let db = Db::open(disk, opts)
+            .unwrap_or_else(|e| panic!("seed {seed}: open died on rotten images: {e:?}"));
+        db.check_invariants().unwrap();
+        assert_eq!(
+            db.filter_images_corrupt(),
+            images.len() as u64,
+            "seed {seed}: every single-bit flip must be caught"
+        );
+        assert_eq!(db.filters_rebuilt(), images.len() as u64, "seed {seed}: rebuild fallback");
+        assert_eq!(db.degraded_tables(), 0, "seed {seed}: data is intact, no degrade");
+        let model = fold_model(seed, total);
+        assert_matches_model(&db, &model, &format!("seed {seed} after image bitrot"));
     }
 }
 

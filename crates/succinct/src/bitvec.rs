@@ -33,6 +33,24 @@ impl BitVector {
         }
     }
 
+    /// Reconstructs a bit vector from its raw words (the inverse of
+    /// [`BitVector::words`] + [`BitVector::len`], used by serialized
+    /// images). Returns `None` when the word count doesn't match `len` or
+    /// when bits past `len` in the last word are set — both indicate a
+    /// damaged image rather than a usable vector.
+    pub fn from_words(words: Vec<u64>, len: usize) -> Option<Self> {
+        if words.len() != len.div_ceil(64) {
+            return None;
+        }
+        if !len.is_multiple_of(64) {
+            let last = *words.last().unwrap_or(&0);
+            if last >> (len % 64) != 0 {
+                return None;
+            }
+        }
+        Some(Self { words, len })
+    }
+
     /// Number of bits.
     #[inline]
     pub fn len(&self) -> usize {
@@ -143,6 +161,25 @@ mod tests {
         let bv: BitVector = (0..130).map(|i| i % 2 == 0).collect();
         assert_eq!(bv.count_ones(), 65);
         assert_eq!(bv.words().len(), 3);
+    }
+
+    #[test]
+    fn from_words_roundtrips_and_rejects_damage() {
+        let bv: BitVector = (0..130).map(|i| i % 7 == 0).collect();
+        let back = BitVector::from_words(bv.words().to_vec(), bv.len()).unwrap();
+        for i in 0..130 {
+            assert_eq!(back.get(i), bv.get(i), "bit {i}");
+        }
+        // Word count must match the claimed length.
+        assert!(BitVector::from_words(vec![0; 2], 130).is_none());
+        assert!(BitVector::from_words(vec![0; 4], 130).is_none());
+        // Set bits past `len` mean a damaged image.
+        assert!(BitVector::from_words(vec![0, 0, 1 << 2], 130).is_none());
+        // Empty and word-aligned lengths round-trip too.
+        assert!(BitVector::from_words(Vec::new(), 0).unwrap().is_empty());
+        let full: BitVector = (0..128).map(|_| true).collect();
+        let back = BitVector::from_words(full.words().to_vec(), 128).unwrap();
+        assert_eq!(back.count_ones(), 128);
     }
 
     #[test]

@@ -18,6 +18,7 @@
 #![warn(missing_docs)]
 
 use memtree_common::bitset::BitSet;
+use memtree_common::error::{MemtreeError, Result};
 use memtree_common::hash::hash64;
 use memtree_common::mem::vec_bytes;
 use memtree_common::traits::{PointFilter, RangeFilter};
@@ -249,6 +250,77 @@ impl Surf {
             }
         }
         (it, fp)
+    }
+
+    /// Appends this filter's raw image to `out`: the suffix config, key
+    /// count, the packed suffix words, and the underlying trie image
+    /// ([`LoudsTrie::serialize`]). No framing or checksum — the storage
+    /// layer wraps images in its own CRC frame.
+    pub fn serialize(&self, out: &mut Vec<u8>) {
+        let (tag, a, b): (u8, u8, u8) = match self.config {
+            SuffixConfig::None => (0, 0, 0),
+            SuffixConfig::Hash(h) => (1, h, 0),
+            SuffixConfig::Real(r) => (2, r, 0),
+            SuffixConfig::Mixed(h, r) => (3, h, r),
+        };
+        out.extend_from_slice(&[tag, a, b]);
+        out.extend_from_slice(&(self.num_keys as u64).to_le_bytes());
+        out.extend_from_slice(&(self.suffixes.words.len() as u64).to_le_bytes());
+        for &w in &self.suffixes.words {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+        self.trie.serialize(out);
+    }
+
+    /// Rebuilds a filter from a [`Surf::serialize`] image. Structural
+    /// damage anywhere (truncated body, inconsistent suffix store, trie
+    /// image corruption) is a typed `Corruption` error; a returned filter
+    /// behaves identically to the one that was serialized.
+    pub fn deserialize(buf: &[u8]) -> Result<Self> {
+        const CTX: &str = "surf-image";
+        let bad = |what: &str| MemtreeError::corruption(CTX, what.to_string());
+        let need = |buf: &[u8], at: usize, n: usize| {
+            if buf.len() - at < n {
+                Err(bad("truncated body"))
+            } else {
+                Ok(())
+            }
+        };
+        need(buf, 0, 3)?;
+        let config = match (buf[0], buf[1], buf[2]) {
+            (0, 0, 0) => SuffixConfig::None,
+            (1, h @ 1..=32, 0) => SuffixConfig::Hash(h),
+            (2, r @ 1..=32, 0) => SuffixConfig::Real(r),
+            (3, h @ 1..=32, r @ 1..=32) if h + r <= 64 => SuffixConfig::Mixed(h, r),
+            _ => return Err(bad("unknown suffix config")),
+        };
+        let mut at = 3;
+        let u64_at = |buf: &[u8], at: &mut usize| -> Result<u64> {
+            need(buf, *at, 8)?;
+            let v = u64::from_le_bytes(buf[*at..*at + 8].try_into().unwrap());
+            *at += 8;
+            Ok(v)
+        };
+        let num_keys = u64_at(buf, &mut at)? as usize;
+        let nwords = u64_at(buf, &mut at)? as usize;
+        if nwords > buf.len() / 8 {
+            return Err(bad("suffix store larger than image"));
+        }
+        let mut words = Vec::with_capacity(nwords);
+        for _ in 0..nwords {
+            words.push(u64_at(buf, &mut at)?);
+        }
+        let trie = LoudsTrie::deserialize(&buf[at..])?;
+        let width = config.total_bits();
+        if words.len() != (width as usize * trie.num_values()).div_ceil(64) {
+            return Err(bad("suffix store length disagrees with trie values"));
+        }
+        Ok(Self {
+            trie,
+            suffixes: PackedBits { words, width },
+            config,
+            num_keys,
+        })
     }
 
     /// Approximate range count (§4.1.5): number of stored keys in
@@ -577,6 +649,90 @@ mod tests {
             "email {:.1} vs int {bpk:.1}",
             se.bits_per_key()
         );
+    }
+
+    #[test]
+    fn serialize_roundtrip_is_behaviorally_identical() {
+        for keys in [random_keys(2000, 5), email_keys(2000)] {
+            for cfg in all_configs() {
+                let s = Surf::from_keys(&keys, cfg);
+                let mut img = Vec::new();
+                s.serialize(&mut img);
+                let d = Surf::deserialize(&img).unwrap();
+                assert_eq!(d.num_keys(), s.num_keys(), "cfg {cfg:?}");
+                // Vec capacity slack between push-built and exact-sized
+                // storage makes byte-exact equality too strict.
+                let (ds, ss) = (d.size_bytes() as f64, s.size_bytes() as f64);
+                assert!((ds - ss).abs() <= ss * 0.01 + 64.0, "size {ds} vs {ss} cfg {cfg:?}");
+                // Differential probe set: stored keys, extensions,
+                // prefixes, and unrelated keys must all answer identically.
+                let mut probes: Vec<Vec<u8>> = Vec::new();
+                for (i, k) in keys.iter().enumerate() {
+                    probes.push(k.clone());
+                    let mut q = k.clone();
+                    q.push(b'!');
+                    probes.push(q);
+                    if k.len() > 1 {
+                        probes.push(k[..k.len() - 1].to_vec());
+                    }
+                    probes.push(format!("absent-{i}").into_bytes());
+                }
+                let refs: Vec<&[u8]> = probes.iter().map(|k| k.as_slice()).collect();
+                for k in &refs {
+                    assert_eq!(s.may_contain(k), d.may_contain(k), "cfg {cfg:?} key {k:?}");
+                }
+                let a = s.may_contain_batch(&refs);
+                let b = d.may_contain_batch(&refs);
+                for i in 0..refs.len() {
+                    assert_eq!(a.get(i), b.get(i), "cfg {cfg:?} batch probe {i}");
+                }
+                // Range behavior survives too (iterator + count machinery).
+                for k in keys.iter().step_by(37) {
+                    let hi = memtree_common::key::successor(k);
+                    assert_eq!(
+                        s.may_contain_range(k, &hi),
+                        d.may_contain_range(k, &hi),
+                        "cfg {cfg:?}"
+                    );
+                    assert_eq!(s.count(k, &hi), d.count(k, &hi), "cfg {cfg:?}");
+                }
+            }
+        }
+        // Degenerate shapes round-trip as well.
+        for keys in [Vec::new(), vec![b"".to_vec()], vec![b"".to_vec(), b"a".to_vec()]] {
+            let s = Surf::from_keys(&keys, SuffixConfig::Real(8));
+            let mut img = Vec::new();
+            s.serialize(&mut img);
+            let d = Surf::deserialize(&img).unwrap();
+            for k in [&b""[..], b"a", b"b"] {
+                assert_eq!(s.may_contain(k), d.may_contain(k), "{keys:?} {k:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_or_damaged_images_are_typed_errors_never_panics() {
+        let keys = random_keys(200, 9);
+        let s = Surf::from_keys(&keys, SuffixConfig::Mixed(4, 4));
+        let mut img = Vec::new();
+        s.serialize(&mut img);
+        // Every proper prefix of the body is semantically truncated: the
+        // CRC frame around it may still validate, so deserialize itself
+        // must reject it with a typed error rather than panic.
+        for cut in 0..img.len() {
+            assert!(
+                Surf::deserialize(&img[..cut]).is_err(),
+                "truncation to {cut} bytes must not produce a filter"
+            );
+        }
+        // Trailing garbage is equally structural damage.
+        let mut padded = img.clone();
+        padded.extend_from_slice(&[0u8; 7]);
+        assert!(Surf::deserialize(&padded).is_err());
+        // An unknown config tag is rejected up front.
+        let mut bad_tag = img.clone();
+        bad_tag[0] = 9;
+        assert!(Surf::deserialize(&bad_tag).is_err());
     }
 
     #[test]

@@ -18,10 +18,10 @@ MEMTREE_KERNELS=scalar cargo test -q --workspace --offline
 echo "== bench_hotpath --smoke (kernel cross-checks, offline) =="
 cargo run -p memtree-bench --release --offline --bin bench_hotpath -- --smoke
 
-echo "== bench_lsm --smoke (batched LSM read-path differential + counter gates, offline) =="
+echo "== bench_lsm --smoke (batched read-path + leveled/tiered amp gates, offline) =="
 cargo run -p memtree-bench --release --offline --bin bench_lsm -- --smoke
 
-echo "== bench_recovery --smoke (WAL overhead + clean-shutdown/torn-tail gates, offline) =="
+echo "== bench_recovery --smoke (WAL overhead + O(tables) filter-image recovery + torn-tail gates, offline) =="
 cargo run -p memtree-bench --release --offline --bin bench_recovery -- --smoke
 
 echo "== bench_faults --smoke (CRC tax + scrub/degraded/enospc gates, offline) =="
@@ -33,7 +33,7 @@ cargo run -p memtree-bench --release --offline --bin bench_serve -- --smoke
 echo "== concurrent suites with RUST_TEST_THREADS=4 (lsm + serve under real parallelism, offline) =="
 RUST_TEST_THREADS=4 cargo test -q --offline -p memtree-lsm -p memtree-serve
 
-echo "== crash + scrub oracles (seeds ${MEMTREE_FAULT_SEEDS:-0..32}, offline) =="
+echo "== crash + scrub oracles (seeds ${MEMTREE_FAULT_SEEDS:-0..32}, leveled+tiered by seed parity, offline) =="
 cargo test -q --offline -p memtree-lsm --test crash_oracle --test wal_frames --test scrub_oracle
 
 echo "== cargo clippy --all-targets -D warnings (offline) =="
