@@ -60,6 +60,43 @@ pub enum MemtreeError {
         /// Which path observed the fault.
         context: &'static str,
     },
+    /// The engine is in its write-slowdown band (compaction debt is
+    /// accumulating faster than it drains). The write was **not** applied;
+    /// retrying after roughly `suggested_wait_us` virtual microseconds is
+    /// expected to succeed once a compaction step has run.
+    Backpressure {
+        /// Suggested wait before retrying, in (virtual) microseconds.
+        suggested_wait_us: u64,
+    },
+    /// The engine hit its write-stop band: debt exceeded the hard trigger
+    /// and a bounded relief attempt did not clear it. The write was not
+    /// applied and the call returned immediately (never an unbounded
+    /// block); the caller must drain debt (compaction steps / flush) or
+    /// wait before retrying.
+    Stalled {
+        /// L0 run count at rejection time.
+        l0_runs: usize,
+        /// MemTable bytes at rejection time.
+        memtable_bytes: usize,
+    },
+    /// The request's deadline expired before the work was applied. Work
+    /// already made durable is never cancelled; only queued (not yet
+    /// applied) work is dropped with this error.
+    DeadlineExceeded {
+        /// The deadline's total budget, in (virtual) microseconds.
+        budget_us: u64,
+    },
+    /// A row or value failed a schema expectation (wrong column type, a
+    /// non-indexable value in a key column). The operation was rejected;
+    /// the process and its worker threads keep serving.
+    Schema {
+        /// Which accessor or encoder rejected the value.
+        context: &'static str,
+        /// The type the schema expected.
+        expected: &'static str,
+        /// Debug rendering of the offending value.
+        got: String,
+    },
 }
 
 impl std::fmt::Display for MemtreeError {
@@ -85,6 +122,24 @@ impl std::fmt::Display for MemtreeError {
             }
             MemtreeError::TransientIo { context } => {
                 write!(f, "transient I/O failure in {context} (retry may succeed)")
+            }
+            MemtreeError::Backpressure { suggested_wait_us } => {
+                write!(
+                    f,
+                    "write slowdown (compaction debt): retry in ~{suggested_wait_us}us"
+                )
+            }
+            MemtreeError::Stalled { l0_runs, memtable_bytes } => {
+                write!(
+                    f,
+                    "write stalled: {l0_runs} L0 runs, {memtable_bytes} memtable bytes over the stop trigger"
+                )
+            }
+            MemtreeError::DeadlineExceeded { budget_us } => {
+                write!(f, "deadline of {budget_us}us exceeded before the request was applied")
+            }
+            MemtreeError::Schema { context, expected, got } => {
+                write!(f, "schema violation in {context}: expected {expected}, got {got}")
             }
         }
     }
@@ -117,6 +172,26 @@ impl MemtreeError {
     pub fn is_transient(&self) -> bool {
         matches!(self, MemtreeError::TransientIo { .. })
     }
+
+    /// True for overload rejections that a caller should retry *after
+    /// waiting* (jittered backoff), as opposed to [`Self::is_transient`]
+    /// faults where an immediate retry is fine. The rejected operation was
+    /// never applied, so re-submitting the same call is always safe.
+    pub fn is_overload(&self) -> bool {
+        matches!(
+            self,
+            MemtreeError::Backpressure { .. } | MemtreeError::Stalled { .. }
+        )
+    }
+
+    /// Shorthand for a [`MemtreeError::Schema`].
+    pub fn schema(context: &'static str, expected: &'static str, got: impl Into<String>) -> Self {
+        MemtreeError::Schema {
+            context,
+            expected,
+            got: got.into(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -143,5 +218,21 @@ mod tests {
         assert!(!e.is_transient() && !e.is_corruption());
         assert!(e.to_string().contains("no space left"));
         assert!(!MemtreeError::corruption("x", "y").is_transient());
+    }
+
+    #[test]
+    fn overload_and_schema_classification() {
+        let b = MemtreeError::Backpressure { suggested_wait_us: 250 };
+        assert!(b.is_overload() && !b.is_transient() && !b.is_corruption());
+        assert!(b.to_string().contains("250"));
+        let s = MemtreeError::Stalled { l0_runs: 9, memtable_bytes: 4096 };
+        assert!(s.is_overload() && !s.is_corruption());
+        assert!(s.to_string().contains("9 L0 runs"));
+        let d = MemtreeError::DeadlineExceeded { budget_us: 1000 };
+        assert!(!d.is_overload() && !d.is_transient() && !d.is_corruption());
+        assert!(d.to_string().contains("1000us"));
+        let e = MemtreeError::schema("val-accessor", "I64", "Str(\"x\")");
+        assert!(!e.is_overload() && !e.is_corruption() && !e.is_transient());
+        assert!(e.to_string().contains("expected I64"));
     }
 }

@@ -48,7 +48,8 @@ impl Articles {
             article_seq: num_articles,
         };
         for u in 0..num_users {
-            db.insert(users, vec![Val::I64(u), Val::Str(format!("user{u:06}"))]);
+            db.insert(users, vec![Val::I64(u), Val::Str(format!("user{u:06}"))])
+                .expect("articles load");
         }
         for i in 0..num_articles {
             a.insert_article(db, i);
@@ -66,7 +67,8 @@ impl Articles {
                 Val::I64(0), // comment count
                 Val::I64(0), // view count
             ],
-        );
+        )
+        .expect("article rows are well-formed");
     }
 
     fn rand(&mut self, n: i64) -> i64 {
@@ -81,15 +83,16 @@ impl Articles {
             // GetArticle: read the requesting user, the article, and its
             // comments.
             let u = self.rand(self.num_users);
-            if let Some(us) = db.get_unique(self.users_pk, &[Val::I64(u)]) {
+            if let Some(us) = db.get_unique(self.users_pk, &[Val::I64(u)])? {
                 db.read(self.users, us)?;
             }
             let a = self.rand(self.num_articles);
-            if let Some(slot) = db.get_unique(self.articles_pk, &[Val::I64(a)]) {
+            if let Some(slot) = db.get_unique(self.articles_pk, &[Val::I64(a)])? {
                 db.update(self.articles, slot, |row| {
-                    row[4] = Val::I64(row[4].i64() + 1)
+                    row[4] = Val::I64(row[4].as_i64()? + 1);
+                    Ok(())
                 })?;
-                for c in db.get_multi(self.comments_by_article, &[Val::I64(a)]) {
+                for c in db.get_multi(self.comments_by_article, &[Val::I64(a)])? {
                     db.read(self.comments, c)?;
                 }
             }
@@ -108,13 +111,14 @@ impl Articles {
                     Val::I64(u),
                     Val::Str(format!("comment {id} text body")),
                 ],
-            );
+            )?;
             debug_assert!(db
-                .get_unique(self.comments_pk, &[Val::I64(id)])
+                .get_unique(self.comments_pk, &[Val::I64(id)])?
                 .is_some());
-            if let Some(slot) = db.get_unique(self.articles_pk, &[Val::I64(a)]) {
+            if let Some(slot) = db.get_unique(self.articles_pk, &[Val::I64(a)])? {
                 db.update(self.articles, slot, |row| {
-                    row[3] = Val::I64(row[3].i64() + 1)
+                    row[3] = Val::I64(row[3].as_i64()? + 1);
+                    Ok(())
                 })?;
             }
             "AddComment"

@@ -256,14 +256,30 @@ impl Database {
         self.multi_names[name]
     }
 
-    /// Inserts a row, maintaining all indexes. Returns the slot, or `None`
-    /// on a unique-key violation.
-    pub fn insert(&mut self, table: usize, row: Row) -> Option<u64> {
-        // Uniqueness first (the hybrid's insert does its own check; probe
+    /// Inserts a row, maintaining all indexes. Returns the slot,
+    /// `Ok(None)` on a unique-key violation, or a typed
+    /// [`MemtreeError::Schema`] (no index touched) when an indexed column
+    /// holds a non-indexable value.
+    pub fn insert(&mut self, table: usize, row: Row) -> Result<Option<u64>, MemtreeError> {
+        // Encode every index key up front: a schema violation in any of
+        // them must reject the insert before a single index is updated.
+        let mut unique_keys = Vec::new();
+        for (i, def) in self.uniques.iter().enumerate() {
+            if def.table == table {
+                unique_keys.push((i, encode_key(&row, &def.cols)?));
+            }
+        }
+        let mut multi_keys = Vec::new();
+        for (i, def) in self.multis.iter().enumerate() {
+            if def.table == table {
+                multi_keys.push((i, encode_key(&row, &def.cols)?));
+            }
+        }
+        // Uniqueness next (the hybrid's insert does its own check; probe
         // explicitly so no index is half-updated on failure).
-        for def in &self.uniques {
-            if def.table == table && def.index.get(&encode_key(&row, &def.cols)).is_some() {
-                return None;
+        for (i, key) in &unique_keys {
+            if self.uniques[*i].index.get(key).is_some() {
+                return Ok(None);
             }
         }
         let t = &mut self.tables[table];
@@ -276,23 +292,19 @@ impl Database {
         };
         t.resident_bytes += row_bytes(&row) + std::mem::size_of::<Slot>();
         t.resident_count += 1;
-        for def in &mut self.uniques {
-            if def.table == table {
-                let inserted = def.index.insert(&encode_key(&row, &def.cols), slot as u64);
-                debug_assert!(inserted);
-            }
+        for (i, key) in &unique_keys {
+            let inserted = self.uniques[*i].index.insert(key, slot as u64);
+            debug_assert!(inserted);
         }
-        for def in &mut self.multis {
-            if def.table == table {
-                def.index.insert(&encode_key(&row, &def.cols), slot as u64);
-            }
+        for (i, key) in &multi_keys {
+            self.multis[*i].index.insert(key, slot as u64);
         }
         self.tables[table].slots[slot] = Slot::Present {
             row,
             referenced: true,
         };
         self.maybe_evict(table);
-        Some(slot as u64)
+        Ok(Some(slot as u64))
     }
 
     /// Reads a row (cloned), un-evicting it if anti-cached. Marks it
@@ -314,7 +326,10 @@ impl Database {
 
     /// Applies `f` to a row in place. Must not modify indexed columns.
     /// Fails (without calling `f`) if the tuple cannot be made resident.
-    pub fn update<F: FnOnce(&mut Row)>(
+    /// `f` itself is fallible (typed schema errors from the row
+    /// accessors); on `Err` the row keeps whatever `f` wrote before
+    /// failing, but byte accounting stays exact either way.
+    pub fn update<F: FnOnce(&mut Row) -> Result<(), MemtreeError>>(
         &mut self,
         table: usize,
         slot: u64,
@@ -329,11 +344,11 @@ impl Database {
             ));
         };
         let before = row_bytes(row);
-        f(row);
+        let result = f(row);
         *referenced = true;
         let after = row_bytes(row);
         t.resident_bytes = t.resident_bytes + after - before;
-        Ok(())
+        result
     }
 
     /// Deletes a row by slot, maintaining all indexes. Fails (leaving the
@@ -356,38 +371,46 @@ impl Database {
         t.free.push(slot as u32);
         for def in &mut self.uniques {
             if def.table == table {
-                def.index.remove(&encode_key(&row, &def.cols));
+                // A row that made it into the index always re-encodes (the
+                // insert validated it), so this cannot fail for real rows.
+                def.index.remove(&encode_key(&row, &def.cols)?);
             }
         }
         for def in &mut self.multis {
             if def.table == table {
-                def.index.remove(&encode_key(&row, &def.cols), slot);
+                def.index.remove(&encode_key(&row, &def.cols)?, slot);
             }
         }
         Ok(())
     }
 
-    /// Point lookup through a unique index.
-    pub fn get_unique(&self, index: usize, key_vals: &[Val]) -> Option<u64> {
-        self.uniques[index]
+    /// Point lookup through a unique index. A non-indexable probe value
+    /// is a typed [`MemtreeError::Schema`], not a panic.
+    pub fn get_unique(&self, index: usize, key_vals: &[Val]) -> Result<Option<u64>, MemtreeError> {
+        Ok(self.uniques[index]
             .index
-            .get(&crate::row::encode_vals(key_vals))
+            .get(&crate::row::encode_vals(key_vals)?))
     }
 
     /// All slots under a secondary-index key.
-    pub fn get_multi(&self, index: usize, key_vals: &[Val]) -> Vec<u64> {
-        self.multis[index]
+    pub fn get_multi(&self, index: usize, key_vals: &[Val]) -> Result<Vec<u64>, MemtreeError> {
+        Ok(self.multis[index]
             .index
-            .get(&crate::row::encode_vals(key_vals))
+            .get(&crate::row::encode_vals(key_vals)?))
     }
 
     /// Ordered scan of a unique index from `low_vals`, `n` slots.
-    pub fn scan_unique(&self, index: usize, low_vals: &[Val], n: usize) -> Vec<u64> {
+    pub fn scan_unique(
+        &self,
+        index: usize,
+        low_vals: &[Val],
+        n: usize,
+    ) -> Result<Vec<u64>, MemtreeError> {
         let mut out = Vec::with_capacity(n);
         self.uniques[index]
             .index
-            .scan(&crate::row::encode_vals(low_vals), n, &mut out);
-        out
+            .scan(&crate::row::encode_vals(low_vals)?, n, &mut out);
+        Ok(out)
     }
 
     /// Keyed range iteration over a unique index.
@@ -396,10 +419,11 @@ impl Database {
         index: usize,
         low_vals: &[Val],
         f: &mut dyn FnMut(&[u8], u64) -> bool,
-    ) {
+    ) -> Result<(), MemtreeError> {
         self.uniques[index]
             .index
-            .range_from(&crate::row::encode_vals(low_vals), f);
+            .range_from(&crate::row::encode_vals(low_vals)?, f);
+        Ok(())
     }
 
     fn ensure_resident(&mut self, table: usize, slot: u64) -> Result<(), MemtreeError> {
@@ -662,23 +686,27 @@ mod tests {
                     t,
                     vec![Val::I64(i), Val::I64(i % 7), Val::Str(format!("item{i}"))],
                 );
-                assert!(slot.is_some(), "{choice:?} insert {i}");
+                assert!(slot.unwrap().is_some(), "{choice:?} insert {i}");
             }
             // Unique violation.
-            assert!(db.insert(t, vec![Val::I64(5), Val::I64(0), Val::Str("dup".into())]).is_none());
+            assert!(db.insert(t, vec![Val::I64(5), Val::I64(0), Val::Str("dup".into())]).unwrap().is_none());
             // Point read through the PK.
-            let slot = db.get_unique(pk, &[Val::I64(123)]).unwrap();
-            assert_eq!(db.read(t, slot).unwrap()[2].str(), "item123");
+            let slot = db.get_unique(pk, &[Val::I64(123)]).unwrap().unwrap();
+            assert_eq!(db.read(t, slot).unwrap()[2].as_str().unwrap(), "item123");
             // Secondary index fans out.
-            let cat3 = db.get_multi(by_cat, &[Val::I64(3)]);
+            let cat3 = db.get_multi(by_cat, &[Val::I64(3)]).unwrap();
             assert_eq!(cat3.len(), 1000 / 7 + 1);
             // Update a non-indexed column.
-            db.update(t, slot, |row| row[2] = Val::Str("renamed".into())).unwrap();
-            assert_eq!(db.read(t, slot).unwrap()[2].str(), "renamed");
+            db.update(t, slot, |row| {
+                row[2] = Val::Str("renamed".into());
+                Ok(())
+            })
+            .unwrap();
+            assert_eq!(db.read(t, slot).unwrap()[2].as_str().unwrap(), "renamed");
             // Delete maintains both indexes.
             db.delete(t, slot).unwrap();
-            assert!(db.get_unique(pk, &[Val::I64(123)]).is_none());
-            assert!(!db.get_multi(by_cat, &[Val::I64(123 % 7)]).contains(&slot));
+            assert!(db.get_unique(pk, &[Val::I64(123)]).unwrap().is_none());
+            assert!(!db.get_multi(by_cat, &[Val::I64(123 % 7)]).unwrap().contains(&slot));
         }
     }
 
@@ -687,7 +715,7 @@ mod tests {
         let mut db = tiny_db(IndexChoice::BTree);
         let t = db.table_id("items");
         for i in 0..5000i64 {
-            db.insert(t, vec![Val::I64(i), Val::I64(i % 3), Val::Str("x".repeat(40))]);
+            db.insert(t, vec![Val::I64(i), Val::I64(i % 3), Val::Str("x".repeat(40))]).unwrap();
         }
         let s = db.stats();
         assert!(s.tuple_bytes > 0);
@@ -703,15 +731,15 @@ mod tests {
         let t = db.table_id("items");
         let pk = db.unique_id("items_pk");
         for i in 0..20_000i64 {
-            db.insert(t, vec![Val::I64(i), Val::I64(i % 3), Val::Str("y".repeat(30))]);
+            db.insert(t, vec![Val::I64(i), Val::I64(i % 3), Val::Str("y".repeat(30))]).unwrap();
         }
         let s = db.stats();
         assert!(s.evicted_tuples > 0, "nothing evicted");
         assert!(s.tuple_bytes <= 500 << 10, "resident {}", s.tuple_bytes);
         // Reading a cold tuple fetches it back.
-        let slot = db.get_unique(pk, &[Val::I64(10)]).unwrap();
+        let slot = db.get_unique(pk, &[Val::I64(10)]).unwrap().unwrap();
         let row = db.read(t, slot).unwrap();
-        assert_eq!(row[0].i64(), 10);
+        assert_eq!(row[0].as_i64().unwrap(), 10);
         let s2 = db.stats();
         assert!(s2.fetches >= 1 || s.evicted_tuples > s2.evicted_tuples);
     }

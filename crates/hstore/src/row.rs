@@ -1,4 +1,9 @@
 //! Rows, values, and order-preserving composite-key encoding.
+//!
+//! Accessors and the key encoder are fully typed: a malformed row (wrong
+//! column type, a non-indexable double in a key column) surfaces as a
+//! [`MemtreeError::Schema`] the transaction layer can reject, rather than
+//! a panic that would take a serve worker down with it.
 
 /// A column value.
 #[derive(Debug, Clone, PartialEq)]
@@ -12,27 +17,27 @@ pub enum Val {
 }
 
 impl Val {
-    /// Integer accessor.
-    pub fn i64(&self) -> i64 {
+    /// Integer accessor; [`MemtreeError::Schema`] on any other variant.
+    pub fn as_i64(&self) -> Result<i64, MemtreeError> {
         match self {
-            Val::I64(v) => *v,
-            _ => panic!("expected I64, got {self:?}"),
+            Val::I64(v) => Ok(*v),
+            _ => Err(MemtreeError::schema("val-accessor", "I64", format!("{self:?}"))),
         }
     }
 
-    /// String accessor.
-    pub fn str(&self) -> &str {
+    /// String accessor; [`MemtreeError::Schema`] on any other variant.
+    pub fn as_str(&self) -> Result<&str, MemtreeError> {
         match self {
-            Val::Str(s) => s,
-            _ => panic!("expected Str, got {self:?}"),
+            Val::Str(s) => Ok(s),
+            _ => Err(MemtreeError::schema("val-accessor", "Str", format!("{self:?}"))),
         }
     }
 
-    /// Double accessor.
-    pub fn f64(&self) -> f64 {
+    /// Double accessor; [`MemtreeError::Schema`] on any other variant.
+    pub fn as_f64(&self) -> Result<f64, MemtreeError> {
         match self {
-            Val::F64(v) => *v,
-            _ => panic!("expected F64, got {self:?}"),
+            Val::F64(v) => Ok(*v),
+            _ => Err(MemtreeError::schema("val-accessor", "F64", format!("{self:?}"))),
         }
     }
 
@@ -40,8 +45,10 @@ impl Val {
     ///
     /// Integers map sign-flipped big-endian (total order over i64);
     /// strings append their bytes plus a 0x00 terminator so shorter
-    /// strings sort before their extensions in composite keys.
-    pub fn encode_into(&self, out: &mut Vec<u8>) {
+    /// strings sort before their extensions in composite keys. Doubles
+    /// are not indexable ([`MemtreeError::Schema`]); `out` is unchanged
+    /// on error.
+    pub fn encode_into(&self, out: &mut Vec<u8>) -> Result<(), MemtreeError> {
         match self {
             Val::I64(v) => out.extend_from_slice(&((*v as u64) ^ (1 << 63)).to_be_bytes()),
             Val::Str(s) => {
@@ -49,8 +56,15 @@ impl Val {
                 out.extend_from_slice(s.as_bytes());
                 out.push(0);
             }
-            Val::F64(_) => panic!("doubles are not indexable"),
+            Val::F64(_) => {
+                return Err(MemtreeError::schema(
+                    "key-encoder",
+                    "indexable value (I64 or Str)",
+                    format!("{self:?}"),
+                ))
+            }
         }
+        Ok(())
     }
 
     /// Approximate heap bytes of the value.
@@ -66,21 +80,21 @@ impl Val {
 pub type Row = Vec<Val>;
 
 /// Encodes a composite key from the given column positions of a row.
-pub fn encode_key(row: &Row, cols: &[usize]) -> Vec<u8> {
+pub fn encode_key(row: &Row, cols: &[usize]) -> Result<Vec<u8>, MemtreeError> {
     let mut out = Vec::with_capacity(cols.len() * 9);
     for &c in cols {
-        row[c].encode_into(&mut out);
+        row[c].encode_into(&mut out)?;
     }
-    out
+    Ok(out)
 }
 
 /// Encodes a composite key directly from values.
-pub fn encode_vals(vals: &[Val]) -> Vec<u8> {
+pub fn encode_vals(vals: &[Val]) -> Result<Vec<u8>, MemtreeError> {
     let mut out = Vec::with_capacity(vals.len() * 9);
     for v in vals {
-        v.encode_into(&mut out);
+        v.encode_into(&mut out)?;
     }
-    out
+    Ok(out)
 }
 
 /// Approximate in-memory bytes of a row (inline enum + string heaps).
@@ -223,7 +237,7 @@ mod tests {
         let vals = [-5i64, -1, 0, 1, 42, i64::MIN, i64::MAX];
         let mut pairs: Vec<(Vec<u8>, i64)> = vals
             .iter()
-            .map(|&v| (encode_vals(&[Val::I64(v)]), v))
+            .map(|&v| (encode_vals(&[Val::I64(v)]).unwrap(), v))
             .collect();
         pairs.sort();
         let sorted: Vec<i64> = pairs.iter().map(|(_, v)| *v).collect();
@@ -234,17 +248,36 @@ mod tests {
 
     #[test]
     fn composite_keys_sort_lexicographically() {
-        let a = encode_vals(&[Val::I64(1), Val::Str("apple".into())]);
-        let b = encode_vals(&[Val::I64(1), Val::Str("apples".into())]);
-        let c = encode_vals(&[Val::I64(2), Val::Str("a".into())]);
+        let a = encode_vals(&[Val::I64(1), Val::Str("apple".into())]).unwrap();
+        let b = encode_vals(&[Val::I64(1), Val::Str("apples".into())]).unwrap();
+        let c = encode_vals(&[Val::I64(2), Val::Str("a".into())]).unwrap();
         assert!(a < b && b < c);
     }
 
     #[test]
     fn string_terminator_orders_prefixes() {
-        let short = encode_vals(&[Val::Str("ab".into()), Val::I64(9)]);
-        let long = encode_vals(&[Val::Str("abc".into()), Val::I64(0)]);
+        let short = encode_vals(&[Val::Str("ab".into()), Val::I64(9)]).unwrap();
+        let long = encode_vals(&[Val::Str("abc".into()), Val::I64(0)]).unwrap();
         assert!(short < long);
+    }
+
+    #[test]
+    fn schema_violations_are_typed_not_panics() {
+        let v = Val::F64(1.5);
+        assert!(matches!(v.as_i64(), Err(MemtreeError::Schema { expected: "I64", .. })));
+        assert!(matches!(v.as_str(), Err(MemtreeError::Schema { expected: "Str", .. })));
+        assert!(matches!(Val::I64(3).as_f64(), Err(MemtreeError::Schema { .. })));
+        assert_eq!(Val::I64(3).as_i64().unwrap(), 3);
+        assert_eq!(Val::Str("x".into()).as_str().unwrap(), "x");
+        assert_eq!(v.as_f64().unwrap(), 1.5);
+        // A double in a key column rejects the encode and leaves the
+        // buffer untouched.
+        let mut out = vec![7u8];
+        let err = encode_vals(&[Val::I64(1), Val::F64(0.5)]).unwrap_err();
+        assert!(matches!(err, MemtreeError::Schema { context: "key-encoder", .. }));
+        assert!(Val::F64(0.5).encode_into(&mut out).is_err());
+        assert_eq!(out, vec![7u8]);
+        assert!(encode_key(&vec![Val::F64(9.0)], &[0]).is_err());
     }
 
     #[test]

@@ -150,13 +150,15 @@ impl Tpcc {
                     Val::Str(format!("item-{i:06}")),
                     Val::F64(1.0 + (i % 100) as f64),
                 ],
-            );
+            )
+            .expect("tpcc load");
         }
         for w in 0..self.cfg.warehouses {
             db.insert(
                 self.warehouse,
                 vec![Val::I64(w), Val::Str(format!("W{w:02}")), Val::F64(300_000.0)],
-            );
+            )
+            .expect("tpcc load");
             for i in 0..self.cfg.items {
                 db.insert(
                     self.stock,
@@ -167,13 +169,15 @@ impl Tpcc {
                         Val::I64(0),
                         Val::I64(0),
                     ],
-                );
+                )
+                .expect("tpcc load");
             }
             for d in 0..DISTRICTS {
                 db.insert(
                     self.district,
                     vec![Val::I64(w), Val::I64(d), Val::I64(1), Val::F64(30_000.0)],
-                );
+                )
+                .expect("tpcc load");
                 for c in 0..self.cfg.customers_per_district {
                     db.insert(
                         self.customer,
@@ -186,7 +190,8 @@ impl Tpcc {
                             Val::F64(10.0),
                             Val::I64(1),
                         ],
-                    );
+                    )
+                    .expect("tpcc load");
                 }
             }
         }
@@ -226,10 +231,13 @@ impl Tpcc {
         let d = self.rand(DISTRICTS);
         let c = self.rand(self.cfg.customers_per_district);
         let d_slot = db
-            .get_unique(self.district_pk, &[Val::I64(w), Val::I64(d)])
+            .get_unique(self.district_pk, &[Val::I64(w), Val::I64(d)])?
             .expect("district");
-        let o_id = db.read(self.district, d_slot)?[2].i64();
-        db.update(self.district, d_slot, |row| row[2] = Val::I64(o_id + 1))?;
+        let o_id = db.read(self.district, d_slot)?[2].as_i64()?;
+        db.update(self.district, d_slot, |row| {
+            row[2] = Val::I64(o_id + 1);
+            Ok(())
+        })?;
         let ol_cnt = 5 + self.rand(11);
         db.insert(
             self.orders,
@@ -241,28 +249,29 @@ impl Tpcc {
                 Val::I64(-1), // carrier unassigned
                 Val::I64(ol_cnt),
             ],
-        );
+        )?;
         db.insert(
             self.new_order,
             vec![Val::I64(w), Val::I64(d), Val::I64(o_id)],
-        );
+        )?;
         for ol in 0..ol_cnt {
             let i_id = self.rand(self.cfg.items);
             let qty = 1 + self.rand(10);
-            let item_slot = db.get_unique(self.item_pk, &[Val::I64(i_id)]).expect("item");
-            let price = db.read(self.item, item_slot)?[2].f64();
+            let item_slot = db.get_unique(self.item_pk, &[Val::I64(i_id)])?.expect("item");
+            let price = db.read(self.item, item_slot)?[2].as_f64()?;
             let stock_slot = db
-                .get_unique(self.stock_pk, &[Val::I64(w), Val::I64(i_id)])
+                .get_unique(self.stock_pk, &[Val::I64(w), Val::I64(i_id)])?
                 .expect("stock");
             db.update(self.stock, stock_slot, |row| {
-                let s_qty = row[2].i64();
+                let s_qty = row[2].as_i64()?;
                 row[2] = Val::I64(if s_qty >= qty + 10 {
                     s_qty - qty
                 } else {
                     s_qty - qty + 91
                 });
-                row[3] = Val::I64(row[3].i64() + qty);
-                row[4] = Val::I64(row[4].i64() + 1);
+                row[3] = Val::I64(row[3].as_i64()? + qty);
+                row[4] = Val::I64(row[4].as_i64()? + 1);
+                Ok(())
             })?;
             db.insert(
                 self.order_line,
@@ -276,7 +285,7 @@ impl Tpcc {
                     Val::F64(price * qty as f64),
                     Val::Str(format!("dist-{d:02}-info-string-pad")),
                 ],
-            );
+            )?;
         }
         Ok(())
     }
@@ -288,7 +297,7 @@ impl Tpcc {
             let mut slots = db.get_multi(
                 self.customer_by_name,
                 &[Val::I64(w), Val::I64(d), Val::Str(name)],
-            );
+            )?;
             if !slots.is_empty() {
                 slots.sort_unstable();
                 return Ok(slots[slots.len() / 2]);
@@ -296,7 +305,7 @@ impl Tpcc {
         }
         let c = self.rand(self.cfg.customers_per_district);
         Ok(db
-            .get_unique(self.customer_pk, &[Val::I64(w), Val::I64(d), Val::I64(c)])
+            .get_unique(self.customer_pk, &[Val::I64(w), Val::I64(d), Val::I64(c)])?
             .expect("customer"))
     }
 
@@ -304,21 +313,24 @@ impl Tpcc {
         let w = self.rand(self.cfg.warehouses);
         let d = self.rand(DISTRICTS);
         let amount = 1.0 + self.rand(5000) as f64;
-        let w_slot = db.get_unique(self.warehouse_pk, &[Val::I64(w)]).expect("wh");
+        let w_slot = db.get_unique(self.warehouse_pk, &[Val::I64(w)])?.expect("wh");
         db.update(self.warehouse, w_slot, |row| {
-            row[2] = Val::F64(row[2].f64() + amount)
+            row[2] = Val::F64(row[2].as_f64()? + amount);
+            Ok(())
         })?;
         let d_slot = db
-            .get_unique(self.district_pk, &[Val::I64(w), Val::I64(d)])
+            .get_unique(self.district_pk, &[Val::I64(w), Val::I64(d)])?
             .expect("district");
         db.update(self.district, d_slot, |row| {
-            row[3] = Val::F64(row[3].f64() + amount)
+            row[3] = Val::F64(row[3].as_f64()? + amount);
+            Ok(())
         })?;
         let c_slot = self.pick_customer(db, w, d)?;
         db.update(self.customer, c_slot, |row| {
-            row[4] = Val::F64(row[4].f64() - amount);
-            row[5] = Val::F64(row[5].f64() + amount);
-            row[6] = Val::I64(row[6].i64() + 1);
+            row[4] = Val::F64(row[4].as_f64()? - amount);
+            row[5] = Val::F64(row[5].as_f64()? + amount);
+            row[6] = Val::I64(row[6].as_i64()? + 1);
+            Ok(())
         })?;
         let h = self.history_seq;
         self.history_seq += 1;
@@ -331,7 +343,7 @@ impl Tpcc {
                 Val::F64(amount),
                 Val::Str(format!("payment-{w}-{d}")),
             ],
-        );
+        )?;
         Ok(())
     }
 
@@ -339,26 +351,26 @@ impl Tpcc {
         let w = self.rand(self.cfg.warehouses);
         let d = self.rand(DISTRICTS);
         let c_slot = self.pick_customer(db, w, d)?;
-        let c = db.read(self.customer, c_slot)?[2].i64();
+        let c = db.read(self.customer, c_slot)?[2].as_i64()?;
         let orders = db.get_multi(
             self.orders_by_customer,
             &[Val::I64(w), Val::I64(d), Val::I64(c)],
-        );
+        )?;
         // Most recent order: highest o_id.
         let mut best: Option<(i64, u64)> = None;
         for slot in orders {
-            let o_id = db.read(self.orders, slot)?[2].i64();
+            let o_id = db.read(self.orders, slot)?[2].as_i64()?;
             if best.is_none_or(|(b, _)| o_id > b) {
                 best = Some((o_id, slot));
             }
         }
         if let Some((o_id, slot)) = best {
-            let ol_cnt = db.read(self.orders, slot)?[5].i64();
+            let ol_cnt = db.read(self.orders, slot)?[5].as_i64()?;
             for ol in 0..ol_cnt {
                 if let Some(l) = db.get_unique(
                     self.order_line_pk,
                     &[Val::I64(w), Val::I64(d), Val::I64(o_id), Val::I64(ol)],
-                ) {
+                )? {
                     db.read(self.order_line, l)?;
                 }
             }
@@ -379,39 +391,43 @@ impl Tpcc {
                     found = Some((key.to_vec(), slot, 0));
                     false
                 },
-            );
+            )?;
             let Some((_, no_slot, _)) = found else {
                 continue;
             };
             let no_row = db.read(self.new_order, no_slot)?;
-            if no_row[0].i64() != w || no_row[1].i64() != d {
+            if no_row[0].as_i64()? != w || no_row[1].as_i64()? != d {
                 continue; // ran past the district
             }
-            let o_id = no_row[2].i64();
+            let o_id = no_row[2].as_i64()?;
             db.delete(self.new_order, no_slot)?;
             if let Some(o_slot) =
-                db.get_unique(self.orders_pk, &[Val::I64(w), Val::I64(d), Val::I64(o_id)])
+                db.get_unique(self.orders_pk, &[Val::I64(w), Val::I64(d), Val::I64(o_id)])?
             {
                 let (c_id, ol_cnt) = {
                     let row = db.read(self.orders, o_slot)?;
-                    (row[3].i64(), row[5].i64())
+                    (row[3].as_i64()?, row[5].as_i64()?)
                 };
-                db.update(self.orders, o_slot, |row| row[4] = Val::I64(carrier))?;
+                db.update(self.orders, o_slot, |row| {
+                    row[4] = Val::I64(carrier);
+                    Ok(())
+                })?;
                 let mut total = 0.0;
                 for ol in 0..ol_cnt {
                     if let Some(l) = db.get_unique(
                         self.order_line_pk,
                         &[Val::I64(w), Val::I64(d), Val::I64(o_id), Val::I64(ol)],
-                    ) {
-                        total += db.read(self.order_line, l)?[6].f64();
+                    )? {
+                        total += db.read(self.order_line, l)?[6].as_f64()?;
                     }
                 }
                 if let Some(c_slot) = db.get_unique(
                     self.customer_pk,
                     &[Val::I64(w), Val::I64(d), Val::I64(c_id)],
-                ) {
+                )? {
                     db.update(self.customer, c_slot, |row| {
-                        row[4] = Val::F64(row[4].f64() + total)
+                        row[4] = Val::F64(row[4].as_f64()? + total);
+                        Ok(())
                     })?;
                 }
             }
@@ -424,21 +440,22 @@ impl Tpcc {
         let d = self.rand(DISTRICTS);
         let threshold = 10 + self.rand(11);
         let d_slot = db
-            .get_unique(self.district_pk, &[Val::I64(w), Val::I64(d)])
+            .get_unique(self.district_pk, &[Val::I64(w), Val::I64(d)])?
             .expect("district");
-        let next_o = db.read(self.district, d_slot)?[2].i64();
+        let next_o = db.read(self.district, d_slot)?[2].as_i64()?;
         let mut low_stock = 0;
         for o_id in (next_o - 20).max(0)..next_o {
             for ol in 0..15 {
                 let Some(l) = db.get_unique(
                     self.order_line_pk,
                     &[Val::I64(w), Val::I64(d), Val::I64(o_id), Val::I64(ol)],
-                ) else {
+                )?
+                else {
                     break;
                 };
-                let i_id = db.read(self.order_line, l)?[4].i64();
-                if let Some(s) = db.get_unique(self.stock_pk, &[Val::I64(w), Val::I64(i_id)]) {
-                    if db.read(self.stock, s)?[2].i64() < threshold {
+                let i_id = db.read(self.order_line, l)?[4].as_i64()?;
+                if let Some(s) = db.get_unique(self.stock_pk, &[Val::I64(w), Val::I64(i_id)])? {
+                    if db.read(self.stock, s)?[2].as_i64()? < threshold {
                         low_stock += 1;
                     }
                 }

@@ -36,7 +36,8 @@ impl Voter {
             db.insert(
                 contestants,
                 vec![Val::I64(c), Val::Str(format!("Contestant {c}")), Val::I64(0)],
-            );
+            )
+            .expect("voter load");
         }
         Self {
             state: seed,
@@ -58,7 +59,7 @@ impl Voter {
         // per-phone limit actually fires.
         let phone = 2_000_000_000 + (splitmix64(&mut self.state) % 5_000_000) as i64;
         let contestant = (splitmix64(&mut self.state) % self.num_contestants as u64) as i64;
-        let prior = db.get_multi(self.votes_by_phone, &[Val::I64(phone)]);
+        let prior = db.get_multi(self.votes_by_phone, &[Val::I64(phone)])?;
         if prior.len() as i64 >= MAX_VOTES_PER_PHONE {
             self.rejected += 1;
             return Ok("VoteRejected");
@@ -68,12 +69,13 @@ impl Voter {
         db.insert(
             self.votes,
             vec![Val::I64(id), Val::I64(phone), Val::I64(contestant)],
-        );
+        )?;
         let slot = db
-            .get_unique(self.contestants_pk, &[Val::I64(contestant)])
+            .get_unique(self.contestants_pk, &[Val::I64(contestant)])?
             .expect("contestant");
         db.update(self.contestants, slot, |row| {
-            row[2] = Val::I64(row[2].i64() + 1)
+            row[2] = Val::I64(row[2].as_i64()? + 1);
+            Ok(())
         })?;
         Ok("Vote")
     }
@@ -115,8 +117,8 @@ mod tests {
         // Tallies sum to accepted votes.
         let mut total = 0i64;
         for c in 0..6i64 {
-            let slot = db.get_unique(voter.contestants_pk, &[Val::I64(c)]).unwrap();
-            total += db.read(voter.contestants, slot).unwrap()[2].i64();
+            let slot = db.get_unique(voter.contestants_pk, &[Val::I64(c)]).unwrap().unwrap();
+            total += db.read(voter.contestants, slot).unwrap()[2].as_i64().unwrap();
         }
         assert_eq!(total as usize, stats["VOTES"]);
     }

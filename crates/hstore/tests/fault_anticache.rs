@@ -49,7 +49,7 @@ fn run_differential(seed: u64) -> Result<(), String> {
     for _ in 0..4000 {
         let row = row_for(next_id, &mut g);
         model.insert(next_id, row.clone());
-        db.insert(t, row);
+        db.insert(t, row).unwrap();
         next_id += 1;
     }
 
@@ -59,14 +59,14 @@ fn run_differential(seed: u64) -> Result<(), String> {
             0 | 1 => {
                 let row = row_for(next_id, &mut g);
                 model.insert(next_id, row.clone());
-                if db.insert(t, row).is_none() {
+                if db.insert(t, row).unwrap().is_none() {
                     return Err(format!("seed {seed} step {step}: duplicate pk {next_id}"));
                 }
                 next_id += 1;
             }
             2..=6 => {
                 let id = g.i64_below(next_id);
-                let slot = db.get_unique(pk, &[Val::I64(id)]);
+                let slot = db.get_unique(pk, &[Val::I64(id)]).unwrap();
                 match (slot, model.get(&id)) {
                     (Some(s), Some(want)) => match db.read(t, s) {
                         Ok(got) => {
@@ -95,9 +95,12 @@ fn run_differential(seed: u64) -> Result<(), String> {
             }
             7 | 8 => {
                 let id = g.i64_below(next_id);
-                if let Some(s) = db.get_unique(pk, &[Val::I64(id)]) {
+                if let Some(s) = db.get_unique(pk, &[Val::I64(id)]).unwrap() {
                     let tag = g.i64_below(1 << 40);
-                    match db.update(t, s, |row| row[1] = Val::I64(tag)) {
+                    match db.update(t, s, |row| {
+                        row[1] = Val::I64(tag);
+                        Ok(())
+                    }) {
                         Ok(()) => {
                             model.get_mut(&id).expect("index implies model")[1] = Val::I64(tag);
                         }
@@ -110,7 +113,7 @@ fn run_differential(seed: u64) -> Result<(), String> {
             }
             _ => {
                 let id = g.i64_below(next_id);
-                if let Some(s) = db.get_unique(pk, &[Val::I64(id)]) {
+                if let Some(s) = db.get_unique(pk, &[Val::I64(id)]).unwrap() {
                     match db.delete(t, s) {
                         Ok(()) => {
                             model.remove(&id);
@@ -128,7 +131,7 @@ fn run_differential(seed: u64) -> Result<(), String> {
     // Faults off: every surviving row must read back exactly.
     faults::disable();
     for (id, want) in &model {
-        let Some(s) = db.get_unique(pk, &[Val::I64(*id)]) else {
+        let Some(s) = db.get_unique(pk, &[Val::I64(*id)]).unwrap() else {
             return Err(format!("seed {seed}: post-run lost pk {id}"));
         };
         match db.read(t, s) {
@@ -163,7 +166,7 @@ fn evicted_db() -> (Database, usize, usize, i64) {
     let pk = db.unique_id("items_pk");
     let mut g = Gen::new(0xB10C);
     for id in 0..3000i64 {
-        db.insert(t, row_for(id, &mut g));
+        db.insert(t, row_for(id, &mut g)).unwrap();
     }
     assert!(db.stats().evicted_tuples > 0, "nothing evicted");
     (db, t, pk, 3000)
@@ -207,12 +210,12 @@ fn corrupted_block_is_quarantined_and_only_its_tuples_fail() {
     let mut quarantined_errors = 0;
     let mut served = 0;
     for id in 0..n {
-        let Some(slot) = db.get_unique(pk, &[Val::I64(id)]) else {
+        let Some(slot) = db.get_unique(pk, &[Val::I64(id)]).unwrap() else {
             panic!("pk {id} lost");
         };
         match db.read(t, slot) {
             Ok(row) => {
-                assert_eq!(row[0].i64(), id, "wrong row served for {id}");
+                assert_eq!(row[0].as_i64().unwrap(), id, "wrong row served for {id}");
                 served += 1;
             }
             Err(MemtreeError::Quarantined { block }) => {
@@ -230,7 +233,7 @@ fn corrupted_block_is_quarantined_and_only_its_tuples_fail() {
     // no wrong bytes, and re-reads don't \"heal\" into garbage.
     let mut still_failing = 0;
     for id in 0..n {
-        if let Some(slot) = db.get_unique(pk, &[Val::I64(id)]) {
+        if let Some(slot) = db.get_unique(pk, &[Val::I64(id)]).unwrap() {
             if matches!(db.read(t, slot), Err(MemtreeError::Quarantined { .. })) {
                 still_failing += 1;
             }
@@ -248,7 +251,7 @@ fn injected_corruption_at_eviction_time_quarantines() {
     faults::disable();
     let mut outcomes = (0, 0);
     for id in 0..n {
-        let slot = db.get_unique(pk, &[Val::I64(id)]).expect("pk");
+        let slot = db.get_unique(pk, &[Val::I64(id)]).unwrap().expect("pk");
         match db.read(t, slot) {
             Ok(_) => outcomes.0 += 1,
             Err(MemtreeError::Quarantined { .. }) => outcomes.1 += 1,
@@ -270,9 +273,9 @@ fn transient_fetch_faults_are_retried() {
     let before = db.stats().fetches;
     let mut fetched = false;
     for id in 0..3000i64 {
-        let slot = db.get_unique(pk, &[Val::I64(id)]).expect("pk");
+        let slot = db.get_unique(pk, &[Val::I64(id)]).unwrap().expect("pk");
         let row = db.read(t, slot).expect("retry should absorb both faults");
-        assert_eq!(row[0].i64(), id);
+        assert_eq!(row[0].as_i64().unwrap(), id);
         if db.stats().fetches > before {
             fetched = true;
             break;

@@ -87,8 +87,69 @@ pub struct DbOptions {
     pub gc_orphans: bool,
     /// Compaction policy shaping the levels. Persisted in the manifest at
     /// creation; on reopen the *persisted* policy wins (the on-disk level
-    /// shape was built by it), and this field is updated to match.
+    /// shape was built by it), and this field is updated to match —
+    /// [`Db::open_report`] records the override when the two disagree.
     pub compaction: CompactionConfig,
+    /// Write-stall triggers (RocksDB-style slowdown/stop bands over L0 run
+    /// count and MemTable bytes). Disabled by default: an unconfigured
+    /// database never rejects a write for debt.
+    pub stall: StallConfig,
+    /// Run compaction synchronously at the end of every flush (`true`,
+    /// the classic behaviour) or leave flushed runs as compaction *debt*
+    /// drained by explicit [`Db::compact_step`] calls (`false` — the
+    /// serving layer's model, where debt is what the stall bands measure).
+    pub compact_on_flush: bool,
+}
+
+/// Write-stall triggers. A write finding the engine at or past a
+/// *slowdown* trigger is rejected with a typed
+/// [`Backpressure`](memtree_common::error::MemtreeError::Backpressure)
+/// (after one bounded compaction step of relief); at or past a *stop*
+/// trigger it is rejected with a typed
+/// [`Stalled`](memtree_common::error::MemtreeError::Stalled). Neither band
+/// ever blocks the caller — the delay is surfaced, not slept.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StallConfig {
+    /// Slowdown when L0 holds at least this many runs.
+    pub slowdown_l0_runs: usize,
+    /// Stop when L0 holds at least this many runs.
+    pub stop_l0_runs: usize,
+    /// Slowdown when the MemTable holds at least this many bytes (it can
+    /// only exceed [`DbOptions::memtable_bytes`] while flushes are
+    /// failing, so this band catches a flush-starved engine).
+    pub slowdown_memtable_bytes: usize,
+    /// Stop when the MemTable holds at least this many bytes.
+    pub stop_memtable_bytes: usize,
+}
+
+impl StallConfig {
+    /// No triggers: writes are never rejected for debt.
+    pub const fn disabled() -> Self {
+        Self {
+            slowdown_l0_runs: usize::MAX,
+            stop_l0_runs: usize::MAX,
+            slowdown_memtable_bytes: usize::MAX,
+            stop_memtable_bytes: usize::MAX,
+        }
+    }
+
+    /// Bands scaled for a serving shard: slowdown at `2 × l0_tables` L0
+    /// runs (debt twice the compaction trigger), stop at `4 ×`, and the
+    /// byte bands at `4 ×` / `8 ×` the MemTable flush threshold.
+    pub fn serving(l0_tables: usize, memtable_bytes: usize) -> Self {
+        Self {
+            slowdown_l0_runs: l0_tables.saturating_mul(2).max(2),
+            stop_l0_runs: l0_tables.saturating_mul(4).max(4),
+            slowdown_memtable_bytes: memtable_bytes.saturating_mul(4),
+            stop_memtable_bytes: memtable_bytes.saturating_mul(8),
+        }
+    }
+}
+
+impl Default for StallConfig {
+    fn default() -> Self {
+        Self::disabled()
+    }
 }
 
 impl Default for DbOptions {
@@ -106,8 +167,31 @@ impl Default for DbOptions {
             namespace: String::new(),
             gc_orphans: true,
             compaction: CompactionConfig::default(),
+            stall: StallConfig::disabled(),
+            compact_on_flush: true,
         }
     }
+}
+
+/// Debt and overload counters exposed by [`Db::stats`]: what the stall
+/// bands measure and what they rejected. The serving layer samples this to
+/// drive admission control and its `stall` bench section.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DbStats {
+    /// Runs currently at level 0.
+    pub l0_runs: usize,
+    /// Bytes buffered in the MemTable.
+    pub memtable_bytes: usize,
+    /// Approximate bytes in runs beyond every level's policy limit — the
+    /// work outstanding before the engine is back in shape.
+    pub compaction_debt_bytes: usize,
+    /// Writes rejected with `Backpressure` (slowdown band).
+    pub backpressure_rejections: u64,
+    /// Writes rejected with `Stalled` (stop band, after bounded relief).
+    pub stall_rejections: u64,
+    /// Bounded compaction steps executed ([`Db::compact_step`], including
+    /// the relief steps the bands run before rejecting).
+    pub compact_steps: u64,
 }
 
 /// Point-filter probe counters, split so batched and per-key read paths
@@ -146,6 +230,11 @@ pub enum SeekResult {
     /// No qualifying entry.
     NotFound,
 }
+
+/// Per-batch cache of exact table lower bounds: table id → `(lk₀,
+/// smallest stored key ≥ lk₀)`. See [`Db::seek_candidate`]'s doc for the
+/// reuse rule that keeps cached entries exact.
+type SeekMemo = HashMap<u64, (Vec<u8>, Option<Vec<u8>>)>;
 
 /// One CLOCK ring of the striped [`BlockCache`].
 #[derive(Default)]
@@ -375,6 +464,37 @@ pub struct Db {
     /// Persisted filter images that failed validation at open (fell back
     /// to rebuild — never to a wrong filter).
     filter_images_corrupt: Cell<u64>,
+    /// Writes rejected by the slowdown band since open.
+    backpressure_rejections: Cell<u64>,
+    /// Writes rejected by the stop band since open.
+    stall_rejections: Cell<u64>,
+    /// Bounded compaction steps executed since open.
+    compact_steps: Cell<u64>,
+    /// What [`Db::open`] observed while recovering (see [`OpenReport`]).
+    open_report: OpenReport,
+}
+
+/// What [`Db::open`] observed while recovering, kept for the caller to
+/// inspect via [`Db::open_report`]. Recovery itself never fails on any of
+/// these — they are notes, not errors.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OpenReport {
+    /// `Some((requested, persisted))` when the options asked for a
+    /// compaction policy different from the manifest's persisted one. The
+    /// persisted policy won (the on-disk level shape was built by it);
+    /// switching a policy on reopen is unsupported — rebuild through a
+    /// fresh database to change policy.
+    pub policy_overridden: Option<(CompactionConfig, CompactionConfig)>,
+    /// WAL records replayed past the flushed high-water mark.
+    pub wal_records_replayed: u64,
+    /// Filters restored from persisted images (O(1) reads per table).
+    pub filters_loaded: u64,
+    /// Filters rebuilt from data blocks (no or corrupt image).
+    pub filters_rebuilt: u64,
+    /// Persisted filter images that failed validation.
+    pub filter_images_corrupt: u64,
+    /// Tables left filterless because blocks were unreadable/quarantined.
+    pub degraded_tables: u64,
 }
 
 impl Db {
@@ -397,7 +517,9 @@ impl Db {
         // with leveled read paths would assume a disjointness that does
         // not hold. A fresh database records its options' policy now, so
         // every later open agrees.
+        let requested = opts.compaction;
         let config = version.policy.unwrap_or(opts.compaction);
+        let policy_overridden = (config != requested).then_some((requested, config));
         opts.compaction = config;
         let policy = config.policy();
         let overlapping = policy.overlapping_levels();
@@ -532,6 +654,17 @@ impl Db {
             filters_loaded: Cell::new(loaded),
             filters_rebuilt: Cell::new(rebuilt),
             filter_images_corrupt: Cell::new(images_corrupt),
+            backpressure_rejections: Cell::new(0),
+            stall_rejections: Cell::new(0),
+            compact_steps: Cell::new(0),
+            open_report: OpenReport {
+                policy_overridden,
+                wal_records_replayed: records.len() as u64,
+                filters_loaded: loaded,
+                filters_rebuilt: rebuilt,
+                filter_images_corrupt: images_corrupt,
+                degraded_tables: degraded,
+            },
             disk,
         };
         let mut last_applied = version.flushed_seq;
@@ -627,7 +760,47 @@ impl Db {
         self.write(key, None)
     }
 
+    /// The stall bands ([`StallConfig`]): checked before a write touches
+    /// the WAL, so a rejected write has no side effects at all.
+    ///
+    /// Stop band: one bounded compaction step of relief, then a typed
+    /// [`Stalled`](MemtreeError::Stalled) if the debt still exceeds the
+    /// trigger — never an unbounded block. Slowdown band: one relief step
+    /// and a typed [`Backpressure`](MemtreeError::Backpressure) whose
+    /// suggested wait scales with how deep into the band the engine is.
+    /// A relief step's own error is swallowed here (the rejection already
+    /// tells the caller to back off); flush/compact surface it typed on
+    /// their own paths.
+    fn check_pressure(&mut self) -> Result<()> {
+        use memtree_common::error::MemtreeError;
+        let bands = self.opts.stall;
+        let over_stop = |l0: usize, mem: usize| {
+            l0 >= bands.stop_l0_runs || mem >= bands.stop_memtable_bytes
+        };
+        let over_slowdown = |l0: usize, mem: usize| {
+            l0 >= bands.slowdown_l0_runs || mem >= bands.slowdown_memtable_bytes
+        };
+        let (l0, mem) = (self.levels[0].len(), self.mem_bytes);
+        if !over_slowdown(l0, mem) {
+            return Ok(());
+        }
+        let _ = self.compact_step();
+        let (l0, mem) = (self.levels[0].len(), self.mem_bytes);
+        if over_stop(l0, mem) {
+            self.stall_rejections.set(self.stall_rejections.get() + 1);
+            return Err(MemtreeError::Stalled { l0_runs: l0, memtable_bytes: mem });
+        }
+        if over_slowdown(l0, mem) {
+            self.backpressure_rejections
+                .set(self.backpressure_rejections.get() + 1);
+            let depth = (l0 + 1).saturating_sub(bands.slowdown_l0_runs).max(1) as u64;
+            return Err(MemtreeError::Backpressure { suggested_wait_us: 100 * depth });
+        }
+        Ok(())
+    }
+
     fn write(&mut self, key: &[u8], value: Option<&[u8]>) -> Result<u64> {
+        self.check_pressure()?;
         let seq = if self.opts.wal {
             self.wal
                 .append(&self.disk, key, value, self.opts.wal_group_commit)?
@@ -737,13 +910,89 @@ impl Db {
             wal_bytes_truncated: wal_bytes,
             blocks_written,
         };
-        self.compact()?;
+        if self.opts.compact_on_flush {
+            self.compact()?;
+        }
         Ok(Some(stats))
     }
 
     fn level_limit(&self, level: usize) -> usize {
         self.policy
             .level_limit(level, self.opts.l0_tables, self.opts.l1_tables)
+    }
+
+    /// Approximate bytes in runs beyond every level's policy limit — the
+    /// compaction debt outstanding. Only meaningful as a trend; block
+    /// counts stand in for exact byte sizes.
+    fn compaction_debt_bytes(&self) -> usize {
+        let mut debt = 0usize;
+        for (level, tables) in self.levels.iter().enumerate() {
+            let limit = self.level_limit(level);
+            if tables.len() > limit {
+                let excess = tables.len() - limit;
+                // Oldest runs first: those are the ones a merge consumes.
+                debt += tables
+                    .iter()
+                    .take(excess)
+                    .map(|t| t.blocks.len() * self.opts.block_size)
+                    .sum::<usize>();
+            }
+        }
+        debt
+    }
+
+    /// Debt and overload counters (see [`DbStats`]).
+    pub fn stats(&self) -> DbStats {
+        DbStats {
+            l0_runs: self.levels[0].len(),
+            memtable_bytes: self.mem_bytes,
+            compaction_debt_bytes: self.compaction_debt_bytes(),
+            backpressure_rejections: self.backpressure_rejections.get(),
+            stall_rejections: self.stall_rejections.get(),
+            compact_steps: self.compact_steps.get(),
+        }
+    }
+
+    /// What [`Db::open`] observed while recovering this database.
+    pub fn open_report(&self) -> &OpenReport {
+        &self.open_report
+    }
+
+    /// One bounded unit of compaction: merges the shallowest level that is
+    /// over its policy limit and returns `Ok(true)`, or returns
+    /// `Ok(false)` when no level is over (no debt). This is the drain the
+    /// serving layer calls between requests when
+    /// [`DbOptions::compact_on_flush`] is off — debt shrinks one step at a
+    /// time without ever holding a write hostage to a full compaction run.
+    pub fn compact_step(&mut self) -> Result<bool> {
+        for level in 0..self.levels.len() {
+            if self.levels[level].len() > self.level_limit(level) {
+                self.compact_at(level)?;
+                self.compact_steps.set(self.compact_steps.get() + 1);
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
+
+    /// One debt-draining step for overload relief: like
+    /// [`Db::compact_step`], but when no level is over its structural
+    /// limit it still merges L0 once the stall *slowdown* band is
+    /// reached. Without this, bands tighter than the compaction trigger
+    /// would reject writes forever with no level ever "over limit" —
+    /// this is the drain that guarantees a backpressure retry can
+    /// eventually succeed.
+    pub fn compact_debt(&mut self) -> Result<bool> {
+        if self.compact_step()? {
+            return Ok(true);
+        }
+        if !self.levels[0].is_empty() && self.levels[0].len() >= self.opts.stall.slowdown_l0_runs
+        {
+            self.compact_at(0)?;
+            self.compact_steps.set(self.compact_steps.get() + 1);
+            return Ok(true);
+        }
+        Ok(false)
     }
 
     /// Policy-driven compaction. Leveled: L0 merges wholesale into L1,
@@ -757,12 +1006,16 @@ impl Db {
     /// readable. Outputs built before a failed commit are unreferenced
     /// blocks that recovery garbage-collects.
     fn compact(&mut self) -> Result<()> {
-        let mut level = 0;
-        while level < self.levels.len() {
-            if self.levels[level].len() <= self.level_limit(level) {
-                level += 1;
-                continue;
-            }
+        // Shallowest over-limit level first, to a fixpoint: a merge only
+        // ever adds runs *below* its level, so this performs the same
+        // ascending sequence of merges the old single-pass loop did.
+        while self.compact_step()? {}
+        Ok(())
+    }
+
+    /// One merge at `level` (the body of a [`Db::compact_step`]).
+    fn compact_at(&mut self, level: usize) -> Result<()> {
+        {
             fail_point!("lsm.compact.begin");
             if self.levels.len() == level + 1 {
                 self.levels.push(Vec::new());
@@ -889,22 +1142,30 @@ impl Db {
             if !self.overlapping {
                 next.sort_by(|a, b| a.min_key.cmp(&b.min_key));
             }
-            level += 1;
         }
         Ok(())
     }
 
     fn read_all(&self, table: &SsTable) -> Result<DecodedBlock> {
         // Compaction I/O is counted as reads too (as in real systems).
-        // Quarantined blocks are skipped: their entries are already
-        // unreachable by queries (that loss was reported when the block
-        // was quarantined), and insisting on reading them would wedge
+        // A quarantined block gets one last read-repair chance here:
+        // quarantine can stem from wire-level rot (the stored bytes are
+        // intact and a re-read validates), and this merge is the final
+        // moment the entries can be rescued before the input table
+        // retires and the loss becomes permanent. A block that still
+        // fails is skipped — that loss was already reported when the
+        // block was quarantined, and insisting on reading it would wedge
         // every future flush behind the same error. Readable blocks still
         // propagate errors — a *fresh* failure must not silently drop
         // entries.
         let mut out = Vec::with_capacity(table.num_entries);
         for b in 0..table.blocks.len() {
             if self.quarantined.borrow().contains(&(table.id, b as u32)) {
+                if let Ok(d) = self.read_decoded_retrying(table, b, 4) {
+                    self.quarantined.borrow_mut().remove(&(table.id, b as u32));
+                    self.read_repairs.set(self.read_repairs.get() + 1);
+                    out.extend(d.iter().cloned());
+                }
                 continue;
             }
             out.extend(self.fetch_block_strict(table, b)?.iter().cloned());
@@ -1214,18 +1475,22 @@ impl Db {
     /// smallest entries `>= low`, resolved through the same SuRF-assisted
     /// path as [`Db::seek`] / [`Db::next_after`] and positionally identical
     /// to a per-range seek-then-next loop. Ranges are walked in sorted-low
-    /// order so nearby ranges reuse each other's just-cached blocks.
+    /// order so nearby ranges reuse each other's just-cached blocks, and
+    /// the whole batch shares one candidate memo (see [`Db::multi_seek`])
+    /// so a table's lower bound resolved for one range answers the next
+    /// range's seek without re-probing it.
     pub fn multi_scan(&self, ranges: &[(&[u8], usize)]) -> Vec<Vec<Vec<u8>>> {
         let mut results: Vec<Vec<Vec<u8>>> = ranges.iter().map(|_| Vec::new()).collect();
         let mut order: Vec<u32> = (0..ranges.len() as u32).collect();
         order.sort_by(|&a, &b| ranges[a as usize].0.cmp(ranges[b as usize].0));
+        let mut memo = SeekMemo::new();
         for &ri in &order {
             let (low, n) = ranges[ri as usize];
             if n == 0 {
                 continue;
             }
             let out = &mut results[ri as usize];
-            let mut cur = match self.seek(low, None) {
+            let mut cur = match self.seek_memoized(low, None, &mut memo) {
                 SeekResult::Found { key } => key,
                 SeekResult::NotFound => continue,
             };
@@ -1234,7 +1499,8 @@ impl Db {
                 if out.len() == n {
                     break;
                 }
-                match self.next_after(&cur, None) {
+                let succ = memtree_common::key::successor(&cur);
+                match self.seek_memoized(&succ, None, &mut memo) {
                     SeekResult::Found { key } => cur = key,
                     SeekResult::NotFound => break,
                 }
@@ -1266,9 +1532,35 @@ impl Db {
     /// tombstones, which keeps the delete-free fast path at its original
     /// I/O cost.
     pub fn seek(&self, lk: &[u8], hk: Option<&[u8]>) -> SeekResult {
+        // A fresh memo still helps one seek: the tombstone resolution loop
+        // re-queries the same tables with a strictly increasing `lk`.
+        self.seek_memoized(lk, hk, &mut SeekMemo::new())
+    }
+
+    /// Batched closed-range seek: for each `(lk, hk)` pair the smallest
+    /// live key in `[lk, hk)`, exactly as [`Db::seek`] would answer it.
+    /// The batch is resolved in sorted-`lk` order against one shared
+    /// candidate memo, so SuRF's `moveToNext` candidate pruning and the
+    /// candidate block fetches are shared across the batch: a table whose
+    /// exact lower bound is already known from an earlier (lower) range
+    /// reuses it with zero additional I/O.
+    pub fn multi_seek(&self, ranges: &[(&[u8], &[u8])]) -> Vec<SeekResult> {
+        let mut out = vec![SeekResult::NotFound; ranges.len()];
+        let mut order: Vec<u32> = (0..ranges.len() as u32).collect();
+        order.sort_by(|&a, &b| ranges[a as usize].0.cmp(ranges[b as usize].0));
+        let mut memo = SeekMemo::new();
+        for &ri in &order {
+            let (lk, hk) = ranges[ri as usize];
+            out[ri as usize] = self.seek_memoized(lk, Some(hk), &mut memo);
+        }
+        out
+    }
+
+    /// [`Db::seek`] resolved against a shared candidate memo.
+    fn seek_memoized(&self, lk: &[u8], hk: Option<&[u8]>, memo: &mut SeekMemo) -> SeekResult {
         let mut low = lk.to_vec();
         loop {
-            let cand = match self.seek_candidate(&low, hk) {
+            let cand = match self.seek_candidate(&low, hk, memo) {
                 SeekResult::Found { key } => key,
                 SeekResult::NotFound => return SeekResult::NotFound,
             };
@@ -1292,7 +1584,17 @@ impl Db {
 
     /// The structural part of [`Db::seek`]: smallest *stored* key `>= lk`
     /// across memtable and tables, tombstones included.
-    fn seek_candidate(&self, lk: &[u8], hk: Option<&[u8]>) -> SeekResult {
+    ///
+    /// `memo` caches each table's resolved exact lower bound as
+    /// `(lk₀, candidate)`. A cached entry answers a later query at
+    /// `lk ≥ lk₀` for free: `candidate` (when `≥ lk`) is still exact
+    /// because the table holds no key in `[lk₀, candidate)` ⊇
+    /// `[lk, candidate)`, and a `None` candidate means the table holds no
+    /// key `≥ lk₀` at all. Entries that can't answer (`lk < lk₀`, or a
+    /// candidate now below `lk`) are re-resolved and overwritten, so the
+    /// memo is correct for *any* query order — sorted batches merely make
+    /// it effective.
+    fn seek_candidate(&self, lk: &[u8], hk: Option<&[u8]>, memo: &mut SeekMemo) -> SeekResult {
         // Memtable candidate is exact and free.
         let mut best_exact: Option<Vec<u8>> = None;
         self.mem.range_from(lk, &mut |k, _| {
@@ -1311,9 +1613,30 @@ impl Db {
         let consider = |t: &SsTable| {
             t.max_key.as_slice() >= lk && hk.is_none_or(|hk| t.min_key.as_slice() < hk)
         };
-        let visit = |level: usize, idx: usize, table: &SsTable, pending: &mut Vec<(Vec<u8>, usize, usize)>, best_exact: &mut Option<Vec<u8>>| {
+        let visit = |level: usize,
+                     idx: usize,
+                     table: &SsTable,
+                     pending: &mut Vec<(Vec<u8>, usize, usize)>,
+                     best_exact: &mut Option<Vec<u8>>,
+                     memo: &mut SeekMemo| {
             if !consider(table) {
                 return;
+            }
+            // Memo hit: an exact lower bound resolved at some lk₀ <= lk
+            // answers without touching the filter or a block.
+            if let Some((lk0, cached)) = memo.get(&table.id) {
+                if lk >= lk0.as_slice() {
+                    match cached {
+                        None => return, // no key >= lk₀ ⇒ none >= lk
+                        Some(c) if c.as_slice() >= lk => {
+                            if best_exact.as_deref().is_none_or(|b| c.as_slice() < b) {
+                                *best_exact = Some(c.clone());
+                            }
+                            return;
+                        }
+                        Some(_) => {} // candidate fell below lk: re-resolve
+                    }
+                }
             }
             match table.surf() {
                 Some(surf) => {
@@ -1331,7 +1654,9 @@ impl Db {
                 }
                 None => {
                     // No usable range filter: fetch the candidate block.
-                    if let Some(k) = self.table_lower_bound(table, lk) {
+                    let k = self.table_lower_bound(table, lk);
+                    memo.insert(table.id, (lk.to_vec(), k.clone()));
+                    if let Some(k) = k {
                         if best_exact.as_deref().is_none_or(|b| k.as_slice() < b) {
                             *best_exact = Some(k);
                         }
@@ -1340,18 +1665,18 @@ impl Db {
             }
         };
         for (idx, table) in self.levels[0].iter().enumerate() {
-            visit(0, idx, table, &mut pending, &mut best_exact);
+            visit(0, idx, table, &mut pending, &mut best_exact, memo);
         }
         for (lvl, level) in self.levels.iter().enumerate().skip(1) {
             if self.overlapping {
                 // Tiered runs overlap: any run may hold the lower bound.
                 for (idx, table) in level.iter().enumerate() {
-                    visit(lvl, idx, table, &mut pending, &mut best_exact);
+                    visit(lvl, idx, table, &mut pending, &mut best_exact, memo);
                 }
             } else {
                 let idx = level.partition_point(|t| t.max_key.as_slice() < lk);
                 if let Some(table) = level.get(idx) {
-                    visit(lvl, idx, table, &mut pending, &mut best_exact);
+                    visit(lvl, idx, table, &mut pending, &mut best_exact, memo);
                 }
             }
         }
@@ -1368,7 +1693,9 @@ impl Db {
                 }
             }
             let table = &self.levels[level][idx];
-            if let Some(k) = self.table_lower_bound(table, lk) {
+            let k = self.table_lower_bound(table, lk);
+            memo.insert(table.id, (lk.to_vec(), k.clone()));
+            if let Some(k) = k {
                 if best_exact.as_deref().is_none_or(|b| k.as_slice() < b) {
                     best_exact = Some(k);
                 }
@@ -2098,6 +2425,47 @@ mod tests {
     }
 
     #[test]
+    fn multi_seek_matches_per_range_seeks_with_less_io() {
+        // The batched form must be a pure optimization: identical answers
+        // to a per-range seek loop, strictly fewer device reads (the
+        // shared memo resolves each table's lower bound once per batch
+        // instead of once per range).
+        let mut db = Db::new(DbOptions {
+            memtable_bytes: 4 << 10,
+            cache_blocks: 0, // every fetch hits the device and is counted
+            filter: FilterKind::SurfReal(8),
+            ..Default::default()
+        });
+        for i in 0..3000u64 {
+            db.put(&encode_u64(i * 8), b"v").unwrap();
+        }
+        db.flush().unwrap();
+        // Clustered, overlapping ranges: nearby lows resolve to the same
+        // table lower bounds, which is exactly the sharing the memo sells.
+        let mut state = 11u64;
+        let bounds: Vec<(Vec<u8>, Vec<u8>)> = (0..64)
+            .map(|_| {
+                let lo = memtree_common::hash::splitmix64(&mut state) % 2_000;
+                (encode_u64(lo).to_vec(), encode_u64(lo + 600).to_vec())
+            })
+            .collect();
+        let ranges: Vec<(&[u8], &[u8])> =
+            bounds.iter().map(|(l, h)| (l.as_slice(), h.as_slice())).collect();
+        db.reset_io_stats();
+        let batched = db.multi_seek(&ranges);
+        let batched_reads = db.io_stats().block_reads;
+        db.reset_io_stats();
+        let looped: Vec<SeekResult> =
+            ranges.iter().map(|&(l, h)| db.seek(l, Some(h))).collect();
+        let loop_reads = db.io_stats().block_reads;
+        assert_eq!(batched, looped);
+        assert!(
+            batched_reads < loop_reads,
+            "batched multi_seek read {batched_reads} blocks, per-range loop {loop_reads}"
+        );
+    }
+
+    #[test]
     fn closed_seek_skips_tables_above_hk() {
         // Regression: tables entirely at/above `hk` used to pay a block
         // fetch in `table_lower_bound` during closed seeks.
@@ -2257,6 +2625,44 @@ mod tests {
         assert_eq!(s.quarantined_blocks, 1);
         // After disarming, *other* blocks still serve.
         assert_eq!(db.get(&encode_u64(1999)), Some(b"payload".to_vec()));
+    }
+
+    #[test]
+    fn compaction_rescues_quarantined_block_when_reread_is_clean() {
+        let _g = memtree_faults::test_lock();
+        let mut db = Db::new(DbOptions {
+            memtable_bytes: 1 << 20,
+            cache_blocks: 0,
+            l0_tables: 1,
+            compact_on_flush: false,
+            ..Default::default()
+        });
+        for i in 0..2000u64 {
+            db.put(&encode_u64(i), b"payload").unwrap();
+        }
+        db.flush().unwrap();
+        // Wire-level rot on every read quarantines the first block; the
+        // stored bytes underneath are untouched.
+        memtree_faults::enable(7);
+        memtree_faults::arm("lsm.disk.read_corrupt", 1.0, None);
+        assert_eq!(db.get(&encode_u64(0)), None);
+        memtree_faults::disable();
+        assert_eq!(db.io_stats().quarantined_blocks, 1);
+        let repairs_before = db.io_stats().read_repairs;
+        // Compacting the table re-reads the quarantined block; the clean
+        // re-read rescues its entries into the merged output instead of
+        // letting the retirement of the input table make the loss
+        // permanent.
+        for i in 2000..2100u64 {
+            db.put(&encode_u64(i), b"payload").unwrap();
+        }
+        db.flush().unwrap();
+        assert!(db.compact_step().unwrap(), "L0 must be over its limit");
+        let s = db.io_stats();
+        assert_eq!(s.quarantined_blocks, 0, "rescued block leaves quarantine");
+        assert!(s.read_repairs > repairs_before, "rescue is counted as a read repair");
+        assert_eq!(db.get(&encode_u64(0)), Some(b"payload".to_vec()));
+        db.check_invariants().unwrap();
     }
 
     #[test]

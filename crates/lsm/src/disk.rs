@@ -43,6 +43,15 @@
 //!   and atomic replaces that would push total usage past the limit are
 //!   rejected with a typed [`MemtreeError::Enospc`] *before* buffering
 //!   anything, so a failed write never leaves partial state.
+//! * **Slow I/O** ([`SimDisk::set_slow_io`] and the `lsm.disk.slow_io`
+//!   fail point): *late* data, the fault class overload survival needs.
+//!   Every device op advances a monotone **virtual clock** (microseconds)
+//!   by at least one tick; a [`SlowIo`] profile adds seeded per-op jitter,
+//!   periodic burst storms, and one permanently-slow block region, and an
+//!   armed `lsm.disk.slow_io` point adds a fixed storm delay per firing.
+//!   Delays are charged to the virtual clock only — deterministic and
+//!   free of wall-clock flakiness — and [`SimDisk::now_us`] is the time
+//!   base the serving layer's request deadlines measure against.
 //!
 //! Reads are served through the buffer (like the OS page cache), so a
 //! process that never crashes observes its own unsynced writes.
@@ -75,6 +84,54 @@ pub struct IoStats {
     pub quarantined_blocks: u64,
     /// Reads retried after a transient I/O fault (healed, not quarantined).
     pub transient_retries: u64,
+    /// Virtual microseconds of injected slow-I/O delay charged so far
+    /// (jitter + bursts + slow region + armed `lsm.disk.slow_io` storms).
+    pub slow_io_delay_us: u64,
+}
+
+/// A seeded latency profile for the device (see the module docs). All
+/// delays are *virtual* microseconds charged to [`SimDisk::now_us`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlowIo {
+    /// Seed for the per-op jitter draw.
+    pub seed: u64,
+    /// Upper bound of the uniform per-op jitter (`0..=base_us`).
+    pub base_us: u64,
+    /// Every `burst_every` device ops a burst storm starts (0 = never).
+    pub burst_every: u64,
+    /// Ops a burst lasts once started.
+    pub burst_len: u64,
+    /// Extra delay per op while a burst is active.
+    pub burst_us: u64,
+    /// A permanently slow block-id range `[lo, hi)` (media defect /
+    /// remapped zone); reads and writes touching it pay `region_us` extra.
+    pub slow_region: Option<(u32, u32)>,
+    /// Extra delay for ops touching `slow_region`.
+    pub region_us: u64,
+}
+
+impl SlowIo {
+    /// A storm-heavy profile used by the chaos soak: steady small jitter
+    /// plus a hard burst every 64 ops and one slow region at the front of
+    /// the block space.
+    pub fn storm(seed: u64) -> Self {
+        Self {
+            seed,
+            base_us: 20,
+            burst_every: 64,
+            burst_len: 12,
+            burst_us: 400,
+            slow_region: Some((0, 8)),
+            region_us: 150,
+        }
+    }
+}
+
+/// Live slow-I/O state: the profile plus the op counter driving bursts.
+#[derive(Debug)]
+struct SlowState {
+    cfg: SlowIo,
+    ops: u64,
 }
 
 /// A buffered, not-yet-durable mutation. Order within the buffer is the
@@ -187,7 +244,18 @@ pub struct SimDisk {
     append_bytes: AtomicU64,
     syncs: AtomicU64,
     read_latency: Duration,
+    /// Monotone virtual clock in microseconds; every device op ticks it.
+    clock_us: AtomicU64,
+    /// Accumulated injected slow-I/O delay (subset of `clock_us`).
+    slow_delay_us: AtomicU64,
+    /// Optional seeded latency profile.
+    slow: Mutex<Option<SlowState>>,
 }
+
+/// Fixed virtual delay added per firing of the `lsm.disk.slow_io` fail
+/// point (a storm armed through the faults registry, probability- and
+/// budget-controlled like every other fault class).
+const SLOW_IO_STORM_US: u64 = 800;
 
 impl SimDisk {
     /// Creates a disk charging `read_latency` per block read.
@@ -207,7 +275,61 @@ impl SimDisk {
             append_bytes: AtomicU64::new(0),
             syncs: AtomicU64::new(0),
             read_latency,
+            clock_us: AtomicU64::new(0),
+            slow_delay_us: AtomicU64::new(0),
+            slow: Mutex::new(None),
         }
+    }
+
+    /// The virtual clock, in microseconds. Monotone; ticks at least once
+    /// per device op and absorbs every injected slow-I/O delay. The serve
+    /// layer's request deadlines measure against this clock.
+    pub fn now_us(&self) -> u64 {
+        self.clock_us.load(Ordering::Relaxed)
+    }
+
+    /// Advances the virtual clock (callers model waiting — e.g. the serve
+    /// layer's backpressure backoff — without real sleeps).
+    pub fn advance_clock(&self, us: u64) {
+        self.clock_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// Installs (or clears) a seeded latency profile. Deterministic: the
+    /// same profile over the same op sequence charges the same delays.
+    pub fn set_slow_io(&self, profile: Option<SlowIo>) {
+        *self.slow.lock().unwrap_or_else(|e| e.into_inner()) =
+            profile.map(|cfg| SlowState { cfg, ops: 0 });
+    }
+
+    /// Charges one device op to the virtual clock: a 1us base tick, the
+    /// profile's jitter/burst/region delays for this op, and the armed
+    /// `lsm.disk.slow_io` storm delay when that point fires.
+    fn charge_op(&self, block: Option<u32>) {
+        let mut delay = 0u64;
+        {
+            let mut slow = self.slow.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(s) = slow.as_mut() {
+                let i = s.ops;
+                s.ops += 1;
+                let mut rng = s.cfg.seed ^ i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                delay += memtree_common::hash::splitmix64(&mut rng) % (s.cfg.base_us + 1);
+                if s.cfg.burst_every > 0 && i % s.cfg.burst_every < s.cfg.burst_len {
+                    delay += s.cfg.burst_us;
+                }
+                if let (Some((lo, hi)), Some(id)) = (s.cfg.slow_region, block) {
+                    if (lo..hi).contains(&id) {
+                        delay += s.cfg.region_us;
+                    }
+                }
+            }
+        }
+        if memtree_faults::should_fail("lsm.disk.slow_io") {
+            delay += SLOW_IO_STORM_US;
+        }
+        if delay > 0 {
+            self.slow_delay_us.fetch_add(delay, Ordering::Relaxed);
+        }
+        self.clock_us.fetch_add(1 + delay, Ordering::Relaxed);
     }
 
     /// The state mutex, poison-tolerant: a panicking test thread must not
@@ -249,6 +371,8 @@ impl SimDisk {
             (st.blocks.len() - 1) as u32
         };
         st.pending.push(PendingOp::Block { id, data });
+        drop(st);
+        self.charge_op(Some(id));
         Ok(id)
     }
 
@@ -258,6 +382,7 @@ impl SimDisk {
     /// read, not the process.
     pub fn read(&self, id: u32) -> Result<Box<[u8]>> {
         self.reads.fetch_add(1, Ordering::Relaxed);
+        self.charge_op(Some(id));
         if !self.read_latency.is_zero() {
             let start = std::time::Instant::now();
             while start.elapsed() < self.read_latency {
@@ -389,6 +514,8 @@ impl SimDisk {
             file: file.to_string(),
             data: data.to_vec(),
         });
+        drop(st);
+        self.charge_op(None);
         Ok(())
     }
 
@@ -404,6 +531,8 @@ impl SimDisk {
             file: file.to_string(),
             data: data.to_vec(),
         });
+        drop(st);
+        self.charge_op(None);
         Ok(())
     }
 
@@ -462,6 +591,7 @@ impl SimDisk {
     /// Makes every buffered write durable (the `fsync` barrier).
     pub fn sync(&self) {
         self.syncs.fetch_add(1, Ordering::Relaxed);
+        self.charge_op(None);
         let mut st = self.st();
         let ops = std::mem::take(&mut st.pending);
         for op in ops {
@@ -518,6 +648,7 @@ impl SimDisk {
             read_repairs: 0,
             quarantined_blocks: 0,
             transient_retries: 0,
+            slow_io_delay_us: self.slow_delay_us.load(Ordering::Relaxed),
         }
     }
 
@@ -528,6 +659,7 @@ impl SimDisk {
         self.appends.store(0, Ordering::Relaxed);
         self.append_bytes.store(0, Ordering::Relaxed);
         self.syncs.store(0, Ordering::Relaxed);
+        self.slow_delay_us.store(0, Ordering::Relaxed);
     }
 
     /// Live (allocated) block count.
@@ -727,6 +859,80 @@ mod tests {
         }
         assert_eq!(&*d.read(a).unwrap(), b"payload", "retry heals");
         memtree_faults::disable();
+    }
+
+    #[test]
+    fn virtual_clock_ticks_every_op_and_slow_io_is_deterministic() {
+        let run = |profile: Option<SlowIo>| {
+            let d = SimDisk::new(Duration::ZERO);
+            d.set_slow_io(profile);
+            let mut ids = Vec::new();
+            for i in 0..100u8 {
+                ids.push(d.write(Box::from(&[i][..])).unwrap());
+                d.append("wal", &[i]).unwrap();
+            }
+            d.sync();
+            for &id in &ids {
+                d.read(id).unwrap();
+            }
+            (d.now_us(), d.stats().slow_io_delay_us)
+        };
+        let (clock, delay) = run(None);
+        assert_eq!(delay, 0, "no profile, no injected delay");
+        assert_eq!(clock, 301, "100 writes + 100 appends + 1 sync + 100 reads, 1us each");
+
+        let profile = SlowIo::storm(7);
+        let (slow_clock, slow_delay) = run(Some(profile));
+        assert!(slow_delay > 0, "storm profile must charge delay");
+        assert_eq!(slow_clock, 301 + slow_delay, "all delay lands on the clock");
+        assert_eq!(run(Some(profile)), (slow_clock, slow_delay), "seeded = reproducible");
+        // A different seed draws different jitter.
+        assert_ne!(run(Some(SlowIo::storm(8))).1, slow_delay);
+    }
+
+    #[test]
+    fn slow_region_charges_only_region_blocks() {
+        let d = SimDisk::new(Duration::ZERO);
+        let a = d.write(Box::from(&b"in-region"[..])).unwrap();
+        for _ in 0..8 {
+            d.write(Box::from(&b"filler"[..])).unwrap();
+        }
+        let b = d.write(Box::from(&b"outside"[..])).unwrap();
+        d.sync();
+        d.set_slow_io(Some(SlowIo {
+            seed: 1,
+            base_us: 0,
+            burst_every: 0,
+            burst_len: 0,
+            burst_us: 0,
+            slow_region: Some((0, 8)),
+            region_us: 500,
+        }));
+        let before = d.stats().slow_io_delay_us;
+        d.read(b).unwrap();
+        assert_eq!(d.stats().slow_io_delay_us, before, "outside region: free");
+        d.read(a).unwrap();
+        assert_eq!(d.stats().slow_io_delay_us, before + 500, "region read pays");
+    }
+
+    #[test]
+    fn slow_io_fail_point_adds_storm_delay() {
+        let _g = memtree_faults::test_lock();
+        let d = SimDisk::new(Duration::ZERO);
+        let a = d.write(Box::from(&b"x"[..])).unwrap();
+        d.sync();
+        memtree_faults::enable(3);
+        memtree_faults::arm("lsm.disk.slow_io", 1.0, Some(2));
+        let t0 = d.now_us();
+        d.read(a).unwrap();
+        assert!(d.now_us() >= t0 + SLOW_IO_STORM_US, "armed point slows the read");
+        memtree_faults::disable();
+        let t1 = d.now_us();
+        d.read(a).unwrap();
+        assert!(d.now_us() < t1 + SLOW_IO_STORM_US, "disarmed point is fast");
+        assert!(d.stats().slow_io_delay_us >= SLOW_IO_STORM_US);
+        d.advance_clock(1000);
+        assert!(d.now_us() >= t1 + 1000);
     }
 
     #[test]

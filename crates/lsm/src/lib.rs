@@ -34,8 +34,11 @@ mod sstable;
 mod wal;
 
 pub use compaction::CompactionConfig;
-pub use db::{gc_orphans, Db, DbOptions, FilterKind, FilterStats, FlushStats, SeekResult};
-pub use disk::{IoStats, SimDisk};
+pub use db::{
+    gc_orphans, Db, DbOptions, DbStats, FilterKind, FilterStats, FlushStats, OpenReport,
+    SeekResult, StallConfig,
+};
+pub use disk::{IoStats, SimDisk, SlowIo};
 pub use scrub::{FileScrubOutcome, LostRange, ScrubReport};
 pub use snapshot::DbSnapshot;
 pub use sstable::SsTable;

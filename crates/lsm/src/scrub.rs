@@ -51,7 +51,7 @@ use crate::sstable::{DecodedBlock, SsTable};
 use crate::wal::{decode_frames, decode_single};
 use memtree_common::error::Result;
 use memtree_common::key::successor;
-use memtree_faults::Backoff;
+use memtree_faults::{fail_point, Backoff};
 use std::sync::Arc;
 
 /// Health verdict for one of the engine's framed files (WAL, manifest).
@@ -365,6 +365,21 @@ impl Db {
                 }
                 BlockState::Dropped { .. } => {}
             }
+        }
+        // Crash window: repaired blocks are written but the manifest
+        // transaction swapping them in has not committed. A crash (or
+        // injected abort) here must leave the *old* table shape fully
+        // live and the repair blocks as recoverable orphans — the
+        // scrub-republish crash-oracle case drives this point.
+        let abort = (|| -> Result<()> {
+            fail_point!("lsm.scrub.republish");
+            Ok(())
+        })();
+        if let Err(e) = abort {
+            for &b in &fresh_blocks {
+                let _ = self.disk.release(b);
+            }
+            return Err(e);
         }
         let commit = if kept_blocks.is_empty() {
             // Every block dropped: the table leaves the version outright.

@@ -21,8 +21,9 @@
 //! Seeds come from `MEMTREE_FAULT_SEEDS` (`"lo..hi"`, default `0..32`),
 //! so CI can shard the matrix across jobs.
 
+use memtree_common::error::MemtreeError;
 use memtree_faults as faults;
-use memtree_lsm::{CompactionConfig, Db, DbOptions, FilterKind};
+use memtree_lsm::{CompactionConfig, Db, DbOptions, FilterKind, StallConfig};
 use std::collections::BTreeMap;
 
 /// Every fail point on the write/flush/compact paths. The two
@@ -257,6 +258,82 @@ fn crash_during_recovery_is_survivable() {
         assert!(p >= acked, "{point}/{seed}: double-fault lost acked records");
         let model = fold_model(seed, p);
         assert_matches_model(&db, &model, &format!("{point}/{seed} after double fault"));
+    }
+}
+
+/// Stall-band oracle: with write stalls armed tighter than the compaction
+/// trigger and auto-compaction off, a workload must see typed
+/// `Backpressure`/`Stalled` rejections, every rejection must have **zero
+/// side effects** (the retry's sequence number proves nothing was
+/// half-logged), `compact_debt` must always drain enough for the retry to
+/// eventually land — and a crash mid-churn must still recover an exact
+/// acknowledged prefix.
+#[test]
+fn stall_bands_reject_typed_then_drain_and_recover_across_crash() {
+    let _guard = faults::test_lock();
+    for seed in seed_range() {
+        let opts = DbOptions {
+            stall: StallConfig {
+                slowdown_l0_runs: 1,
+                stop_l0_runs: 3,
+                slowdown_memtable_bytes: 8 << 10,
+                stop_memtable_bytes: 16 << 10,
+            },
+            compact_on_flush: false,
+            ..opts_for(seed)
+        };
+        let mut db = Db::new(opts.clone());
+        let mut rejections = 0u64;
+        let mut issued = 0u64;
+        for i in 1..=800u64 {
+            loop {
+                let result = if op_is_delete(seed, i) {
+                    db.delete(&key_of(i))
+                } else {
+                    db.put(&key_of(i), &value_of(i))
+                };
+                match result {
+                    Ok(seq) => {
+                        // Dense seqs across rejections: a rejected write
+                        // left nothing behind, not even a seq allocation.
+                        assert_eq!(seq, i, "seed {seed}: rejection had side effects");
+                        issued = i;
+                        break;
+                    }
+                    Err(e) if e.is_overload() => {
+                        rejections += 1;
+                        if matches!(e, MemtreeError::Stalled { .. }) {
+                            let _ = db.flush();
+                        }
+                        db.compact_debt()
+                            .unwrap_or_else(|e| panic!("seed {seed}: drain failed: {e:?}"));
+                    }
+                    Err(e) => panic!("seed {seed}: untyped write error: {e:?}"),
+                }
+            }
+        }
+        assert!(rejections > 0, "seed {seed}: bands this tight must reject");
+        let stats = db.stats();
+        assert!(
+            stats.backpressure_rejections + stats.stall_rejections >= rejections,
+            "seed {seed}: rejection accounting lost events: {stats:?}"
+        );
+        assert!(stats.compact_steps > 0, "seed {seed}: no drain ran: {stats:?}");
+
+        let acked = db.last_synced_seq();
+        let disk = db.disk_handle();
+        drop(db);
+        disk.crash(if seed % 2 == 0 { Some(seed) } else { None });
+        let db = Db::open(disk, opts)
+            .unwrap_or_else(|e| panic!("seed {seed}: recovery failed: {e:?}"));
+        db.check_invariants().unwrap();
+        let p = db.last_seq();
+        assert!(
+            p >= acked && p <= issued,
+            "seed {seed}: recovered prefix {p} outside [acked {acked}, issued {issued}]"
+        );
+        let model = fold_model(seed, p);
+        assert_matches_model(&db, &model, &format!("stall-band crash, seed {seed}"));
     }
 }
 
